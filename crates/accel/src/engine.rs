@@ -1,0 +1,1047 @@
+//! Back-end (BE) engines — the HHT pipeline of §3.1/Fig. 3.
+//!
+//! Each engine is a cycle-stepped state machine with **one outstanding
+//! memory operation** (the SRAM is single-ported, so the Fig. 3 pipeline's
+//! issue stages serialize on the port anyway; the port occupancy model in
+//! [`hht_mem::Sram`] is what sets the BE's throughput). Engines fetch
+//! metadata (`cols`, row pointers, sparse-vector indices), compute element
+//! addresses (`V_Base + s*k`, §3.2) and push gathered values into the
+//! CPU-side FIFOs, throttled by the control unit's full/empty tracking.
+//!
+//! # The chunked count protocol
+//!
+//! Modes that produce a *variable* number of elements per row (SpMSpV
+//! variant-1 and SMASH) cannot tell the CPU the row's element count up
+//! front — the count is only known once the row's merge/scan completes,
+//! but a row can produce far more elements than the buffers hold, so
+//! waiting for the row to finish before publishing the count would
+//! deadlock FE against BE. Instead the engine closes a *chunk* every time
+//! `BLEN` elements accumulate (or the row ends) and pushes one header word
+//! into the counts stream: low 31 bits = elements in the chunk, bit 31 =
+//! last chunk of the row. The CPU alternates header reads and element
+//! reads; buffer capacity `N × BLEN` is always enough for the elements of
+//! one chunk, so the protocol is deadlock-free for any row length.
+
+use crate::fifo::ElemFifo;
+use crate::mmr::EngineConfig;
+use hht_mem::sram::{Requester, Sram};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Build a chunk header word.
+pub fn chunk_header(count: u32, last: bool) -> u32 {
+    debug_assert!(count < 1 << 31);
+    count | ((last as u32) << 31)
+}
+
+/// Element count of a header word.
+pub fn header_count(h: u32) -> u32 {
+    h & 0x7fff_ffff
+}
+
+/// Whether a header closes its row.
+pub fn header_is_last(h: u32) -> bool {
+    h >> 31 == 1
+}
+
+/// Statistics each engine accumulates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Memory word reads issued by the BE.
+    pub mem_reads: u64,
+    /// Cycles the BE lost because the SRAM port was busy (CPU priority).
+    pub port_conflicts: u64,
+    /// Cycles the BE was throttled because an output FIFO was full — the
+    /// paper's "HHT waiting for CPU to release free buffers" counter (§4).
+    pub stall_out_full: u64,
+    /// Cycles spent on internal (non-memory) work such as comparisons and
+    /// bitmap scans.
+    pub internal_cycles: u64,
+}
+
+/// Output FIFOs an engine may fill. `primary` carries vector values in
+/// every mode; `secondary` carries aligned matrix values (variant-1);
+/// `counts` carries chunk headers (variant-1 and SMASH).
+pub struct Outputs<'a> {
+    /// Vector-value stream.
+    pub primary: &'a mut ElemFifo,
+    /// Matrix-value stream (SpMSpV variant-1).
+    pub secondary: &'a mut ElemFifo,
+    /// Chunk-header stream.
+    pub counts: &'a mut ElemFifo,
+}
+
+/// A back-end engine: stepped once per cycle while running.
+pub trait Engine {
+    /// Advance one cycle. `now` is the global cycle count.
+    fn step(&mut self, now: u64, sram: &mut Sram, out: Outputs<'_>, stats: &mut EngineStats);
+
+    /// True once every element has been pushed to the FIFOs.
+    fn done(&self) -> bool;
+}
+
+/// One outstanding memory read: data captured at issue, architecturally
+/// visible at `ready_at`.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    ready_at: u64,
+    value: u32,
+}
+
+/// Issue a timed read of `addr`; `None` when the port is busy this cycle.
+fn issue_read(sram: &mut Sram, now: u64, addr: u32, stats: &mut EngineStats) -> Option<Pending> {
+    match sram.try_start(now, Requester::Hht) {
+        Some(done) => {
+            stats.mem_reads += 1;
+            Some(Pending { ready_at: done, value: sram.read_u32(addr) })
+        }
+        None => {
+            stats.port_conflicts += 1;
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpMV gather engine
+// ---------------------------------------------------------------------------
+
+/// The SpMV indexed-gather engine (§3.1): walk `M_cols[.]`, gather
+/// `v[cols[k]]`, fill the CPU-side buffer. The two fetch stages of the
+/// Fig. 3 pipeline are the two `PendingKind`s; the column-indices buffer
+/// between them is `col_q` (BLEN deep, as in the paper).
+#[derive(Debug)]
+pub struct GatherEngine {
+    cfg: EngineConfig,
+    /// Next index into the cols array to fetch.
+    next_col: u32,
+    /// Fetched column indices awaiting their V fetch (the "BLEN-sized
+    /// column-indices buffer" of §3.1).
+    col_q: VecDeque<u32>,
+    col_q_cap: usize,
+    pending: Option<(Pending, PendingKind)>,
+    supplied: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingKind {
+    ColIdx,
+    VValue,
+}
+
+impl GatherEngine {
+    /// Create the engine; `blen` is the buffer length (Table 1: 32 B / 8
+    /// elements).
+    pub fn new(cfg: EngineConfig, blen: usize) -> Self {
+        GatherEngine {
+            cfg,
+            next_col: 0,
+            col_q: VecDeque::with_capacity(blen),
+            col_q_cap: blen,
+            pending: None,
+            supplied: 0,
+        }
+    }
+}
+
+impl Engine for GatherEngine {
+    fn step(&mut self, now: u64, sram: &mut Sram, out: Outputs<'_>, stats: &mut EngineStats) {
+        // Commit a completed fetch.
+        if let Some((p, kind)) = self.pending {
+            if now < p.ready_at {
+                return;
+            }
+            match kind {
+                PendingKind::ColIdx => self.col_q.push_back(p.value),
+                PendingKind::VValue => {
+                    out.primary.push(p.value);
+                    self.supplied += 1;
+                }
+            }
+            self.pending = None;
+        }
+        if self.done() {
+            return;
+        }
+        // Prefer draining the column queue into V fetches (keeps the
+        // CPU-side buffer filling); fall back to fetching more metadata.
+        if let Some(&col) = self.col_q.front() {
+            if out.primary.free() > 0 {
+                let addr = self.cfg.v_base + self.cfg.elem_size * col;
+                if let Some(p) = issue_read(sram, now, addr, stats) {
+                    self.col_q.pop_front();
+                    self.pending = Some((p, PendingKind::VValue));
+                }
+                return;
+            }
+            // Output full: control unit throttles the BE.
+            stats.stall_out_full += 1;
+            // Still allowed to prefetch metadata below if there is space.
+        }
+        if self.col_q.len() < self.col_q_cap && self.next_col < self.cfg.m_nnz {
+            let addr = self.cfg.cols_base + self.cfg.elem_size * self.next_col;
+            if let Some(p) = issue_read(sram, now, addr, stats) {
+                self.next_col += 1;
+                self.pending = Some((p, PendingKind::ColIdx));
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.supplied == self.cfg.m_nnz && self.pending.is_none() && self.col_q.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpMSpV engine (variants 1 and 2)
+// ---------------------------------------------------------------------------
+
+/// Which SpMSpV variant the engine runs (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpMSpVVariant {
+    /// Variant-1: supply aligned (matrix value, vector value) pairs and
+    /// per-chunk headers.
+    Aligned,
+    /// Variant-2: supply `x[col]`-or-zero for every matrix non-zero.
+    ValueOrZero,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MergePhase {
+    /// Fetch `rows[r+1]` to learn where the current row ends.
+    NeedRowEnd,
+    /// Running the two-pointer merge.
+    Merging,
+    /// Variant-1: a full chunk must be closed (non-last header).
+    EmitChunkHeader,
+    /// Variant-1: the row ended; emit the last header.
+    EmitRowHeader,
+    /// All rows processed.
+    Finished,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MergePending {
+    RowEnd,
+    ColIdx,
+    VIdx,
+    /// Vector value fetched on a match. For variant-1 the matrix value is
+    /// fetched next; for variant-2 this completes the element.
+    VVal,
+    /// Matrix value (variant-1 second half of the pair).
+    MVal,
+}
+
+/// The SpMSpV merge engine: per row, a two-pointer merge of the row's
+/// column indices with the sparse vector's indices, exactly the alignment
+/// work §1 attributes to SpMSpV ("requires the alignment of non-zero
+/// elements of Matrix with non-zero elements of the Vector").
+///
+/// The engine re-streams the vector index array for every row (the sparse
+/// vector does not fit in HHT-internal storage for the paper's sizes), so
+/// variant work grows with `rows * v_nnz` at low sparsity — this is what
+/// makes the CPU idle waiting for variant-1 in Fig. 7.
+#[derive(Debug)]
+pub struct SpMSpVEngine {
+    cfg: EngineConfig,
+    variant: SpMSpVVariant,
+    blen: usize,
+    phase: MergePhase,
+    pending: Option<(Pending, MergePending)>,
+    /// Current row, global nnz cursor and end-of-row cursor.
+    r: u32,
+    k: u32,
+    row_end: u32,
+    /// Vector-side cursor and its loaded index.
+    b: u32,
+    cur_vidx: Option<u32>,
+    /// Matrix-side loaded column index.
+    cur_col: Option<u32>,
+    /// Elements pushed since the last header (variant-1 chunking).
+    chunk_elems: u32,
+    /// On a match, the vector value waiting for its matrix partner.
+    match_vval: Option<u32>,
+}
+
+impl SpMSpVEngine {
+    /// Create the engine for the given variant; `blen` is the chunk size
+    /// (the buffer length).
+    pub fn new(cfg: EngineConfig, variant: SpMSpVVariant, blen: usize) -> Self {
+        let phase =
+            if cfg.num_rows == 0 { MergePhase::Finished } else { MergePhase::NeedRowEnd };
+        SpMSpVEngine {
+            cfg,
+            variant,
+            blen,
+            phase,
+            pending: None,
+            r: 0,
+            k: 0,
+            row_end: 0,
+            b: 0,
+            cur_vidx: None,
+            cur_col: None,
+            chunk_elems: 0,
+            match_vval: None,
+        }
+    }
+
+    fn start_next_row(&mut self) {
+        self.r += 1;
+        self.b = 0;
+        self.cur_vidx = None;
+        self.chunk_elems = 0;
+        if self.r == self.cfg.num_rows {
+            self.phase = MergePhase::Finished;
+        } else {
+            self.phase = MergePhase::NeedRowEnd;
+        }
+    }
+
+    fn end_row(&mut self) {
+        match self.variant {
+            SpMSpVVariant::Aligned => self.phase = MergePhase::EmitRowHeader,
+            SpMSpVVariant::ValueOrZero => self.start_next_row(),
+        }
+    }
+
+    /// Variant-1 bookkeeping after completing one aligned pair.
+    fn after_pair(&mut self) {
+        self.chunk_elems += 1;
+        self.cur_col = None;
+        self.k += 1;
+        self.b += 1;
+        self.cur_vidx = None;
+        if self.k == self.row_end {
+            self.end_row();
+        } else if self.chunk_elems as usize == self.blen {
+            self.phase = MergePhase::EmitChunkHeader;
+        }
+    }
+}
+
+impl Engine for SpMSpVEngine {
+    fn step(&mut self, now: u64, sram: &mut Sram, out: Outputs<'_>, stats: &mut EngineStats) {
+        // Commit a completed fetch.
+        if let Some((p, kind)) = self.pending {
+            if now < p.ready_at {
+                return;
+            }
+            self.pending = None;
+            match kind {
+                MergePending::RowEnd => {
+                    self.row_end = p.value;
+                    self.phase = MergePhase::Merging;
+                }
+                MergePending::ColIdx => self.cur_col = Some(p.value),
+                MergePending::VIdx => self.cur_vidx = Some(p.value),
+                MergePending::VVal => match self.variant {
+                    SpMSpVVariant::Aligned => self.match_vval = Some(p.value),
+                    SpMSpVVariant::ValueOrZero => {
+                        out.primary.push(p.value);
+                        self.cur_col = None;
+                        self.k += 1;
+                        self.b += 1;
+                        self.cur_vidx = None;
+                        if self.k == self.row_end {
+                            self.end_row();
+                        }
+                    }
+                },
+                MergePending::MVal => {
+                    // Complete the aligned pair.
+                    out.secondary.push(p.value);
+                    out.primary.push(self.match_vval.take().expect("vval precedes mval"));
+                    self.after_pair();
+                }
+            }
+        }
+        match self.phase {
+            MergePhase::Finished => {}
+            MergePhase::NeedRowEnd => {
+                let addr = self.cfg.rows_base + self.cfg.elem_size * (self.r + 1);
+                if let Some(p) = issue_read(sram, now, addr, stats) {
+                    self.pending = Some((p, MergePending::RowEnd));
+                }
+            }
+            MergePhase::EmitChunkHeader => {
+                if out.counts.is_full() {
+                    stats.stall_out_full += 1;
+                    return;
+                }
+                out.counts.push(chunk_header(self.chunk_elems, false));
+                self.chunk_elems = 0;
+                self.phase = MergePhase::Merging;
+            }
+            MergePhase::EmitRowHeader => {
+                if out.counts.is_full() {
+                    stats.stall_out_full += 1;
+                    return;
+                }
+                out.counts.push(chunk_header(self.chunk_elems, true));
+                self.start_next_row();
+            }
+            MergePhase::Merging => {
+                if self.k == self.row_end {
+                    // Empty row (or exhausted immediately).
+                    self.end_row();
+                    stats.internal_cycles += 1;
+                    return;
+                }
+                // A matched pair is half-done: fetch the matrix value.
+                if self.match_vval.is_some() {
+                    let addr = self.cfg.vals_base + self.cfg.elem_size * self.k;
+                    if let Some(p) = issue_read(sram, now, addr, stats) {
+                        self.pending = Some((p, MergePending::MVal));
+                    }
+                    return;
+                }
+                // Ensure the matrix-side index is loaded.
+                let col = match self.cur_col {
+                    Some(c) => c,
+                    None => {
+                        let addr = self.cfg.cols_base + self.cfg.elem_size * self.k;
+                        if let Some(p) = issue_read(sram, now, addr, stats) {
+                            self.pending = Some((p, MergePending::ColIdx));
+                        }
+                        return;
+                    }
+                };
+                // Vector exhausted: remaining matrix nnz have no partner.
+                if self.b >= self.cfg.v_nnz {
+                    match self.variant {
+                        SpMSpVVariant::Aligned => {
+                            // No more matches possible in this row.
+                            self.k = self.row_end;
+                            self.cur_col = None;
+                            stats.internal_cycles += 1;
+                            self.end_row();
+                        }
+                        SpMSpVVariant::ValueOrZero => {
+                            if out.primary.is_full() {
+                                stats.stall_out_full += 1;
+                                return;
+                            }
+                            out.primary.push(0);
+                            stats.internal_cycles += 1;
+                            self.cur_col = None;
+                            self.k += 1;
+                            if self.k == self.row_end {
+                                self.end_row();
+                            }
+                        }
+                    }
+                    return;
+                }
+                // Ensure the vector-side index is loaded.
+                let vidx = match self.cur_vidx {
+                    Some(v) => v,
+                    None => {
+                        let addr = self.cfg.v_idx_base + self.cfg.elem_size * self.b;
+                        if let Some(p) = issue_read(sram, now, addr, stats) {
+                            self.pending = Some((p, MergePending::VIdx));
+                        }
+                        return;
+                    }
+                };
+                // The comparison itself.
+                match col.cmp(&vidx) {
+                    std::cmp::Ordering::Equal => {
+                        // Match: fetch the vector value (both variants need
+                        // space in `primary`; variant-1 also in `secondary`).
+                        let need_secondary =
+                            matches!(self.variant, SpMSpVVariant::Aligned);
+                        if out.primary.is_full()
+                            || (need_secondary && out.secondary.is_full())
+                        {
+                            stats.stall_out_full += 1;
+                            return;
+                        }
+                        let addr = self.cfg.v_vals_base + self.cfg.elem_size * self.b;
+                        if let Some(p) = issue_read(sram, now, addr, stats) {
+                            self.pending = Some((p, MergePending::VVal));
+                        }
+                    }
+                    std::cmp::Ordering::Less => {
+                        // Matrix index behind: no vector partner for col.
+                        match self.variant {
+                            SpMSpVVariant::Aligned => {
+                                self.cur_col = None;
+                                self.k += 1;
+                                stats.internal_cycles += 1;
+                                if self.k == self.row_end {
+                                    self.end_row();
+                                }
+                            }
+                            SpMSpVVariant::ValueOrZero => {
+                                if out.primary.is_full() {
+                                    stats.stall_out_full += 1;
+                                    return;
+                                }
+                                out.primary.push(0);
+                                stats.internal_cycles += 1;
+                                self.cur_col = None;
+                                self.k += 1;
+                                if self.k == self.row_end {
+                                    self.end_row();
+                                }
+                            }
+                        }
+                    }
+                    std::cmp::Ordering::Greater => {
+                        // Vector index behind: advance it.
+                        self.b += 1;
+                        self.cur_vidx = None;
+                        stats.internal_cycles += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.phase == MergePhase::Finished && self.pending.is_none()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SMASH hierarchical-bitmap engine (§6)
+// ---------------------------------------------------------------------------
+
+/// SpMV over a SMASH-encoded matrix: the engine walks the level-0 presence
+/// bitmap (skipping all-zero words via the level-1 summary bitmap),
+/// converts set-bit positions to column indices, gathers the dense vector
+/// values and emits per-chunk headers so the CPU can reconstruct rows.
+///
+/// Register reuse in [`EngineConfig`] for this mode: `rows_base` = level-0
+/// bitmap, `cols_base` = level-1 bitmap (0 when absent), `v_base` = dense
+/// vector, `num_cols` from the packed `ELEMENT_SIZES` register.
+#[derive(Debug)]
+pub struct SmashEngine {
+    cfg: EngineConfig,
+    blen: usize,
+    /// Next level-0 word index to examine.
+    word: u32,
+    total_words: u32,
+    /// Bits of the current level-0 word not yet scanned.
+    cur_word: Option<u32>,
+    cur_word_base_pos: u32,
+    /// Loaded level-1 word covering the current group, and its index.
+    cur_l1: Option<(u32, u32)>,
+    pending: Option<(Pending, SmashPending)>,
+    /// Row currently being produced and elements in its open chunk.
+    cur_row: u32,
+    chunk_elems: u32,
+    /// Rows whose last header has been emitted.
+    rows_closed: u32,
+    /// A full (non-last) chunk header is owed.
+    owe_full_header: bool,
+    supplied: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SmashPending {
+    L0Word,
+    L1Word,
+    VValue,
+}
+
+impl SmashEngine {
+    /// Create the engine. `m_nnz` in the config must be the matrix's true
+    /// non-zero count (drives `done`); `blen` is the chunk size.
+    pub fn new(cfg: EngineConfig, blen: usize) -> Self {
+        let total_bits = cfg.num_rows * cfg.num_cols;
+        SmashEngine {
+            cfg,
+            blen,
+            word: 0,
+            total_words: total_bits.div_ceil(32),
+            cur_word: None,
+            cur_word_base_pos: 0,
+            cur_l1: None,
+            pending: None,
+            cur_row: 0,
+            chunk_elems: 0,
+            rows_closed: 0,
+            owe_full_header: false,
+            supplied: 0,
+        }
+    }
+
+    /// Close rows up to (not including) `row`: last header for the current
+    /// row, then empty-row headers. Returns false when the counts FIFO
+    /// filled (progress is preserved; the caller retries next cycle).
+    fn close_rows_until(&mut self, row: u32, out: &mut Outputs<'_>) -> bool {
+        while self.cur_row < row {
+            if out.counts.is_full() {
+                return false;
+            }
+            out.counts.push(chunk_header(self.chunk_elems, true));
+            self.rows_closed += 1;
+            self.chunk_elems = 0;
+            self.cur_row += 1;
+        }
+        true
+    }
+}
+
+impl Engine for SmashEngine {
+    fn step(&mut self, now: u64, sram: &mut Sram, mut out: Outputs<'_>, stats: &mut EngineStats) {
+        if let Some((p, kind)) = self.pending {
+            if now < p.ready_at {
+                return;
+            }
+            self.pending = None;
+            match kind {
+                SmashPending::L0Word => {
+                    self.cur_word = Some(p.value);
+                    self.cur_word_base_pos = self.word * 32;
+                    self.word += 1;
+                }
+                SmashPending::L1Word => {
+                    self.cur_l1 = Some((self.word / 32, p.value));
+                }
+                SmashPending::VValue => {
+                    out.primary.push(p.value);
+                    self.supplied += 1;
+                    self.chunk_elems += 1;
+                    if self.chunk_elems as usize == self.blen {
+                        self.owe_full_header = true;
+                    }
+                }
+            }
+        }
+        if self.done() {
+            return;
+        }
+        // A full chunk must be published before more elements flow.
+        if self.owe_full_header {
+            if out.counts.is_full() {
+                stats.stall_out_full += 1;
+                return;
+            }
+            out.counts.push(chunk_header(self.chunk_elems, false));
+            self.chunk_elems = 0;
+            self.owe_full_header = false;
+            return;
+        }
+        // Scan bits of the current word.
+        if let Some(bits) = self.cur_word {
+            if bits == 0 {
+                self.cur_word = None;
+                stats.internal_cycles += 1;
+                return;
+            }
+            let tz = bits.trailing_zeros();
+            let pos = self.cur_word_base_pos + tz;
+            let row = pos / self.cfg.num_cols;
+            let col = pos % self.cfg.num_cols;
+            // Close out any completed rows first.
+            if row > self.cur_row {
+                if !self.close_rows_until(row, &mut out) {
+                    stats.stall_out_full += 1;
+                }
+                return;
+            }
+            if out.primary.is_full() {
+                stats.stall_out_full += 1;
+                return;
+            }
+            let addr = self.cfg.v_base + self.cfg.elem_size * col;
+            if let Some(p) = issue_read(sram, now, addr, stats) {
+                self.cur_word = Some(bits & (bits - 1)); // clear lowest bit
+                self.pending = Some((p, SmashPending::VValue));
+            }
+            return;
+        }
+        // Need the next level-0 word.
+        if self.word < self.total_words {
+            // Consult the level-1 summary first when present.
+            if self.cfg.cols_base != 0 {
+                let group = self.word / 32;
+                match self.cur_l1 {
+                    Some((g, l1)) if g == group => {
+                        if l1 & (1 << (self.word % 32)) == 0 {
+                            // The summary bit covers one level-0 word (32
+                            // matrix entries): all zero, skip the load.
+                            self.word += 1;
+                            stats.internal_cycles += 1;
+                            return;
+                        }
+                        // Fall through to fetch this level-0 word.
+                    }
+                    _ => {
+                        let addr = self.cfg.cols_base + self.cfg.elem_size * group;
+                        if let Some(p) = issue_read(sram, now, addr, stats) {
+                            self.pending = Some((p, SmashPending::L1Word));
+                        }
+                        return;
+                    }
+                }
+            }
+            let addr = self.cfg.rows_base + self.cfg.elem_size * self.word;
+            if let Some(p) = issue_read(sram, now, addr, stats) {
+                self.pending = Some((p, SmashPending::L0Word));
+            }
+            return;
+        }
+        // Scan finished: close every remaining row.
+        if self.rows_closed < self.cfg.num_rows
+            && !self.close_rows_until(self.cfg.num_rows, &mut out)
+        {
+            stats.stall_out_full += 1;
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.supplied == self.cfg.m_nnz
+            && self.rows_closed == self.cfg.num_rows
+            && self.pending.is_none()
+            && !self.owe_full_header
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmr::Mode;
+
+    /// Drive an engine against a prepared SRAM until done (or a cycle
+    /// budget runs out), draining outputs every cycle.
+    fn run_engine(
+        engine: &mut dyn Engine,
+        sram: &mut Sram,
+        budget: u64,
+    ) -> (Vec<u32>, Vec<u32>, Vec<u32>, EngineStats) {
+        let mut primary = ElemFifo::new(16);
+        let mut secondary = ElemFifo::new(16);
+        let mut counts = ElemFifo::new(16);
+        let mut stats = EngineStats::default();
+        let (mut p, mut s, mut c) = (Vec::new(), Vec::new(), Vec::new());
+        for now in 0..budget {
+            engine.step(
+                now,
+                sram,
+                Outputs { primary: &mut primary, secondary: &mut secondary, counts: &mut counts },
+                &mut stats,
+            );
+            while let Some(v) = primary.pop() {
+                p.push(v);
+            }
+            while let Some(v) = secondary.pop() {
+                s.push(v);
+            }
+            while let Some(v) = counts.pop() {
+                c.push(v);
+            }
+            if engine.done() {
+                break;
+            }
+        }
+        assert!(engine.done(), "engine did not finish within budget");
+        (p, s, c, stats)
+    }
+
+    fn base_cfg() -> EngineConfig {
+        EngineConfig {
+            num_rows: 0,
+            rows_base: 0,
+            cols_base: 0,
+            vals_base: 0,
+            v_base: 0,
+            v_idx_base: 0,
+            v_vals_base: 0,
+            v_nnz: 0,
+            m_nnz: 0,
+            elem_size: 4,
+            num_cols: 0,
+            mode: Mode::SpMV,
+        }
+    }
+
+    #[test]
+    fn header_encoding_round_trips() {
+        let h = chunk_header(7, true);
+        assert_eq!(header_count(h), 7);
+        assert!(header_is_last(h));
+        let h = chunk_header(8, false);
+        assert_eq!(header_count(h), 8);
+        assert!(!header_is_last(h));
+    }
+
+    #[test]
+    fn gather_engine_supplies_v_cols_k() {
+        let mut sram = Sram::new(4096, 2);
+        // cols at 0x100: [2, 0, 3]; v at 0x200: [10., 11., 12., 13.]
+        sram.load_words(0x100, &[2, 0, 3]);
+        sram.load_f32s(0x200, &[10.0, 11.0, 12.0, 13.0]);
+        let cfg = EngineConfig {
+            m_nnz: 3,
+            cols_base: 0x100,
+            v_base: 0x200,
+            ..base_cfg()
+        };
+        let mut e = GatherEngine::new(cfg, 8);
+        let (p, _, _, stats) = run_engine(&mut e, &mut sram, 1000);
+        let vals: Vec<f32> = p.iter().map(|b| f32::from_bits(*b)).collect();
+        assert_eq!(vals, vec![12.0, 10.0, 13.0]);
+        // 3 col reads + 3 v reads.
+        assert_eq!(stats.mem_reads, 6);
+    }
+
+    #[test]
+    fn gather_engine_throughput_is_two_accesses_per_element() {
+        let mut sram = Sram::new(65536, 2);
+        let n = 64u32;
+        let cols: Vec<u32> = (0..n).collect();
+        sram.load_words(0x100, &cols);
+        sram.load_f32s(0x1000, &vec![1.0; n as usize]);
+        let cfg =
+            EngineConfig { m_nnz: n, cols_base: 0x100, v_base: 0x1000, ..base_cfg() };
+        let mut e = GatherEngine::new(cfg, 8);
+        let mut primary = ElemFifo::new(1024);
+        let mut secondary = ElemFifo::new(1);
+        let mut counts = ElemFifo::new(1);
+        let mut stats = EngineStats::default();
+        let mut finish = 0;
+        for now in 0..100_000u64 {
+            e.step(
+                now,
+                &mut sram,
+                Outputs { primary: &mut primary, secondary: &mut secondary, counts: &mut counts },
+                &mut stats,
+            );
+            if e.done() {
+                finish = now;
+                break;
+            }
+        }
+        assert!(e.done());
+        // 2 reads/element * 2 cycles/read = 4 cycles/element steady state.
+        let per_elem = finish as f64 / n as f64;
+        assert!((3.5..=5.0).contains(&per_elem), "cycles/element = {per_elem}");
+    }
+
+    #[test]
+    fn gather_engine_throttles_on_full_output() {
+        let mut sram = Sram::new(4096, 1);
+        sram.load_words(0x100, &[0, 1, 2, 3]);
+        sram.load_f32s(0x200, &[1.0, 2.0, 3.0, 4.0]);
+        let cfg =
+            EngineConfig { m_nnz: 4, cols_base: 0x100, v_base: 0x200, ..base_cfg() };
+        let mut e = GatherEngine::new(cfg, 8);
+        let mut primary = ElemFifo::new(2); // tiny output
+        let mut secondary = ElemFifo::new(1);
+        let mut counts = ElemFifo::new(1);
+        let mut stats = EngineStats::default();
+        for now in 0..50 {
+            e.step(
+                now,
+                &mut sram,
+                Outputs { primary: &mut primary, secondary: &mut secondary, counts: &mut counts },
+                &mut stats,
+            );
+        }
+        // Engine must stop at 2 elements without overflowing, and record
+        // the wait-for-CPU condition.
+        assert_eq!(primary.len(), 2);
+        assert!(stats.stall_out_full > 0);
+        assert!(!e.done());
+    }
+
+    /// Shared fixture: 3x4 matrix rows=[0,2,3,5], cols=[0,2 | 1 | 0,3],
+    /// vals=[1,2,3,4,5]; sparse x: idx=[0,2,3], vals=[10,20,30].
+    fn spmspv_fixture(sram: &mut Sram) -> EngineConfig {
+        sram.load_words(0x100, &[0, 2, 3, 5]); // rows
+        sram.load_words(0x200, &[0, 2, 1, 0, 3]); // cols
+        sram.load_f32s(0x300, &[1.0, 2.0, 3.0, 4.0, 5.0]); // vals
+        sram.load_words(0x400, &[0, 2, 3]); // v idx
+        sram.load_f32s(0x500, &[10.0, 20.0, 30.0]); // v vals
+        EngineConfig {
+            num_rows: 3,
+            rows_base: 0x100,
+            cols_base: 0x200,
+            vals_base: 0x300,
+            v_idx_base: 0x400,
+            v_vals_base: 0x500,
+            v_nnz: 3,
+            m_nnz: 5,
+            ..base_cfg()
+        }
+    }
+
+    #[test]
+    fn spmspv_aligned_emits_matched_pairs_and_headers() {
+        let mut sram = Sram::new(4096, 1);
+        let cfg = spmspv_fixture(&mut sram);
+        let mut e = SpMSpVEngine::new(cfg, SpMSpVVariant::Aligned, 8);
+        let (p, s, c, _) = run_engine(&mut e, &mut sram, 10_000);
+        // Row 0: cols {0,2} vs idx {0,2,3} -> matches (1,10),(2,20).
+        // Row 1: col {1} -> none. Row 2: cols {0,3} -> (4,10),(5,30).
+        let pv: Vec<f32> = p.iter().map(|b| f32::from_bits(*b)).collect();
+        let sv: Vec<f32> = s.iter().map(|b| f32::from_bits(*b)).collect();
+        assert_eq!(pv, vec![10.0, 20.0, 10.0, 30.0]);
+        assert_eq!(sv, vec![1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(
+            c,
+            vec![chunk_header(2, true), chunk_header(0, true), chunk_header(2, true)]
+        );
+    }
+
+    #[test]
+    fn spmspv_aligned_chunks_long_rows() {
+        // One row with 20 matrix nnz all matching the vector -> with
+        // blen=8 the header stream must be 8,8,4(last).
+        let mut sram = Sram::new(65536, 1);
+        let n = 20u32;
+        let idx: Vec<u32> = (0..n).collect();
+        sram.load_words(0x100, &[0, n]); // rows
+        sram.load_words(0x200, &idx); // cols 0..20
+        sram.load_f32s(0x300, &vec![1.0; n as usize]); // vals
+        sram.load_words(0x400, &idx); // v idx 0..20
+        sram.load_f32s(0x500, &vec![2.0; n as usize]); // v vals
+        let cfg = EngineConfig {
+            num_rows: 1,
+            rows_base: 0x100,
+            cols_base: 0x200,
+            vals_base: 0x300,
+            v_idx_base: 0x400,
+            v_vals_base: 0x500,
+            v_nnz: n,
+            m_nnz: n,
+            ..base_cfg()
+        };
+        let mut e = SpMSpVEngine::new(cfg, SpMSpVVariant::Aligned, 8);
+        let (p, s, c, _) = run_engine(&mut e, &mut sram, 100_000);
+        assert_eq!(p.len(), 20);
+        assert_eq!(s.len(), 20);
+        assert_eq!(
+            c,
+            vec![chunk_header(8, false), chunk_header(8, false), chunk_header(4, true)]
+        );
+    }
+
+    #[test]
+    fn spmspv_value_or_zero_emits_one_value_per_nnz() {
+        let mut sram = Sram::new(4096, 1);
+        let cfg = spmspv_fixture(&mut sram);
+        let mut e = SpMSpVEngine::new(cfg, SpMSpVVariant::ValueOrZero, 8);
+        let (p, s, c, _) = run_engine(&mut e, &mut sram, 10_000);
+        let pv: Vec<f32> = p.iter().map(|b| f32::from_bits(*b)).collect();
+        // Per matrix nnz in CSR order: x[0]=10, x[2]=20, x[1]=0, x[0]=10, x[3]=30.
+        assert_eq!(pv, vec![10.0, 20.0, 0.0, 10.0, 30.0]);
+        assert!(s.is_empty());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn spmspv_with_empty_vector() {
+        let mut sram = Sram::new(4096, 1);
+        let mut cfg = spmspv_fixture(&mut sram);
+        cfg.v_nnz = 0;
+        let mut e = SpMSpVEngine::new(cfg, SpMSpVVariant::ValueOrZero, 8);
+        let (p, _, _, _) = run_engine(&mut e, &mut sram, 10_000);
+        assert_eq!(p.len(), 5);
+        assert!(p.iter().all(|b| f32::from_bits(*b) == 0.0));
+        let mut e = SpMSpVEngine::new(cfg, SpMSpVVariant::Aligned, 8);
+        let (p, s, c, _) = run_engine(&mut e, &mut sram, 10_000);
+        assert!(p.is_empty());
+        assert!(s.is_empty());
+        assert_eq!(c, vec![chunk_header(0, true); 3]);
+    }
+
+    #[test]
+    fn spmspv_zero_rows_is_immediately_done() {
+        let cfg = EngineConfig { num_rows: 0, ..base_cfg() };
+        let e = SpMSpVEngine::new(cfg, SpMSpVVariant::Aligned, 8);
+        assert!(e.done());
+    }
+
+    #[test]
+    fn smash_engine_gathers_and_counts() {
+        let mut sram = Sram::new(4096, 1);
+        // 3x3 matrix, bits at flat positions 0,2,5,6 (Fig. 1): bitmap 0x65.
+        sram.load_words(0x100, &[0x65]); // level-0
+        sram.load_f32s(0x200, &[10.0, 11.0, 12.0]); // dense v
+        let cfg = EngineConfig {
+            num_rows: 3,
+            num_cols: 3,
+            rows_base: 0x100,
+            cols_base: 0, // no level-1
+            v_base: 0x200,
+            m_nnz: 4,
+            mode: Mode::Smash,
+            ..base_cfg()
+        };
+        let mut e = SmashEngine::new(cfg, 8);
+        let (p, _, c, _) = run_engine(&mut e, &mut sram, 10_000);
+        let pv: Vec<f32> = p.iter().map(|b| f32::from_bits(*b)).collect();
+        // nnz at (0,0),(0,2),(1,2),(2,0) -> v[0],v[2],v[2],v[0]
+        assert_eq!(pv, vec![10.0, 12.0, 12.0, 10.0]);
+        assert_eq!(
+            c,
+            vec![chunk_header(2, true), chunk_header(1, true), chunk_header(1, true)]
+        );
+    }
+
+    #[test]
+    fn smash_engine_chunks_long_rows() {
+        // 1x40 matrix, 20 nnz in row 0 -> headers 8,8,4(last).
+        let mut sram = Sram::new(65536, 1);
+        let mut l0 = vec![0u32; 2];
+        for i in 0..20 {
+            l0[i / 32] |= 1 << (i % 32);
+        }
+        sram.load_words(0x100, &l0);
+        sram.load_f32s(0x200, &[3.0; 40]);
+        let cfg = EngineConfig {
+            num_rows: 1,
+            num_cols: 40,
+            rows_base: 0x100,
+            cols_base: 0,
+            v_base: 0x200,
+            m_nnz: 20,
+            mode: Mode::Smash,
+            ..base_cfg()
+        };
+        let mut e = SmashEngine::new(cfg, 8);
+        let (p, _, c, _) = run_engine(&mut e, &mut sram, 100_000);
+        assert_eq!(p.len(), 20);
+        assert_eq!(
+            c,
+            vec![chunk_header(8, false), chunk_header(8, false), chunk_header(4, true)]
+        );
+    }
+
+    #[test]
+    fn smash_engine_skips_via_level1() {
+        // 64x64: only bit 0 set. Level-0 has 128 words; level-1 is 4 words
+        // with only bit 0 of word 0 set.
+        let mut sram = Sram::new(65536, 1);
+        let mut l0 = vec![0u32; 128];
+        l0[0] = 1;
+        let mut l1 = vec![0u32; 4];
+        l1[0] = 1;
+        sram.load_words(0x1000, &l0);
+        sram.load_words(0x2000, &l1);
+        sram.load_f32s(0x3000, &vec![7.0; 64]);
+        let cfg = EngineConfig {
+            num_rows: 64,
+            num_cols: 64,
+            rows_base: 0x1000,
+            cols_base: 0x2000,
+            v_base: 0x3000,
+            m_nnz: 1,
+            mode: Mode::Smash,
+            ..base_cfg()
+        };
+        let mut e = SmashEngine::new(cfg, 8);
+        let (p, _, c, stats) = run_engine(&mut e, &mut sram, 100_000);
+        assert_eq!(p.len(), 1);
+        assert_eq!(c.len(), 64);
+        assert_eq!(c[0], chunk_header(1, true));
+        assert!(c[1..].iter().all(|&x| x == chunk_header(0, true)));
+        // With the summary level, far fewer than 128 level-0 loads happen.
+        assert!(stats.mem_reads < 128, "mem_reads = {}", stats.mem_reads);
+    }
+}

@@ -1,0 +1,129 @@
+//! The CPU-side buffers (§3.1).
+//!
+//! The FE is "implemented with N vector-sized buffers where N is a
+//! design-time parameter"; the CPU sees a streaming FIFO at a fixed
+//! address, and the control unit tracks read/write buffers and empty/full
+//! conditions. We model the N buffers as one bounded element FIFO of
+//! capacity `N * BLEN` — pops are per element (one load beat each), and the
+//! *buffer* structure shows up in the control unit's throttling: the BE is
+//! allowed to launch work only while there is free space, so capacity
+//! (N=1 vs N=2) is exactly the double-buffering head-room of §5.1.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO of 32-bit elements (value bit-patterns).
+#[derive(Debug, Clone)]
+pub struct ElemFifo {
+    cap: usize,
+    q: VecDeque<u32>,
+    /// Total elements ever pushed (for statistics).
+    pushed: u64,
+}
+
+impl ElemFifo {
+    /// A FIFO holding at most `cap` elements.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "FIFO capacity must be positive");
+        ElemFifo { cap, q: VecDeque::with_capacity(cap), pushed: 0 }
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Elements currently buffered.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// True when no free space remains.
+    pub fn is_full(&self) -> bool {
+        self.q.len() == self.cap
+    }
+
+    /// Free element slots.
+    pub fn free(&self) -> usize {
+        self.cap - self.q.len()
+    }
+
+    /// Push one element. Panics when full — the control unit must throttle
+    /// the BE before this happens; overflowing is a model bug.
+    pub fn push(&mut self, v: u32) {
+        assert!(!self.is_full(), "FIFO overflow: control unit failed to throttle");
+        self.q.push_back(v);
+        self.pushed += 1;
+    }
+
+    /// Pop one element (one CPU load beat), `None` when empty (CPU stalls).
+    pub fn pop(&mut self) -> Option<u32> {
+        self.q.pop_front()
+    }
+
+    /// Total elements ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Drop all contents (used when re-starting the engine).
+    pub fn clear(&mut self) {
+        self.q.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut f = ElemFifo::new(4);
+        f.push(1);
+        f.push(2);
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let mut f = ElemFifo::new(2);
+        assert_eq!(f.free(), 2);
+        f.push(1);
+        assert_eq!(f.free(), 1);
+        f.push(2);
+        assert!(f.is_full());
+        assert_eq!(f.free(), 0);
+        f.pop();
+        assert_eq!(f.free(), 1);
+        assert_eq!(f.total_pushed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut f = ElemFifo::new(1);
+        f.push(1);
+        f.push(2);
+    }
+
+    #[test]
+    fn clear_resets_contents_not_stats() {
+        let mut f = ElemFifo::new(2);
+        f.push(1);
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.total_pushed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        ElemFifo::new(0);
+    }
+}

@@ -1,0 +1,305 @@
+//! The HHT front-end and control unit (§3.1).
+//!
+//! The FE owns the CPU-side buffers and the MMR file, decodes CPU loads and
+//! stores in the HHT's MMIO windows, and steps the back-end engine each
+//! cycle. The control unit behaviour — tracking read/write buffers,
+//! stalling CPU loads when no data is ready, throttling the BE when buffers
+//! are full — lives in the FIFO bounds plus the stall results returned to
+//! the core.
+
+use crate::engine::{
+    Engine, EngineStats, GatherEngine, Outputs, SmashEngine, SpMSpVEngine, SpMSpVVariant,
+};
+use crate::fifo::ElemFifo;
+use crate::mmr::{reg, Mode, RegisterFile};
+use hht_mem::map;
+use hht_mem::mmio::{MmioDevice, MmioReadResult};
+use hht_mem::Sram;
+use serde::{Deserialize, Serialize};
+
+/// Byte offsets of the stream windows inside the HHT buffer region.
+pub mod window {
+    /// Primary stream (vector values) pop address.
+    pub const PRIMARY: u32 = 0x000;
+    /// Secondary stream (aligned matrix values, variant-1) pop address.
+    pub const SECONDARY: u32 = 0x400;
+    /// Per-row count stream pop address (variant-1 and SMASH).
+    pub const COUNTS: u32 = 0x800;
+}
+
+/// Design-time parameters of the accelerator (Table 1: N = 2 buffers,
+/// buffer size 32 B → BLEN = 8 32-bit elements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HhtParams {
+    /// Number of CPU-side buffers N (≥ 1; N ≥ 2 enables prefetch-ahead).
+    pub num_buffers: usize,
+    /// Buffer length in 32-bit elements.
+    pub blen: usize,
+}
+
+impl Default for HhtParams {
+    fn default() -> Self {
+        HhtParams { num_buffers: 2, blen: 8 }
+    }
+}
+
+impl HhtParams {
+    /// Total element capacity of the CPU-side buffering.
+    pub fn capacity(&self) -> usize {
+        self.num_buffers * self.blen
+    }
+}
+
+/// Counters the evaluation section reads out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HhtStats {
+    /// CPU load attempts on a stream window that had to stall (each is one
+    /// stalled CPU cycle, since the core retries every cycle) — the
+    /// "cycles the CPU is waiting for HHT" counter of §4.
+    pub cpu_stall_reads: u64,
+    /// Elements delivered to the CPU across all streams.
+    pub elements_delivered: u64,
+    /// Back-end statistics.
+    pub engine: EngineStats,
+    /// Cycles the back-end was stepped while running.
+    pub busy_cycles: u64,
+}
+
+/// The Hardware Helper Thread.
+pub struct Hht {
+    params: HhtParams,
+    regs: RegisterFile,
+    primary: ElemFifo,
+    secondary: ElemFifo,
+    counts: ElemFifo,
+    engine: Option<Box<dyn Engine + Send>>,
+    engine_done: bool,
+    stats: HhtStats,
+}
+
+impl std::fmt::Debug for Hht {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hht")
+            .field("params", &self.params)
+            .field("running", &self.engine.is_some())
+            .field("done", &self.engine_done)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Hht {
+    /// Create an idle HHT with the given buffer provisioning.
+    pub fn new(params: HhtParams) -> Self {
+        let cap = params.capacity();
+        Hht {
+            params,
+            regs: RegisterFile::default(),
+            primary: ElemFifo::new(cap),
+            secondary: ElemFifo::new(cap),
+            counts: ElemFifo::new(cap.max(4)),
+            engine: None,
+            engine_done: false,
+            stats: HhtStats::default(),
+        }
+    }
+
+    /// Design parameters.
+    pub fn params(&self) -> HhtParams {
+        self.params
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> HhtStats {
+        self.stats
+    }
+
+    /// True once the programmed operation has delivered everything and the
+    /// engine has retired.
+    pub fn done(&self) -> bool {
+        self.engine_done
+            && self.primary.is_empty()
+            && self.secondary.is_empty()
+            && self.counts.is_empty()
+    }
+
+    /// Step the back-end one cycle (called by the system *after* the CPU's
+    /// step so the CPU wins SRAM-port arbitration).
+    pub fn step(&mut self, now: u64, sram: &mut Sram) {
+        if let Some(engine) = self.engine.as_mut() {
+            if !self.engine_done {
+                self.stats.busy_cycles += 1;
+                engine.step(
+                    now,
+                    sram,
+                    Outputs {
+                        primary: &mut self.primary,
+                        secondary: &mut self.secondary,
+                        counts: &mut self.counts,
+                    },
+                    &mut self.stats.engine,
+                );
+                if engine.done() {
+                    self.engine_done = true;
+                }
+            }
+        }
+    }
+
+    fn start(&mut self) {
+        let cfg = self
+            .regs
+            .decode()
+            .expect("software programmed an invalid HHT configuration");
+        self.primary.clear();
+        self.secondary.clear();
+        self.counts.clear();
+        self.engine_done = false;
+        self.engine = Some(match cfg.mode {
+            Mode::SpMV => Box::new(GatherEngine::new(cfg, self.params.blen)),
+            Mode::SpMSpVAligned => {
+                Box::new(SpMSpVEngine::new(cfg, SpMSpVVariant::Aligned, self.params.blen))
+            }
+            Mode::SpMSpVValueOrZero => {
+                Box::new(SpMSpVEngine::new(cfg, SpMSpVVariant::ValueOrZero, self.params.blen))
+            }
+            Mode::Smash => Box::new(SmashEngine::new(cfg, self.params.blen)),
+            Mode::ProgrammableSpMV => {
+                Box::new(crate::programmable::ProgrammableEngine::new(cfg))
+            }
+        });
+        // A trivially empty operation may be done before its first step.
+        if self.engine.as_ref().map(|e| e.done()).unwrap_or(false) {
+            self.engine_done = true;
+        }
+    }
+
+    fn pop_stream(&mut self, which: u32) -> MmioReadResult {
+        let fifo = match which {
+            window::PRIMARY => &mut self.primary,
+            window::SECONDARY => &mut self.secondary,
+            window::COUNTS => &mut self.counts,
+            _ => return MmioReadResult::Data(0),
+        };
+        match fifo.pop() {
+            Some(v) => {
+                self.stats.elements_delivered += 1;
+                MmioReadResult::Data(v)
+            }
+            None => {
+                self.stats.cpu_stall_reads += 1;
+                MmioReadResult::Stall
+            }
+        }
+    }
+}
+
+impl MmioDevice for Hht {
+    fn mmio_read(&mut self, addr: u32, _now: u64) -> MmioReadResult {
+        if map::is_hht_buffer(addr) {
+            let off = (addr - map::HHT_BUF_BASE) & !0x3;
+            return self.pop_stream(off & 0xC00);
+        }
+        if map::is_hht_mmr(addr) {
+            let off = addr - map::HHT_MMR_BASE;
+            if off == reg::STATUS {
+                return MmioReadResult::Data(self.engine_done as u32);
+            }
+            return MmioReadResult::Data(self.regs.read(off));
+        }
+        MmioReadResult::Data(0)
+    }
+
+    fn mmio_write(&mut self, addr: u32, value: u32, _now: u64) {
+        if map::is_hht_mmr(addr) {
+            let off = addr - map::HHT_MMR_BASE;
+            self.regs.write(off, value);
+            if off == reg::START && value & 1 == 1 {
+                self.start();
+            }
+        }
+        // Stores to the buffer window are ignored (read-only streams).
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmr::reg;
+
+    fn program_spmv(hht: &mut Hht, cols_base: u32, v_base: u32, nnz: u32) {
+        let b = map::HHT_MMR_BASE;
+        hht.mmio_write(b + reg::M_COLS_BASE, cols_base, 0);
+        hht.mmio_write(b + reg::V_BASE, v_base, 0);
+        hht.mmio_write(b + reg::M_NNZ, nnz, 0);
+        hht.mmio_write(b + reg::ELEMENT_SIZES, 4, 0);
+        hht.mmio_write(b + reg::MODE, Mode::SpMV as u32, 0);
+        hht.mmio_write(b + reg::START, 1, 0);
+    }
+
+    #[test]
+    fn end_to_end_spmv_gather() {
+        let mut sram = Sram::new(4096, 2);
+        sram.load_words(0x100, &[1, 0, 2]);
+        sram.load_f32s(0x200, &[5.0, 6.0, 7.0]);
+        let mut hht = Hht::new(HhtParams::default());
+        program_spmv(&mut hht, 0x100, 0x200, 3);
+        let mut got = Vec::new();
+        for now in 0..200 {
+            hht.step(now, &mut sram);
+            if let MmioReadResult::Data(v) = hht.mmio_read(map::HHT_BUF_BASE, now) {
+                got.push(f32::from_bits(v));
+            }
+            if got.len() == 3 {
+                break;
+            }
+        }
+        assert_eq!(got, vec![6.0, 5.0, 7.0]);
+        assert!(hht.done());
+        // Status register reads 1.
+        assert_eq!(
+            hht.mmio_read(map::HHT_MMR_BASE + reg::STATUS, 999),
+            MmioReadResult::Data(1)
+        );
+    }
+
+    #[test]
+    fn empty_stream_read_stalls() {
+        let mut hht = Hht::new(HhtParams::default());
+        assert_eq!(hht.mmio_read(map::HHT_BUF_BASE, 0), MmioReadResult::Stall);
+        assert_eq!(hht.stats().cpu_stall_reads, 1);
+    }
+
+    #[test]
+    fn mmr_read_back() {
+        let mut hht = Hht::new(HhtParams::default());
+        hht.mmio_write(map::HHT_MMR_BASE + reg::M_NUM_ROWS, 512, 0);
+        assert_eq!(
+            hht.mmio_read(map::HHT_MMR_BASE + reg::M_NUM_ROWS, 0),
+            MmioReadResult::Data(512)
+        );
+    }
+
+    #[test]
+    fn capacity_reflects_buffer_count() {
+        assert_eq!(HhtParams { num_buffers: 1, blen: 8 }.capacity(), 8);
+        assert_eq!(HhtParams { num_buffers: 2, blen: 8 }.capacity(), 16);
+        assert_eq!(HhtParams::default().capacity(), 16);
+    }
+
+    #[test]
+    fn zero_nnz_operation_is_immediately_done() {
+        let mut sram = Sram::new(256, 1);
+        let mut hht = Hht::new(HhtParams::default());
+        program_spmv(&mut hht, 0x0, 0x0, 0);
+        hht.step(0, &mut sram);
+        assert!(hht.done());
+    }
+
+    #[test]
+    fn buffer_window_write_is_ignored() {
+        let mut hht = Hht::new(HhtParams::default());
+        hht.mmio_write(map::HHT_BUF_BASE, 123, 0);
+        assert_eq!(hht.mmio_read(map::HHT_BUF_BASE, 0), MmioReadResult::Stall);
+    }
+}

@@ -1,0 +1,205 @@
+//! The HHT's memory-mapped configuration registers (§3.1).
+//!
+//! The CPU programs the accelerator by storing to these registers (word
+//! offsets from [`hht_mem::map::HHT_MMR_BASE`]); writing 1 to
+//! [`reg::START`] latches the configuration and starts the back-end.
+
+use serde::{Deserialize, Serialize};
+
+/// Word offsets of the configuration registers inside the MMR window.
+pub mod reg {
+    /// `M_Num_Rows`: number of rows of the sparse matrix.
+    pub const M_NUM_ROWS: u32 = 0x00;
+    /// `M_Rows_Base`: base address of the CSR rows (row-pointer) array.
+    pub const M_ROWS_BASE: u32 = 0x04;
+    /// `M_Cols_Base`: base address of the CSR cols array.
+    pub const M_COLS_BASE: u32 = 0x08;
+    /// Base address of the CSR vals array (used by SpMSpV variant-1, which
+    /// supplies aligned *matrix* values too).
+    pub const M_VALS_BASE: u32 = 0x0C;
+    /// `V_Base`: base address of the dense vector (SpMV mode).
+    pub const V_BASE: u32 = 0x10;
+    /// Base address of the sparse vector's index array (SpMSpV modes).
+    pub const V_IDX_BASE: u32 = 0x14;
+    /// Base address of the sparse vector's value array (SpMSpV modes).
+    pub const V_VALS_BASE: u32 = 0x18;
+    /// Number of non-zeros of the sparse vector (SpMSpV modes).
+    pub const V_NNZ: u32 = 0x1C;
+    /// Total number of matrix non-zeros (drives termination).
+    pub const M_NNZ: u32 = 0x20;
+    /// `ElementSizes`: element size in bytes for all arrays (only 4 is
+    /// accepted — Table 1: SEW = 32 bit).
+    pub const ELEMENT_SIZES: u32 = 0x24;
+    /// Operating mode, see [`super::Mode`].
+    pub const MODE: u32 = 0x28;
+    /// `Start`: "This bit is set last to trigger the hardware operation."
+    pub const START: u32 = 0x2C;
+    /// Read-only status: bit 0 = back-end done.
+    pub const STATUS: u32 = 0x30;
+}
+
+/// Operating mode programmed into [`reg::MODE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// SpMV indexed gather: supply `v[cols[k]]` for every matrix non-zero.
+    SpMV = 0,
+    /// SpMSpV variant-1: supply aligned (matrix value, vector value) pairs
+    /// plus a per-row match count (§5.1).
+    SpMSpVAligned = 1,
+    /// SpMSpV variant-2: supply the vector value or zero for every matrix
+    /// non-zero (§5.1).
+    SpMSpVValueOrZero = 2,
+    /// SpMV over a SMASH hierarchical-bitmap matrix (§6): supply gathered
+    /// vector values plus per-row non-zero counts recovered from the
+    /// bitmap hierarchy.
+    Smash = 3,
+    /// SpMV gather executed by the *programmable* back-end of §7 — a tiny
+    /// helper core running a gather microprogram instead of the FSM.
+    ProgrammableSpMV = 4,
+}
+
+impl Mode {
+    /// Decode a register value.
+    pub fn from_u32(v: u32) -> Option<Mode> {
+        Some(match v {
+            0 => Mode::SpMV,
+            1 => Mode::SpMSpVAligned,
+            2 => Mode::SpMSpVValueOrZero,
+            3 => Mode::Smash,
+            4 => Mode::ProgrammableSpMV,
+            _ => return None,
+        })
+    }
+}
+
+/// The latched configuration handed to a back-end engine at START.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of matrix rows.
+    pub num_rows: u32,
+    /// CSR row-pointer array base address.
+    pub rows_base: u32,
+    /// CSR column-index array base address.
+    pub cols_base: u32,
+    /// CSR value array base address.
+    pub vals_base: u32,
+    /// Dense vector base (SpMV) — for SMASH mode this is also the dense
+    /// vector base.
+    pub v_base: u32,
+    /// Sparse vector index array base (SpMSpV).
+    pub v_idx_base: u32,
+    /// Sparse vector value array base (SpMSpV).
+    pub v_vals_base: u32,
+    /// Sparse vector non-zero count (SpMSpV).
+    pub v_nnz: u32,
+    /// Matrix non-zero count.
+    pub m_nnz: u32,
+    /// Element size in bytes (always 4 in this model).
+    pub elem_size: u32,
+    /// Number of matrix columns (SMASH mode needs it to map flat bit
+    /// positions back to column indices; it is packed into the upper half
+    /// of the `ELEMENT_SIZES` register).
+    pub num_cols: u32,
+    /// Operating mode.
+    pub mode: Mode,
+}
+
+/// Raw register file; the FE decodes it into an [`EngineConfig`] at START.
+#[derive(Debug, Clone, Default)]
+pub struct RegisterFile {
+    values: [u32; 16],
+}
+
+impl RegisterFile {
+    /// Store to a register by byte offset. Unknown offsets are ignored
+    /// (writes to reserved space), matching typical MMIO behaviour.
+    pub fn write(&mut self, offset: u32, value: u32) {
+        let idx = (offset / 4) as usize;
+        if idx < self.values.len() {
+            self.values[idx] = value;
+        }
+    }
+
+    /// Read a register by byte offset (reserved space reads 0).
+    pub fn read(&self, offset: u32) -> u32 {
+        let idx = (offset / 4) as usize;
+        self.values.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Decode into an [`EngineConfig`]. Returns `None` if MODE is invalid
+    /// or the element size is unsupported.
+    pub fn decode(&self) -> Option<EngineConfig> {
+        let mode = Mode::from_u32(self.read(reg::MODE))?;
+        let es = self.read(reg::ELEMENT_SIZES);
+        let elem_size = es & 0xffff;
+        let num_cols = es >> 16;
+        if elem_size != 4 {
+            return None;
+        }
+        Some(EngineConfig {
+            num_rows: self.read(reg::M_NUM_ROWS),
+            rows_base: self.read(reg::M_ROWS_BASE),
+            cols_base: self.read(reg::M_COLS_BASE),
+            vals_base: self.read(reg::M_VALS_BASE),
+            v_base: self.read(reg::V_BASE),
+            v_idx_base: self.read(reg::V_IDX_BASE),
+            v_vals_base: self.read(reg::V_VALS_BASE),
+            v_nnz: self.read(reg::V_NNZ),
+            m_nnz: self.read(reg::M_NNZ),
+            elem_size,
+            num_cols,
+            mode,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut rf = RegisterFile::default();
+        rf.write(reg::M_NUM_ROWS, 512);
+        rf.write(reg::V_BASE, 0x1000);
+        assert_eq!(rf.read(reg::M_NUM_ROWS), 512);
+        assert_eq!(rf.read(reg::V_BASE), 0x1000);
+        assert_eq!(rf.read(0x38), 0); // reserved
+        rf.write(0x100, 7); // far out of range: ignored
+        assert_eq!(rf.read(0x100), 0);
+    }
+
+    #[test]
+    fn decode_requires_valid_mode_and_size() {
+        let mut rf = RegisterFile::default();
+        rf.write(reg::ELEMENT_SIZES, 4);
+        rf.write(reg::MODE, 0);
+        assert!(rf.decode().is_some());
+        rf.write(reg::MODE, 9);
+        assert!(rf.decode().is_none());
+        rf.write(reg::MODE, 0);
+        rf.write(reg::ELEMENT_SIZES, 8);
+        assert!(rf.decode().is_none());
+    }
+
+    #[test]
+    fn decode_unpacks_cols_from_element_sizes() {
+        let mut rf = RegisterFile::default();
+        rf.write(reg::ELEMENT_SIZES, (512 << 16) | 4);
+        rf.write(reg::MODE, 3);
+        let cfg = rf.decode().unwrap();
+        assert_eq!(cfg.num_cols, 512);
+        assert_eq!(cfg.elem_size, 4);
+        assert_eq!(cfg.mode, Mode::Smash);
+    }
+
+    #[test]
+    fn mode_decoding() {
+        assert_eq!(Mode::from_u32(0), Some(Mode::SpMV));
+        assert_eq!(Mode::from_u32(1), Some(Mode::SpMSpVAligned));
+        assert_eq!(Mode::from_u32(2), Some(Mode::SpMSpVValueOrZero));
+        assert_eq!(Mode::from_u32(3), Some(Mode::Smash));
+        assert_eq!(Mode::from_u32(4), Some(Mode::ProgrammableSpMV));
+        assert_eq!(Mode::from_u32(5), None);
+    }
+}

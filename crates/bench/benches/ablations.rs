@@ -1,0 +1,70 @@
+//! Ablation benches for the design choices DESIGN.md calls out: buffer
+//! count, SRAM latency, and the CSR-vs-SMASH format engines (§6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hht_sparse::{generate, SmashMatrix, SparseFormat};
+use hht_system::config::SystemConfig;
+use hht_system::runner;
+
+const N: usize = 64;
+
+fn bench_buffers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_buffers");
+    group.sample_size(10);
+    let m = generate::random_csr(N, N, 0.5, 21);
+    let v = generate::random_dense_vector(N, 22);
+    for nb in [1usize, 2, 4] {
+        let cfg = SystemConfig::paper_default().with_buffers(nb);
+        let r = runner::run_spmv_hht(&cfg, &m, &v);
+        println!("ablate_buffers: N={nb} cycles={}", r.stats.cycles);
+        group.bench_with_input(BenchmarkId::from_parameter(nb), &nb, |b, _| {
+            b.iter(|| runner::run_spmv_hht(&cfg, &m, &v).stats.cycles)
+        });
+    }
+    group.finish();
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_latency");
+    group.sample_size(10);
+    let m = generate::random_csr(N, N, 0.5, 31);
+    let v = generate::random_dense_vector(N, 32);
+    for wc in [1u64, 2, 4] {
+        let cfg = SystemConfig::paper_default().with_ram_word_cycles(wc);
+        let r = runner::run_spmv_hht(&cfg, &m, &v);
+        println!(
+            "ablate_latency: word_cycles={wc} cycles={} cpu_wait={:.4}",
+            r.stats.cycles,
+            r.stats.cpu_wait_frac()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(wc), &wc, |b, _| {
+            b.iter(|| runner::run_spmv_hht(&cfg, &m, &v).stats.cycles)
+        });
+    }
+    group.finish();
+}
+
+fn bench_format(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_format");
+    group.sample_size(10);
+    let cfg = SystemConfig::paper_default();
+    let csr = generate::random_csr(N, N, 0.9, 41);
+    let smash = SmashMatrix::from_triplets(N, N, &csr.triplets()).unwrap();
+    let v = generate::random_dense_vector(N, 42);
+    let r_csr = runner::run_spmv_hht(&cfg, &csr, &v);
+    let r_smash = runner::run_smash_spmv_hht(&cfg, &smash, &v);
+    println!(
+        "ablate_format: csr={} smash={} (Sec. 6: SMASH indexing is more HHT work)",
+        r_csr.stats.cycles, r_smash.stats.cycles
+    );
+    group.bench_function("csr_hht", |b| {
+        b.iter(|| runner::run_spmv_hht(&cfg, &csr, &v).stats.cycles)
+    });
+    group.bench_function("smash_hht", |b| {
+        b.iter(|| runner::run_smash_spmv_hht(&cfg, &smash, &v).stats.cycles)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffers, bench_latency, bench_format);
+criterion_main!(benches);

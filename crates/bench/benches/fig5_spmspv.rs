@@ -1,0 +1,48 @@
+//! Fig. 5 / Fig. 7 bench: SpMSpV baseline vs HHT variant-1 / variant-2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hht_sparse::generate;
+use hht_system::config::SystemConfig;
+use hht_system::runner;
+
+const N: usize = 64;
+
+fn bench_fig5(c: &mut Criterion) {
+    let cfg = SystemConfig::paper_default();
+    let mut group = c.benchmark_group("fig5_spmspv");
+    group.sample_size(10);
+    for sparsity in [0.1, 0.5, 0.9] {
+        let m = generate::random_csr(N, N, sparsity, 14);
+        let x = generate::random_sparse_vector(N, sparsity, 15);
+        let base = runner::run_spmspv_baseline(&cfg, &m, &x);
+        let v1 = runner::run_spmspv_hht_v1(&cfg, &m, &x);
+        let v2 = runner::run_spmspv_hht_v2(&cfg, &m, &x);
+        println!(
+            "fig5 point: sparsity={sparsity} base={} v1={} v2={} wait_v1={:.4} wait_v2={:.4}",
+            base.stats.cycles,
+            v1.stats.cycles,
+            v2.stats.cycles,
+            v1.stats.cpu_wait_frac(),
+            v2.stats.cpu_wait_frac()
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline", format!("s{sparsity}")),
+            &sparsity,
+            |b, _| b.iter(|| runner::run_spmspv_baseline(&cfg, &m, &x).stats.cycles),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("variant1", format!("s{sparsity}")),
+            &sparsity,
+            |b, _| b.iter(|| runner::run_spmspv_hht_v1(&cfg, &m, &x).stats.cycles),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("variant2", format!("s{sparsity}")),
+            &sparsity,
+            |b, _| b.iter(|| runner::run_spmspv_hht_v2(&cfg, &m, &x).stats.cycles),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! §5.5 bench: the area/power/energy derivation (Synopsys-flow
+//! substitute). These are analytical, so the criterion numbers measure
+//! model-evaluation cost; the derived figures are printed once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hht_energy::{
+    area_um2, energy_savings, hht_inventory, hht_to_ibex_area_ratio, ibex_inventory,
+    power_watts, ClockSpeed, ProcessNode,
+};
+use hht_system::config::SystemConfig;
+use hht_system::experiments;
+
+fn bench_sec55(c: &mut Criterion) {
+    println!("sec5.5 area ratio: {:.3} (paper: 0.389)", hht_to_ibex_area_ratio());
+    let p_core = power_watts(&ibex_inventory(), ProcessNode::N16, ClockSpeed::MHz50);
+    let p_sys = power_watts(
+        &ibex_inventory().plus(&hht_inventory()),
+        ProcessNode::N16,
+        ClockSpeed::MHz50,
+    );
+    println!(
+        "sec5.5 power: core {:.0} uW (paper 223), core+HHT {:.0} uW (paper 314)",
+        p_core.total_uw(),
+        p_sys.total_uw()
+    );
+    let cfg = SystemConfig::paper_default();
+    let p = experiments::spmv_point(&cfg, 64, 0.5, 2);
+    let e = energy_savings(p.baseline_cycles, p.hht_cycles, ProcessNode::N16, ClockSpeed::MHz50);
+    println!("sec5.5 energy savings @50% sparsity: {:.1}% (paper avg ~19%)", e.savings() * 100.0);
+
+    c.bench_function("sec55_power_model", |b| {
+        b.iter(|| {
+            power_watts(
+                &ibex_inventory().plus(&hht_inventory()),
+                ProcessNode::N16,
+                ClockSpeed::MHz50,
+            )
+            .total_w()
+        })
+    });
+    c.bench_function("sec55_area_model", |b| {
+        b.iter(|| area_um2(&hht_inventory(), ProcessNode::N16))
+    });
+}
+
+criterion_group!(benches, bench_sec55);
+criterion_main!(benches);

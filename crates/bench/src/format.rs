@@ -1,0 +1,46 @@
+//! Text-table formatting for figure output.
+
+/// Render a header + rows as an aligned text table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        out += &format!("{:>w$}  ", h, w = widths[i]);
+    }
+    out += "\n";
+    for (i, _) in headers.iter().enumerate() {
+        out += &format!("{:->w$}  ", "", w = widths[i]);
+    }
+    out += "\n";
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            out += &format!("{:>w$}  ", cell, w = widths[i]);
+        }
+        out += "\n";
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let t = table(
+            &["a", "long_header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long_header"));
+        assert!(lines[2].ends_with("2  "));
+    }
+}

@@ -1,0 +1,7 @@
+//! Shared helpers for the figure harness and Criterion benches.
+//!
+//! The actual experiment logic lives in `hht_system::experiments`; this
+//! crate only formats and persists results. See `src/bin/figures.rs` for
+//! the per-figure regeneration entry point.
+
+pub mod format;

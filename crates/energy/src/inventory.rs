@@ -1,0 +1,117 @@
+//! Component-level gate inventories.
+
+use serde::{Deserialize, Serialize};
+
+/// Gate-equivalents a flip-flop occupies relative to a NAND2.
+pub const GE_PER_FLOP: f64 = 4.5;
+
+/// A hardware block's gate inventory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GateInventory {
+    /// Combinational logic, NAND2-equivalents.
+    pub combinational_ge: f64,
+    /// Flip-flops (state bits implemented as registers; buffers of this
+    /// size are flop-based in an ASIC, per §5.5's area accounting).
+    pub flops: f64,
+    /// Calibrated switching-activity factor for dynamic power.
+    pub activity: f64,
+}
+
+impl GateInventory {
+    /// Total NAND2-equivalents.
+    pub fn total_ge(&self) -> f64 {
+        self.combinational_ge + self.flops * GE_PER_FLOP
+    }
+
+    /// Merge two blocks (e.g. core + HHT as one chip); activity is the
+    /// GE-weighted mean.
+    pub fn plus(&self, other: &GateInventory) -> GateInventory {
+        let a = self.total_ge();
+        let b = other.total_ge();
+        GateInventory {
+            combinational_ge: self.combinational_ge + other.combinational_ge,
+            flops: self.flops + other.flops,
+            activity: (self.activity * a + other.activity * b) / (a + b),
+        }
+    }
+}
+
+/// An Ibex-class RV32IMC core ("small" parameterization): ≈ 12 kGE of
+/// combinational logic (ALU, multiplier, decoder, LSU, CSRs) plus ≈ 1.9 k
+/// state bits (31×32 register file, pipeline and CSR state). The total of
+/// ≈ 20.5 kGE matches the publicly reported Ibex small-config area class.
+pub fn ibex_inventory() -> GateInventory {
+    GateInventory { combinational_ge: 12_000.0, flops: 1_900.0, activity: 0.33 }
+}
+
+/// The HHT (§5.5's itemization): memory-mapped registers (12 × 32 bits),
+/// internal state registers, five pipeline-stage registers, two
+/// memory-side buffers of 8 × 32 bits, one CPU-side buffer of 8 × 32 bits,
+/// plus the control unit, address generators and comparators as
+/// combinational logic.
+pub fn hht_inventory() -> GateInventory {
+    let mmr_flops = 12.0 * 32.0; // 384
+    let internal_state = 64.0;
+    let pipeline_regs = 5.0 * 48.0; // 240
+    let mem_side_buffers = 2.0 * 8.0 * 32.0; // 512
+    let cpu_side_buffer = 8.0 * 32.0; // 256
+    GateInventory {
+        combinational_ge: 1_442.0,
+        flops: mmr_flops + internal_state + pipeline_regs + mem_side_buffers + cpu_side_buffer,
+        activity: 0.342,
+    }
+}
+
+/// The §7 *programmable* HHT: a minimal scalar helper core ("even simpler
+/// than traditional 32-bit integer RISCV ... very few integer
+/// instructions, very few integer registers" — modeled as an RV32E-class
+/// 16-register machine without M/F/V) plus the same FE storage (MMRs and
+/// buffers) as the ASIC HHT.
+pub fn programmable_hht_inventory() -> GateInventory {
+    let helper_comb = 3_500.0; // decoder + ALU + LSU of a minimal core
+    let helper_flops = 16.0 * 32.0 + 88.0; // 16-reg file + pipeline/state
+    let fe_storage = 384.0 + 512.0 + 256.0; // MMRs + mem-side + CPU-side buffers
+    let control_comb = 300.0;
+    GateInventory {
+        combinational_ge: helper_comb + control_comb,
+        flops: helper_flops + fe_storage,
+        activity: 0.33,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ibex_total_in_published_class() {
+        let ge = ibex_inventory().total_ge();
+        assert!((18_000.0..24_000.0).contains(&ge), "Ibex GE = {ge}");
+    }
+
+    #[test]
+    fn hht_flop_itemization_matches_section_5_5() {
+        let h = hht_inventory();
+        assert_eq!(h.flops, 384.0 + 64.0 + 240.0 + 512.0 + 256.0);
+    }
+
+    /// §7: the programmable HHT must be bigger than the ASIC HHT but
+    /// still well under a full Ibex-class core.
+    #[test]
+    fn programmable_sits_between_asic_and_core() {
+        let asic = hht_inventory().total_ge();
+        let prog = programmable_hht_inventory().total_ge();
+        let core = ibex_inventory().total_ge();
+        assert!(asic < prog, "{asic} !< {prog}");
+        assert!(prog < core, "{prog} !< {core}");
+    }
+
+    #[test]
+    fn plus_merges_ge_weighted() {
+        let a = GateInventory { combinational_ge: 100.0, flops: 0.0, activity: 0.5 };
+        let b = GateInventory { combinational_ge: 100.0, flops: 0.0, activity: 0.1 };
+        let m = a.plus(&b);
+        assert_eq!(m.total_ge(), 200.0);
+        assert!((m.activity - 0.3).abs() < 1e-12);
+    }
+}

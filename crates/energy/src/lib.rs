@@ -1,0 +1,31 @@
+//! Analytical area / power / energy model — the substitute for the paper's
+//! Synopsys Design Compiler + PrimeTime flow (§5.5).
+//!
+//! The paper synthesized System Verilog of the HHT and the Ibex RV32 core
+//! at three feature sizes (28/16/7 nm, ARM libraries) and three clocks
+//! (10/50/100 MHz), and reports three anchors at 16 nm / 50 MHz:
+//!
+//! 1. HHT area ≈ **38.9 %** of an Ibex core;
+//! 2. **223 µW** for the core alone vs **314 µW** core + HHT;
+//! 3. ≈ **19 %** average energy savings for SpMV across 10-90 % sparsity.
+//!
+//! We cannot run Synopsys, so this crate rebuilds the same derivation from
+//! a component-level gate inventory (§5.5 lists the HHT's area as "the sum
+//! of the logic gates of the control unit and storage for pipeline stages,
+//! two HHT memory side buffers of size 8, memory-mapped registers, internal
+//! state registers and one CPU side buffer") with per-node coefficients
+//! calibrated to anchors (1) and (2). Anchor (3) is then *derived*, not
+//! assumed: the energy experiment multiplies these powers by cycle counts
+//! measured by the cycle-level simulator.
+
+pub mod area;
+pub mod energy;
+pub mod inventory;
+pub mod node;
+pub mod power;
+
+pub use area::{area_um2, hht_to_ibex_area_ratio};
+pub use energy::{energy_joules, energy_savings, EnergyComparison};
+pub use inventory::{hht_inventory, ibex_inventory, programmable_hht_inventory, GateInventory};
+pub use node::{ClockSpeed, ProcessNode};
+pub use power::{power_watts, PowerBreakdown};

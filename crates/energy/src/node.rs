@@ -1,0 +1,120 @@
+//! Process-node and clock coefficients.
+//!
+//! The three feature sizes and clock speeds §5.5 synthesized. Coefficient
+//! values are representative of published standard-cell characteristics
+//! for each node class, with the 16 nm dynamic-energy and leakage values
+//! calibrated so the Ibex-class core lands on the paper's 223 µW at
+//! 16 nm / 50 MHz (see `power.rs` tests).
+
+use serde::{Deserialize, Serialize};
+
+/// Feature size of the synthesis run (§5.5: ARM libraries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessNode {
+    /// 28 nm planar.
+    N28,
+    /// 16 nm FinFET (the node of the paper's reported numbers).
+    N16,
+    /// 7 nm FinFET.
+    N7,
+}
+
+impl ProcessNode {
+    /// All nodes the paper synthesized.
+    pub const ALL: [ProcessNode; 3] = [ProcessNode::N28, ProcessNode::N16, ProcessNode::N7];
+
+    /// Area of one NAND2-equivalent gate, µm².
+    pub fn area_per_ge_um2(self) -> f64 {
+        match self {
+            ProcessNode::N28 => 0.49,
+            ProcessNode::N16 => 0.20,
+            ProcessNode::N7 => 0.065,
+        }
+    }
+
+    /// Dynamic switching energy per gate-equivalent per clock, joules
+    /// (at nominal voltage, before the activity factor).
+    pub fn dyn_energy_per_ge_j(self) -> f64 {
+        match self {
+            ProcessNode::N28 => 1.3e-15,
+            ProcessNode::N16 => 0.6e-15,
+            ProcessNode::N7 => 0.26e-15,
+        }
+    }
+
+    /// Leakage power per gate-equivalent, watts.
+    pub fn leakage_per_ge_w(self) -> f64 {
+        match self {
+            ProcessNode::N28 => 0.7e-9,
+            ProcessNode::N16 => 1.0e-9,
+            ProcessNode::N7 => 1.5e-9,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProcessNode::N28 => "28nm",
+            ProcessNode::N16 => "16nm",
+            ProcessNode::N7 => "7nm",
+        }
+    }
+}
+
+/// Synthesis clock (§5.5: 10, 50 and 100 MHz).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClockSpeed {
+    /// 10 MHz.
+    MHz10,
+    /// 50 MHz (the clock of the paper's reported numbers).
+    MHz50,
+    /// 100 MHz.
+    MHz100,
+}
+
+impl ClockSpeed {
+    /// All clocks the paper synthesized.
+    pub const ALL: [ClockSpeed; 3] = [ClockSpeed::MHz10, ClockSpeed::MHz50, ClockSpeed::MHz100];
+
+    /// Frequency in Hz.
+    pub fn hz(self) -> f64 {
+        match self {
+            ClockSpeed::MHz10 => 10e6,
+            ClockSpeed::MHz50 => 50e6,
+            ClockSpeed::MHz100 => 100e6,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClockSpeed::MHz10 => "10MHz",
+            ClockSpeed::MHz50 => "50MHz",
+            ClockSpeed::MHz100 => "100MHz",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_shrinks_with_node() {
+        assert!(ProcessNode::N28.area_per_ge_um2() > ProcessNode::N16.area_per_ge_um2());
+        assert!(ProcessNode::N16.area_per_ge_um2() > ProcessNode::N7.area_per_ge_um2());
+    }
+
+    #[test]
+    fn dynamic_energy_shrinks_leakage_grows() {
+        assert!(ProcessNode::N28.dyn_energy_per_ge_j() > ProcessNode::N7.dyn_energy_per_ge_j());
+        assert!(ProcessNode::N28.leakage_per_ge_w() < ProcessNode::N7.leakage_per_ge_w());
+    }
+
+    #[test]
+    fn clock_values() {
+        assert_eq!(ClockSpeed::MHz50.hz(), 50e6);
+        assert_eq!(ClockSpeed::ALL.len(), 3);
+        assert_eq!(ProcessNode::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,77 @@
+//! Power estimates (§5.5 anchors: 223 µW core-only, 314 µW core + HHT at
+//! 16 nm / 50 MHz).
+
+use crate::inventory::GateInventory;
+use crate::node::{ClockSpeed, ProcessNode};
+use serde::{Deserialize, Serialize};
+
+/// Dynamic + leakage breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Switching power, watts.
+    pub dynamic_w: f64,
+    /// Leakage power, watts.
+    pub leakage_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power, watts.
+    pub fn total_w(&self) -> f64 {
+        self.dynamic_w + self.leakage_w
+    }
+
+    /// Total power, microwatts (the unit §5.5 reports).
+    pub fn total_uw(&self) -> f64 {
+        self.total_w() * 1e6
+    }
+}
+
+/// Estimate a block's power at a node and clock:
+/// `P_dyn = GE × activity × E_sw × f`, `P_leak = GE × leak`.
+pub fn power_watts(inv: &GateInventory, node: ProcessNode, clock: ClockSpeed) -> PowerBreakdown {
+    let ge = inv.total_ge();
+    PowerBreakdown {
+        dynamic_w: ge * inv.activity * node.dyn_energy_per_ge_j() * clock.hz(),
+        leakage_w: ge * node.leakage_per_ge_w(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inventory::{hht_inventory, ibex_inventory};
+
+    /// §5.5: "the RISCV core alone requires 223 µW" (16 nm, 50 MHz).
+    #[test]
+    fn core_power_matches_paper_anchor() {
+        let p = power_watts(&ibex_inventory(), ProcessNode::N16, ClockSpeed::MHz50);
+        let uw = p.total_uw();
+        assert!((212.0..=234.0).contains(&uw), "core power = {uw} µW (paper: 223)");
+    }
+
+    /// §5.5: "RISCV core along with HHT requires 314 µW".
+    #[test]
+    fn system_power_matches_paper_anchor() {
+        let sys = ibex_inventory().plus(&hht_inventory());
+        let p = power_watts(&sys, ProcessNode::N16, ClockSpeed::MHz50);
+        let uw = p.total_uw();
+        assert!((298.0..=330.0).contains(&uw), "system power = {uw} µW (paper: 314)");
+    }
+
+    #[test]
+    fn power_scales_with_clock() {
+        let core = ibex_inventory();
+        let p10 = power_watts(&core, ProcessNode::N16, ClockSpeed::MHz10);
+        let p100 = power_watts(&core, ProcessNode::N16, ClockSpeed::MHz100);
+        assert!(p100.dynamic_w > 9.0 * p10.dynamic_w);
+        assert_eq!(p100.leakage_w, p10.leakage_w);
+    }
+
+    #[test]
+    fn seven_nm_is_lower_dynamic_power() {
+        let core = ibex_inventory();
+        let p16 = power_watts(&core, ProcessNode::N16, ClockSpeed::MHz50);
+        let p7 = power_watts(&core, ProcessNode::N7, ClockSpeed::MHz50);
+        assert!(p7.dynamic_w < p16.dynamic_w);
+    }
+}

@@ -1,0 +1,560 @@
+//! Two-pass text assembler for the supported RV32IMF+V subset.
+//!
+//! Accepts standard GNU-style assembly: one instruction per line, `label:`
+//! definitions, `#` comments, ABI register names, decimal/hex immediates,
+//! `offset(base)` memory operands and pseudo-instructions (`li`, `mv`,
+//! `nop`, `j`, `beqz`, `bnez`, `rdcycle`).
+//!
+//! ```
+//! let p = hht_isa::asm::assemble(r#"
+//!     li   t0, 10        # counter
+//! loop:
+//!     addi t0, t0, -1
+//!     bnez t0, loop
+//!     ebreak
+//! "#).unwrap();
+//! assert_eq!(p.instrs().len(), 4);
+//! ```
+
+use crate::builder::{KernelBuilder, Label};
+use crate::instr as hht_md;
+use crate::instr::AluOp;
+use crate::reg::{FReg, Reg, VReg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly error with 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, msg: msg.into() })
+}
+
+/// Parse an integer immediate: decimal, `0x` hex, optional leading `-`.
+fn parse_imm(s: &str, line: usize) -> Result<i32, AsmError> {
+    let t = s.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v: Option<i64> = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok().map(|v| v as i64)
+    } else {
+        t.parse::<i64>().ok()
+    };
+    match v {
+        Some(v) => {
+            let v = if neg { -v } else { v };
+            if v < i32::MIN as i64 || v > u32::MAX as i64 {
+                return err(line, format!("immediate out of range: {s}"));
+            }
+            Ok(v as i32)
+        }
+        None => err(line, format!("bad immediate: {s}")),
+    }
+}
+
+/// Parse `offset(base)` into `(offset, Reg)`.
+fn parse_mem(s: &str, line: usize) -> Result<(i32, Reg), AsmError> {
+    let s = s.trim();
+    let open = s.find('(').ok_or_else(|| AsmError {
+        line,
+        msg: format!("expected offset(base), got {s}"),
+    })?;
+    if !s.ends_with(')') {
+        return err(line, format!("expected offset(base), got {s}"));
+    }
+    let off_str = &s[..open];
+    let base_str = &s[open + 1..s.len() - 1];
+    let offset = if off_str.trim().is_empty() { 0 } else { parse_imm(off_str, line)? };
+    let base = Reg::parse(base_str.trim())
+        .ok_or_else(|| AsmError { line, msg: format!("bad base register {base_str}") })?;
+    Ok((offset, base))
+}
+
+fn xreg(s: &str, line: usize) -> Result<Reg, AsmError> {
+    Reg::parse(s.trim()).ok_or_else(|| AsmError { line, msg: format!("bad register {s}") })
+}
+
+fn fregp(s: &str, line: usize) -> Result<FReg, AsmError> {
+    FReg::parse(s.trim())
+        .ok_or_else(|| AsmError { line, msg: format!("bad float register {s}") })
+}
+
+fn vregp(s: &str, line: usize) -> Result<VReg, AsmError> {
+    VReg::parse(s.trim())
+        .ok_or_else(|| AsmError { line, msg: format!("bad vector register {s}") })
+}
+
+/// Strip the surrounding parens of a vector memory operand `(a0)`.
+fn vmem(s: &str, line: usize) -> Result<Reg, AsmError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| AsmError { line, msg: format!("expected (base), got {s}") })?;
+    xreg(inner, line)
+}
+
+struct Ctx {
+    b: KernelBuilder,
+    labels: HashMap<String, Label>,
+}
+
+impl Ctx {
+    fn label_for(&mut self, name: &str) -> Label {
+        if let Some(l) = self.labels.get(name) {
+            return *l;
+        }
+        let l = self.b.label();
+        self.labels.insert(name.to_string(), l);
+        l
+    }
+}
+
+/// Assemble source text into a [`Program`](crate::Program) based at 0.
+pub fn assemble(src: &str) -> Result<crate::Program, AsmError> {
+    assemble_at(src, 0)
+}
+
+/// Assemble source text into a [`Program`](crate::Program) at `base`.
+pub fn assemble_at(src: &str, base: u32) -> Result<crate::Program, AsmError> {
+    let mut ctx = Ctx { b: KernelBuilder::new(base), labels: HashMap::new() };
+    let mut bound: Vec<String> = Vec::new();
+    for (ln, raw) in src.lines().enumerate() {
+        let line = ln + 1;
+        let mut text = raw;
+        if let Some(hash) = text.find('#') {
+            text = &text[..hash];
+        }
+        let mut text = text.trim();
+        // Labels (possibly several on one line).
+        while let Some(colon) = text.find(':') {
+            let name = text[..colon].trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return err(line, format!("bad label {name:?}"));
+            }
+            let l = ctx.label_for(name);
+            if bound.contains(&name.to_string()) {
+                return err(line, format!("label {name} defined twice"));
+            }
+            ctx.b.bind(l);
+            ctx.b.name(name);
+            bound.push(name.to_string());
+            text = text[colon + 1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(i) => (&text[..i], text[i..].trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let nops = ops.len();
+        let want = |n: usize| -> Result<(), AsmError> {
+            if nops != n {
+                return err(line, format!("{mnemonic} expects {n} operands, got {nops}"));
+            }
+            Ok(())
+        };
+        match mnemonic {
+            "addi" => {
+                want(3)?;
+                ctx.b.addi(xreg(ops[0], line)?, xreg(ops[1], line)?, parse_imm(ops[2], line)?);
+            }
+            "slli" => {
+                want(3)?;
+                ctx.b.slli(xreg(ops[0], line)?, xreg(ops[1], line)?, parse_imm(ops[2], line)?);
+            }
+            "srli" => {
+                want(3)?;
+                ctx.b.srli(xreg(ops[0], line)?, xreg(ops[1], line)?, parse_imm(ops[2], line)?);
+            }
+            "andi" => {
+                want(3)?;
+                ctx.b.andi(xreg(ops[0], line)?, xreg(ops[1], line)?, parse_imm(ops[2], line)?);
+            }
+            "mul" => {
+                want(3)?;
+                ctx.b.mul(xreg(ops[0], line)?, xreg(ops[1], line)?, xreg(ops[2], line)?);
+            }
+            "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and" => {
+                want(3)?;
+                let op = match mnemonic {
+                    "add" => AluOp::Add,
+                    "sub" => AluOp::Sub,
+                    "sll" => AluOp::Sll,
+                    "slt" => AluOp::Slt,
+                    "sltu" => AluOp::Sltu,
+                    "xor" => AluOp::Xor,
+                    "srl" => AluOp::Srl,
+                    "sra" => AluOp::Sra,
+                    "or" => AluOp::Or,
+                    _ => AluOp::And,
+                };
+                ctx.b.alu(op, xreg(ops[0], line)?, xreg(ops[1], line)?, xreg(ops[2], line)?);
+            }
+            "slti" | "sltiu" | "sltui" | "xori" | "ori" | "srai" => {
+                want(3)?;
+                let op = match mnemonic {
+                    "slti" => AluOp::Slt,
+                    "sltiu" | "sltui" => AluOp::Sltu,
+                    "xori" => AluOp::Xor,
+                    "ori" => AluOp::Or,
+                    _ => AluOp::Sra,
+                };
+                ctx.b.alu_imm(op, xreg(ops[0], line)?, xreg(ops[1], line)?, parse_imm(ops[2], line)?);
+            }
+            "lui" | "auipc" => {
+                want(2)?;
+                let rd = xreg(ops[0], line)?;
+                let imm = parse_imm(ops[1], line)?;
+                if mnemonic == "lui" {
+                    ctx.b.lui(rd, imm);
+                } else {
+                    ctx.b.auipc(rd, imm);
+                }
+            }
+            "jalr" => {
+                want(2)?;
+                let (off, base) = parse_mem(ops[1], line)?;
+                ctx.b.jalr(xreg(ops[0], line)?, off, base);
+            }
+            "fsub.s" => {
+                want(3)?;
+                ctx.b.fsub_s(fregp(ops[0], line)?, fregp(ops[1], line)?, fregp(ops[2], line)?);
+            }
+            "mulh" | "mulhsu" | "mulhu" | "div" | "divu" | "rem" | "remu" => {
+                want(3)?;
+                use hht_md::MulDivOp::*;
+                let op = match mnemonic {
+                    "mulh" => Mulh,
+                    "mulhsu" => Mulhsu,
+                    "mulhu" => Mulhu,
+                    "div" => Div,
+                    "divu" => Divu,
+                    "rem" => Rem,
+                    _ => Remu,
+                };
+                ctx.b.muldiv(op, xreg(ops[0], line)?, xreg(ops[1], line)?, xreg(ops[2], line)?);
+            }
+            "li" => {
+                want(2)?;
+                ctx.b.li(xreg(ops[0], line)?, parse_imm(ops[1], line)?);
+            }
+            "mv" => {
+                want(2)?;
+                ctx.b.mv(xreg(ops[0], line)?, xreg(ops[1], line)?);
+            }
+            "nop" => {
+                want(0)?;
+                ctx.b.nop();
+            }
+            "lw" => {
+                want(2)?;
+                let (off, base) = parse_mem(ops[1], line)?;
+                ctx.b.lw(xreg(ops[0], line)?, off, base);
+            }
+            "lb" | "lbu" | "lh" | "lhu" => {
+                want(2)?;
+                let (off, base) = parse_mem(ops[1], line)?;
+                let (width, signed) = match mnemonic {
+                    "lb" => (hht_md::MemWidth::Byte, true),
+                    "lbu" => (hht_md::MemWidth::Byte, false),
+                    "lh" => (hht_md::MemWidth::Half, true),
+                    _ => (hht_md::MemWidth::Half, false),
+                };
+                ctx.b.load_narrow(xreg(ops[0], line)?, off, base, width, signed);
+            }
+            "sb" | "sh" => {
+                want(2)?;
+                let (off, base) = parse_mem(ops[1], line)?;
+                let width = if mnemonic == "sb" {
+                    hht_md::MemWidth::Byte
+                } else {
+                    hht_md::MemWidth::Half
+                };
+                ctx.b.store_narrow(xreg(ops[0], line)?, off, base, width);
+            }
+            "sw" => {
+                want(2)?;
+                let (off, base) = parse_mem(ops[1], line)?;
+                ctx.b.sw(xreg(ops[0], line)?, off, base);
+            }
+            "flw" => {
+                want(2)?;
+                let (off, base) = parse_mem(ops[1], line)?;
+                ctx.b.flw(fregp(ops[0], line)?, off, base);
+            }
+            "fsw" => {
+                want(2)?;
+                let (off, base) = parse_mem(ops[1], line)?;
+                ctx.b.fsw(fregp(ops[0], line)?, off, base);
+            }
+            "fadd.s" => {
+                want(3)?;
+                ctx.b.fadd_s(fregp(ops[0], line)?, fregp(ops[1], line)?, fregp(ops[2], line)?);
+            }
+            "fmul.s" => {
+                want(3)?;
+                ctx.b.fmul_s(fregp(ops[0], line)?, fregp(ops[1], line)?, fregp(ops[2], line)?);
+            }
+            "fmadd.s" => {
+                want(4)?;
+                ctx.b.fmadd_s(
+                    fregp(ops[0], line)?,
+                    fregp(ops[1], line)?,
+                    fregp(ops[2], line)?,
+                    fregp(ops[3], line)?,
+                );
+            }
+            "fmv.w.x" => {
+                want(2)?;
+                ctx.b.fmv_w_x(fregp(ops[0], line)?, xreg(ops[1], line)?);
+            }
+            "fmv.x.w" => {
+                want(2)?;
+                ctx.b.fmv_x_w(xreg(ops[0], line)?, fregp(ops[1], line)?);
+            }
+            "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+                want(3)?;
+                let rs1 = xreg(ops[0], line)?;
+                let rs2 = xreg(ops[1], line)?;
+                let l = ctx.label_for(ops[2]);
+                match mnemonic {
+                    "beq" => ctx.b.beq(rs1, rs2, l),
+                    "bne" => ctx.b.bne(rs1, rs2, l),
+                    "blt" => ctx.b.blt(rs1, rs2, l),
+                    "bge" => ctx.b.bge(rs1, rs2, l),
+                    "bltu" => ctx.b.bltu(rs1, rs2, l),
+                    _ => ctx.b.bgeu(rs1, rs2, l),
+                };
+            }
+            "beqz" | "bnez" => {
+                want(2)?;
+                let rs = xreg(ops[0], line)?;
+                let l = ctx.label_for(ops[1]);
+                if mnemonic == "beqz" {
+                    ctx.b.beqz(rs, l);
+                } else {
+                    ctx.b.bnez(rs, l);
+                }
+            }
+            "j" => {
+                want(1)?;
+                let l = ctx.label_for(ops[0]);
+                ctx.b.j(l);
+            }
+            "vsetvli" => {
+                // vsetvli rd, rs1, e32, m1 (the trailing vtype tokens are
+                // validated but only e32/m1 is accepted)
+                if nops < 2 {
+                    return err(line, "vsetvli expects rd, rs1, e32, m1");
+                }
+                for extra in &ops[2..] {
+                    if !matches!(*extra, "e32" | "m1" | "ta" | "ma") {
+                        return err(line, format!("unsupported vtype element {extra}"));
+                    }
+                }
+                ctx.b.vsetvli(xreg(ops[0], line)?, xreg(ops[1], line)?);
+            }
+            "vle32.v" => {
+                want(2)?;
+                ctx.b.vle32(vregp(ops[0], line)?, vmem(ops[1], line)?);
+            }
+            "vse32.v" => {
+                want(2)?;
+                ctx.b.vse32(vregp(ops[0], line)?, vmem(ops[1], line)?);
+            }
+            "vluxei32.v" => {
+                want(3)?;
+                ctx.b.vluxei32(vregp(ops[0], line)?, vmem(ops[1], line)?, vregp(ops[2], line)?);
+            }
+            "vfmacc.vv" => {
+                want(3)?;
+                ctx.b.vfmacc_vv(vregp(ops[0], line)?, vregp(ops[1], line)?, vregp(ops[2], line)?);
+            }
+            "vfmul.vv" => {
+                want(3)?;
+                ctx.b.vfmul_vv(vregp(ops[0], line)?, vregp(ops[1], line)?, vregp(ops[2], line)?);
+            }
+            "vfadd.vv" => {
+                want(3)?;
+                ctx.b.vfadd_vv(vregp(ops[0], line)?, vregp(ops[1], line)?, vregp(ops[2], line)?);
+            }
+            "vfredosum.vs" => {
+                want(3)?;
+                ctx.b.vfredosum_vs(
+                    vregp(ops[0], line)?,
+                    vregp(ops[1], line)?,
+                    vregp(ops[2], line)?,
+                );
+            }
+            "vsll.vi" => {
+                want(3)?;
+                ctx.b.vsll_vi(
+                    vregp(ops[0], line)?,
+                    vregp(ops[1], line)?,
+                    parse_imm(ops[2], line)?,
+                );
+            }
+            "vmv.v.i" => {
+                want(2)?;
+                ctx.b.vmv_v_i(vregp(ops[0], line)?, parse_imm(ops[1], line)?);
+            }
+            "vmv.v.x" => {
+                want(2)?;
+                ctx.b.vmv_v_x(vregp(ops[0], line)?, xreg(ops[1], line)?);
+            }
+            "vfmv.f.s" => {
+                want(2)?;
+                ctx.b.vfmv_f_s(fregp(ops[0], line)?, vregp(ops[1], line)?);
+            }
+            "rdcycle" => {
+                want(1)?;
+                ctx.b.rdcycle(xreg(ops[0], line)?);
+            }
+            "csrrs" => {
+                want(3)?;
+                ctx.b.csrrs(
+                    xreg(ops[0], line)?,
+                    parse_imm(ops[1], line)? as u32,
+                    xreg(ops[2], line)?,
+                );
+            }
+            "ebreak" => {
+                want(0)?;
+                ctx.b.ebreak();
+            }
+            "ecall" => {
+                want(0)?;
+                ctx.b.emit(crate::Instr::Ecall);
+            }
+            other => return err(line, format!("unknown mnemonic {other}")),
+        }
+    }
+    // Any label used but never bound?
+    for (name, l) in &ctx.labels {
+        if !bound.iter().any(|b| b == name) {
+            // Bind to end so build() doesn't panic, then report cleanly.
+            let _ = l;
+            return Err(AsmError { line: 0, msg: format!("undefined label {name}") });
+        }
+    }
+    Ok(ctx.b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AluOp, BranchOp, Instr};
+
+    #[test]
+    fn basic_program() {
+        let p = assemble("li a0, 5\naddi a0, a0, 1\nebreak").unwrap();
+        assert_eq!(p.instrs().len(), 3);
+        assert_eq!(
+            p.instrs()[0],
+            Instr::OpImm { op: AluOp::Add, rd: Reg::a(0), rs1: Reg::ZERO, imm: 5 }
+        );
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let p = assemble(
+            "start:\n  li t0, 3\nloop:\n  addi t0, t0, -1\n  bnez t0, loop\n  ebreak\n",
+        )
+        .unwrap();
+        assert_eq!(p.symbol("start"), Some(0));
+        assert_eq!(p.symbol("loop"), Some(4));
+        match p.instrs()[2] {
+            Instr::Branch { op: BranchOp::Ne, offset, .. } => assert_eq!(offset, -4),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble("lw a1, 8(a0)\nsw a1, -4(sp)\nflw fa0, (a2)\nebreak").unwrap();
+        assert_eq!(p.instrs()[0], Instr::Lw { rd: Reg::a(1), rs1: Reg::a(0), offset: 8 });
+        assert_eq!(p.instrs()[1], Instr::Sw { rs1: Reg::SP, rs2: Reg::a(1), offset: -4 });
+        assert_eq!(p.instrs()[2], Instr::Flw { rd: FReg::a(0), rs1: Reg::a(2), offset: 0 });
+    }
+
+    #[test]
+    fn vector_syntax() {
+        let p = assemble(
+            "vsetvli t0, a0, e32, m1\nvle32.v v1, (a1)\nvluxei32.v v2, (a2), v1\nvfmacc.vv v3, v1, v2\nvfmv.f.s fa0, v3\nebreak",
+        )
+        .unwrap();
+        assert!(matches!(p.instrs()[0], Instr::Vsetvli { .. }));
+        assert!(matches!(p.instrs()[2], Instr::Vluxei32 { .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = assemble("# header\n\n  li a0, 1 # trailing\n\nebreak\n").unwrap();
+        assert_eq!(p.instrs().len(), 2);
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let p = assemble("li a0, 0x10\nli a1, -0x10\nebreak").unwrap();
+        assert_eq!(
+            p.instrs()[0],
+            Instr::OpImm { op: AluOp::Add, rd: Reg::a(0), rs1: Reg::ZERO, imm: 16 }
+        );
+        assert_eq!(
+            p.instrs()[1],
+            Instr::OpImm { op: AluOp::Add, rd: Reg::a(1), rs1: Reg::ZERO, imm: -16 }
+        );
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = assemble("frobnicate a0").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.msg.contains("frobnicate"));
+        let e = assemble("addi a0, a0").unwrap_err();
+        assert!(e.msg.contains("expects 3"));
+        let e = assemble("lw a0, nonsense").unwrap_err();
+        assert!(e.msg.contains("offset(base)"));
+        let e = assemble("j nowhere\nebreak").unwrap_err();
+        assert!(e.msg.contains("undefined label"));
+        let e = assemble("x: nop\nx: nop").unwrap_err();
+        assert!(e.msg.contains("defined twice"));
+    }
+
+    #[test]
+    fn li_expands_for_large_values() {
+        let p = assemble("li a0, 0x40000000\nebreak").unwrap();
+        assert!(matches!(p.instrs()[0], Instr::Lui { .. }));
+    }
+
+    #[test]
+    fn assemble_at_base() {
+        let p = assemble_at("entry: nop\nebreak", 0x800).unwrap();
+        assert_eq!(p.base(), 0x800);
+        assert_eq!(p.symbol("entry"), Some(0x800));
+        assert!(p.fetch(0x800).is_some());
+    }
+}

@@ -1,0 +1,532 @@
+//! Programmatic assembler.
+//!
+//! [`KernelBuilder`] is how the kernel library in `hht-system` emits the
+//! SpMV / SpMSpV programs: each method appends one instruction, labels
+//! handle forward branches, and `build()` resolves everything into a
+//! [`Program`]. Pseudo-instructions (`li`, `mv`, `j`, …) expand exactly as
+//! a RISC-V assembler would.
+
+use crate::instr::{AluOp, BranchOp, Instr, MemWidth, MulDivOp, VConfig};
+use crate::program::Program;
+use crate::reg::{FReg, Reg, VReg};
+use std::collections::BTreeMap;
+
+/// A label handle created by [`KernelBuilder::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Pending fixup kinds for unresolved labels.
+#[derive(Debug, Clone, Copy)]
+enum Fixup {
+    /// Branch at instruction index, patch its `offset`.
+    Branch(usize),
+    /// Jal at instruction index, patch its `offset`.
+    Jal(usize),
+}
+
+/// Incremental program builder with label support.
+#[derive(Debug, Default)]
+pub struct KernelBuilder {
+    base: u32,
+    instrs: Vec<Instr>,
+    /// label id -> bound instruction index (None until `bind`).
+    labels: Vec<Option<usize>>,
+    /// label id -> uses awaiting resolution.
+    fixups: Vec<(usize, Fixup)>,
+    symbols: BTreeMap<String, u32>,
+}
+
+impl KernelBuilder {
+    /// New builder with instructions starting at byte address `base`.
+    pub fn new(base: u32) -> Self {
+        KernelBuilder { base, ..Default::default() }
+    }
+
+    /// Create an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind a label to the current position (the next emitted instruction).
+    pub fn bind(&mut self, l: Label) {
+        assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.instrs.len());
+    }
+
+    /// Create a label already bound to the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Give the current position a symbolic name in the final [`Program`].
+    pub fn name(&mut self, name: &str) {
+        self.symbols.insert(name.to_string(), self.base + 4 * self.instrs.len() as u32);
+    }
+
+    /// Current instruction count.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Append a raw instruction.
+    pub fn emit(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    // ---- scalar integer ----
+
+    /// `addi rd, rs1, imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        assert!((-2048..2048).contains(&imm), "addi immediate out of range: {imm}");
+        self.emit(Instr::OpImm { op: AluOp::Add, rd, rs1, imm })
+    }
+
+    /// `add rd, rs1, rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.emit(Instr::Op { op: AluOp::Add, rd, rs1, rs2 })
+    }
+
+    /// `sub rd, rs1, rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.emit(Instr::Op { op: AluOp::Sub, rd, rs1, rs2 })
+    }
+
+    /// `slli rd, rs1, shamt`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
+        assert!((0..32).contains(&shamt));
+        self.emit(Instr::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt })
+    }
+
+    /// `srli rd, rs1, shamt`
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
+        assert!((0..32).contains(&shamt));
+        self.emit(Instr::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt })
+    }
+
+    /// `andi rd, rs1, imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.emit(Instr::OpImm { op: AluOp::And, rd, rs1, imm })
+    }
+
+    /// Any register-register ALU op.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.emit(Instr::Op { op, rd, rs1, rs2 })
+    }
+
+    /// Any ALU-immediate op (no `Sub`; shifts take a 5-bit shamt).
+    pub fn alu_imm(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        assert!(op != AluOp::Sub, "no subi in RV32");
+        self.emit(Instr::OpImm { op, rd, rs1, imm })
+    }
+
+    /// `lui rd, imm20`
+    pub fn lui(&mut self, rd: Reg, imm20: i32) -> &mut Self {
+        self.emit(Instr::Lui { rd, imm20: imm20 & 0xfffff })
+    }
+
+    /// `auipc rd, imm20`
+    pub fn auipc(&mut self, rd: Reg, imm20: i32) -> &mut Self {
+        self.emit(Instr::Auipc { rd, imm20: imm20 & 0xfffff })
+    }
+
+    /// `jalr rd, offset(rs1)`
+    pub fn jalr(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.emit(Instr::Jalr { rd, rs1, offset })
+    }
+
+    /// `fsub.s rd, rs1, rs2`
+    pub fn fsub_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Self {
+        self.emit(Instr::FsubS { rd, rs1, rs2 })
+    }
+
+    /// `mul rd, rs1, rs2`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.emit(Instr::Mul { rd, rs1, rs2 })
+    }
+
+    /// One of the remaining RV32M ops (`mulh`, `div`, `rem`, ...).
+    pub fn muldiv(&mut self, op: MulDivOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.emit(Instr::MulDiv { op, rd, rs1, rs2 })
+    }
+
+    /// Pseudo `li rd, value` — expands to `lui`+`addi`, or just `addi` when
+    /// the value fits 12 bits.
+    pub fn li(&mut self, rd: Reg, value: i32) -> &mut Self {
+        if (-2048..2048).contains(&value) {
+            return self.addi(rd, Reg::ZERO, value);
+        }
+        // Split into hi20/lo12 accounting for lo12 sign extension.
+        let lo = (value << 20) >> 20;
+        let hi = (value.wrapping_sub(lo)) >> 12;
+        self.emit(Instr::Lui { rd, imm20: hi & 0xfffff });
+        if lo != 0 {
+            self.addi(rd, rd, lo);
+        }
+        self
+    }
+
+    /// Pseudo `mv rd, rs`.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.addi(rd, rs, 0)
+    }
+
+    /// Pseudo `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.addi(Reg::ZERO, Reg::ZERO, 0)
+    }
+
+    // ---- memory ----
+
+    /// `lw rd, offset(rs1)`
+    pub fn lw(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.emit(Instr::Lw { rd, rs1, offset })
+    }
+
+    /// `sw rs2, offset(rs1)`
+    pub fn sw(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.emit(Instr::Sw { rs1, rs2, offset })
+    }
+
+    /// Sub-word load (`lb`/`lbu`/`lh`/`lhu`).
+    pub fn load_narrow(
+        &mut self,
+        rd: Reg,
+        offset: i32,
+        rs1: Reg,
+        width: MemWidth,
+        signed: bool,
+    ) -> &mut Self {
+        self.emit(Instr::LoadNarrow { rd, rs1, offset, width, signed })
+    }
+
+    /// Sub-word store (`sb`/`sh`).
+    pub fn store_narrow(&mut self, rs2: Reg, offset: i32, rs1: Reg, width: MemWidth) -> &mut Self {
+        self.emit(Instr::StoreNarrow { rs1, rs2, offset, width })
+    }
+
+    /// `flw rd, offset(rs1)`
+    pub fn flw(&mut self, rd: FReg, offset: i32, rs1: Reg) -> &mut Self {
+        self.emit(Instr::Flw { rd, rs1, offset })
+    }
+
+    /// `fsw rs2, offset(rs1)`
+    pub fn fsw(&mut self, rs2: FReg, offset: i32, rs1: Reg) -> &mut Self {
+        self.emit(Instr::Fsw { rs1, rs2, offset })
+    }
+
+    // ---- float ----
+
+    /// `fadd.s rd, rs1, rs2`
+    pub fn fadd_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Self {
+        self.emit(Instr::FaddS { rd, rs1, rs2 })
+    }
+
+    /// `fmul.s rd, rs1, rs2`
+    pub fn fmul_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Self {
+        self.emit(Instr::FmulS { rd, rs1, rs2 })
+    }
+
+    /// `fmadd.s rd, rs1, rs2, rs3` — `rd = rs1*rs2 + rs3`.
+    pub fn fmadd_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg) -> &mut Self {
+        self.emit(Instr::FmaddS { rd, rs1, rs2, rs3 })
+    }
+
+    /// `fmv.w.x rd, rs1` — bit-move integer to float.
+    pub fn fmv_w_x(&mut self, rd: FReg, rs1: Reg) -> &mut Self {
+        self.emit(Instr::FmvWX { rd, rs1 })
+    }
+
+    /// `fmv.x.w rd, rs1` — bit-move float to integer.
+    pub fn fmv_x_w(&mut self, rd: Reg, rs1: FReg) -> &mut Self {
+        self.emit(Instr::FmvXW { rd, rs1 })
+    }
+
+    // ---- control flow ----
+
+    fn branch_to(&mut self, op: BranchOp, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
+        let at = self.instrs.len();
+        self.instrs.push(Instr::Branch { op, rs1, rs2, offset: 0 });
+        self.fixups.push((target.0, Fixup::Branch(at)));
+        self
+    }
+
+    /// `beq rs1, rs2, label`
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, l: Label) -> &mut Self {
+        self.branch_to(BranchOp::Eq, rs1, rs2, l)
+    }
+
+    /// `bne rs1, rs2, label`
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, l: Label) -> &mut Self {
+        self.branch_to(BranchOp::Ne, rs1, rs2, l)
+    }
+
+    /// `blt rs1, rs2, label`
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, l: Label) -> &mut Self {
+        self.branch_to(BranchOp::Lt, rs1, rs2, l)
+    }
+
+    /// `bge rs1, rs2, label`
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, l: Label) -> &mut Self {
+        self.branch_to(BranchOp::Ge, rs1, rs2, l)
+    }
+
+    /// `bltu rs1, rs2, label`
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, l: Label) -> &mut Self {
+        self.branch_to(BranchOp::Ltu, rs1, rs2, l)
+    }
+
+    /// `bgeu rs1, rs2, label`
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, l: Label) -> &mut Self {
+        self.branch_to(BranchOp::Geu, rs1, rs2, l)
+    }
+
+    /// Pseudo `beqz rs, label`.
+    pub fn beqz(&mut self, rs: Reg, l: Label) -> &mut Self {
+        self.beq(rs, Reg::ZERO, l)
+    }
+
+    /// Pseudo `bnez rs, label`.
+    pub fn bnez(&mut self, rs: Reg, l: Label) -> &mut Self {
+        self.bne(rs, Reg::ZERO, l)
+    }
+
+    /// Pseudo `j label` (jal x0).
+    pub fn j(&mut self, l: Label) -> &mut Self {
+        let at = self.instrs.len();
+        self.instrs.push(Instr::Jal { rd: Reg::ZERO, offset: 0 });
+        self.fixups.push((l.0, Fixup::Jal(at)));
+        self
+    }
+
+    // ---- vector ----
+
+    /// `vsetvli rd, rs1, e32,m1`
+    pub fn vsetvli(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.emit(Instr::Vsetvli { rd, rs1, cfg: VConfig::E32M1 })
+    }
+
+    /// `vle32.v vd, (rs1)`
+    pub fn vle32(&mut self, vd: VReg, rs1: Reg) -> &mut Self {
+        self.emit(Instr::Vle32 { vd, rs1 })
+    }
+
+    /// `vse32.v vs3, (rs1)`
+    pub fn vse32(&mut self, vs3: VReg, rs1: Reg) -> &mut Self {
+        self.emit(Instr::Vse32 { vs3, rs1 })
+    }
+
+    /// `vluxei32.v vd, (rs1), vs2` — indexed gather.
+    pub fn vluxei32(&mut self, vd: VReg, rs1: Reg, vs2: VReg) -> &mut Self {
+        self.emit(Instr::Vluxei32 { vd, rs1, vs2 })
+    }
+
+    /// `vfmacc.vv vd, vs1, vs2`
+    pub fn vfmacc_vv(&mut self, vd: VReg, vs1: VReg, vs2: VReg) -> &mut Self {
+        self.emit(Instr::VfmaccVV { vd, vs1, vs2 })
+    }
+
+    /// `vfmul.vv vd, vs1, vs2`
+    pub fn vfmul_vv(&mut self, vd: VReg, vs1: VReg, vs2: VReg) -> &mut Self {
+        self.emit(Instr::VfmulVV { vd, vs1, vs2 })
+    }
+
+    /// `vfadd.vv vd, vs1, vs2`
+    pub fn vfadd_vv(&mut self, vd: VReg, vs1: VReg, vs2: VReg) -> &mut Self {
+        self.emit(Instr::VfaddVV { vd, vs1, vs2 })
+    }
+
+    /// `vfredosum.vs vd, vs2, vs1` — `vd[0] = vs1[0] + sum(vs2)`.
+    pub fn vfredosum_vs(&mut self, vd: VReg, vs2: VReg, vs1: VReg) -> &mut Self {
+        self.emit(Instr::VfredosumVS { vd, vs1, vs2 })
+    }
+
+    /// `vsll.vi vd, vs2, shamt`
+    pub fn vsll_vi(&mut self, vd: VReg, vs2: VReg, shamt: i32) -> &mut Self {
+        assert!((0..32).contains(&shamt));
+        self.emit(Instr::VsllVI { vd, vs2, imm5: shamt })
+    }
+
+    /// `vmv.v.i vd, imm5`
+    pub fn vmv_v_i(&mut self, vd: VReg, imm5: i32) -> &mut Self {
+        assert!((-16..16).contains(&imm5));
+        self.emit(Instr::VmvVI { vd, imm5 })
+    }
+
+    /// `vmv.v.x vd, rs1`
+    pub fn vmv_v_x(&mut self, vd: VReg, rs1: Reg) -> &mut Self {
+        self.emit(Instr::VmvVX { vd, rs1 })
+    }
+
+    /// `vfmv.f.s rd, vs2`
+    pub fn vfmv_f_s(&mut self, rd: FReg, vs2: VReg) -> &mut Self {
+        self.emit(Instr::VfmvFS { rd, vs2 })
+    }
+
+    // ---- system ----
+
+    /// `csrrs rd, csr, rs1`
+    pub fn csrrs(&mut self, rd: Reg, csr: u32, rs1: Reg) -> &mut Self {
+        self.emit(Instr::Csrrs { rd, csr, rs1 })
+    }
+
+    /// Pseudo `rdcycle rd`.
+    pub fn rdcycle(&mut self, rd: Reg) -> &mut Self {
+        self.csrrs(rd, 0xC00, Reg::ZERO)
+    }
+
+    /// `ebreak` — the simulator's halt.
+    pub fn ebreak(&mut self) -> &mut Self {
+        self.emit(Instr::Ebreak)
+    }
+
+    /// Resolve all labels and produce the final [`Program`].
+    ///
+    /// Panics if any referenced label was never bound (a kernel-library
+    /// programming error, not a runtime condition).
+    pub fn build(mut self) -> Program {
+        for (label_id, fixup) in std::mem::take(&mut self.fixups) {
+            let target = self.labels[label_id].expect("branch to unbound label");
+            match fixup {
+                Fixup::Branch(at) => {
+                    let offset = (target as i64 - at as i64) as i32 * 4;
+                    if let Instr::Branch { offset: o, .. } = &mut self.instrs[at] {
+                        *o = offset;
+                    } else {
+                        unreachable!("fixup points at non-branch");
+                    }
+                }
+                Fixup::Jal(at) => {
+                    let offset = (target as i64 - at as i64) as i32 * 4;
+                    if let Instr::Jal { offset: o, .. } = &mut self.instrs[at] {
+                        *o = offset;
+                    } else {
+                        unreachable!("fixup points at non-jal");
+                    }
+                }
+            }
+        }
+        Program::new(self.base, self.instrs, self.symbols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_branch_is_patched() {
+        let mut b = KernelBuilder::new(0);
+        let done = b.label();
+        b.li(Reg::a(0), 0);
+        b.beqz(Reg::a(0), done);
+        b.addi(Reg::a(0), Reg::a(0), 1);
+        b.bind(done);
+        b.ebreak();
+        let p = b.build();
+        // beqz at index 1; done at index 3 -> offset +8
+        match p.instrs()[1] {
+            Instr::Branch { offset, .. } => assert_eq!(offset, 8),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backward_branch_is_negative() {
+        let mut b = KernelBuilder::new(0);
+        let top = b.here();
+        b.addi(Reg::a(0), Reg::a(0), -1);
+        b.bnez(Reg::a(0), top);
+        b.ebreak();
+        let p = b.build();
+        match p.instrs()[1] {
+            Instr::Branch { offset, .. } => assert_eq!(offset, -4),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn li_small_is_one_instruction() {
+        let mut b = KernelBuilder::new(0);
+        b.li(Reg::a(0), 42);
+        assert_eq!(b.len(), 1);
+        let p = b.build();
+        assert_eq!(
+            p.instrs()[0],
+            Instr::OpImm { op: AluOp::Add, rd: Reg::a(0), rs1: Reg::ZERO, imm: 42 }
+        );
+    }
+
+    #[test]
+    fn li_large_splits_correctly() {
+        // Check the hi/lo split produces the right value for tricky cases
+        // where the low 12 bits are negative.
+        for value in [0x12345678i32, -1, 0x7ff, 0x800, 0xfff, 0x1000, -2049, i32::MAX, i32::MIN] {
+            let mut b = KernelBuilder::new(0);
+            b.li(Reg::a(0), value);
+            let p = b.build();
+            // Evaluate the sequence by hand.
+            let mut x: i32 = 0;
+            for i in p.instrs() {
+                match *i {
+                    Instr::Lui { imm20, .. } => x = imm20 << 12,
+                    Instr::OpImm { imm, rs1, .. } => {
+                        x = if rs1 == Reg::ZERO { imm } else { x.wrapping_add(imm) }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            assert_eq!(x, value, "li {value:#x}");
+        }
+    }
+
+    #[test]
+    fn jump_fixups() {
+        let mut b = KernelBuilder::new(0);
+        let end = b.label();
+        b.j(end);
+        b.nop();
+        b.bind(end);
+        b.ebreak();
+        let p = b.build();
+        match p.instrs()[0] {
+            Instr::Jal { offset, .. } => assert_eq!(offset, 8),
+            other => panic!("expected jal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn names_are_exported() {
+        let mut b = KernelBuilder::new(0x1000);
+        b.nop();
+        b.name("loop_body");
+        b.nop();
+        let p = b.build();
+        assert_eq!(p.symbol("loop_body"), Some(0x1004));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = KernelBuilder::new(0);
+        let l = b.label();
+        b.j(l);
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = KernelBuilder::new(0);
+        let l = b.here();
+        b.bind(l);
+    }
+}

@@ -1,0 +1,454 @@
+//! Binary decoding, the exact inverse of [`crate::encode::encode`].
+
+use crate::instr::{AluOp, BranchOp, Instr, MemWidth, MulDivOp, VConfig};
+use crate::reg::{FReg, Reg, VReg};
+use std::fmt;
+
+/// A word that does not decode to a supported instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending machine word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn reg(w: u32, lo: u32) -> Reg {
+    Reg::new(((w >> lo) & 0x1f) as u8)
+}
+
+fn freg(w: u32, lo: u32) -> FReg {
+    FReg::new(((w >> lo) & 0x1f) as u8)
+}
+
+fn vreg(w: u32, lo: u32) -> VReg {
+    VReg::new(((w >> lo) & 0x1f) as u8)
+}
+
+fn i_imm(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+fn s_imm(w: u32) -> i32 {
+    (((w as i32) >> 25) << 5) | ((w >> 7) & 0x1f) as i32
+}
+
+fn b_imm(w: u32) -> i32 {
+    let sign = (w as i32) >> 31; // imm[12]
+    (sign << 12)
+        | ((((w >> 7) & 1) as i32) << 11)
+        | ((((w >> 25) & 0x3f) as i32) << 5)
+        | ((((w >> 8) & 0xf) as i32) << 1)
+}
+
+fn j_imm(w: u32) -> i32 {
+    let sign = (w as i32) >> 31; // imm[20]
+    (sign << 20)
+        | ((((w >> 12) & 0xff) as i32) << 12)
+        | ((((w >> 20) & 1) as i32) << 11)
+        | ((((w >> 21) & 0x3ff) as i32) << 1)
+}
+
+fn alu_from_funct(funct3: u32, funct7: u32) -> Option<AluOp> {
+    Some(match (funct3, funct7) {
+        (0b000, 0) => AluOp::Add,
+        (0b000, 0b0100000) => AluOp::Sub,
+        (0b001, 0) => AluOp::Sll,
+        (0b010, 0) => AluOp::Slt,
+        (0b011, 0) => AluOp::Sltu,
+        (0b100, 0) => AluOp::Xor,
+        (0b101, 0) => AluOp::Srl,
+        (0b101, 0b0100000) => AluOp::Sra,
+        (0b110, 0) => AluOp::Or,
+        (0b111, 0) => AluOp::And,
+        _ => return None,
+    })
+}
+
+/// Decode a 32-bit machine word.
+pub fn decode(w: u32) -> Result<Instr, DecodeError> {
+    let err = Err(DecodeError { word: w });
+    let opcode = w & 0x7f;
+    let funct3 = (w >> 12) & 0b111;
+    let funct7 = w >> 25;
+    Ok(match opcode {
+        0b0110111 => Instr::Lui { rd: reg(w, 7), imm20: ((w >> 12) & 0xfffff) as i32 },
+        0b0010111 => Instr::Auipc { rd: reg(w, 7), imm20: ((w >> 12) & 0xfffff) as i32 },
+        0b1101111 => Instr::Jal { rd: reg(w, 7), offset: j_imm(w) },
+        0b1100111 if funct3 == 0 => {
+            Instr::Jalr { rd: reg(w, 7), rs1: reg(w, 15), offset: i_imm(w) }
+        }
+        0b1100011 => {
+            let op = match funct3 {
+                0b000 => BranchOp::Eq,
+                0b001 => BranchOp::Ne,
+                0b100 => BranchOp::Lt,
+                0b101 => BranchOp::Ge,
+                0b110 => BranchOp::Ltu,
+                0b111 => BranchOp::Geu,
+                _ => return err,
+            };
+            Instr::Branch { op, rs1: reg(w, 15), rs2: reg(w, 20), offset: b_imm(w) }
+        }
+        0b0000011 => {
+            let (rd, rs1, offset) = (reg(w, 7), reg(w, 15), i_imm(w));
+            match funct3 {
+                0b010 => Instr::Lw { rd, rs1, offset },
+                0b000 => Instr::LoadNarrow { rd, rs1, offset, width: MemWidth::Byte, signed: true },
+                0b001 => Instr::LoadNarrow { rd, rs1, offset, width: MemWidth::Half, signed: true },
+                0b100 => {
+                    Instr::LoadNarrow { rd, rs1, offset, width: MemWidth::Byte, signed: false }
+                }
+                0b101 => {
+                    Instr::LoadNarrow { rd, rs1, offset, width: MemWidth::Half, signed: false }
+                }
+                _ => return err,
+            }
+        }
+        0b0100011 => {
+            let (rs1, rs2, offset) = (reg(w, 15), reg(w, 20), s_imm(w));
+            match funct3 {
+                0b010 => Instr::Sw { rs1, rs2, offset },
+                0b000 => Instr::StoreNarrow { rs1, rs2, offset, width: MemWidth::Byte },
+                0b001 => Instr::StoreNarrow { rs1, rs2, offset, width: MemWidth::Half },
+                _ => return err,
+            }
+        }
+        0b0010011 => {
+            if matches!(funct3, 0b001 | 0b101) {
+                // shift-immediate forms carry funct7
+                let op = alu_from_funct(funct3, funct7).ok_or(DecodeError { word: w })?;
+                Instr::OpImm { op, rd: reg(w, 7), rs1: reg(w, 15), imm: ((w >> 20) & 0x1f) as i32 }
+            } else {
+                let op = alu_from_funct(funct3, 0).ok_or(DecodeError { word: w })?;
+                Instr::OpImm { op, rd: reg(w, 7), rs1: reg(w, 15), imm: i_imm(w) }
+            }
+        }
+        0b0110011 => {
+            if funct7 == 0b0000001 {
+                let (rd, rs1, rs2) = (reg(w, 7), reg(w, 15), reg(w, 20));
+                match funct3 {
+                    0b000 => Instr::Mul { rd, rs1, rs2 },
+                    0b001 => Instr::MulDiv { op: MulDivOp::Mulh, rd, rs1, rs2 },
+                    0b010 => Instr::MulDiv { op: MulDivOp::Mulhsu, rd, rs1, rs2 },
+                    0b011 => Instr::MulDiv { op: MulDivOp::Mulhu, rd, rs1, rs2 },
+                    0b100 => Instr::MulDiv { op: MulDivOp::Div, rd, rs1, rs2 },
+                    0b101 => Instr::MulDiv { op: MulDivOp::Divu, rd, rs1, rs2 },
+                    0b110 => Instr::MulDiv { op: MulDivOp::Rem, rd, rs1, rs2 },
+                    _ => Instr::MulDiv { op: MulDivOp::Remu, rd, rs1, rs2 },
+                }
+            } else {
+                let op = alu_from_funct(funct3, funct7).ok_or(DecodeError { word: w })?;
+                Instr::Op { op, rd: reg(w, 7), rs1: reg(w, 15), rs2: reg(w, 20) }
+            }
+        }
+        0b0000111 => match funct3 {
+            0b010 => Instr::Flw { rd: freg(w, 7), rs1: reg(w, 15), offset: i_imm(w) },
+            0b110 => {
+                // vector load, EEW=32
+                let mop = (w >> 26) & 0b11;
+                match mop {
+                    0b00 => Instr::Vle32 { vd: vreg(w, 7), rs1: reg(w, 15) },
+                    0b01 => Instr::Vluxei32 { vd: vreg(w, 7), rs1: reg(w, 15), vs2: vreg(w, 20) },
+                    _ => return err,
+                }
+            }
+            _ => return err,
+        },
+        0b0100111 => match funct3 {
+            0b010 => Instr::Fsw { rs1: reg(w, 15), rs2: freg(w, 20), offset: s_imm(w) },
+            0b110 if (w >> 26) & 0b11 == 0 => {
+                Instr::Vse32 { vs3: vreg(w, 7), rs1: reg(w, 15) }
+            }
+            _ => return err,
+        },
+        0b1000011 => Instr::FmaddS {
+            rd: freg(w, 7),
+            rs1: freg(w, 15),
+            rs2: freg(w, 20),
+            rs3: freg(w, 27),
+        },
+        0b1010011 => match funct7 {
+            0b0000000 => Instr::FaddS { rd: freg(w, 7), rs1: freg(w, 15), rs2: freg(w, 20) },
+            0b0000100 => Instr::FsubS { rd: freg(w, 7), rs1: freg(w, 15), rs2: freg(w, 20) },
+            0b0001000 => Instr::FmulS { rd: freg(w, 7), rs1: freg(w, 15), rs2: freg(w, 20) },
+            0b1111000 => Instr::FmvWX { rd: freg(w, 7), rs1: reg(w, 15) },
+            0b1110000 => Instr::FmvXW { rd: reg(w, 7), rs1: freg(w, 15) },
+            _ => return err,
+        },
+        0b1110011 => match funct3 {
+            0b000 => match w >> 20 {
+                0 => Instr::Ecall,
+                1 => Instr::Ebreak,
+                _ => return err,
+            },
+            0b010 => Instr::Csrrs { rd: reg(w, 7), csr: w >> 20, rs1: reg(w, 15) },
+            _ => return err,
+        },
+        0b1010111 => {
+            if funct3 == 0b111 {
+                // vsetvli (bit 31 must be 0)
+                if w >> 31 != 0 {
+                    return err;
+                }
+                let cfg = VConfig::from_vtypei((w >> 20) & 0x7ff).ok_or(DecodeError { word: w })?;
+                Instr::Vsetvli { rd: reg(w, 7), rs1: reg(w, 15), cfg }
+            } else {
+                let funct6 = w >> 26;
+                let vm = (w >> 25) & 1;
+                if vm != 1 {
+                    return err; // masked forms unsupported
+                }
+                match (funct6, funct3) {
+                    (0b000000, 0b001) => Instr::VfaddVV {
+                        vd: vreg(w, 7),
+                        vs1: vreg(w, 15),
+                        vs2: vreg(w, 20),
+                    },
+                    (0b000011, 0b001) => Instr::VfredosumVS {
+                        vd: vreg(w, 7),
+                        vs1: vreg(w, 15),
+                        vs2: vreg(w, 20),
+                    },
+                    (0b100100, 0b001) => Instr::VfmulVV {
+                        vd: vreg(w, 7),
+                        vs1: vreg(w, 15),
+                        vs2: vreg(w, 20),
+                    },
+                    (0b101100, 0b001) => Instr::VfmaccVV {
+                        vd: vreg(w, 7),
+                        vs1: vreg(w, 15),
+                        vs2: vreg(w, 20),
+                    },
+                    (0b010000, 0b001) if (w >> 15) & 0x1f == 0 => {
+                        Instr::VfmvFS { rd: freg(w, 7), vs2: vreg(w, 20) }
+                    }
+                    (0b100101, 0b011) => {
+                        let imm5 = ((w >> 15) & 0x1f) as i32; // shamt: zero-extended
+                        Instr::VsllVI { vd: vreg(w, 7), vs2: vreg(w, 20), imm5 }
+                    }
+                    (0b010111, 0b011) if (w >> 20) & 0x1f == 0 => {
+                        // sign-extend the 5-bit immediate
+                        let raw = ((w >> 15) & 0x1f) as i32;
+                        let imm5 = (raw << 27) >> 27;
+                        Instr::VmvVI { vd: vreg(w, 7), imm5 }
+                    }
+                    (0b010111, 0b100) if (w >> 20) & 0x1f == 0 => {
+                        Instr::VmvVX { vd: vreg(w, 7), rs1: reg(w, 15) }
+                    }
+                    _ => return err,
+                }
+            }
+        }
+        _ => return err,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use proptest::prelude::*;
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..32).prop_map(Reg::new)
+    }
+    fn arb_freg() -> impl Strategy<Value = FReg> {
+        (0u8..32).prop_map(FReg::new)
+    }
+    fn arb_vreg() -> impl Strategy<Value = VReg> {
+        (0u8..32).prop_map(VReg::new)
+    }
+    fn arb_alu() -> impl Strategy<Value = AluOp> {
+        prop_oneof![
+            Just(AluOp::Add),
+            Just(AluOp::Sub),
+            Just(AluOp::Sll),
+            Just(AluOp::Slt),
+            Just(AluOp::Sltu),
+            Just(AluOp::Xor),
+            Just(AluOp::Srl),
+            Just(AluOp::Sra),
+            Just(AluOp::Or),
+            Just(AluOp::And),
+        ]
+    }
+    fn arb_branch() -> impl Strategy<Value = BranchOp> {
+        prop_oneof![
+            Just(BranchOp::Eq),
+            Just(BranchOp::Ne),
+            Just(BranchOp::Lt),
+            Just(BranchOp::Ge),
+            Just(BranchOp::Ltu),
+            Just(BranchOp::Geu),
+        ]
+    }
+
+    /// Strategy over every instruction form with in-range fields.
+    fn arb_instr() -> impl Strategy<Value = Instr> {
+        let i12 = -2048i32..2048;
+        let imm20 = 0i32..(1 << 20);
+        prop_oneof![
+            (arb_reg(), imm20.clone()).prop_map(|(rd, imm20)| Instr::Lui { rd, imm20 }),
+            (arb_reg(), imm20).prop_map(|(rd, imm20)| Instr::Auipc { rd, imm20 }),
+            (arb_reg(), (-(1i32 << 19)..(1 << 19)).prop_map(|o| o * 2))
+                .prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
+            (arb_reg(), arb_reg(), i12.clone())
+                .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
+            (arb_branch(), arb_reg(), arb_reg(), (-2048i32..2048).prop_map(|o| o * 2))
+                .prop_map(|(op, rs1, rs2, offset)| Instr::Branch { op, rs1, rs2, offset }),
+            (arb_reg(), arb_reg(), i12.clone())
+                .prop_map(|(rd, rs1, offset)| Instr::Lw { rd, rs1, offset }),
+            (arb_reg(), arb_reg(), i12.clone())
+                .prop_map(|(rs1, rs2, offset)| Instr::Sw { rs1, rs2, offset }),
+            (arb_alu(), arb_reg(), arb_reg(), i12.clone()).prop_map(|(op, rd, rs1, imm)| {
+                // immediate forms: no Sub; shifts use 5-bit shamt
+                let op = if op == AluOp::Sub { AluOp::Add } else { op };
+                let imm = if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                    imm & 0x1f
+                } else {
+                    imm
+                };
+                Instr::OpImm { op, rd, rs1, imm }
+            }),
+            (arb_alu(), arb_reg(), arb_reg(), arb_reg())
+                .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
+            (arb_reg(), arb_reg(), arb_reg())
+                .prop_map(|(rd, rs1, rs2)| Instr::Mul { rd, rs1, rs2 }),
+            (
+                prop_oneof![
+                    Just(MulDivOp::Mulh),
+                    Just(MulDivOp::Mulhsu),
+                    Just(MulDivOp::Mulhu),
+                    Just(MulDivOp::Div),
+                    Just(MulDivOp::Divu),
+                    Just(MulDivOp::Rem),
+                    Just(MulDivOp::Remu),
+                ],
+                arb_reg(),
+                arb_reg(),
+                arb_reg()
+            )
+                .prop_map(|(op, rd, rs1, rs2)| Instr::MulDiv { op, rd, rs1, rs2 }),
+            (
+                arb_reg(),
+                arb_reg(),
+                -2048i32..2048,
+                prop_oneof![Just(MemWidth::Byte), Just(MemWidth::Half)],
+                any::<bool>()
+            )
+                .prop_map(|(rd, rs1, offset, width, signed)| Instr::LoadNarrow {
+                    rd,
+                    rs1,
+                    offset,
+                    width,
+                    signed
+                }),
+            (
+                arb_reg(),
+                arb_reg(),
+                -2048i32..2048,
+                prop_oneof![Just(MemWidth::Byte), Just(MemWidth::Half)]
+            )
+                .prop_map(|(rs1, rs2, offset, width)| Instr::StoreNarrow {
+                    rs1,
+                    rs2,
+                    offset,
+                    width
+                }),
+            (arb_freg(), arb_reg(), i12.clone())
+                .prop_map(|(rd, rs1, offset)| Instr::Flw { rd, rs1, offset }),
+            (arb_reg(), arb_freg(), i12)
+                .prop_map(|(rs1, rs2, offset)| Instr::Fsw { rs1, rs2, offset }),
+            (arb_freg(), arb_freg(), arb_freg())
+                .prop_map(|(rd, rs1, rs2)| Instr::FaddS { rd, rs1, rs2 }),
+            (arb_freg(), arb_freg(), arb_freg())
+                .prop_map(|(rd, rs1, rs2)| Instr::FsubS { rd, rs1, rs2 }),
+            (arb_freg(), arb_freg(), arb_freg())
+                .prop_map(|(rd, rs1, rs2)| Instr::FmulS { rd, rs1, rs2 }),
+            (arb_freg(), arb_freg(), arb_freg(), arb_freg())
+                .prop_map(|(rd, rs1, rs2, rs3)| Instr::FmaddS { rd, rs1, rs2, rs3 }),
+            (arb_freg(), arb_reg()).prop_map(|(rd, rs1)| Instr::FmvWX { rd, rs1 }),
+            (arb_reg(), arb_freg()).prop_map(|(rd, rs1)| Instr::FmvXW { rd, rs1 }),
+            (arb_reg(), arb_reg())
+                .prop_map(|(rd, rs1)| Instr::Vsetvli { rd, rs1, cfg: VConfig::E32M1 }),
+            (arb_vreg(), arb_reg()).prop_map(|(vd, rs1)| Instr::Vle32 { vd, rs1 }),
+            (arb_vreg(), arb_reg()).prop_map(|(vs3, rs1)| Instr::Vse32 { vs3, rs1 }),
+            (arb_vreg(), arb_reg(), arb_vreg())
+                .prop_map(|(vd, rs1, vs2)| Instr::Vluxei32 { vd, rs1, vs2 }),
+            (arb_vreg(), arb_vreg(), arb_vreg())
+                .prop_map(|(vd, vs1, vs2)| Instr::VfmaccVV { vd, vs1, vs2 }),
+            (arb_vreg(), arb_vreg(), arb_vreg())
+                .prop_map(|(vd, vs1, vs2)| Instr::VfmulVV { vd, vs1, vs2 }),
+            (arb_vreg(), arb_vreg(), arb_vreg())
+                .prop_map(|(vd, vs1, vs2)| Instr::VfaddVV { vd, vs1, vs2 }),
+            (arb_vreg(), arb_vreg(), arb_vreg())
+                .prop_map(|(vd, vs1, vs2)| Instr::VfredosumVS { vd, vs1, vs2 }),
+            (arb_vreg(), -16i32..16).prop_map(|(vd, imm5)| Instr::VmvVI { vd, imm5 }),
+            (arb_vreg(), arb_vreg(), 0i32..32)
+                .prop_map(|(vd, vs2, imm5)| Instr::VsllVI { vd, vs2, imm5 }),
+            (arb_vreg(), arb_reg()).prop_map(|(vd, rs1)| Instr::VmvVX { vd, rs1 }),
+            (arb_freg(), arb_vreg()).prop_map(|(rd, vs2)| Instr::VfmvFS { rd, vs2 }),
+            (arb_reg(), prop_oneof![Just(0xc00u32), Just(0xc02u32)], arb_reg())
+                .prop_map(|(rd, csr, rs1)| Instr::Csrrs { rd, csr, rs1 }),
+            Just(Instr::Ecall),
+            Just(Instr::Ebreak),
+        ]
+    }
+
+    proptest! {
+        /// encode → decode is the identity on every supported instruction.
+        #[test]
+        fn round_trip(instr in arb_instr()) {
+            let w = encode(instr);
+            let back = decode(w).expect("decode of encoded instruction");
+            prop_assert_eq!(instr, back);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(0xffff_ffff).is_err());
+        assert!(decode(0).is_err());
+        // A masked vector op (vm=0) is unsupported.
+        let w = encode(Instr::VfaddVV {
+            vd: VReg::new(0),
+            vs1: VReg::new(1),
+            vs2: VReg::new(2),
+        }) & !(1 << 25);
+        assert!(decode(w).is_err());
+    }
+
+    #[test]
+    fn negative_branch_offsets_round_trip() {
+        for off in [-4096i32, -2048, -4, 4, 2048, 4094] {
+            let i = Instr::Branch {
+                op: BranchOp::Ne,
+                rs1: Reg::a(0),
+                rs2: Reg::a(1),
+                offset: off,
+            };
+            assert_eq!(decode(encode(i)).unwrap(), i, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn negative_jal_offsets_round_trip() {
+        for off in [-1048576i32, -2, 2, 1048574] {
+            let i = Instr::Jal { rd: Reg::RA, offset: off };
+            assert_eq!(decode(encode(i)).unwrap(), i, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn vmv_vi_sign_extension() {
+        let i = Instr::VmvVI { vd: VReg::new(3), imm5: -5 };
+        assert_eq!(decode(encode(i)).unwrap(), i);
+    }
+}

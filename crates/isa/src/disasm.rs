@@ -1,0 +1,215 @@
+//! Disassembler: render [`Instr`] back to assembler syntax.
+//!
+//! The output re-assembles to the same instruction (modulo label names —
+//! branch/jump targets are printed as numeric byte offsets like `.+8`,
+//! which the assembler does not accept; everything else round-trips, and
+//! the tests verify it).
+
+use crate::instr::{AluOp, BranchOp, Instr, MemWidth, MulDivOp};
+use std::fmt;
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Sll => "sll",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Xor => "xor",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Or => "or",
+        AluOp::And => "and",
+    }
+}
+
+fn branch_name(op: BranchOp) -> &'static str {
+    match op {
+        BranchOp::Eq => "beq",
+        BranchOp::Ne => "bne",
+        BranchOp::Lt => "blt",
+        BranchOp::Ge => "bge",
+        BranchOp::Ltu => "bltu",
+        BranchOp::Geu => "bgeu",
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instr::*;
+        match *self {
+            Lui { rd, imm20 } => write!(f, "lui {}, {:#x}", rd.abi_name(), imm20),
+            Auipc { rd, imm20 } => write!(f, "auipc {}, {:#x}", rd.abi_name(), imm20),
+            Jal { rd, offset } => write!(f, "jal {}, .{:+}", rd.abi_name(), offset),
+            Jalr { rd, rs1, offset } => {
+                write!(f, "jalr {}, {}({})", rd.abi_name(), offset, rs1.abi_name())
+            }
+            Branch { op, rs1, rs2, offset } => write!(
+                f,
+                "{} {}, {}, .{:+}",
+                branch_name(op),
+                rs1.abi_name(),
+                rs2.abi_name(),
+                offset
+            ),
+            Lw { rd, rs1, offset } => {
+                write!(f, "lw {}, {}({})", rd.abi_name(), offset, rs1.abi_name())
+            }
+            LoadNarrow { rd, rs1, offset, width, signed } => {
+                let m = match (width, signed) {
+                    (MemWidth::Byte, true) => "lb",
+                    (MemWidth::Byte, false) => "lbu",
+                    (MemWidth::Half, true) => "lh",
+                    (MemWidth::Half, false) => "lhu",
+                    (MemWidth::Word, _) => "lw",
+                };
+                write!(f, "{m} {}, {}({})", rd.abi_name(), offset, rs1.abi_name())
+            }
+            Sw { rs1, rs2, offset } => {
+                write!(f, "sw {}, {}({})", rs2.abi_name(), offset, rs1.abi_name())
+            }
+            StoreNarrow { rs1, rs2, offset, width } => {
+                let m = match width {
+                    MemWidth::Byte => "sb",
+                    MemWidth::Half => "sh",
+                    MemWidth::Word => "sw",
+                };
+                write!(f, "{m} {}, {}({})", rs2.abi_name(), offset, rs1.abi_name())
+            }
+            OpImm { op, rd, rs1, imm } => {
+                let m = match op {
+                    AluOp::Sltu => "sltiu".to_string(),
+                    other => format!("{}i", alu_name(other)),
+                };
+                write!(f, "{m} {}, {}, {}", rd.abi_name(), rs1.abi_name(), imm)
+            }
+            Op { op, rd, rs1, rs2 } => write!(
+                f,
+                "{} {}, {}, {}",
+                alu_name(op),
+                rd.abi_name(),
+                rs1.abi_name(),
+                rs2.abi_name()
+            ),
+            Mul { rd, rs1, rs2 } => {
+                write!(f, "mul {}, {}, {}", rd.abi_name(), rs1.abi_name(), rs2.abi_name())
+            }
+            MulDiv { op, rd, rs1, rs2 } => {
+                let m = match op {
+                    MulDivOp::Mul => "mul",
+                    MulDivOp::Mulh => "mulh",
+                    MulDivOp::Mulhsu => "mulhsu",
+                    MulDivOp::Mulhu => "mulhu",
+                    MulDivOp::Div => "div",
+                    MulDivOp::Divu => "divu",
+                    MulDivOp::Rem => "rem",
+                    MulDivOp::Remu => "remu",
+                };
+                write!(f, "{m} {}, {}, {}", rd.abi_name(), rs1.abi_name(), rs2.abi_name())
+            }
+            Flw { rd, rs1, offset } => write!(f, "flw {}, {}({})", rd, offset, rs1.abi_name()),
+            Fsw { rs1, rs2, offset } => write!(f, "fsw {}, {}({})", rs2, offset, rs1.abi_name()),
+            FaddS { rd, rs1, rs2 } => write!(f, "fadd.s {rd}, {rs1}, {rs2}"),
+            FsubS { rd, rs1, rs2 } => write!(f, "fsub.s {rd}, {rs1}, {rs2}"),
+            FmulS { rd, rs1, rs2 } => write!(f, "fmul.s {rd}, {rs1}, {rs2}"),
+            FmaddS { rd, rs1, rs2, rs3 } => write!(f, "fmadd.s {rd}, {rs1}, {rs2}, {rs3}"),
+            FmvWX { rd, rs1 } => write!(f, "fmv.w.x {rd}, {}", rs1.abi_name()),
+            FmvXW { rd, rs1 } => write!(f, "fmv.x.w {}, {rs1}", rd.abi_name()),
+            Vsetvli { rd, rs1, .. } => {
+                write!(f, "vsetvli {}, {}, e32, m1", rd.abi_name(), rs1.abi_name())
+            }
+            Vle32 { vd, rs1 } => write!(f, "vle32.v {vd}, ({})", rs1.abi_name()),
+            Vse32 { vs3, rs1 } => write!(f, "vse32.v {vs3}, ({})", rs1.abi_name()),
+            Vluxei32 { vd, rs1, vs2 } => {
+                write!(f, "vluxei32.v {vd}, ({}), {vs2}", rs1.abi_name())
+            }
+            VfmaccVV { vd, vs1, vs2 } => write!(f, "vfmacc.vv {vd}, {vs1}, {vs2}"),
+            VfmulVV { vd, vs1, vs2 } => write!(f, "vfmul.vv {vd}, {vs1}, {vs2}"),
+            VfaddVV { vd, vs1, vs2 } => write!(f, "vfadd.vv {vd}, {vs1}, {vs2}"),
+            VfredosumVS { vd, vs1, vs2 } => write!(f, "vfredosum.vs {vd}, {vs1}, {vs2}"),
+            VsllVI { vd, vs2, imm5 } => write!(f, "vsll.vi {vd}, {vs2}, {imm5}"),
+            VmvVI { vd, imm5 } => write!(f, "vmv.v.i {vd}, {imm5}"),
+            VmvVX { vd, rs1 } => write!(f, "vmv.v.x {vd}, {}", rs1.abi_name()),
+            VfmvFS { rd, vs2 } => write!(f, "vfmv.f.s {rd}, {vs2}"),
+            Csrrs { rd, csr, rs1 } => {
+                write!(f, "csrrs {}, {:#x}, {}", rd.abi_name(), csr, rs1.abi_name())
+            }
+            Ecall => write!(f, "ecall"),
+            Ebreak => write!(f, "ebreak"),
+        }
+    }
+}
+
+/// Disassemble a machine word to text, or a `.word` directive if it does
+/// not decode.
+pub fn disassemble_word(w: u32) -> String {
+    match crate::decode::decode(w) {
+        Ok(i) => i.to_string(),
+        Err(_) => format!(".word {w:#010x}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn display_examples() {
+        let p = assemble("addi a0, a1, -3\nlw t0, 4(sp)\nvfmacc.vv v1, v2, v3\nebreak").unwrap();
+        let lines: Vec<String> = p.instrs().iter().map(|i| i.to_string()).collect();
+        assert_eq!(lines[0], "addi a0, a1, -3");
+        assert_eq!(lines[1], "lw t0, 4(sp)");
+        assert_eq!(lines[2], "vfmacc.vv v1, v2, v3");
+        assert_eq!(lines[3], "ebreak");
+    }
+
+    /// Disassembled non-control instructions re-assemble to themselves.
+    #[test]
+    fn reassembly_round_trip() {
+        let src = "li a0, 7\nlw a1, 8(a0)\nsw a1, 12(a0)\nadd a2, a0, a1\nmul a3, a2, a2\n\
+                   flw fa0, (a0)\nfadd.s fa1, fa0, fa0\nfmadd.s fa2, fa0, fa1, fa1\n\
+                   vsetvli t0, a0, e32, m1\nvle32.v v1, (a1)\nvluxei32.v v2, (a1), v1\n\
+                   vfmacc.vv v3, v1, v2\nvmv.v.i v0, 0\nvfmv.f.s fa0, v3\nrdcycle t1\nebreak";
+        let p1 = assemble(src).unwrap();
+        let text: String =
+            p1.instrs().iter().map(|i| i.to_string()).collect::<Vec<_>>().join("\n");
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p1.instrs(), p2.instrs());
+    }
+
+    /// Property: every non-control instruction's disassembly re-assembles
+    /// to the identical instruction (control flow prints numeric offsets
+    /// the assembler intentionally rejects).
+    #[test]
+    fn disassembly_reassembles_for_arbitrary_instructions() {
+        use proptest::prelude::*;
+        use proptest::test_runner::TestRunner;
+        let mut runner = TestRunner::default();
+        // Sample random words, keep the ones that decode, skip control flow.
+        runner
+            .run(&proptest::num::u32::ANY, |w| {
+                let Ok(i) = crate::decode::decode(w) else {
+                    return Ok(());
+                };
+                if i.is_control() {
+                    return Ok(());
+                }
+                let text = i.to_string();
+                let p = assemble(&format!("{text}\nebreak")).map_err(|e| {
+                    proptest::test_runner::TestCaseError::fail(format!(
+                        "{text:?} did not re-assemble: {e}"
+                    ))
+                })?;
+                prop_assert_eq!(p.instrs()[0], i, "{}", text);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn word_disassembly_falls_back() {
+        assert_eq!(disassemble_word(0xffff_ffff), ".word 0xffffffff");
+        assert_eq!(disassemble_word(0x00100073), "ebreak");
+    }
+}

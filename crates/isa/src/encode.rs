@@ -1,0 +1,328 @@
+//! Binary encoding to real RV32 machine words.
+//!
+//! Scalar instructions follow the RV32IMF encodings of the unprivileged
+//! spec; vector instructions follow RVV 1.0 (OP-V major opcode plus the
+//! vector overlays of LOAD-FP/STORE-FP). [`crate::decode::decode`] inverts this
+//! exactly; the round trip is property-tested in `decode.rs`.
+
+use crate::instr::{AluOp, BranchOp, Instr, MemWidth, MulDivOp};
+
+const OPC_LUI: u32 = 0b0110111;
+const OPC_AUIPC: u32 = 0b0010111;
+const OPC_JAL: u32 = 0b1101111;
+const OPC_JALR: u32 = 0b1100111;
+const OPC_BRANCH: u32 = 0b1100011;
+const OPC_LOAD: u32 = 0b0000011;
+const OPC_STORE: u32 = 0b0100011;
+const OPC_OP_IMM: u32 = 0b0010011;
+const OPC_OP: u32 = 0b0110011;
+const OPC_LOAD_FP: u32 = 0b0000111;
+const OPC_STORE_FP: u32 = 0b0100111;
+const OPC_MADD: u32 = 0b1000011;
+const OPC_OP_FP: u32 = 0b1010011;
+const OPC_SYSTEM: u32 = 0b1110011;
+const OPC_OP_V: u32 = 0b1010111;
+
+fn r_type(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn i_type(imm: i32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (((imm as u32) & 0xfff) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn s_type(imm: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 5 & 0x7f) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1f) << 7) | opcode
+}
+
+fn b_type(offset: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
+    let imm = offset as u32;
+    ((imm >> 12 & 1) << 31)
+        | ((imm >> 5 & 0x3f) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm >> 1 & 0xf) << 8)
+        | ((imm >> 11 & 1) << 7)
+        | opcode
+}
+
+fn u_type(imm20: i32, rd: u32, opcode: u32) -> u32 {
+    (((imm20 as u32) & 0xfffff) << 12) | (rd << 7) | opcode
+}
+
+fn j_type(offset: i32, rd: u32, opcode: u32) -> u32 {
+    let imm = offset as u32;
+    ((imm >> 20 & 1) << 31)
+        | ((imm >> 1 & 0x3ff) << 21)
+        | ((imm >> 11 & 1) << 20)
+        | ((imm >> 12 & 0xff) << 12)
+        | (rd << 7)
+        | opcode
+}
+
+fn alu_funct(op: AluOp) -> (u32, u32) {
+    // (funct3, funct7)
+    match op {
+        AluOp::Add => (0b000, 0),
+        AluOp::Sub => (0b000, 0b0100000),
+        AluOp::Sll => (0b001, 0),
+        AluOp::Slt => (0b010, 0),
+        AluOp::Sltu => (0b011, 0),
+        AluOp::Xor => (0b100, 0),
+        AluOp::Srl => (0b101, 0),
+        AluOp::Sra => (0b101, 0b0100000),
+        AluOp::Or => (0b110, 0),
+        AluOp::And => (0b111, 0),
+    }
+}
+
+fn branch_funct3(op: BranchOp) -> u32 {
+    match op {
+        BranchOp::Eq => 0b000,
+        BranchOp::Ne => 0b001,
+        BranchOp::Lt => 0b100,
+        BranchOp::Ge => 0b101,
+        BranchOp::Ltu => 0b110,
+        BranchOp::Geu => 0b111,
+    }
+}
+
+/// OP-V arithmetic: funct6 | vm=1 | vs2 | vs1 | funct3 | vd | OP-V.
+fn opv(funct6: u32, vs2: u32, vs1: u32, funct3: u32, vd: u32) -> u32 {
+    (funct6 << 26) | (1 << 25) | (vs2 << 20) | (vs1 << 15) | (funct3 << 12) | (vd << 7) | OPC_OP_V
+}
+
+/// Encode one instruction to its 32-bit machine word.
+pub fn encode(i: Instr) -> u32 {
+    use Instr::*;
+    match i {
+        Lui { rd, imm20 } => u_type(imm20, rd.num() as u32, OPC_LUI),
+        Auipc { rd, imm20 } => u_type(imm20, rd.num() as u32, OPC_AUIPC),
+        Jal { rd, offset } => j_type(offset, rd.num() as u32, OPC_JAL),
+        Jalr { rd, rs1, offset } => {
+            i_type(offset, rs1.num() as u32, 0b000, rd.num() as u32, OPC_JALR)
+        }
+        Branch { op, rs1, rs2, offset } => b_type(
+            offset,
+            rs2.num() as u32,
+            rs1.num() as u32,
+            branch_funct3(op),
+            OPC_BRANCH,
+        ),
+        Lw { rd, rs1, offset } => {
+            i_type(offset, rs1.num() as u32, 0b010, rd.num() as u32, OPC_LOAD)
+        }
+        LoadNarrow { rd, rs1, offset, width, signed } => {
+            let funct3 = match (width, signed) {
+                (MemWidth::Byte, true) => 0b000,
+                (MemWidth::Half, true) => 0b001,
+                (MemWidth::Byte, false) => 0b100,
+                (MemWidth::Half, false) => 0b101,
+                (MemWidth::Word, _) => 0b010,
+            };
+            i_type(offset, rs1.num() as u32, funct3, rd.num() as u32, OPC_LOAD)
+        }
+        Sw { rs1, rs2, offset } => {
+            s_type(offset, rs2.num() as u32, rs1.num() as u32, 0b010, OPC_STORE)
+        }
+        StoreNarrow { rs1, rs2, offset, width } => {
+            let funct3 = match width {
+                MemWidth::Byte => 0b000,
+                MemWidth::Half => 0b001,
+                MemWidth::Word => 0b010,
+            };
+            s_type(offset, rs2.num() as u32, rs1.num() as u32, funct3, OPC_STORE)
+        }
+        OpImm { op, rd, rs1, imm } => {
+            let (f3, f7) = alu_funct(op);
+            if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                // shamt form: funct7 in the upper bits
+                r_type(f7, (imm as u32) & 0x1f, rs1.num() as u32, f3, rd.num() as u32, OPC_OP_IMM)
+            } else {
+                i_type(imm, rs1.num() as u32, f3, rd.num() as u32, OPC_OP_IMM)
+            }
+        }
+        Op { op, rd, rs1, rs2 } => {
+            let (f3, f7) = alu_funct(op);
+            r_type(f7, rs2.num() as u32, rs1.num() as u32, f3, rd.num() as u32, OPC_OP)
+        }
+        Mul { rd, rs1, rs2 } => {
+            r_type(0b0000001, rs2.num() as u32, rs1.num() as u32, 0b000, rd.num() as u32, OPC_OP)
+        }
+        MulDiv { op, rd, rs1, rs2 } => {
+            let funct3 = match op {
+                MulDivOp::Mul => 0b000,
+                MulDivOp::Mulh => 0b001,
+                MulDivOp::Mulhsu => 0b010,
+                MulDivOp::Mulhu => 0b011,
+                MulDivOp::Div => 0b100,
+                MulDivOp::Divu => 0b101,
+                MulDivOp::Rem => 0b110,
+                MulDivOp::Remu => 0b111,
+            };
+            r_type(0b0000001, rs2.num() as u32, rs1.num() as u32, funct3, rd.num() as u32, OPC_OP)
+        }
+        Flw { rd, rs1, offset } => {
+            i_type(offset, rs1.num() as u32, 0b010, rd.num() as u32, OPC_LOAD_FP)
+        }
+        Fsw { rs1, rs2, offset } => {
+            s_type(offset, rs2.num() as u32, rs1.num() as u32, 0b010, OPC_STORE_FP)
+        }
+        FaddS { rd, rs1, rs2 } => {
+            r_type(0b0000000, rs2.num() as u32, rs1.num() as u32, 0b000, rd.num() as u32, OPC_OP_FP)
+        }
+        FsubS { rd, rs1, rs2 } => {
+            r_type(0b0000100, rs2.num() as u32, rs1.num() as u32, 0b000, rd.num() as u32, OPC_OP_FP)
+        }
+        FmulS { rd, rs1, rs2 } => {
+            r_type(0b0001000, rs2.num() as u32, rs1.num() as u32, 0b000, rd.num() as u32, OPC_OP_FP)
+        }
+        FmaddS { rd, rs1, rs2, rs3 } => {
+            ((rs3.num() as u32) << 27)
+                | ((rs2.num() as u32) << 20)
+                | ((rs1.num() as u32) << 15)
+                | ((rd.num() as u32) << 7)
+                | OPC_MADD
+        }
+        FmvWX { rd, rs1 } => {
+            r_type(0b1111000, 0, rs1.num() as u32, 0b000, rd.num() as u32, OPC_OP_FP)
+        }
+        FmvXW { rd, rs1 } => {
+            r_type(0b1110000, 0, rs1.num() as u32, 0b000, rd.num() as u32, OPC_OP_FP)
+        }
+        Vsetvli { rd, rs1, cfg } => {
+            i_type(cfg.vtypei() as i32, rs1.num() as u32, 0b111, rd.num() as u32, OPC_OP_V)
+        }
+        Vle32 { vd, rs1 } => {
+            // nf=0 mew=0 mop=00 vm=1 lumop=00000 width=110
+            (1 << 25) | ((rs1.num() as u32) << 15) | (0b110 << 12) | ((vd.num() as u32) << 7) | OPC_LOAD_FP
+        }
+        Vse32 { vs3, rs1 } => {
+            (1 << 25) | ((rs1.num() as u32) << 15) | (0b110 << 12) | ((vs3.num() as u32) << 7) | OPC_STORE_FP
+        }
+        Vluxei32 { vd, rs1, vs2 } => {
+            // mop=01 (indexed-unordered) at bits [27:26]
+            (0b01 << 26)
+                | (1 << 25)
+                | ((vs2.num() as u32) << 20)
+                | ((rs1.num() as u32) << 15)
+                | (0b110 << 12)
+                | ((vd.num() as u32) << 7)
+                | OPC_LOAD_FP
+        }
+        VfmaccVV { vd, vs1, vs2 } => {
+            opv(0b101100, vs2.num() as u32, vs1.num() as u32, 0b001, vd.num() as u32)
+        }
+        VfmulVV { vd, vs1, vs2 } => {
+            opv(0b100100, vs2.num() as u32, vs1.num() as u32, 0b001, vd.num() as u32)
+        }
+        VfaddVV { vd, vs1, vs2 } => {
+            opv(0b000000, vs2.num() as u32, vs1.num() as u32, 0b001, vd.num() as u32)
+        }
+        VfredosumVS { vd, vs1, vs2 } => {
+            opv(0b000011, vs2.num() as u32, vs1.num() as u32, 0b001, vd.num() as u32)
+        }
+        VsllVI { vd, vs2, imm5 } => {
+            opv(0b100101, vs2.num() as u32, (imm5 as u32) & 0x1f, 0b011, vd.num() as u32)
+        }
+        VmvVI { vd, imm5 } => {
+            opv(0b010111, 0, (imm5 as u32) & 0x1f, 0b011, vd.num() as u32)
+        }
+        VmvVX { vd, rs1 } => opv(0b010111, 0, rs1.num() as u32, 0b100, vd.num() as u32),
+        VfmvFS { rd, vs2 } => opv(0b010000, vs2.num() as u32, 0, 0b001, rd.num() as u32),
+        Csrrs { rd, csr, rs1 } => {
+            i_type(csr as i32, rs1.num() as u32, 0b010, rd.num() as u32, OPC_SYSTEM)
+        }
+        Ecall => OPC_SYSTEM,
+        Ebreak => (1 << 20) | OPC_SYSTEM,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{FReg, Reg, VReg};
+    use crate::VConfig;
+
+    /// Spot-check against independently assembled words (GNU as output).
+    #[test]
+    fn known_words() {
+        // addi a0, a0, 2  -> 0x00250513
+        assert_eq!(
+            encode(Instr::OpImm { op: AluOp::Add, rd: Reg::a(0), rs1: Reg::a(0), imm: 2 }),
+            0x00250513
+        );
+        // lui a0, 0x12345 -> 0x12345537
+        assert_eq!(encode(Instr::Lui { rd: Reg::a(0), imm20: 0x12345 }), 0x12345537);
+        // lw a1, 8(a0) -> 0x00852583
+        assert_eq!(encode(Instr::Lw { rd: Reg::a(1), rs1: Reg::a(0), offset: 8 }), 0x00852583);
+        // sw a1, 12(a0) -> 0x00b52623
+        assert_eq!(encode(Instr::Sw { rs1: Reg::a(0), rs2: Reg::a(1), offset: 12 }), 0x00b52623);
+        // add a0, a1, a2 -> 0x00c58533
+        assert_eq!(
+            encode(Instr::Op { op: AluOp::Add, rd: Reg::a(0), rs1: Reg::a(1), rs2: Reg::a(2) }),
+            0x00c58533
+        );
+        // sub a0, a1, a2 -> 0x40c58533
+        assert_eq!(
+            encode(Instr::Op { op: AluOp::Sub, rd: Reg::a(0), rs1: Reg::a(1), rs2: Reg::a(2) }),
+            0x40c58533
+        );
+        // mul a0, a1, a2 -> 0x02c58533
+        assert_eq!(
+            encode(Instr::Mul { rd: Reg::a(0), rs1: Reg::a(1), rs2: Reg::a(2) }),
+            0x02c58533
+        );
+        // ebreak -> 0x00100073
+        assert_eq!(encode(Instr::Ebreak), 0x00100073);
+        // ecall -> 0x00000073
+        assert_eq!(encode(Instr::Ecall), 0x00000073);
+        // beq a0, a1, +8 -> 0x00b50463
+        assert_eq!(
+            encode(Instr::Branch { op: BranchOp::Eq, rs1: Reg::a(0), rs2: Reg::a(1), offset: 8 }),
+            0x00b50463
+        );
+        // jal ra, +16 -> 0x010000ef
+        assert_eq!(encode(Instr::Jal { rd: Reg::RA, offset: 16 }), 0x010000ef);
+        // flw fa0, 0(a0) -> 0x00052507
+        assert_eq!(encode(Instr::Flw { rd: FReg::a(0), rs1: Reg::a(0), offset: 0 }), 0x00052507);
+        // fadd.s fa0, fa1, fa2 (rm=rne) -> 0x00c58553
+        assert_eq!(
+            encode(Instr::FaddS { rd: FReg::a(0), rs1: FReg::a(1), rs2: FReg::a(2) }),
+            0x00c58553
+        );
+    }
+
+    #[test]
+    fn negative_immediates() {
+        // addi a0, a0, -1 -> 0xfff50513
+        assert_eq!(
+            encode(Instr::OpImm { op: AluOp::Add, rd: Reg::a(0), rs1: Reg::a(0), imm: -1 }),
+            0xfff50513
+        );
+        // beq zero, zero, -4 -> imm[12|10:5]=111111, imm[4:1|11]=1110+1
+        let w = encode(Instr::Branch {
+            op: BranchOp::Eq,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            offset: -4,
+        });
+        assert_eq!(w, 0xfe000ee3);
+    }
+
+    #[test]
+    fn vector_major_opcodes() {
+        let w = encode(Instr::Vsetvli { rd: Reg::t(0), rs1: Reg::a(0), cfg: VConfig::E32M1 });
+        assert_eq!(w & 0x7f, 0b1010111);
+        assert_eq!((w >> 12) & 0b111, 0b111);
+        let w = encode(Instr::Vle32 { vd: VReg::new(1), rs1: Reg::a(0) });
+        assert_eq!(w & 0x7f, 0b0000111);
+        assert_eq!((w >> 12) & 0b111, 0b110);
+        let w = encode(Instr::Vluxei32 { vd: VReg::new(1), rs1: Reg::a(0), vs2: VReg::new(2) });
+        assert_eq!((w >> 26) & 0b11, 0b01);
+        let w = encode(Instr::VfmaccVV { vd: VReg::new(0), vs1: VReg::new(1), vs2: VReg::new(2) });
+        assert_eq!(w >> 26, 0b101100);
+    }
+}

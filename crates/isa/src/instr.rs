@@ -1,0 +1,302 @@
+//! The decoded instruction type executed by the `hht-sim` core.
+
+use crate::reg::{FReg, Reg, VReg};
+
+/// Integer ALU operation selector, shared by register-register and
+/// register-immediate forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition (`add`/`addi`).
+    Add,
+    /// Subtraction (`sub`; no immediate form in RV32).
+    Sub,
+    /// Logical left shift.
+    Sll,
+    /// Signed set-less-than.
+    Slt,
+    /// Unsigned set-less-than.
+    Sltu,
+    /// Bitwise xor.
+    Xor,
+    /// Logical right shift.
+    Srl,
+    /// Arithmetic right shift.
+    Sra,
+    /// Bitwise or.
+    Or,
+    /// Bitwise and.
+    And,
+}
+
+/// RV32M operation selector (full multiply/divide extension — §4: the
+/// simulated core includes the multiply extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulDivOp {
+    /// Low 32 bits of the signed product.
+    Mul,
+    /// High 32 bits of the signed x signed product.
+    Mulh,
+    /// High 32 bits of the signed x unsigned product.
+    Mulhsu,
+    /// High 32 bits of the unsigned product.
+    Mulhu,
+    /// Signed division (div-by-zero yields -1, overflow yields rs1).
+    Div,
+    /// Unsigned division (div-by-zero yields all-ones).
+    Divu,
+    /// Signed remainder.
+    Rem,
+    /// Unsigned remainder.
+    Remu,
+}
+
+/// Width of a scalar memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 8-bit.
+    Byte,
+    /// 16-bit.
+    Half,
+    /// 32-bit.
+    Word,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Half => 2,
+            MemWidth::Word => 4,
+        }
+    }
+}
+
+/// Branch comparison selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchOp {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if signed less-than.
+    Lt,
+    /// Branch if signed greater-or-equal.
+    Ge,
+    /// Branch if unsigned less-than.
+    Ltu,
+    /// Branch if unsigned greater-or-equal.
+    Geu,
+}
+
+/// Vector-unit configuration established by `vsetvli` (RVV 1.0 `vtype`
+/// subset: we support SEW=32, LMUL=1, which is the paper's configuration —
+/// Table 1: "Element Size (SEW) = 32 bit").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VConfig {
+    /// Requested application vector length (AVL) comes from `rs1` at run
+    /// time; this is the `vtype` immediate. Only `e32`/`m1` is supported,
+    /// so the struct records just that choice for encode/decode fidelity.
+    pub sew_bits: u8,
+}
+
+impl VConfig {
+    /// The only supported configuration: SEW=32, LMUL=1.
+    pub const E32M1: VConfig = VConfig { sew_bits: 32 };
+
+    /// RVV `vtype` immediate encoding (vsew field = log2(sew/8)).
+    pub fn vtypei(self) -> u32 {
+        // vlmul=000 (m1), vsew at bits [5:3], vta/vma = 0
+        let vsew = match self.sew_bits {
+            8 => 0u32,
+            16 => 1,
+            32 => 2,
+            64 => 3,
+            _ => unreachable!("unsupported SEW"),
+        };
+        vsew << 3
+    }
+
+    /// Decode from a `vtype` immediate; `None` for unsupported configs.
+    pub fn from_vtypei(z: u32) -> Option<VConfig> {
+        if z & 0b111 != 0 {
+            return None; // only LMUL=1
+        }
+        match (z >> 3) & 0b111 {
+            2 => Some(VConfig::E32M1),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded instruction of the RV32IMF+V subset.
+///
+/// Loads/stores and vector memory operations are the instructions with
+/// timing significance in the simulator; everything else retires with a
+/// fixed latency from the core's `hht-sim` timing table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    // ---- RV32I ----
+    /// Load upper immediate: `rd = imm << 12`.
+    Lui { rd: Reg, imm20: i32 },
+    /// Add upper immediate to PC.
+    Auipc { rd: Reg, imm20: i32 },
+    /// Jump and link. `offset` is byte offset from this instruction.
+    Jal { rd: Reg, offset: i32 },
+    /// Jump and link register.
+    Jalr { rd: Reg, rs1: Reg, offset: i32 },
+    /// Conditional branch; `offset` is byte offset from this instruction.
+    Branch { op: BranchOp, rs1: Reg, rs2: Reg, offset: i32 },
+    /// Load 32-bit word.
+    Lw { rd: Reg, rs1: Reg, offset: i32 },
+    /// Sub-word load (`lb`/`lbu`/`lh`/`lhu`): sign- or zero-extended.
+    LoadNarrow { rd: Reg, rs1: Reg, offset: i32, width: MemWidth, signed: bool },
+    /// Store 32-bit word.
+    Sw { rs1: Reg, rs2: Reg, offset: i32 },
+    /// Sub-word store (`sb`/`sh`).
+    StoreNarrow { rs1: Reg, rs2: Reg, offset: i32, width: MemWidth },
+    /// ALU with immediate operand (no `Sub`).
+    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    /// ALU register-register.
+    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+
+    // ---- M ----
+    /// 32-bit multiply (low word).
+    Mul { rd: Reg, rs1: Reg, rs2: Reg },
+    /// The remaining RV32M operations (`mulh*`, `div*`, `rem*`).
+    MulDiv { op: MulDivOp, rd: Reg, rs1: Reg, rs2: Reg },
+
+    // ---- F ----
+    /// Load float word.
+    Flw { rd: FReg, rs1: Reg, offset: i32 },
+    /// Store float word.
+    Fsw { rs1: Reg, rs2: FReg, offset: i32 },
+    /// Single-precision add.
+    FaddS { rd: FReg, rs1: FReg, rs2: FReg },
+    /// Single-precision subtract.
+    FsubS { rd: FReg, rs1: FReg, rs2: FReg },
+    /// Single-precision multiply.
+    FmulS { rd: FReg, rs1: FReg, rs2: FReg },
+    /// Fused multiply-add: `rd = rs1*rs2 + rs3`.
+    FmaddS { rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg },
+    /// Move integer bits to float register.
+    FmvWX { rd: FReg, rs1: Reg },
+    /// Move float bits to integer register.
+    FmvXW { rd: Reg, rs1: FReg },
+
+    // ---- V (RVV 1.0 subset, SEW=32 / LMUL=1) ----
+    /// `vsetvli rd, rs1, e32,m1`: set vector length = min(rs1, VLMAX),
+    /// write it to `rd`.
+    Vsetvli { rd: Reg, rs1: Reg, cfg: VConfig },
+    /// Unit-stride vector load of 32-bit elements from address `rs1`.
+    Vle32 { vd: VReg, rs1: Reg },
+    /// Unit-stride vector store of 32-bit elements to address `rs1`.
+    Vse32 { vs3: VReg, rs1: Reg },
+    /// Indexed-unordered vector load (gather): element `i` loads from
+    /// `rs1 + vs2[i]` (byte offsets). This is the paper's "vector
+    /// indexed-load instruction... similar to Intel AVX2 Gather" (§5.4).
+    Vluxei32 { vd: VReg, rs1: Reg, vs2: VReg },
+    /// Vector single-precision fused multiply-accumulate:
+    /// `vd[i] += vs1[i] * vs2[i]`.
+    VfmaccVV { vd: VReg, vs1: VReg, vs2: VReg },
+    /// Vector single-precision multiply.
+    VfmulVV { vd: VReg, vs1: VReg, vs2: VReg },
+    /// Vector single-precision add.
+    VfaddVV { vd: VReg, vs1: VReg, vs2: VReg },
+    /// Ordered float reduction sum: `vd[0] = vs1[0] + sum(vs2[*])`.
+    VfredosumVS { vd: VReg, vs1: VReg, vs2: VReg },
+    /// Vector logical left shift by immediate (used to scale element
+    /// indices to byte offsets before an indexed gather).
+    VsllVI { vd: VReg, vs2: VReg, imm5: i32 },
+    /// Splat immediate to all elements.
+    VmvVI { vd: VReg, imm5: i32 },
+    /// Splat integer register to all elements.
+    VmvVX { vd: VReg, rs1: Reg },
+    /// Move element 0 of a vector register to a float register.
+    VfmvFS { rd: FReg, vs2: VReg },
+
+    // ---- system ----
+    /// Read a CSR (we model `cycle` = 0xC00 and `instret` = 0xC02).
+    Csrrs { rd: Reg, csr: u32, rs1: Reg },
+    /// Environment call (unused by kernels; retires as a no-op).
+    Ecall,
+    /// Breakpoint — the simulator's halt convention.
+    Ebreak,
+}
+
+impl Instr {
+    /// True for instructions that access data memory (scalar or vector).
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            Instr::Lw { .. }
+                | Instr::LoadNarrow { .. }
+                | Instr::Sw { .. }
+                | Instr::StoreNarrow { .. }
+                | Instr::Flw { .. }
+                | Instr::Fsw { .. }
+                | Instr::Vle32 { .. }
+                | Instr::Vse32 { .. }
+                | Instr::Vluxei32 { .. }
+        )
+    }
+
+    /// True for vector-unit instructions (Table 1: the vector unit is not
+    /// pipelined, so these serialize on the unit).
+    pub fn is_vector(self) -> bool {
+        matches!(
+            self,
+            Instr::Vsetvli { .. }
+                | Instr::Vle32 { .. }
+                | Instr::Vse32 { .. }
+                | Instr::Vluxei32 { .. }
+                | Instr::VfmaccVV { .. }
+                | Instr::VfmulVV { .. }
+                | Instr::VfaddVV { .. }
+                | Instr::VfredosumVS { .. }
+                | Instr::VsllVI { .. }
+                | Instr::VmvVI { .. }
+                | Instr::VmvVX { .. }
+                | Instr::VfmvFS { .. }
+        )
+    }
+
+    /// True for control-flow instructions.
+    pub fn is_control(self) -> bool {
+        matches!(self, Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vconfig_round_trip() {
+        let c = VConfig::E32M1;
+        assert_eq!(VConfig::from_vtypei(c.vtypei()), Some(c));
+        assert_eq!(VConfig::from_vtypei(0b001), None); // LMUL != 1
+        assert_eq!(VConfig::from_vtypei(0b011_000), None); // SEW = 64
+    }
+
+    #[test]
+    fn classification() {
+        let lw = Instr::Lw { rd: Reg::a(0), rs1: Reg::a(1), offset: 0 };
+        assert!(lw.is_memory());
+        assert!(!lw.is_vector());
+        let g = Instr::Vluxei32 { vd: VReg::new(1), rs1: Reg::a(0), vs2: VReg::new(2) };
+        assert!(g.is_memory());
+        assert!(g.is_vector());
+        let b = Instr::Branch { op: BranchOp::Eq, rs1: Reg::ZERO, rs2: Reg::ZERO, offset: 8 };
+        assert!(b.is_control());
+        assert!(!b.is_memory());
+        let f = Instr::FmaddS {
+            rd: FReg::new(0),
+            rs1: FReg::new(1),
+            rs2: FReg::new(2),
+            rs3: FReg::new(3),
+        };
+        assert!(!f.is_vector());
+        assert!(!f.is_memory());
+    }
+}

@@ -1,0 +1,52 @@
+//! RV32IMF + V-subset instruction set architecture.
+//!
+//! This crate is the ISA half of the paper's simulation substrate (§4 uses
+//! *Spike* configured as "a 32-bit RISCV base architecture along with
+//! vector, compressed, atomic, multiply, floating and double precision
+//! extensions"; the kernels in the evaluation exercise the integer base,
+//! multiply, single-float and vector subsets, which is what we implement).
+//!
+//! Provided here:
+//!
+//! - [`Instr`] — the instruction type (decoded form; this is what the
+//!   `hht-sim` core executes).
+//! - [`fn@encode`]/[`fn@decode`] — real RV32 binary encodings, round-trip tested.
+//! - [`asm`] — a two-pass text assembler with labels.
+//! - [`builder`] — a programmatic assembler ([`builder::KernelBuilder`])
+//!   used by the kernel library in `hht-system`.
+//! - [`Program`] — an assembled program: words plus symbol table.
+//!
+//! ```
+//! use hht_isa::asm::assemble;
+//!
+//! let p = assemble(r#"
+//!     li   a0, 40
+//!     addi a0, a0, 2
+//!     ebreak
+//! "#).unwrap();
+//! assert_eq!(p.instrs().len(), 3);
+//! ```
+
+pub mod asm;
+pub mod builder;
+pub mod decode;
+pub mod disasm;
+pub mod encode;
+pub mod instr;
+pub mod program;
+pub mod reg;
+
+pub use decode::{decode, DecodeError};
+pub use encode::encode;
+pub use instr::{AluOp, BranchOp, Instr, VConfig};
+pub use program::Program;
+pub use reg::{FReg, Reg, VReg};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn doc_example() {
+        let p = crate::asm::assemble("li a0, 40\naddi a0, a0, 2\nebreak\n").unwrap();
+        assert_eq!(p.instrs().len(), 3);
+    }
+}

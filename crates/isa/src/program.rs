@@ -1,0 +1,118 @@
+//! An assembled program: decoded instructions plus a symbol table.
+
+use crate::instr::Instr;
+use std::collections::BTreeMap;
+
+/// An assembled program.
+///
+/// Instructions live at word-aligned addresses starting from
+/// [`Program::base`]; `pc` values used by the simulator are byte addresses.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    base: u32,
+    instrs: Vec<Instr>,
+    symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Build a program at base byte address `base` (must be 4-aligned).
+    pub fn new(base: u32, instrs: Vec<Instr>, symbols: BTreeMap<String, u32>) -> Self {
+        assert_eq!(base % 4, 0, "program base must be word aligned");
+        Program { base, instrs, symbols }
+    }
+
+    /// Base byte address of the first instruction.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Decoded instructions in address order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// The instruction at byte address `pc`, if in range.
+    pub fn fetch(&self, pc: u32) -> Option<Instr> {
+        if pc < self.base || !pc.is_multiple_of(4) {
+            return None;
+        }
+        self.instrs.get(((pc - self.base) / 4) as usize).copied()
+    }
+
+    /// Address of a label.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols (label → byte address).
+    pub fn symbols(&self) -> &BTreeMap<String, u32> {
+        &self.symbols
+    }
+
+    /// Encode every instruction to machine words (what would be burned into
+    /// the instruction memory image).
+    pub fn words(&self) -> Vec<u32> {
+        self.instrs.iter().map(|i| crate::encode::encode(*i)).collect()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+    use crate::reg::Reg;
+
+    fn prog() -> Program {
+        let mut syms = BTreeMap::new();
+        syms.insert("start".to_string(), 0x100);
+        Program::new(
+            0x100,
+            vec![
+                Instr::OpImm { op: crate::AluOp::Add, rd: Reg::a(0), rs1: Reg::ZERO, imm: 1 },
+                Instr::Ebreak,
+            ],
+            syms,
+        )
+    }
+
+    #[test]
+    fn fetch_by_byte_address() {
+        let p = prog();
+        assert!(p.fetch(0x100).is_some());
+        assert_eq!(p.fetch(0x104), Some(Instr::Ebreak));
+        assert_eq!(p.fetch(0x108), None);
+        assert_eq!(p.fetch(0x0fc), None);
+        assert_eq!(p.fetch(0x102), None); // misaligned
+    }
+
+    #[test]
+    fn symbols_resolve() {
+        let p = prog();
+        assert_eq!(p.symbol("start"), Some(0x100));
+        assert_eq!(p.symbol("nope"), None);
+    }
+
+    #[test]
+    fn words_are_decodable() {
+        let p = prog();
+        for (w, i) in p.words().iter().zip(p.instrs()) {
+            assert_eq!(crate::decode::decode(*w).unwrap(), *i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "word aligned")]
+    fn misaligned_base_panics() {
+        Program::new(2, vec![], BTreeMap::new());
+    }
+}

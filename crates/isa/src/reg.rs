@@ -1,0 +1,226 @@
+//! Register file names: integer (`x0..x31`), float (`f0..f31`) and vector
+//! (`v0..v31`) registers, with standard RISC-V ABI aliases.
+
+use std::fmt;
+
+macro_rules! reg_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(u8);
+
+        impl $name {
+            /// Construct from a register number; panics if `n >= 32`.
+            pub const fn new(n: u8) -> Self {
+                assert!(n < 32, "register number out of range");
+                $name(n)
+            }
+
+            /// Construct from a register number, `None` if `n >= 32`.
+            pub fn try_new(n: u8) -> Option<Self> {
+                (n < 32).then_some($name(n))
+            }
+
+            /// The register number, 0..=31.
+            pub const fn num(self) -> u8 {
+                self.0
+            }
+
+            /// The register number as usize (for register-file indexing).
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+    };
+}
+
+reg_type!(
+    /// An integer register `x0..x31`. `x0` is hard-wired to zero.
+    Reg,
+    "x"
+);
+reg_type!(
+    /// A single-precision float register `f0..f31`.
+    FReg,
+    "f"
+);
+reg_type!(
+    /// A vector register `v0..v31`.
+    VReg,
+    "v"
+);
+
+impl Reg {
+    /// `x0`, hard-wired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// `x1`, return address.
+    pub const RA: Reg = Reg(1);
+    /// `x2`, stack pointer.
+    pub const SP: Reg = Reg(2);
+
+    /// Argument registers `a0..a7` = `x10..x17`.
+    pub const fn a(n: u8) -> Reg {
+        assert!(n < 8);
+        Reg(10 + n)
+    }
+
+    /// Temporaries `t0..t6` = `x5,x6,x7,x28..x31`.
+    pub const fn t(n: u8) -> Reg {
+        assert!(n < 7);
+        if n < 3 {
+            Reg(5 + n)
+        } else {
+            Reg(28 + n - 3)
+        }
+    }
+
+    /// Saved registers `s0..s11` = `x8,x9,x18..x27`.
+    pub const fn s(n: u8) -> Reg {
+        assert!(n < 12);
+        if n < 2 {
+            Reg(8 + n)
+        } else {
+            Reg(18 + n - 2)
+        }
+    }
+
+    /// Parse an ABI or numeric name (`a0`, `t3`, `s2`, `x17`, `zero`, `ra`,
+    /// `sp`, `gp`, `tp`, `fp`).
+    pub fn parse(s: &str) -> Option<Reg> {
+        match s {
+            "zero" => return Some(Reg(0)),
+            "ra" => return Some(Reg(1)),
+            "sp" => return Some(Reg(2)),
+            "gp" => return Some(Reg(3)),
+            "tp" => return Some(Reg(4)),
+            "fp" => return Some(Reg(8)),
+            _ => {}
+        }
+        let (prefix, n) = s.split_at(1);
+        let n: u8 = n.parse().ok()?;
+        match prefix {
+            "x" => Reg::try_new(n),
+            "a" if n < 8 => Some(Reg::a(n)),
+            "t" if n < 7 => Some(Reg::t(n)),
+            "s" if n < 12 => Some(Reg::s(n)),
+            _ => None,
+        }
+    }
+
+    /// The canonical ABI name.
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2",
+            "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9",
+            "s10", "s11", "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.0 as usize]
+    }
+}
+
+impl FReg {
+    /// Float argument registers `fa0..fa7` = `f10..f17`.
+    pub const fn a(n: u8) -> FReg {
+        assert!(n < 8);
+        FReg(10 + n)
+    }
+
+    /// Float temporaries `ft0..ft7` = `f0..f7`.
+    pub const fn t(n: u8) -> FReg {
+        assert!(n < 8);
+        FReg(n)
+    }
+
+    /// Parse `f3`, `fa0`, `ft2`, `fs1` style names.
+    pub fn parse(s: &str) -> Option<FReg> {
+        let rest = s.strip_prefix('f')?;
+        if let Ok(n) = rest.parse::<u8>() {
+            return FReg::try_new(n);
+        }
+        let (kind, n) = rest.split_at(1);
+        let n: u8 = n.parse().ok()?;
+        match kind {
+            "a" if n < 8 => Some(FReg(10 + n)),
+            "t" if n < 8 => Some(FReg(n)),
+            "t" if (8..12).contains(&n) => Some(FReg(28 + n - 8)),
+            "s" if n < 2 => Some(FReg(8 + n)),
+            "s" if (2..12).contains(&n) => Some(FReg(18 + n - 2)),
+            _ => None,
+        }
+    }
+}
+
+impl VReg {
+    /// Parse `v0..v31`.
+    pub fn parse(s: &str) -> Option<VReg> {
+        let n: u8 = s.strip_prefix('v')?.parse().ok()?;
+        VReg::try_new(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_mapping() {
+        assert_eq!(Reg::a(0).num(), 10);
+        assert_eq!(Reg::a(7).num(), 17);
+        assert_eq!(Reg::t(0).num(), 5);
+        assert_eq!(Reg::t(2).num(), 7);
+        assert_eq!(Reg::t(3).num(), 28);
+        assert_eq!(Reg::t(6).num(), 31);
+        assert_eq!(Reg::s(0).num(), 8);
+        assert_eq!(Reg::s(2).num(), 18);
+        assert_eq!(Reg::s(11).num(), 27);
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Reg::parse("zero"), Some(Reg::ZERO));
+        assert_eq!(Reg::parse("ra"), Some(Reg::RA));
+        assert_eq!(Reg::parse("a0"), Some(Reg::new(10)));
+        assert_eq!(Reg::parse("t4"), Some(Reg::new(29)));
+        assert_eq!(Reg::parse("s3"), Some(Reg::new(19)));
+        assert_eq!(Reg::parse("x31"), Some(Reg::new(31)));
+        assert_eq!(Reg::parse("x32"), None);
+        assert_eq!(Reg::parse("q3"), None);
+        assert_eq!(Reg::parse("a9"), None);
+    }
+
+    #[test]
+    fn parse_float_names() {
+        assert_eq!(FReg::parse("f5"), Some(FReg::new(5)));
+        assert_eq!(FReg::parse("fa0"), Some(FReg::new(10)));
+        assert_eq!(FReg::parse("ft3"), Some(FReg::new(3)));
+        assert_eq!(FReg::parse("fs2"), Some(FReg::new(18)));
+        assert_eq!(FReg::parse("g3"), None);
+    }
+
+    #[test]
+    fn parse_vector_names() {
+        assert_eq!(VReg::parse("v0"), Some(VReg::new(0)));
+        assert_eq!(VReg::parse("v31"), Some(VReg::new(31)));
+        assert_eq!(VReg::parse("v32"), None);
+    }
+
+    #[test]
+    fn display_and_abi_name() {
+        assert_eq!(Reg::new(10).to_string(), "x10");
+        assert_eq!(Reg::new(10).abi_name(), "a0");
+        assert_eq!(FReg::new(3).to_string(), "f3");
+        assert_eq!(VReg::new(8).to_string(), "v8");
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert!(Reg::try_new(31).is_some());
+        assert!(Reg::try_new(32).is_none());
+    }
+}

@@ -1,0 +1,188 @@
+//! A set-associative L1 data cache model with LRU replacement.
+//!
+//! Used for the paper's "high-performance processor integration" (§3.2: "the
+//! BE issues requests to the L1D cache. If the request is a L1D miss, then
+//! the usual cache miss processing is carried out") and for the memory-
+//! latency ablation. The MCU configuration of the main results bypasses it.
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (triggering a line fill).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    tag: u32,
+    valid: bool,
+    /// Monotone timestamp of last use, for LRU.
+    last_used: u64,
+}
+
+/// A physically-indexed set-associative cache (tags only — data lives in
+/// the backing SRAM, which is exact because the model is write-through and
+/// the simulator is sequentially consistent).
+#[derive(Debug, Clone)]
+pub struct L1dCache {
+    line_bytes: u32,
+    num_sets: u32,
+    ways: Vec<Vec<Line>>,
+    use_clock: u64,
+    stats: CacheStats,
+}
+
+impl L1dCache {
+    /// Build a cache of `size_bytes` with `assoc` ways and `line_bytes`
+    /// lines. All three must be powers of two and consistent.
+    pub fn new(size_bytes: u32, assoc: u32, line_bytes: u32) -> Self {
+        assert!(size_bytes.is_power_of_two());
+        assert!(line_bytes.is_power_of_two());
+        assert!(assoc >= 1);
+        let num_lines = size_bytes / line_bytes;
+        assert!(num_lines.is_multiple_of(assoc), "geometry must divide evenly");
+        let num_sets = num_lines / assoc;
+        let ways = (0..num_sets)
+            .map(|_| {
+                (0..assoc).map(|_| Line { tag: 0, valid: false, last_used: 0 }).collect()
+            })
+            .collect();
+        L1dCache { line_bytes, num_sets, ways, use_clock: 0, stats: CacheStats::default() }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u32 {
+        self.num_sets
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_and_tag(&self, addr: u32) -> (usize, u32) {
+        let line = addr / self.line_bytes;
+        ((line % self.num_sets) as usize, line / self.num_sets)
+    }
+
+    /// Access `addr`; returns `true` on hit. On miss the line is filled
+    /// (victim chosen by LRU).
+    pub fn access(&mut self, addr: u32) -> bool {
+        self.use_clock += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        let lines = &mut self.ways[set];
+        if let Some(l) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.last_used = self.use_clock;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        // LRU victim (invalid lines first).
+        let victim = lines
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_used + 1 } else { 0 })
+            .expect("cache has at least one way");
+        victim.valid = true;
+        victim.tag = tag;
+        victim.last_used = self.use_clock;
+        false
+    }
+
+    /// Probe without filling; `true` if the address is resident.
+    pub fn probe(&self, addr: u32) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.ways[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidate everything (e.g. between experiment runs).
+    pub fn flush(&mut self) {
+        for set in &mut self.ways {
+            for l in set {
+                l.valid = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = L1dCache::new(1024, 2, 32);
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x104)); // same line
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        // 2-way, 32B lines, 4 sets => size = 2*4*32 = 256.
+        let mut c = L1dCache::new(256, 2, 32);
+        let set_stride = 32 * 4; // addresses this far apart share a set
+        assert!(!c.access(0)); // set 0, tag 0
+        assert!(!c.access(set_stride)); // set 0, tag 1
+        assert!(c.access(0)); // refresh tag 0
+        assert!(!c.access(2 * set_stride)); // evicts tag 1 (LRU)
+        assert!(c.access(0)); // tag 0 still resident
+        assert!(!c.access(set_stride)); // tag 1 was evicted
+    }
+
+    #[test]
+    fn probe_does_not_fill() {
+        let mut c = L1dCache::new(256, 2, 32);
+        assert!(!c.probe(0x40));
+        c.access(0x40);
+        assert!(c.probe(0x40));
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = L1dCache::new(256, 1, 32);
+        c.access(0);
+        assert!(c.probe(0));
+        c.flush();
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = L1dCache::new(256, 1, 32);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.access(0);
+        c.access(0);
+        assert_eq!(c.stats().hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = L1dCache::new(128, 1, 32); // 4 sets
+        assert!(!c.access(0));
+        assert!(!c.access(128)); // same set, different tag -> evict
+        assert!(!c.access(0)); // conflict miss
+    }
+}

@@ -1,0 +1,25 @@
+//! Cycle-level memory system model.
+//!
+//! The paper's Table 1 memory is "buffers and RAM" — a 1 MB on-chip SRAM
+//! shared by the CPU core and the HHT, reached over an on-chip interconnect
+//! (§3.2: "In the MCU integration, the BE issues requests to the on-chip
+//! RAM via an on-chip interconnect"). This crate models:
+//!
+//! - [`Sram`] — the RAM: functional byte/word storage plus a single-ported
+//!   timing model (`try_start` arbitration; whoever calls first in a cycle
+//!   wins the port, and the system steps the CPU before the HHT so the CPU
+//!   has priority).
+//! - [`L1dCache`] — an optional set-associative cache for the paper's
+//!   "high-performance processor integration" (§3.2), used in ablations.
+//! - [`map`] — the physical address map (RAM, HHT MMRs, HHT buffer window).
+//! - [`MmioDevice`] — the trait the HHT front-end implements to appear in
+//!   the CPU's load/store space.
+
+pub mod cache;
+pub mod map;
+pub mod mmio;
+pub mod sram;
+
+pub use cache::L1dCache;
+pub use mmio::{MmioDevice, MmioReadResult};
+pub use sram::{Sram, SramStats};

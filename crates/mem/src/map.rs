@@ -1,0 +1,65 @@
+//! Physical address map of the simulated MCU.
+//!
+//! | Region | Base | Size |
+//! |---|---|---|
+//! | On-chip SRAM | `0x0000_0000` | 1 MB (Table 1) |
+//! | HHT memory-mapped registers (§3.1) | `0x4000_0000` | 4 KB |
+//! | HHT CPU-side buffer window (§3.1 "fixed buffer address") | `0x4001_0000` | 4 KB |
+
+/// SRAM base address.
+pub const RAM_BASE: u32 = 0x0000_0000;
+/// Default SRAM size: 1 MB, per Table 1.
+pub const RAM_SIZE: u32 = 1 << 20;
+
+/// Base of the HHT's memory-mapped configuration registers.
+pub const HHT_MMR_BASE: u32 = 0x4000_0000;
+/// Size of the MMR window.
+pub const HHT_MMR_SIZE: u32 = 0x1000;
+
+/// The fixed buffer address the CPU loads gathered values from (§3.1: "The
+/// software uses a fixed buffer address to load from").
+pub const HHT_BUF_BASE: u32 = 0x4001_0000;
+/// Size of the buffer load window.
+pub const HHT_BUF_SIZE: u32 = 0x1000;
+
+/// Is `addr` inside the SRAM region (of the given size)?
+pub fn is_ram(addr: u32, ram_size: u32) -> bool {
+    // RAM_BASE is 0; keep the subtraction form so the check stays correct
+    // if the base ever moves.
+    addr.wrapping_sub(RAM_BASE) < ram_size
+}
+
+/// Is `addr` inside the HHT MMR window?
+pub fn is_hht_mmr(addr: u32) -> bool {
+    (HHT_MMR_BASE..HHT_MMR_BASE + HHT_MMR_SIZE).contains(&addr)
+}
+
+/// Is `addr` inside the HHT buffer window?
+pub fn is_hht_buffer(addr: u32) -> bool {
+    (HHT_BUF_BASE..HHT_BUF_BASE + HHT_BUF_SIZE).contains(&addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        assert!(!is_ram(HHT_MMR_BASE, RAM_SIZE));
+        assert!(!is_ram(HHT_BUF_BASE, RAM_SIZE));
+        assert!(!is_hht_mmr(HHT_BUF_BASE));
+        assert!(!is_hht_buffer(HHT_MMR_BASE));
+    }
+
+    #[test]
+    fn region_membership() {
+        assert!(is_ram(0, RAM_SIZE));
+        assert!(is_ram(RAM_SIZE - 4, RAM_SIZE));
+        assert!(!is_ram(RAM_SIZE, RAM_SIZE));
+        assert!(is_hht_mmr(HHT_MMR_BASE));
+        assert!(is_hht_mmr(HHT_MMR_BASE + HHT_MMR_SIZE - 4));
+        assert!(!is_hht_mmr(HHT_MMR_BASE + HHT_MMR_SIZE));
+        assert!(is_hht_buffer(HHT_BUF_BASE));
+        assert!(!is_hht_buffer(HHT_BUF_BASE + HHT_BUF_SIZE));
+    }
+}

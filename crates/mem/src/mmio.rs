@@ -1,0 +1,69 @@
+//! Memory-mapped device interface.
+//!
+//! The HHT front-end implements [`MmioDevice`]; the CPU core routes loads
+//! and stores that fall outside SRAM to the device. Reads can *stall* —
+//! §3.1: "If the CPU performs a load when the buffer is not ready, then the
+//! FE stalls the load" — which is how the CPU-waiting-for-HHT cycles of
+//! Figs. 6/7 arise.
+
+/// Result of a device read at a given cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmioReadResult {
+    /// Data is available this cycle.
+    Data(u32),
+    /// The device is not ready; the CPU must retry next cycle (a stall).
+    Stall,
+}
+
+/// A device mapped into the CPU's physical address space.
+pub trait MmioDevice {
+    /// Read a word at `addr` during cycle `now`. May stall.
+    fn mmio_read(&mut self, addr: u32, now: u64) -> MmioReadResult;
+
+    /// Write a word at `addr` during cycle `now`. Writes are posted
+    /// (never stall): configuration stores complete in one cycle.
+    fn mmio_write(&mut self, addr: u32, value: u32, now: u64);
+}
+
+/// A device that is never ready on reads and swallows writes. Useful for
+/// running programs that do not touch any device (baseline kernels, unit
+/// tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullDevice;
+
+impl MmioDevice for NullDevice {
+    fn mmio_read(&mut self, _addr: u32, _now: u64) -> MmioReadResult {
+        MmioReadResult::Data(0)
+    }
+    fn mmio_write(&mut self, _addr: u32, _value: u32, _now: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial device: one register, reads stall until it was written.
+    struct OneReg {
+        value: Option<u32>,
+    }
+
+    impl MmioDevice for OneReg {
+        fn mmio_read(&mut self, _addr: u32, _now: u64) -> MmioReadResult {
+            match self.value {
+                Some(v) => MmioReadResult::Data(v),
+                None => MmioReadResult::Stall,
+            }
+        }
+        fn mmio_write(&mut self, _addr: u32, value: u32, _now: u64) {
+            self.value = Some(value);
+        }
+    }
+
+    #[test]
+    fn stall_then_data() {
+        let mut d = OneReg { value: None };
+        assert_eq!(d.mmio_read(0, 0), MmioReadResult::Stall);
+        d.mmio_write(0, 7, 1);
+        assert_eq!(d.mmio_read(0, 2), MmioReadResult::Data(7));
+    }
+}

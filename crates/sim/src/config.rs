@@ -1,0 +1,145 @@
+//! Core timing parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// L1 data-cache geometry for the "high-performance processor integration"
+/// of §3.2. `None` in [`CoreConfig::l1d`] models the paper's primary MCU
+/// configuration (no cache, direct SRAM access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total size in bytes (power of two).
+    pub size_bytes: u32,
+    /// Associativity.
+    pub assoc: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+}
+
+impl CacheGeometry {
+    /// A typical embedded L1D: 4 KB, 2-way, 32 B lines.
+    pub fn embedded_4k() -> Self {
+        CacheGeometry { size_bytes: 4096, assoc: 2, line_bytes: 32 }
+    }
+}
+
+/// Timing parameters of the in-order core.
+///
+/// `paper_default()` reflects Table 1 plus the calibrated latencies
+/// documented in DESIGN.md §4 (the paper does not print per-instruction
+/// latencies beyond "Vector Arithmetic Latency = 4 cycles", so the
+/// remaining values are free parameters of the reproduction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Hardware vector length VLMAX in 32-bit elements (Table 1: 8).
+    pub vlen: usize,
+    /// Latency of simple integer ALU ops and address moves.
+    pub alu_cycles: u64,
+    /// Latency of integer multiply.
+    pub mul_cycles: u64,
+    /// Latency of scalar single-precision float ops.
+    pub fpu_cycles: u64,
+    /// Latency of a vector arithmetic instruction (Table 1: 4; the unit is
+    /// not pipelined, so this is also its occupancy).
+    pub vector_arith_cycles: u64,
+    /// Extra cycles on a taken branch (3-stage pipe refill).
+    pub branch_taken_penalty: u64,
+    /// Fixed issue overhead of a vector memory instruction before its
+    /// first beat.
+    pub vector_issue_cycles: u64,
+    /// Per-element address-generation cost of the indexed (gather) load —
+    /// the hardware must read the index out of the vector register and
+    /// form `base + idx` for each element.
+    pub gather_addr_cycles: u64,
+    /// Fixed setup cost of an indexed load on top of the per-element
+    /// cost: the index vector must be staged into the (non-pipelined)
+    /// address generator before the first element can issue — this is the
+    /// "no look-ahead" property of §2 ("the memory system can not prefetch
+    /// data for future requests").
+    pub gather_issue_cycles: u64,
+    /// Cycles per element popped from an HHT stream window (the buffers
+    /// are core-adjacent, faster than the shared SRAM).
+    pub hht_beat_cycles: u64,
+    /// Watchdog: abort a run after this many cycles.
+    pub max_cycles: u64,
+    /// Optional L1 data cache (§3.2's high-performance integration);
+    /// `None` = the MCU configuration of the main results.
+    pub l1d: Option<CacheGeometry>,
+    /// When true, the core's memory accesses arbitrate as the *helper*
+    /// (HHT) side of the shared SRAM port instead of the CPU side. Used by
+    /// the programmable-HHT engine (§7 future work), whose back-end is
+    /// itself a tiny core.
+    pub is_helper: bool,
+}
+
+impl CoreConfig {
+    /// The Table-1 configuration with calibrated free parameters.
+    pub fn paper_default() -> Self {
+        CoreConfig {
+            vlen: 8,
+            alu_cycles: 1,
+            mul_cycles: 2,
+            fpu_cycles: 2,
+            vector_arith_cycles: 4,
+            branch_taken_penalty: 1,
+            vector_issue_cycles: 1,
+            gather_addr_cycles: 1,
+            gather_issue_cycles: 4,
+            hht_beat_cycles: 1,
+            max_cycles: 2_000_000_000,
+            l1d: None,
+            is_helper: false,
+        }
+    }
+
+    /// The §7 "programmable HHT" core: a scalar RV32I helper, "even
+    /// simpler than traditional 32-bit integer RISCV ... very few integer
+    /// instructions, very few integer registers".
+    pub fn helper_default() -> Self {
+        CoreConfig { vlen: 1, is_helper: true, ..Self::paper_default() }
+    }
+
+    /// Same configuration with an L1 data cache (§3.2 ablation).
+    pub fn with_l1d(mut self, geometry: CacheGeometry) -> Self {
+        self.l1d = Some(geometry);
+        self
+    }
+
+    /// Same configuration with a different vector width (for the Fig. 8
+    /// sensitivity study; `vlen = 1` is the scalar interface).
+    pub fn with_vlen(mut self, vlen: usize) -> Self {
+        assert!(vlen >= 1, "VL must be at least 1");
+        self.vlen = vlen;
+        self
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table1() {
+        let c = CoreConfig::paper_default();
+        assert_eq!(c.vlen, 8);
+        assert_eq!(c.vector_arith_cycles, 4);
+    }
+
+    #[test]
+    fn with_vlen() {
+        let c = CoreConfig::paper_default().with_vlen(4);
+        assert_eq!(c.vlen, 4);
+        assert_eq!(c.vector_arith_cycles, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_vlen_rejected() {
+        let _ = CoreConfig::paper_default().with_vlen(0);
+    }
+}

@@ -1,0 +1,1171 @@
+//! The in-order core: functional execution + Table-1 timing.
+
+use crate::config::CoreConfig;
+use hht_mem::L1dCache;
+use hht_isa::instr::{MemWidth, MulDivOp};
+use hht_isa::{AluOp, BranchOp, FReg, Instr, Program, Reg, VReg};
+use hht_mem::map;
+use hht_mem::mmio::{MmioDevice, MmioReadResult};
+use hht_mem::sram::{Requester, Sram};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Fatal guest-program conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// PC left the program image.
+    InvalidPc(u32),
+    /// A data access fell outside SRAM and every device window, or was
+    /// misaligned.
+    MemFault(u32),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::InvalidPc(pc) => write!(f, "invalid PC {pc:#010x}"),
+            RunError::MemFault(a) => write!(f, "data access fault at {a:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Performance counters (§4: "We collected total execution cycles, the
+/// number of cycles the CPU is waiting for HHT to fill buffers...").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Scalar + vector load instructions.
+    pub loads: u64,
+    /// Scalar + vector store instructions.
+    pub stores: u64,
+    /// Vector-unit instructions.
+    pub vector_instrs: u64,
+    /// Cycles lost to SRAM-port contention (HHT held the port).
+    pub mem_port_stall_cycles: u64,
+    /// Cycles stalled on a not-ready HHT stream window — the paper's
+    /// "CPU waiting for HHT" metric (Figs. 6/7).
+    pub hht_wait_cycles: u64,
+    /// Memory beats performed (word accesses issued by this core).
+    pub mem_beats: u64,
+    /// L1D hits (0 when no cache is configured).
+    pub l1d_hits: u64,
+    /// L1D misses (0 when no cache is configured).
+    pub l1d_misses: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BeatAccess {
+    RamRead,
+    RamWrite(u32),
+    DevRead,
+    DevWrite(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Beat {
+    addr: u32,
+    access: BeatAccess,
+    /// Access width (devices and vector beats are always Word).
+    width: MemWidth,
+    /// Sign-extend narrow loads.
+    signed: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Dest {
+    X(Reg),
+    F(FReg),
+    V(VReg),
+    None,
+}
+
+/// One retired-instruction record of the optional execution trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// Cycle at which the instruction issued.
+    pub cycle: u64,
+    /// Its PC.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub instr: Instr,
+}
+
+#[derive(Debug)]
+struct MemOp {
+    beats: Vec<Beat>,
+    next: usize,
+    collected: Vec<u32>,
+    dest: Dest,
+    /// Extra cycles added after every beat (gather address generation).
+    extra_per_beat: u64,
+}
+
+/// The simulated core. Stepped once per cycle by the system harness; the
+/// core keeps an internal `busy_until` so multi-cycle instructions occupy
+/// the pipe, exactly one instruction in flight (in-order, no overlap —
+/// Table 1's simple 3-stage machine).
+pub struct Core {
+    cfg: CoreConfig,
+    program: Program,
+    pc: u32,
+    x: [u32; 32],
+    f: [u32; 32],
+    v: Vec<Vec<u32>>,
+    vl: usize,
+    busy_until: u64,
+    mem_op: Option<MemOp>,
+    halted: bool,
+    error: Option<RunError>,
+    stats: CoreStats,
+    trace: Option<Vec<TraceEntry>>,
+    l1d: Option<L1dCache>,
+}
+
+impl fmt::Debug for Core {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Core")
+            .field("pc", &self.pc)
+            .field("vl", &self.vl)
+            .field("halted", &self.halted)
+            .field("error", &self.error)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Core {
+    /// Create a core that will execute `program` from its base address.
+    pub fn new(cfg: CoreConfig, program: Program) -> Self {
+        let pc = program.base();
+        Core {
+            cfg,
+            program,
+            pc,
+            x: [0; 32],
+            f: [0; 32],
+            v: vec![vec![0; cfg.vlen]; 32],
+            vl: cfg.vlen,
+            busy_until: 0,
+            mem_op: None,
+            halted: false,
+            error: None,
+            stats: CoreStats::default(),
+            trace: None,
+            l1d: cfg
+                .l1d
+                .map(|g| L1dCache::new(g.size_bytes, g.assoc, g.line_bytes)),
+        }
+    }
+
+    /// Record every issued instruction (cycle, pc, decoded form). Costs
+    /// memory proportional to the instruction count; off by default.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded trace (empty slice when tracing is off).
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Render the trace as disassembly, one line per instruction.
+    pub fn trace_to_string(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for e in self.trace() {
+            let _ = writeln!(out, "{:>10}  {:#010x}  {}", e.cycle, e.pc, e.instr);
+        }
+        out
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// True once `ebreak` retired or a fault occurred.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The fault that stopped the core, if any.
+    pub fn error(&self) -> Option<RunError> {
+        self.error
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Performance counters.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// Read an integer register.
+    pub fn read_x(&self, r: Reg) -> u32 {
+        self.x[r.index()]
+    }
+
+    /// Write an integer register (x0 writes are ignored).
+    pub fn write_x(&mut self, r: Reg, v: u32) {
+        if r.index() != 0 {
+            self.x[r.index()] = v;
+        }
+    }
+
+    /// Read a float register's value.
+    pub fn read_f(&self, r: FReg) -> f32 {
+        f32::from_bits(self.f[r.index()])
+    }
+
+    /// Write a float register.
+    pub fn write_f(&mut self, r: FReg, v: f32) {
+        self.f[r.index()] = v.to_bits();
+    }
+
+    /// Read a vector register (element bit patterns).
+    pub fn read_v(&self, r: VReg) -> &[u32] {
+        &self.v[r.index()]
+    }
+
+    fn fault(&mut self, e: RunError) {
+        self.error = Some(e);
+        self.halted = true;
+    }
+
+    fn set_busy(&mut self, now: u64, cycles: u64) {
+        self.busy_until = now + cycles.max(1);
+    }
+
+    /// Advance the core by one cycle.
+    pub fn step(&mut self, now: u64, sram: &mut Sram, dev: &mut dyn MmioDevice) {
+        if self.halted || now < self.busy_until {
+            return;
+        }
+        if self.mem_op.is_some() {
+            self.step_mem_beat(now, sram, dev);
+            return;
+        }
+        let Some(instr) = self.program.fetch(self.pc) else {
+            self.fault(RunError::InvalidPc(self.pc));
+            return;
+        };
+        self.execute(instr, now, sram);
+    }
+
+    fn step_mem_beat(&mut self, now: u64, sram: &mut Sram, dev: &mut dyn MmioDevice) {
+        let who = if self.cfg.is_helper { Requester::Hht } else { Requester::Cpu };
+        let op = self.mem_op.as_mut().expect("checked by caller");
+        let beat = op.beats[op.next];
+        match beat.access {
+            BeatAccess::RamRead => {
+                // With an L1D (§3.2 high-performance integration): hits are
+                // served in one cycle without the SRAM port; misses fill a
+                // whole line through the port.
+                if let Some(cache) = self.l1d.as_mut() {
+                    if cache.probe(beat.addr) {
+                        cache.access(beat.addr);
+                        self.stats.l1d_hits += 1;
+                        op.collected.push(read_sized(sram, beat));
+                        op.next += 1;
+                        self.stats.mem_beats += 1;
+                        self.busy_until = now + 1 + op.extra_per_beat;
+                    } else {
+                        let words = (cache.line_bytes() / 4) as u64;
+                        match sram.try_start_burst(now, who, words) {
+                            None => {
+                                self.stats.mem_port_stall_cycles += 1;
+                                return;
+                            }
+                            Some(done) => {
+                                cache.access(beat.addr);
+                                self.stats.l1d_misses += 1;
+                                op.collected.push(read_sized(sram, beat));
+                                op.next += 1;
+                                self.stats.mem_beats += 1;
+                                self.busy_until = done + op.extra_per_beat;
+                            }
+                        }
+                    }
+                    if op.next == op.beats.len() {
+                        self.finish_mem_op();
+                    }
+                    return;
+                }
+                match sram.try_start(now, who) {
+                    None => {
+                        self.stats.mem_port_stall_cycles += 1;
+                        return;
+                    }
+                    Some(done) => {
+                        op.collected.push(read_sized(sram, beat));
+                        op.next += 1;
+                        self.stats.mem_beats += 1;
+                        self.busy_until = done + op.extra_per_beat;
+                    }
+                }
+            }
+            BeatAccess::RamWrite(v) => match sram.try_start(now, who) {
+                None => {
+                    self.stats.mem_port_stall_cycles += 1;
+                    return;
+                }
+                Some(done) => {
+                    // Write-through, no-allocate: memory is always current;
+                    // update the cache only if the line is resident.
+                    if let Some(cache) = self.l1d.as_mut() {
+                        if cache.probe(beat.addr) {
+                            cache.access(beat.addr);
+                        }
+                    }
+                    write_sized(sram, beat, v);
+                    op.next += 1;
+                    self.stats.mem_beats += 1;
+                    self.busy_until = done + op.extra_per_beat;
+                }
+            },
+            BeatAccess::DevRead => match dev.mmio_read(beat.addr, now) {
+                MmioReadResult::Stall => {
+                    self.stats.hht_wait_cycles += 1;
+                    return;
+                }
+                MmioReadResult::Data(v) => {
+                    op.collected.push(v);
+                    op.next += 1;
+                    self.busy_until = now + self.cfg.hht_beat_cycles;
+                }
+            },
+            BeatAccess::DevWrite(v) => {
+                dev.mmio_write(beat.addr, v, now);
+                op.next += 1;
+                self.busy_until = now + 1;
+            }
+        }
+        if op.next == op.beats.len() {
+            self.finish_mem_op();
+        }
+    }
+
+    fn finish_mem_op(&mut self) {
+        let Some(op) = self.mem_op.take() else { return };
+        if op.next < op.beats.len() {
+            // Not actually finished (defensive; callers check first).
+            self.mem_op = Some(op);
+            return;
+        }
+        match op.dest {
+            Dest::X(r) => self.write_x(r, op.collected[0]),
+            Dest::F(r) => self.f[r.index()] = op.collected[0],
+            Dest::V(r) => {
+                for (i, w) in op.collected.iter().enumerate() {
+                    self.v[r.index()][i] = *w;
+                }
+            }
+            Dest::None => {}
+        }
+    }
+
+    /// Classify an address; `None` for unmapped or misaligned.
+    fn classify(&self, sram: &Sram, addr: u32, width: MemWidth) -> Option<bool> {
+        if !addr.is_multiple_of(width.bytes()) {
+            return None;
+        }
+        if map::is_ram(addr, sram.size()) {
+            return Some(true);
+        }
+        // Devices are word-access only.
+        if width == MemWidth::Word && (map::is_hht_mmr(addr) || map::is_hht_buffer(addr)) {
+            return Some(false);
+        }
+        None
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_mem_op(
+        &mut self,
+        now: u64,
+        sram: &Sram,
+        addrs: Vec<u32>,
+        write_values: Option<Vec<u32>>,
+        dest: Dest,
+        issue_cycles: u64,
+        extra_per_beat: u64,
+    ) {
+        self.start_mem_op_sized(
+            now,
+            sram,
+            addrs,
+            write_values,
+            dest,
+            issue_cycles,
+            extra_per_beat,
+            MemWidth::Word,
+            false,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_mem_op_sized(
+        &mut self,
+        now: u64,
+        sram: &Sram,
+        addrs: Vec<u32>,
+        write_values: Option<Vec<u32>>,
+        dest: Dest,
+        issue_cycles: u64,
+        extra_per_beat: u64,
+        width: MemWidth,
+        signed: bool,
+    ) {
+        let mut beats = Vec::with_capacity(addrs.len());
+        for (i, addr) in addrs.iter().enumerate() {
+            let Some(is_ram) = self.classify(sram, *addr, width) else {
+                self.fault(RunError::MemFault(*addr));
+                return;
+            };
+            let access = match (&write_values, is_ram) {
+                (None, true) => BeatAccess::RamRead,
+                (None, false) => BeatAccess::DevRead,
+                (Some(vs), true) => BeatAccess::RamWrite(vs[i]),
+                (Some(vs), false) => BeatAccess::DevWrite(vs[i]),
+            };
+            beats.push(Beat { addr: *addr, access, width, signed });
+        }
+        if write_values.is_some() {
+            self.stats.stores += 1;
+        } else {
+            self.stats.loads += 1;
+        }
+        let n = beats.len();
+        self.mem_op =
+            Some(MemOp { beats, next: 0, collected: Vec::with_capacity(n), dest, extra_per_beat });
+        self.set_busy(now, issue_cycles);
+    }
+
+    fn execute(&mut self, instr: Instr, now: u64, sram: &Sram) {
+        use Instr::*;
+        self.stats.instructions += 1;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(TraceEntry { cycle: now, pc: self.pc, instr });
+        }
+        if instr.is_vector() {
+            self.stats.vector_instrs += 1;
+        }
+        let mut next_pc = self.pc.wrapping_add(4);
+        let cfg = self.cfg;
+        match instr {
+            Lui { rd, imm20 } => {
+                self.write_x(rd, (imm20 as u32) << 12);
+                self.set_busy(now, cfg.alu_cycles);
+            }
+            Auipc { rd, imm20 } => {
+                self.write_x(rd, self.pc.wrapping_add((imm20 as u32) << 12));
+                self.set_busy(now, cfg.alu_cycles);
+            }
+            Jal { rd, offset } => {
+                self.write_x(rd, self.pc.wrapping_add(4));
+                next_pc = self.pc.wrapping_add(offset as u32);
+                self.set_busy(now, cfg.alu_cycles + cfg.branch_taken_penalty);
+            }
+            Jalr { rd, rs1, offset } => {
+                let target = self.read_x(rs1).wrapping_add(offset as u32) & !1;
+                self.write_x(rd, self.pc.wrapping_add(4));
+                next_pc = target;
+                self.set_busy(now, cfg.alu_cycles + cfg.branch_taken_penalty);
+            }
+            Branch { op, rs1, rs2, offset } => {
+                let a = self.read_x(rs1);
+                let b = self.read_x(rs2);
+                let taken = match op {
+                    BranchOp::Eq => a == b,
+                    BranchOp::Ne => a != b,
+                    BranchOp::Lt => (a as i32) < (b as i32),
+                    BranchOp::Ge => (a as i32) >= (b as i32),
+                    BranchOp::Ltu => a < b,
+                    BranchOp::Geu => a >= b,
+                };
+                if taken {
+                    next_pc = self.pc.wrapping_add(offset as u32);
+                    self.set_busy(now, cfg.alu_cycles + cfg.branch_taken_penalty);
+                } else {
+                    self.set_busy(now, cfg.alu_cycles);
+                }
+            }
+            Lw { rd, rs1, offset } => {
+                let addr = self.read_x(rs1).wrapping_add(offset as u32);
+                self.start_mem_op(now, sram, vec![addr], None, Dest::X(rd), 0, 0);
+            }
+            Sw { rs1, rs2, offset } => {
+                let addr = self.read_x(rs1).wrapping_add(offset as u32);
+                let v = self.read_x(rs2);
+                self.start_mem_op(now, sram, vec![addr], Some(vec![v]), Dest::None, 0, 0);
+            }
+            Flw { rd, rs1, offset } => {
+                let addr = self.read_x(rs1).wrapping_add(offset as u32);
+                self.start_mem_op(now, sram, vec![addr], None, Dest::F(rd), 0, 0);
+            }
+            Fsw { rs1, rs2, offset } => {
+                let addr = self.read_x(rs1).wrapping_add(offset as u32);
+                let v = self.f[rs2.index()];
+                self.start_mem_op(now, sram, vec![addr], Some(vec![v]), Dest::None, 0, 0);
+            }
+            OpImm { op, rd, rs1, imm } => {
+                let v = alu(op, self.read_x(rs1), imm as u32);
+                self.write_x(rd, v);
+                self.set_busy(now, cfg.alu_cycles);
+            }
+            Op { op, rd, rs1, rs2 } => {
+                let v = alu(op, self.read_x(rs1), self.read_x(rs2));
+                self.write_x(rd, v);
+                self.set_busy(now, cfg.alu_cycles);
+            }
+            Mul { rd, rs1, rs2 } => {
+                let v = self.read_x(rs1).wrapping_mul(self.read_x(rs2));
+                self.write_x(rd, v);
+                self.set_busy(now, cfg.mul_cycles);
+            }
+            MulDiv { op, rd, rs1, rs2 } => {
+                let a = self.read_x(rs1);
+                let b = self.read_x(rs2);
+                let v = muldiv(op, a, b);
+                self.write_x(rd, v);
+                // Divides take longer than multiplies on small cores.
+                let cost = match op {
+                    MulDivOp::Div | MulDivOp::Divu | MulDivOp::Rem | MulDivOp::Remu => {
+                        cfg.mul_cycles * 8
+                    }
+                    _ => cfg.mul_cycles,
+                };
+                self.set_busy(now, cost);
+            }
+            LoadNarrow { rd, rs1, offset, width, signed } => {
+                let addr = self.read_x(rs1).wrapping_add(offset as u32);
+                self.start_mem_op_sized(
+                    now,
+                    sram,
+                    vec![addr],
+                    None,
+                    Dest::X(rd),
+                    0,
+                    0,
+                    width,
+                    signed,
+                );
+            }
+            StoreNarrow { rs1, rs2, offset, width } => {
+                let addr = self.read_x(rs1).wrapping_add(offset as u32);
+                let v = self.read_x(rs2);
+                self.start_mem_op_sized(
+                    now,
+                    sram,
+                    vec![addr],
+                    Some(vec![v]),
+                    Dest::None,
+                    0,
+                    0,
+                    width,
+                    false,
+                );
+            }
+            FaddS { rd, rs1, rs2 } => {
+                let v = self.read_f(rs1) + self.read_f(rs2);
+                self.write_f(rd, v);
+                self.set_busy(now, cfg.fpu_cycles);
+            }
+            FsubS { rd, rs1, rs2 } => {
+                let v = self.read_f(rs1) - self.read_f(rs2);
+                self.write_f(rd, v);
+                self.set_busy(now, cfg.fpu_cycles);
+            }
+            FmulS { rd, rs1, rs2 } => {
+                let v = self.read_f(rs1) * self.read_f(rs2);
+                self.write_f(rd, v);
+                self.set_busy(now, cfg.fpu_cycles);
+            }
+            FmaddS { rd, rs1, rs2, rs3 } => {
+                let v = self.read_f(rs1) * self.read_f(rs2) + self.read_f(rs3);
+                self.write_f(rd, v);
+                self.set_busy(now, cfg.fpu_cycles);
+            }
+            FmvWX { rd, rs1 } => {
+                self.f[rd.index()] = self.read_x(rs1);
+                self.set_busy(now, cfg.alu_cycles);
+            }
+            FmvXW { rd, rs1 } => {
+                let v = self.f[rs1.index()];
+                self.write_x(rd, v);
+                self.set_busy(now, cfg.alu_cycles);
+            }
+            Vsetvli { rd, rs1, .. } => {
+                let avl = if rs1 == Reg::ZERO {
+                    cfg.vlen as u32
+                } else {
+                    self.read_x(rs1)
+                };
+                self.vl = (avl as usize).min(cfg.vlen);
+                self.write_x(rd, self.vl as u32);
+                self.set_busy(now, cfg.alu_cycles);
+            }
+            Vle32 { vd, rs1 } => {
+                let base = self.read_x(rs1);
+                let addrs = (0..self.vl).map(|i| base.wrapping_add(4 * i as u32)).collect();
+                self.start_mem_op(
+                    now,
+                    sram,
+                    addrs,
+                    None,
+                    Dest::V(vd),
+                    cfg.vector_issue_cycles,
+                    0,
+                );
+            }
+            Vse32 { vs3, rs1 } => {
+                let base = self.read_x(rs1);
+                let addrs: Vec<u32> =
+                    (0..self.vl).map(|i| base.wrapping_add(4 * i as u32)).collect();
+                let vals = self.v[vs3.index()][..self.vl].to_vec();
+                self.start_mem_op(
+                    now,
+                    sram,
+                    addrs,
+                    Some(vals),
+                    Dest::None,
+                    cfg.vector_issue_cycles,
+                    0,
+                );
+            }
+            Vluxei32 { vd, rs1, vs2 } => {
+                let base = self.read_x(rs1);
+                let addrs = (0..self.vl)
+                    .map(|i| base.wrapping_add(self.v[vs2.index()][i]))
+                    .collect();
+                self.start_mem_op(
+                    now,
+                    sram,
+                    addrs,
+                    None,
+                    Dest::V(vd),
+                    cfg.vector_issue_cycles + cfg.gather_issue_cycles,
+                    cfg.gather_addr_cycles,
+                );
+            }
+            VfmaccVV { vd, vs1, vs2 } => {
+                for i in 0..self.vl {
+                    let a = f32::from_bits(self.v[vs1.index()][i]);
+                    let b = f32::from_bits(self.v[vs2.index()][i]);
+                    let d = f32::from_bits(self.v[vd.index()][i]);
+                    self.v[vd.index()][i] = (d + a * b).to_bits();
+                }
+                self.set_busy(now, cfg.vector_arith_cycles);
+            }
+            VfmulVV { vd, vs1, vs2 } => {
+                for i in 0..self.vl {
+                    let a = f32::from_bits(self.v[vs1.index()][i]);
+                    let b = f32::from_bits(self.v[vs2.index()][i]);
+                    self.v[vd.index()][i] = (a * b).to_bits();
+                }
+                self.set_busy(now, cfg.vector_arith_cycles);
+            }
+            VfaddVV { vd, vs1, vs2 } => {
+                for i in 0..self.vl {
+                    let a = f32::from_bits(self.v[vs1.index()][i]);
+                    let b = f32::from_bits(self.v[vs2.index()][i]);
+                    self.v[vd.index()][i] = (a + b).to_bits();
+                }
+                self.set_busy(now, cfg.vector_arith_cycles);
+            }
+            VfredosumVS { vd, vs1, vs2 } => {
+                let mut s = f32::from_bits(self.v[vs1.index()][0]);
+                for i in 0..self.vl {
+                    s += f32::from_bits(self.v[vs2.index()][i]);
+                }
+                self.v[vd.index()][0] = s.to_bits();
+                self.set_busy(now, cfg.vector_arith_cycles);
+            }
+            VsllVI { vd, vs2, imm5 } => {
+                for i in 0..self.vl {
+                    self.v[vd.index()][i] = self.v[vs2.index()][i].wrapping_shl(imm5 as u32);
+                }
+                self.set_busy(now, cfg.alu_cycles);
+            }
+            VmvVI { vd, imm5 } => {
+                for i in 0..self.vl {
+                    self.v[vd.index()][i] = imm5 as u32;
+                }
+                self.set_busy(now, cfg.alu_cycles);
+            }
+            VmvVX { vd, rs1 } => {
+                let v = self.read_x(rs1);
+                for i in 0..self.vl {
+                    self.v[vd.index()][i] = v;
+                }
+                self.set_busy(now, cfg.alu_cycles);
+            }
+            VfmvFS { rd, vs2 } => {
+                self.f[rd.index()] = self.v[vs2.index()][0];
+                self.set_busy(now, cfg.alu_cycles);
+            }
+            Csrrs { rd, csr, .. } => {
+                let v = match csr {
+                    0xC00 => now as u32,
+                    0xC02 => self.stats.instructions as u32,
+                    _ => 0,
+                };
+                self.write_x(rd, v);
+                self.set_busy(now, cfg.alu_cycles);
+            }
+            Ecall => {
+                self.set_busy(now, cfg.alu_cycles);
+            }
+            Ebreak => {
+                self.halted = true;
+            }
+        }
+        if !self.halted {
+            self.pc = next_pc;
+        }
+    }
+}
+
+/// Width- and sign-aware functional read for one beat.
+fn read_sized(sram: &Sram, beat: Beat) -> u32 {
+    match (beat.width, beat.signed) {
+        (MemWidth::Word, _) => sram.read_u32(beat.addr),
+        (MemWidth::Byte, false) => sram.read_u8(beat.addr) as u32,
+        (MemWidth::Byte, true) => sram.read_u8(beat.addr) as i8 as i32 as u32,
+        (MemWidth::Half, false) => sram.read_u16(beat.addr) as u32,
+        (MemWidth::Half, true) => sram.read_u16(beat.addr) as i16 as i32 as u32,
+    }
+}
+
+/// Width-aware functional write for one beat.
+fn write_sized(sram: &mut Sram, beat: Beat, v: u32) {
+    match beat.width {
+        MemWidth::Word => sram.write_u32(beat.addr, v),
+        MemWidth::Byte => sram.write_u8(beat.addr, v as u8),
+        MemWidth::Half => sram.write_u16(beat.addr, v as u16),
+    }
+}
+
+/// RV32M semantics, including the division corner cases of the spec.
+fn muldiv(op: MulDivOp, a: u32, b: u32) -> u32 {
+    match op {
+        MulDivOp::Mul => a.wrapping_mul(b),
+        MulDivOp::Mulh => ((a as i32 as i64 * b as i32 as i64) >> 32) as u32,
+        MulDivOp::Mulhsu => ((a as i32 as i64 * b as i64) >> 32) as u32,
+        MulDivOp::Mulhu => ((a as u64 * b as u64) >> 32) as u32,
+        MulDivOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                a // overflow: i32::MIN / -1
+            } else {
+                (a as i32).wrapping_div(b as i32) as u32
+            }
+        }
+        MulDivOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+        MulDivOp::Rem => {
+            if b == 0 {
+                a
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                0
+            } else {
+                (a as i32).wrapping_rem(b as i32) as u32
+            }
+        }
+        MulDivOp::Remu => a.checked_rem(b).unwrap_or(a),
+    }
+}
+
+fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 0x1f),
+        AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+        AluOp::Sltu => (a < b) as u32,
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 0x1f),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 0x1f)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hht_isa::asm::assemble;
+    use hht_mem::mmio::NullDevice;
+
+    /// Run a program on a fresh core; returns (core, cycles).
+    fn run(src: &str, sram: &mut Sram) -> (Core, u64) {
+        run_cfg(src, sram, CoreConfig::paper_default())
+    }
+
+    fn run_cfg(src: &str, sram: &mut Sram, cfg: CoreConfig) -> (Core, u64) {
+        let p = assemble(src).expect("test program assembles");
+        let mut core = Core::new(cfg, p);
+        let mut dev = NullDevice;
+        let mut now = 0;
+        while !core.halted() {
+            core.step(now, sram, &mut dev);
+            now += 1;
+            assert!(now < 1_000_000, "test program ran away");
+        }
+        (core, now)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let mut sram = Sram::new(1024, 2);
+        let (core, _) = run("li a0, 40\naddi a0, a0, 2\nebreak", &mut sram);
+        assert_eq!(core.read_x(Reg::a(0)), 42);
+        assert!(core.error().is_none());
+        assert_eq!(core.stats().instructions, 3);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let mut sram = Sram::new(1024, 2);
+        let (core, _) = run("addi zero, zero, 5\nadd a0, zero, zero\nebreak", &mut sram);
+        assert_eq!(core.read_x(Reg::ZERO), 0);
+        assert_eq!(core.read_x(Reg::a(0)), 0);
+    }
+
+    #[test]
+    fn loop_counts_down() {
+        let mut sram = Sram::new(1024, 2);
+        let (core, _) = run(
+            "li t0, 5\nli a0, 0\nloop:\naddi a0, a0, 2\naddi t0, t0, -1\nbnez t0, loop\nebreak",
+            &mut sram,
+        );
+        assert_eq!(core.read_x(Reg::a(0)), 10);
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let mut sram = Sram::new(1024, 2);
+        sram.write_u32(0x100, 7);
+        let (core, _) = run(
+            "li a0, 0x100\nlw a1, 0(a0)\naddi a1, a1, 1\nsw a1, 4(a0)\nebreak",
+            &mut sram,
+        );
+        assert_eq!(core.read_x(Reg::a(1)), 8);
+        assert_eq!(sram.read_u32(0x104), 8);
+    }
+
+    #[test]
+    fn float_ops() {
+        let mut sram = Sram::new(1024, 2);
+        sram.write_f32(0x100, 1.5);
+        sram.write_f32(0x104, 2.0);
+        let (core, _) = run(
+            "li a0, 0x100\nflw fa0, 0(a0)\nflw fa1, 4(a0)\nfmul.s fa2, fa0, fa1\n\
+             fmadd.s fa3, fa0, fa1, fa2\nfsw fa3, 8(a0)\nebreak",
+            &mut sram,
+        );
+        assert_eq!(core.read_f(FReg::a(2)), 3.0);
+        assert_eq!(sram.read_f32(0x108), 6.0);
+    }
+
+    #[test]
+    fn vector_load_compute_store() {
+        let mut sram = Sram::new(1024, 2);
+        sram.load_f32s(0x100, &[1., 2., 3., 4., 5., 6., 7., 8.]);
+        sram.load_f32s(0x200, &[10., 20., 30., 40., 50., 60., 70., 80.]);
+        let (core, _) = run(
+            "li a0, 8\nvsetvli t0, a0, e32, m1\nli a1, 0x100\nli a2, 0x200\nli a3, 0x300\n\
+             vle32.v v1, (a1)\nvle32.v v2, (a2)\nvmv.v.i v3, 0\nvfmacc.vv v3, v1, v2\n\
+             vse32.v v3, (a3)\nebreak",
+            &mut sram,
+        );
+        assert_eq!(core.read_x(Reg::t(0)), 8);
+        let out = sram.read_f32s(0x300, 8);
+        assert_eq!(out, vec![10., 40., 90., 160., 250., 360., 490., 640.]);
+    }
+
+    #[test]
+    fn vsetvli_clamps_to_vlmax() {
+        let mut sram = Sram::new(1024, 2);
+        let (core, _) = run("li a0, 100\nvsetvli t0, a0, e32, m1\nebreak", &mut sram);
+        assert_eq!(core.read_x(Reg::t(0)), 8);
+        let (core, _) = run("li a0, 3\nvsetvli t0, a0, e32, m1\nebreak", &mut sram);
+        assert_eq!(core.read_x(Reg::t(0)), 3);
+    }
+
+    #[test]
+    fn gather_load() {
+        let mut sram = Sram::new(4096, 2);
+        sram.load_f32s(0x100, &[100., 101., 102., 103., 104., 105., 106., 107.]);
+        // Byte-offset indices: gather elements 3, 0, 7, 1, 2, 4, 6, 5.
+        sram.load_words(0x200, &[12, 0, 28, 4, 8, 16, 24, 20]);
+        let (core, _) = run(
+            "li a0, 8\nvsetvli t0, a0, e32, m1\nli a1, 0x200\nvle32.v v1, (a1)\n\
+             li a2, 0x100\nvluxei32.v v2, (a2), v1\nli a3, 0x300\nvse32.v v2, (a3)\nebreak",
+            &mut sram,
+        );
+        assert!(core.error().is_none());
+        let out = sram.read_f32s(0x300, 8);
+        assert_eq!(out, vec![103., 100., 107., 101., 102., 104., 106., 105.]);
+    }
+
+    #[test]
+    fn reduction_sums() {
+        let mut sram = Sram::new(1024, 2);
+        sram.load_f32s(0x100, &[1., 2., 3., 4., 5., 6., 7., 8.]);
+        let (core, _) = run(
+            "li a0, 8\nvsetvli t0, a0, e32, m1\nli a1, 0x100\nvle32.v v1, (a1)\n\
+             vmv.v.i v0, 0\nvfredosum.vs v2, v1, v0\nvfmv.f.s fa0, v2\nebreak",
+            &mut sram,
+        );
+        assert_eq!(core.read_f(FReg::a(0)), 36.0);
+    }
+
+    #[test]
+    fn fault_on_unmapped_address() {
+        let mut sram = Sram::new(1024, 2);
+        let (core, _) = run("li a0, 0x7000\nslli a0, a0, 12\nlw a1, 0(a0)\nebreak", &mut sram);
+        assert!(matches!(core.error(), Some(RunError::MemFault(_))));
+        assert!(core.halted());
+    }
+
+    #[test]
+    fn fault_on_misaligned_address() {
+        let mut sram = Sram::new(1024, 2);
+        let (core, _) = run("li a0, 0x102\nlw a1, 0(a0)\nebreak", &mut sram);
+        assert!(matches!(core.error(), Some(RunError::MemFault(0x102))));
+    }
+
+    #[test]
+    fn fault_on_pc_escape() {
+        let mut sram = Sram::new(1024, 2);
+        // No ebreak: runs off the end.
+        let p = assemble("nop").unwrap();
+        let mut core = Core::new(CoreConfig::paper_default(), p);
+        let mut dev = NullDevice;
+        for now in 0..10 {
+            core.step(now, &mut sram, &mut dev);
+        }
+        assert!(matches!(core.error(), Some(RunError::InvalidPc(4))));
+    }
+
+    #[test]
+    fn rdcycle_and_instret() {
+        let mut sram = Sram::new(1024, 2);
+        let (core, cycles) = run("nop\nnop\nrdcycle t0\ncsrrs t1, 0xc02, zero\nebreak", &mut sram);
+        let t0 = core.read_x(Reg::t(0));
+        assert!(t0 >= 2 && (t0 as u64) < cycles);
+        // instret counts issued instructions, including the csrrs itself
+        // (2 nops + rdcycle + csrrs).
+        assert_eq!(core.read_x(Reg::t(1)), 4);
+    }
+
+    #[test]
+    fn timing_simple_ops_are_one_cycle() {
+        let mut sram = Sram::new(1024, 2);
+        // 10 single-cycle adds + ebreak.
+        let body = "addi a0, a0, 1\n".repeat(10) + "ebreak";
+        let (_, cycles) = run(&body, &mut sram);
+        // one cycle each plus the halting step.
+        assert!((10..=12).contains(&cycles), "cycles = {cycles}");
+    }
+
+    #[test]
+    fn timing_vector_arith_is_four_cycles() {
+        let mut sram = Sram::new(1024, 2);
+        let warm = "li a0, 8\nvsetvli t0, a0, e32, m1\n";
+        let (_, base) = run(&format!("{warm}ebreak"), &mut sram);
+        let (_, one) = run(&format!("{warm}vfadd.vv v1, v2, v3\nebreak"), &mut sram);
+        let (_, two) = run(&format!("{warm}vfadd.vv v1, v2, v3\nvfadd.vv v4, v5, v6\nebreak"), &mut sram);
+        assert_eq!(one - base, 4);
+        assert_eq!(two - one, 4); // not pipelined: strictly serialized
+    }
+
+    #[test]
+    fn timing_loads_stall_the_pipe() {
+        let mut sram2 = Sram::new(1024, 2);
+        let mut sram4 = Sram::new(1024, 4);
+        let src = "li a0, 0x100\nlw a1, 0(a0)\nlw a2, 4(a0)\nebreak";
+        let (_, fast) = run(src, &mut sram2);
+        let (_, slow) = run(src, &mut sram4);
+        assert_eq!(slow - fast, 4); // 2 loads x 2 extra cycles each
+    }
+
+    #[test]
+    fn timing_gather_pays_per_element_addressing() {
+        let mut sram = Sram::new(4096, 2);
+        sram.load_words(0x200, &[0, 4, 8, 12, 16, 20, 24, 28]);
+        let pre = "li a0, 8\nvsetvli t0, a0, e32, m1\nli a1, 0x200\nvle32.v v1, (a1)\nli a2, 0x100\n";
+        let (_, unit) = run(&format!("{pre}vle32.v v2, (a2)\nebreak"), &mut sram);
+        let mut sram_b = Sram::new(4096, 2);
+        sram_b.load_words(0x200, &[0, 4, 8, 12, 16, 20, 24, 28]);
+        let (_, gather) = run(&format!("{pre}vluxei32.v v2, (a2), v1\nebreak"), &mut sram_b);
+        // gather adds gather_addr_cycles per element plus the fixed
+        // gather_issue_cycles setup.
+        let cfg = CoreConfig::paper_default();
+        assert_eq!(gather - unit, 8 * cfg.gather_addr_cycles + cfg.gather_issue_cycles);
+    }
+
+    #[test]
+    fn vector_width_respects_vl() {
+        let mut sram = Sram::new(1024, 2);
+        sram.load_f32s(0x100, &[1., 2., 3., 4., 5., 6., 7., 8.]);
+        let (core, _) = run(
+            "li a0, 4\nvsetvli t0, a0, e32, m1\nli a1, 0x100\nvle32.v v1, (a1)\n\
+             vfadd.vv v2, v1, v1\nebreak",
+            &mut sram,
+        );
+        let v2 = core.read_v(VReg::new(2));
+        assert_eq!(f32::from_bits(v2[0]), 2.0);
+        assert_eq!(f32::from_bits(v2[3]), 8.0);
+        // elements beyond vl untouched (still zero)
+        assert_eq!(v2[4], 0);
+    }
+
+    #[test]
+    fn rv32m_semantics() {
+        let mut sram = Sram::new(1024, 2);
+        let (core, _) = run(
+            "li a0, -7\nli a1, 2\ndiv a2, a0, a1\nrem a3, a0, a1\n\
+             divu a4, a0, a1\nmulh a5, a0, a0\nebreak",
+            &mut sram,
+        );
+        assert_eq!(core.read_x(Reg::a(2)) as i32, -3);
+        assert_eq!(core.read_x(Reg::a(3)) as i32, -1);
+        assert_eq!(core.read_x(Reg::a(4)), (-7i32 as u32) / 2);
+        assert_eq!(core.read_x(Reg::a(5)), (((-7i64) * (-7i64)) >> 32) as u32);
+    }
+
+    #[test]
+    fn rv32m_division_corner_cases() {
+        let mut sram = Sram::new(1024, 2);
+        let (core, _) = run(
+            "li a0, 5\nli a1, 0\ndiv a2, a0, a1\nrem a3, a0, a1\n\
+             li a4, 0x80000000\nli a5, -1\ndiv a6, a4, a5\nrem a7, a4, a5\nebreak",
+            &mut sram,
+        );
+        assert_eq!(core.read_x(Reg::a(2)), u32::MAX); // div by zero
+        assert_eq!(core.read_x(Reg::a(3)), 5); // rem by zero
+        assert_eq!(core.read_x(Reg::a(6)), 0x8000_0000); // overflow
+        assert_eq!(core.read_x(Reg::a(7)), 0);
+    }
+
+    #[test]
+    fn sub_word_loads_and_stores() {
+        let mut sram = Sram::new(1024, 2);
+        sram.write_u32(0x100, 0x8081_7F01);
+        let (core, _) = run(
+            "li a0, 0x100\nlb a1, 3(a0)\nlbu a2, 3(a0)\nlh a3, 2(a0)\nlhu a4, 2(a0)\n\
+             lb a5, 0(a0)\nli t0, 0xAB\nsb t0, 4(a0)\nli t1, 0xBEEF\nsh t1, 6(a0)\nebreak",
+            &mut sram,
+        );
+        assert_eq!(core.read_x(Reg::a(1)) as i32, -128); // 0x80 sign-extended
+        assert_eq!(core.read_x(Reg::a(2)), 0x80);
+        assert_eq!(core.read_x(Reg::a(3)) as i32, 0x8081u16 as i16 as i32);
+        assert_eq!(core.read_x(Reg::a(4)), 0x8081);
+        assert_eq!(core.read_x(Reg::a(5)), 0x01);
+        assert_eq!(sram.read_u8(0x104), 0xAB);
+        assert_eq!(sram.read_u16(0x106), 0xBEEF);
+    }
+
+    #[test]
+    fn sub_word_alignment_rules() {
+        let mut sram = Sram::new(1024, 2);
+        // Bytes may be anywhere; halves must be 2-aligned.
+        let (core, _) = run("li a0, 0x101\nlbu a1, 0(a0)\nebreak", &mut sram);
+        assert!(core.error().is_none());
+        let (core, _) = run("li a0, 0x101\nlh a1, 0(a0)\nebreak", &mut sram);
+        assert!(matches!(core.error(), Some(RunError::MemFault(0x101))));
+    }
+
+    #[test]
+    fn trace_records_issued_instructions() {
+        let mut sram = Sram::new(1024, 2);
+        let p = assemble("li a0, 2\nloop:\naddi a0, a0, -1\nbnez a0, loop\nebreak").unwrap();
+        let mut core = Core::new(CoreConfig::paper_default(), p);
+        core.enable_trace();
+        let mut dev = NullDevice;
+        let mut now = 0;
+        while !core.halted() {
+            core.step(now, &mut sram, &mut dev);
+            now += 1;
+        }
+        let t = core.trace();
+        // li, (addi, bnez) x2, ebreak = 6 entries.
+        assert_eq!(t.len(), 6);
+        assert_eq!(t[0].pc, 0);
+        assert!(t.windows(2).all(|w| w[0].cycle < w[1].cycle));
+        let text = core.trace_to_string();
+        assert!(text.contains("addi a0, a0, -1"));
+        assert!(text.lines().count() == 6);
+    }
+
+    #[test]
+    fn trace_is_empty_when_disabled() {
+        let mut sram = Sram::new(1024, 2);
+        let (core, _) = run("nop\nebreak", &mut sram);
+        assert!(core.trace().is_empty());
+    }
+
+    #[test]
+    fn l1d_hits_serve_in_one_cycle() {
+        use crate::config::CacheGeometry;
+        let src = "li a0, 0x100\nlw a1, 0(a0)\nlw a2, 0(a0)\nlw a3, 4(a0)\nebreak";
+        // Without a cache: each load pays the SRAM latency.
+        let mut sram = Sram::new(1024, 4);
+        let (core_nc, plain) = run(src, &mut sram);
+        assert_eq!(core_nc.stats().l1d_hits, 0);
+        // With a cache: the second and third loads hit the filled line.
+        let mut sram = Sram::new(1024, 4);
+        let cfg = CoreConfig::paper_default().with_l1d(CacheGeometry::embedded_4k());
+        let (core, cached) = run_cfg(src, &mut sram, cfg);
+        assert_eq!(core.stats().l1d_misses, 1);
+        assert_eq!(core.stats().l1d_hits, 2);
+        // One 8-word line fill (32c) + 2 hits beats 3x4c only for longer
+        // runs; here just check both computed the same values.
+        assert_eq!(core.read_x(Reg::a(1)), core_nc.read_x(Reg::a(1)));
+        assert!(cached > 0 && plain > 0);
+    }
+
+    #[test]
+    fn l1d_write_through_keeps_memory_current() {
+        use crate::config::CacheGeometry;
+        let src = "li a0, 0x100\nlw a1, 0(a0)\nli a2, 7\nsw a2, 0(a0)\nlw a3, 0(a0)\nebreak";
+        let mut sram = Sram::new(1024, 2);
+        let cfg = CoreConfig::paper_default().with_l1d(CacheGeometry::embedded_4k());
+        let (core, _) = run_cfg(src, &mut sram, cfg);
+        assert_eq!(core.read_x(Reg::a(3)), 7);
+        assert_eq!(sram.read_u32(0x100), 7);
+    }
+
+    #[test]
+    fn l1d_sequential_scan_mostly_hits() {
+        use crate::config::CacheGeometry;
+        // 32 sequential word loads: 4 line fills + 28 hits with 32B lines.
+        let mut src = String::from("li a0, 0x100\n");
+        for i in 0..32 {
+            src += &format!("lw a1, {}(a0)\n", 4 * i);
+        }
+        src += "ebreak";
+        let mut sram = Sram::new(1024, 2);
+        let cfg = CoreConfig::paper_default().with_l1d(CacheGeometry::embedded_4k());
+        let (core, _) = run_cfg(&src, &mut sram, cfg);
+        assert_eq!(core.stats().l1d_misses, 4);
+        assert_eq!(core.stats().l1d_hits, 28);
+    }
+
+    #[test]
+    fn narrow_core_config() {
+        let mut sram = Sram::new(1024, 2);
+        let cfg = CoreConfig::paper_default().with_vlen(1);
+        let (core, _) =
+            run_cfg("li a0, 8\nvsetvli t0, a0, e32, m1\nebreak", &mut sram, cfg);
+        assert_eq!(core.read_x(Reg::t(0)), 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Block Compressed Sparse Row (BCSR) — CSR over fixed-size dense blocks
+//! (§1 \[18]). Any block containing at least one non-zero is stored densely.
+
+use crate::{CooMatrix, Result, SparseError, SparseFormat};
+
+/// A BCSR matrix: CSR structure over `br x bc` dense blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcsrMatrix {
+    rows: usize,
+    cols: usize,
+    br: usize,
+    bc: usize,
+    block_row_ptr: Vec<u32>,
+    block_col_idx: Vec<u32>,
+    /// Block contents, row-major within each block, concatenated.
+    block_values: Vec<f32>,
+}
+
+impl BcsrMatrix {
+    /// Build from triplets with the given block shape. The block shape must
+    /// tile the matrix exactly.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        br: usize,
+        bc: usize,
+        triplets: &[(usize, usize, f32)],
+    ) -> Result<Self> {
+        Self::from_coo(&CooMatrix::from_triplets(rows, cols, triplets)?, br, bc)
+    }
+
+    /// Build from a COO matrix with the given block shape.
+    pub fn from_coo(coo: &CooMatrix, br: usize, bc: usize) -> Result<Self> {
+        let (rows, cols) = (coo.rows(), coo.cols());
+        if br == 0 || bc == 0 || rows % br != 0 || cols % bc != 0 {
+            return Err(SparseError::BadBlockSize { br, bc });
+        }
+        let brows = rows / br;
+        // Gather non-empty blocks in block-row-major order.
+        let mut blocks: Vec<Vec<u32>> = vec![Vec::new(); brows]; // per block-row: sorted block-col list
+        for &(r, c, _) in coo.entries() {
+            let (rb, cb) = (r / br, (c / bc) as u32);
+            if let Err(pos) = blocks[rb].binary_search(&cb) {
+                blocks[rb].insert(pos, cb);
+            }
+        }
+        let nblocks: usize = blocks.iter().map(Vec::len).sum();
+        let mut block_row_ptr = vec![0u32; brows + 1];
+        let mut block_col_idx = Vec::with_capacity(nblocks);
+        let mut block_values = vec![0.0f32; nblocks * br * bc];
+        for rb in 0..brows {
+            block_row_ptr[rb + 1] = block_row_ptr[rb] + blocks[rb].len() as u32;
+            block_col_idx.extend_from_slice(&blocks[rb]);
+        }
+        for &(r, c, v) in coo.entries() {
+            let (rb, cb) = (r / br, (c / bc) as u32);
+            let lo = block_row_ptr[rb] as usize;
+            let hi = block_row_ptr[rb + 1] as usize;
+            let k = lo + block_col_idx[lo..hi].binary_search(&cb).unwrap();
+            block_values[k * br * bc + (r % br) * bc + (c % bc)] = v;
+        }
+        Ok(BcsrMatrix {
+            rows,
+            cols,
+            br,
+            bc,
+            block_row_ptr,
+            block_col_idx,
+            block_values,
+        })
+    }
+
+    /// Block shape `(rows, cols)`.
+    pub fn block_shape(&self) -> (usize, usize) {
+        (self.br, self.bc)
+    }
+
+    /// Number of stored blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.block_col_idx.len()
+    }
+
+    /// Block row-pointer array.
+    pub fn block_row_ptr(&self) -> &[u32] {
+        &self.block_row_ptr
+    }
+
+    /// Block column-index array.
+    pub fn block_col_idx(&self) -> &[u32] {
+        &self.block_col_idx
+    }
+
+    /// The `k`-th stored block as a row-major slice of `br*bc` values.
+    pub fn block(&self, k: usize) -> &[f32] {
+        &self.block_values[k * self.br * self.bc..(k + 1) * self.br * self.bc]
+    }
+
+    /// Fill-in ratio: stored values (incl. explicit zeros inside blocks)
+    /// divided by true non-zeros. Always ≥ 1; 1 means blocks are fully dense.
+    pub fn fill_ratio(&self) -> f64 {
+        let true_nnz = self
+            .block_values
+            .iter()
+            .filter(|v| **v != 0.0)
+            .count()
+            .max(1);
+        self.block_values.len() as f64 / true_nnz as f64
+    }
+}
+
+impl SparseFormat for BcsrMatrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    /// Stored entries, counting every slot of every stored block (this is
+    /// what determines memory traffic, which is what the HHT model cares
+    /// about).
+    fn nnz(&self) -> usize {
+        self.block_values.len()
+    }
+    fn triplets(&self) -> Vec<(usize, usize, f32)> {
+        let mut out = Vec::new();
+        let brows = self.rows / self.br;
+        for rb in 0..brows {
+            let lo = self.block_row_ptr[rb] as usize;
+            let hi = self.block_row_ptr[rb + 1] as usize;
+            for k in lo..hi {
+                let cb = self.block_col_idx[k] as usize;
+                let blk = self.block(k);
+                for i in 0..self.br {
+                    for j in 0..self.bc {
+                        let v = blk[i * self.bc + j];
+                        if v != 0.0 {
+                            out.push((rb * self.br + i, cb * self.bc + j, v));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        out
+    }
+    fn storage_bytes(&self) -> usize {
+        self.block_row_ptr.len() * 4 + self.block_col_idx.len() * 4 + self.block_values.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrMatrix;
+
+    #[test]
+    fn rejects_non_tiling_blocks() {
+        let e = BcsrMatrix::from_triplets(3, 3, 2, 2, &[]).unwrap_err();
+        assert!(matches!(e, SparseError::BadBlockSize { br: 2, bc: 2 }));
+        assert!(BcsrMatrix::from_triplets(4, 4, 0, 2, &[]).is_err());
+    }
+
+    #[test]
+    fn single_block_holds_neighbors() {
+        // Two nnz in the same 2x2 block -> one stored block of 4 slots.
+        let m =
+            BcsrMatrix::from_triplets(4, 4, 2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]).unwrap();
+        assert_eq!(m.num_blocks(), 1);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.block(0), &[1.0, 0.0, 0.0, 2.0]);
+        assert_eq!(m.fill_ratio(), 2.0);
+    }
+
+    #[test]
+    fn triplets_round_trip_with_csr() {
+        let t = vec![(0, 0, 1.0), (1, 3, 2.0), (2, 2, 3.0), (3, 0, 4.0)];
+        let b = BcsrMatrix::from_triplets(4, 4, 2, 2, &t).unwrap();
+        let c = CsrMatrix::from_triplets(4, 4, &t).unwrap();
+        assert_eq!(b.triplets(), c.triplets());
+        assert_eq!(b.to_dense(), c.to_dense());
+    }
+
+    #[test]
+    fn block_indexing_structure() {
+        let t = vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0)];
+        let b = BcsrMatrix::from_triplets(4, 4, 2, 2, &t).unwrap();
+        assert_eq!(b.num_blocks(), 3);
+        assert_eq!(b.block_row_ptr(), &[0, 2, 3]);
+        assert_eq!(b.block_col_idx(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn storage_counts_full_blocks() {
+        let b = BcsrMatrix::from_triplets(4, 4, 2, 2, &[(0, 0, 1.0)]).unwrap();
+        // 3 block-row ptrs + 1 block col + 4 block slots = 8 words
+        assert_eq!(b.storage_bytes(), 32);
+    }
+}

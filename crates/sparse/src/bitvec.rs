@@ -1,0 +1,173 @@
+//! Bit-vector sparse format (§1 \[5], Fig. 1 right side).
+//!
+//! One presence bit per matrix entry (packed into `u32` words, row-major),
+//! plus the non-zero values in row-major order. Position of a value is
+//! recovered by counting set bits (popcount) before its bit position — this
+//! is exactly the indexing work the HHT offloads when programmed for
+//! bit-vector inputs.
+
+use crate::{CooMatrix, Result, SparseFormat};
+
+/// A bit-vector encoded sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitVectorMatrix {
+    rows: usize,
+    cols: usize,
+    /// Presence bitmap, row-major, packed LSB-first into u32 words.
+    bits: Vec<u32>,
+    /// Non-zero values in row-major order.
+    values: Vec<f32>,
+}
+
+impl BitVectorMatrix {
+    /// Build from `(row, col, value)` triplets.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Result<Self> {
+        Ok(Self::from_coo(&CooMatrix::from_triplets(rows, cols, triplets)?))
+    }
+
+    /// Build from a COO matrix.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let (rows, cols) = (coo.rows(), coo.cols());
+        let nbits = rows * cols;
+        let mut bits = vec![0u32; nbits.div_ceil(32)];
+        let mut values = Vec::with_capacity(coo.nnz());
+        for &(r, c, v) in coo.entries() {
+            let pos = r * cols + c;
+            bits[pos / 32] |= 1 << (pos % 32);
+            values.push(v);
+        }
+        BitVectorMatrix { rows, cols, bits, values }
+    }
+
+    /// Presence bit for `(row, col)`.
+    pub fn is_set(&self, row: usize, col: usize) -> bool {
+        let pos = row * self.cols + col;
+        self.bits[pos / 32] & (1 << (pos % 32)) != 0
+    }
+
+    /// Rank query: number of set bits strictly before flat position `pos`.
+    ///
+    /// This is the popcount-based index computation that maps a matrix
+    /// coordinate to its slot in the packed `values` array.
+    pub fn rank(&self, pos: usize) -> usize {
+        let word = pos / 32;
+        let bit = pos % 32;
+        let mut count = 0usize;
+        for w in &self.bits[..word] {
+            count += w.count_ones() as usize;
+        }
+        if bit > 0 {
+            count += (self.bits[word] & ((1u32 << bit) - 1)).count_ones() as usize;
+        }
+        count
+    }
+
+    /// Value at `(row, col)`, or `None` when the presence bit is clear.
+    pub fn get(&self, row: usize, col: usize) -> Option<f32> {
+        if !self.is_set(row, col) {
+            return None;
+        }
+        Some(self.values[self.rank(row * self.cols + col)])
+    }
+
+    /// Packed bitmap words.
+    pub fn bitmap(&self) -> &[u32] {
+        &self.bits
+    }
+
+    /// Packed non-zero values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+}
+
+impl SparseFormat for BitVectorMatrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+    fn triplets(&self) -> Vec<(usize, usize, f32)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        let mut k = 0usize;
+        for pos in 0..self.rows * self.cols {
+            if self.bits[pos / 32] & (1 << (pos % 32)) != 0 {
+                out.push((pos / self.cols, pos % self.cols, self.values[k]));
+                k += 1;
+            }
+        }
+        out
+    }
+    fn storage_bytes(&self) -> usize {
+        self.bits.len() * 4 + self.values.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrMatrix;
+
+    fn fig1_triplets() -> Vec<(usize, usize, f32)> {
+        vec![(0, 0, 5.0), (0, 2, 2.0), (1, 2, 3.0), (2, 0, 1.0)]
+    }
+
+    #[test]
+    fn fig1_bitmap_matches_paper() {
+        // Fig. 1 bit-vector for [[5,0,2],[0,0,3],[1,0,0]]: bits 101 001 100.
+        let m = BitVectorMatrix::from_triplets(3, 3, &fig1_triplets()).unwrap();
+        // Flat positions set: 0, 2, 5, 6 -> 0b0110_0101 = 0x65
+        assert_eq!(m.bitmap(), &[0x65]);
+        assert_eq!(m.values(), &[5.0, 2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn rank_counts_preceding_bits() {
+        let m = BitVectorMatrix::from_triplets(3, 3, &fig1_triplets()).unwrap();
+        assert_eq!(m.rank(0), 0);
+        assert_eq!(m.rank(1), 1);
+        assert_eq!(m.rank(5), 2);
+        assert_eq!(m.rank(6), 3);
+        assert_eq!(m.rank(8), 4);
+    }
+
+    #[test]
+    fn get_uses_rank() {
+        let m = BitVectorMatrix::from_triplets(3, 3, &fig1_triplets()).unwrap();
+        assert_eq!(m.get(0, 0), Some(5.0));
+        assert_eq!(m.get(0, 2), Some(2.0));
+        assert_eq!(m.get(1, 2), Some(3.0));
+        assert_eq!(m.get(2, 0), Some(1.0));
+        assert_eq!(m.get(1, 1), None);
+    }
+
+    #[test]
+    fn multi_word_bitmaps() {
+        // 8x8 = 64 bits spans two u32 words.
+        let t = vec![(0, 0, 1.0), (7, 7, 2.0), (4, 0, 3.0)];
+        let m = BitVectorMatrix::from_triplets(8, 8, &t).unwrap();
+        assert_eq!(m.bitmap().len(), 2);
+        assert_eq!(m.get(7, 7), Some(2.0));
+        assert_eq!(m.get(4, 0), Some(3.0));
+        assert_eq!(m.rank(63), 2);
+    }
+
+    #[test]
+    fn round_trip_with_csr() {
+        let t = fig1_triplets();
+        let bv = BitVectorMatrix::from_triplets(3, 3, &t).unwrap();
+        let csr = CsrMatrix::from_triplets(3, 3, &t).unwrap();
+        assert_eq!(bv.triplets(), csr.triplets());
+    }
+
+    #[test]
+    fn storage_is_bitmap_plus_values() {
+        let m = BitVectorMatrix::from_triplets(3, 3, &fig1_triplets()).unwrap();
+        // 1 bitmap word + 4 values = 20 bytes
+        assert_eq!(m.storage_bytes(), 20);
+    }
+}

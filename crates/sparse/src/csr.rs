@@ -1,0 +1,273 @@
+//! Compressed Sparse Row (CSR) — the format the paper's HHT is designed for.
+//!
+//! Per §2/Fig. 1: a `row_ptr` array (the paper's *rows*) holds, for each row,
+//! the index into `col_idx` (*cols*) where that row's column indices start;
+//! `values` (*vals*) holds the non-zero values in the same order. The HHT's
+//! memory-mapped registers (`M_Rows_Base`, `M_Cols_Base`, …) point at exactly
+//! these three arrays, so [`CsrMatrix`] exposes them in the flat `u32`/`f32`
+//! layout the simulated memory image uses.
+
+use crate::{CooMatrix, DenseMatrix, Result, SparseError, SparseFormat};
+
+/// A CSR sparse matrix with `u32` indices and `f32` values (SEW = 32).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Build from raw CSR arrays, validating every structural invariant:
+    /// `row_ptr.len() == rows + 1`, `row_ptr` monotone non-decreasing,
+    /// `row_ptr[0] == 0`, `row_ptr[rows] == col_idx.len() == values.len()`,
+    /// all column indices in range and strictly increasing within a row.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<u32>,
+        col_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self> {
+        if row_ptr.len() != rows + 1 {
+            return Err(SparseError::InvalidStructure {
+                what: format!("row_ptr has {} entries, expected {}", row_ptr.len(), rows + 1),
+            });
+        }
+        if row_ptr[0] != 0 {
+            return Err(SparseError::InvalidStructure {
+                what: format!("row_ptr[0] = {}, expected 0", row_ptr[0]),
+            });
+        }
+        if col_idx.len() != values.len() {
+            return Err(SparseError::InvalidStructure {
+                what: format!("{} column indices but {} values", col_idx.len(), values.len()),
+            });
+        }
+        if *row_ptr.last().unwrap() as usize != col_idx.len() {
+            return Err(SparseError::InvalidStructure {
+                what: format!(
+                    "row_ptr[last] = {} but nnz = {}",
+                    row_ptr.last().unwrap(),
+                    col_idx.len()
+                ),
+            });
+        }
+        for w in row_ptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(SparseError::InvalidStructure {
+                    what: "row_ptr is not monotone non-decreasing".into(),
+                });
+            }
+        }
+        for r in 0..rows {
+            let (lo, hi) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
+            let row_cols = &col_idx[lo..hi];
+            for w in row_cols.windows(2) {
+                if w[1] <= w[0] {
+                    return Err(SparseError::InvalidStructure {
+                        what: format!("column indices in row {r} are not strictly increasing"),
+                    });
+                }
+            }
+            if let Some(&c) = row_cols.last() {
+                if c as usize >= cols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: r,
+                        col: c as usize,
+                        rows,
+                        cols,
+                    });
+                }
+            }
+        }
+        Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// Build from `(row, col, value)` triplets.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Result<Self> {
+        Ok(Self::from_coo(&CooMatrix::from_triplets(rows, cols, triplets)?))
+    }
+
+    /// Build from a sorted COO matrix (infallible: COO maintains the needed
+    /// invariants).
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let rows = coo.rows();
+        let mut row_ptr = vec![0u32; rows + 1];
+        let mut col_idx = Vec::with_capacity(coo.nnz());
+        let mut values = Vec::with_capacity(coo.nnz());
+        for &(r, c, v) in coo.entries() {
+            row_ptr[r + 1] += 1;
+            col_idx.push(c as u32);
+            values.push(v);
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        CsrMatrix { rows, cols: coo.cols(), row_ptr, col_idx, values }
+    }
+
+    /// Build from a dense matrix keeping entries that are not exactly zero.
+    pub fn from_dense(d: &DenseMatrix) -> Self {
+        Self::from_coo(&CooMatrix::from_dense(d))
+    }
+
+    /// The paper's *rows* array: `rows() + 1` offsets into [`col_indices`].
+    ///
+    /// [`col_indices`]: CsrMatrix::col_indices
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// The paper's *cols* array: column index of each non-zero.
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The paper's *vals* array: non-zero values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Column indices and values of one row, as parallel slices.
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let lo = self.row_ptr[r] as usize;
+        let hi = self.row_ptr[r + 1] as usize;
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of non-zeros in row `r` (the paper's `nnz` in Algorithm 1).
+    pub fn row_nnz(&self, r: usize) -> usize {
+        (self.row_ptr[r + 1] - self.row_ptr[r]) as usize
+    }
+
+    /// Largest row population, used to size HHT buffers in tests.
+    pub fn max_row_nnz(&self) -> usize {
+        (0..self.rows).map(|r| self.row_nnz(r)).max().unwrap_or(0)
+    }
+}
+
+impl SparseFormat for CsrMatrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+    fn triplets(&self) -> Vec<(usize, usize, f32)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                out.push((r, *c as usize, *v));
+            }
+        }
+        out
+    }
+    fn storage_bytes(&self) -> usize {
+        self.row_ptr.len() * 4 + self.col_idx.len() * 4 + self.values.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 3x3 example of the paper's Fig. 1:
+    /// [[5, 0, 2], [0, 0, 3], [1, 0, 0]]
+    fn fig1() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 5.0), (0, 2, 2.0), (1, 2, 3.0), (2, 0, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig1_arrays_match_paper_layout() {
+        let m = fig1();
+        assert_eq!(m.row_ptr(), &[0, 2, 3, 4]);
+        assert_eq!(m.col_indices(), &[0, 2, 2, 0]);
+        assert_eq!(m.values(), &[5.0, 2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn row_accessors() {
+        let m = fig1();
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 1);
+        assert_eq!(m.max_row_nnz(), 2);
+        let (c, v) = m.row(0);
+        assert_eq!(c, &[0, 2]);
+        assert_eq!(v, &[5.0, 2.0]);
+    }
+
+    #[test]
+    fn from_raw_validates_row_ptr_length() {
+        let e = CsrMatrix::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(e, SparseError::InvalidStructure { .. }));
+    }
+
+    #[test]
+    fn from_raw_validates_monotonicity() {
+        let e = CsrMatrix::from_raw(2, 2, vec![0, 2, 1], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(e, SparseError::InvalidStructure { .. }));
+    }
+
+    #[test]
+    fn from_raw_validates_nnz_agreement() {
+        let e = CsrMatrix::from_raw(1, 2, vec![0, 2], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(e, SparseError::InvalidStructure { .. }));
+        let e = CsrMatrix::from_raw(1, 2, vec![0, 1], vec![0, 1], vec![1.0]).unwrap_err();
+        assert!(matches!(e, SparseError::InvalidStructure { .. }));
+    }
+
+    #[test]
+    fn from_raw_validates_column_order_and_bounds() {
+        // duplicate column in a row
+        let e =
+            CsrMatrix::from_raw(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(e, SparseError::InvalidStructure { .. }));
+        // out of range column
+        let e = CsrMatrix::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
+        assert!(matches!(e, SparseError::IndexOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn from_raw_accepts_valid_input() {
+        let m = CsrMatrix::from_raw(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1., 2., 3.]).unwrap();
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn triplets_round_trip_via_dense() {
+        let m = fig1();
+        let d = m.to_dense();
+        assert_eq!(d[(0, 0)], 5.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        assert_eq!(d[(2, 0)], 1.0);
+        let back = CsrMatrix::from_dense(&d);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = CsrMatrix::from_triplets(4, 4, &[(3, 3, 1.0)]).unwrap();
+        assert_eq!(m.row_ptr(), &[0, 0, 0, 0, 1]);
+        assert_eq!(m.row_nnz(0), 0);
+        assert_eq!(m.row_nnz(3), 1);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let m = fig1();
+        // (3+1) row ptrs + 4 cols + 4 vals = 12 words = 48 bytes
+        assert_eq!(m.storage_bytes(), 48);
+    }
+}

@@ -1,0 +1,156 @@
+//! ELLPACK (ELL) format.
+//!
+//! Fixed `K = max_row_nnz` slots per row, stored column-major as two
+//! `rows x K` arrays (column indices and values) with padding entries
+//! marked by a sentinel index. Classic for SIMD/GPU SpMV because every row
+//! is the same length; wasteful when row populations are skewed — which is
+//! exactly what [`BcsrMatrix::fill_ratio`]-style accounting exposes here
+//! via [`EllMatrix::padding_ratio`].
+//!
+//! [`BcsrMatrix::fill_ratio`]: crate::BcsrMatrix::fill_ratio
+
+use crate::{CooMatrix, Result, SparseFormat};
+
+/// Sentinel column index marking a padding slot.
+pub const PAD: u32 = u32::MAX;
+
+/// An ELLPACK sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EllMatrix {
+    rows: usize,
+    cols: usize,
+    /// Slots per row (the maximum row population).
+    k: usize,
+    /// Column indices, row-major `rows x k`, [`PAD`] in padding slots.
+    col_idx: Vec<u32>,
+    /// Values, row-major `rows x k`, 0.0 in padding slots.
+    values: Vec<f32>,
+    nnz: usize,
+}
+
+impl EllMatrix {
+    /// Build from `(row, col, value)` triplets.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Result<Self> {
+        Ok(Self::from_coo(&CooMatrix::from_triplets(rows, cols, triplets)?))
+    }
+
+    /// Build from a COO matrix.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let (rows, cols) = (coo.rows(), coo.cols());
+        let mut pop = vec![0usize; rows];
+        for &(r, _, _) in coo.entries() {
+            pop[r] += 1;
+        }
+        let k = pop.iter().copied().max().unwrap_or(0);
+        let mut col_idx = vec![PAD; rows * k];
+        let mut values = vec![0.0f32; rows * k];
+        let mut cursor = vec![0usize; rows];
+        for &(r, c, v) in coo.entries() {
+            let slot = r * k + cursor[r];
+            col_idx[slot] = c as u32;
+            values[slot] = v;
+            cursor[r] += 1;
+        }
+        EllMatrix { rows, cols, k, col_idx, values, nnz: coo.nnz() }
+    }
+
+    /// Slots per row.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// One row's column-index slots.
+    pub fn row_cols(&self, r: usize) -> &[u32] {
+        &self.col_idx[r * self.k..(r + 1) * self.k]
+    }
+
+    /// One row's value slots.
+    pub fn row_vals(&self, r: usize) -> &[f32] {
+        &self.values[r * self.k..(r + 1) * self.k]
+    }
+
+    /// Stored slots per true non-zero (≥ 1; 1 = perfectly uniform rows).
+    pub fn padding_ratio(&self) -> f64 {
+        if self.nnz == 0 {
+            return 1.0;
+        }
+        (self.rows * self.k) as f64 / self.nnz as f64
+    }
+}
+
+impl SparseFormat for EllMatrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+    fn triplets(&self) -> Vec<(usize, usize, f32)> {
+        let mut out = Vec::with_capacity(self.nnz);
+        for r in 0..self.rows {
+            for (c, v) in self.row_cols(r).iter().zip(self.row_vals(r)) {
+                if *c != PAD {
+                    out.push((r, *c as usize, *v));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        out
+    }
+    fn storage_bytes(&self) -> usize {
+        // index + value per slot.
+        self.rows * self.k * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrMatrix;
+
+    fn fig1() -> Vec<(usize, usize, f32)> {
+        vec![(0, 0, 5.0), (0, 2, 2.0), (1, 2, 3.0), (2, 0, 1.0)]
+    }
+
+    #[test]
+    fn k_is_max_row_population() {
+        let m = EllMatrix::from_triplets(3, 3, &fig1()).unwrap();
+        assert_eq!(m.k(), 2);
+        assert_eq!(m.row_cols(0), &[0, 2]);
+        assert_eq!(m.row_cols(1), &[2, PAD]);
+        assert_eq!(m.row_vals(1), &[3.0, 0.0]);
+    }
+
+    #[test]
+    fn padding_ratio_counts_waste() {
+        let m = EllMatrix::from_triplets(3, 3, &fig1()).unwrap();
+        // 3 rows x 2 slots = 6 slots for 4 nnz.
+        assert!((m.padding_ratio() - 1.5).abs() < 1e-12);
+        // A single dense row against empty rows is the pathological case.
+        let skewed =
+            EllMatrix::from_triplets(4, 4, &(0..4).map(|c| (0usize, c, 1.0)).collect::<Vec<_>>())
+                .unwrap();
+        assert_eq!(skewed.padding_ratio(), 4.0);
+    }
+
+    #[test]
+    fn round_trip_with_csr() {
+        let t = fig1();
+        let e = EllMatrix::from_triplets(3, 3, &t).unwrap();
+        let c = CsrMatrix::from_triplets(3, 3, &t).unwrap();
+        assert_eq!(e.triplets(), c.triplets());
+        assert_eq!(e.to_dense(), c.to_dense());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = EllMatrix::from_triplets(4, 4, &[]).unwrap();
+        assert_eq!(m.k(), 0);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.padding_ratio(), 1.0);
+        assert!(m.triplets().is_empty());
+    }
+}

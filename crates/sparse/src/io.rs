@@ -1,0 +1,263 @@
+//! MatrixMarket (`.mtx`) I/O.
+//!
+//! The paper evaluates matrices "drawn from the Texas A&M Sparse Matrix
+//! collection" (§4), which distributes MatrixMarket files. This module
+//! reads/writes the coordinate format so real collection matrices can be
+//! run through the simulator, covering:
+//!
+//! - `matrix coordinate real general` (the common case),
+//! - `integer` values (read as `f32`),
+//! - `pattern` matrices (entries get value 1.0),
+//! - `symmetric` / `skew-symmetric` storage (mirrored on load).
+
+use crate::{CooMatrix, CsrMatrix, SparseFormat};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// MatrixMarket parse errors with 1-based line numbers.
+#[derive(Debug)]
+pub enum MtxError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for MtxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MtxError::Io(e) => write!(f, "i/o error: {e}"),
+            MtxError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MtxError {}
+
+impl From<std::io::Error> for MtxError {
+    fn from(e: std::io::Error) -> Self {
+        MtxError::Io(e)
+    }
+}
+
+fn perr<T>(line: usize, msg: impl Into<String>) -> Result<T, MtxError> {
+    Err(MtxError::Parse { line, msg: msg.into() })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Read a MatrixMarket coordinate matrix into COO form.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CooMatrix, MtxError> {
+    let mut lines = reader.lines().enumerate();
+    // Header line.
+    let (ln, header) = match lines.next() {
+        Some((i, l)) => (i + 1, l?),
+        None => return perr(1, "empty file"),
+    };
+    let head: Vec<String> =
+        header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    if head.len() < 5 || head[0] != "%%matrixmarket" || head[1] != "matrix" {
+        return perr(ln, "expected '%%MatrixMarket matrix ...' header");
+    }
+    if head[2] != "coordinate" {
+        return perr(ln, format!("unsupported format '{}' (only coordinate)", head[2]));
+    }
+    let field = match head[3].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => return perr(ln, format!("unsupported field type '{other}'")),
+    };
+    let symmetry = match head[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => return perr(ln, format!("unsupported symmetry '{other}'")),
+    };
+    // Size line (skipping comments).
+    let mut size_line = None;
+    for (i, l) in lines.by_ref() {
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some((i + 1, l));
+        break;
+    }
+    let Some((ln, size)) = size_line else {
+        return perr(0, "missing size line");
+    };
+    let parts: Vec<&str> = size.split_whitespace().collect();
+    if parts.len() != 3 {
+        return perr(ln, "size line must be 'rows cols nnz'");
+    }
+    let rows: usize = parts[0].parse().map_err(|_| MtxError::Parse {
+        line: ln,
+        msg: format!("bad row count {}", parts[0]),
+    })?;
+    let cols: usize = parts[1].parse().map_err(|_| MtxError::Parse {
+        line: ln,
+        msg: format!("bad col count {}", parts[1]),
+    })?;
+    let nnz: usize = parts[2].parse().map_err(|_| MtxError::Parse {
+        line: ln,
+        msg: format!("bad nnz count {}", parts[2]),
+    })?;
+    let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(nnz);
+    let mut seen = 0usize;
+    for (i, l) in lines {
+        let l = l?;
+        let ln = i + 1;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<&str> = t.split_whitespace().collect();
+        let want = if field == Field::Pattern { 2 } else { 3 };
+        if parts.len() < want {
+            return perr(ln, format!("entry needs {want} fields, got {}", parts.len()));
+        }
+        let r: usize = parts[0]
+            .parse()
+            .map_err(|_| MtxError::Parse { line: ln, msg: format!("bad row {}", parts[0]) })?;
+        let c: usize = parts[1]
+            .parse()
+            .map_err(|_| MtxError::Parse { line: ln, msg: format!("bad col {}", parts[1]) })?;
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return perr(ln, format!("entry ({r}, {c}) out of 1-based bounds {rows}x{cols}"));
+        }
+        let v: f32 = match field {
+            Field::Pattern => 1.0,
+            _ => parts[2].parse().map_err(|_| MtxError::Parse {
+                line: ln,
+                msg: format!("bad value {}", parts[2]),
+            })?,
+        };
+        let (r, c) = (r - 1, c - 1);
+        if v != 0.0 {
+            triplets.push((r, c, v));
+        }
+        match symmetry {
+            Symmetry::General => {}
+            Symmetry::Symmetric if r != c && v != 0.0 => triplets.push((c, r, v)),
+            Symmetry::SkewSymmetric if r != c && v != 0.0 => triplets.push((c, r, -v)),
+            _ => {}
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return perr(0, format!("size line promised {nnz} entries, file has {seen}"));
+    }
+    CooMatrix::from_triplets(rows, cols, &triplets)
+        .map_err(|e| MtxError::Parse { line: 0, msg: e.to_string() })
+}
+
+/// Read a MatrixMarket matrix directly into CSR.
+pub fn read_matrix_market_csr<R: BufRead>(reader: R) -> Result<CsrMatrix, MtxError> {
+    Ok(CsrMatrix::from_coo(&read_matrix_market(reader)?))
+}
+
+/// Write a matrix in `coordinate real general` format.
+pub fn write_matrix_market<W: Write, M: SparseFormat>(w: &mut W, m: &M) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by hht-sparse")?;
+    writeln!(w, "{} {} {}", m.rows(), m.cols(), m.nnz())?;
+    for (r, c, v) in m.triplets() {
+        writeln!(w, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use std::io::Cursor;
+
+    #[test]
+    fn reads_general_real() {
+        let src = "%%MatrixMarket matrix coordinate real general\n\
+                   % a comment\n\
+                   3 3 4\n\
+                   1 1 5.0\n1 3 2.0\n2 3 3.0\n3 1 1.0\n";
+        let m = read_matrix_market_csr(Cursor::new(src)).unwrap();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_ptr(), &[0, 2, 3, 4]);
+        assert_eq!(m.values(), &[5.0, 2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn reads_pattern_and_integer() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n";
+        let m = read_matrix_market(Cursor::new(src)).unwrap();
+        assert_eq!(m.get(0, 0), Some(1.0));
+        assert_eq!(m.get(1, 1), Some(1.0));
+        let src = "%%MatrixMarket matrix coordinate integer general\n2 2 1\n2 1 7\n";
+        let m = read_matrix_market(Cursor::new(src)).unwrap();
+        assert_eq!(m.get(1, 0), Some(7.0));
+    }
+
+    #[test]
+    fn mirrors_symmetric_storage() {
+        let src = "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n\
+                   1 1 1.0\n2 1 2.0\n3 2 3.0\n";
+        let m = read_matrix_market(Cursor::new(src)).unwrap();
+        assert_eq!(m.nnz(), 5); // diagonal not mirrored
+        assert_eq!(m.get(0, 1), Some(2.0));
+        assert_eq!(m.get(1, 0), Some(2.0));
+        let src = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 4.0\n";
+        let m = read_matrix_market(Cursor::new(src)).unwrap();
+        assert_eq!(m.get(1, 0), Some(4.0));
+        assert_eq!(m.get(0, 1), Some(-4.0));
+    }
+
+    #[test]
+    fn explicit_zeros_are_dropped() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 0.0\n2 2 3.0\n";
+        let m = read_matrix_market(Cursor::new(src)).unwrap();
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(read_matrix_market(Cursor::new("")).is_err());
+        assert!(read_matrix_market(Cursor::new("hello\n")).is_err());
+        let bad_fmt = "%%MatrixMarket matrix array real general\n2 2 4\n";
+        assert!(read_matrix_market(Cursor::new(bad_fmt)).is_err());
+        let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(Cursor::new(oob)).is_err());
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1.0\n";
+        let e = read_matrix_market(Cursor::new(short)).unwrap_err();
+        assert!(e.to_string().contains("promised"));
+        let zero_based = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(Cursor::new(zero_based)).is_err());
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let m = generate::random_csr(16, 24, 0.8, 5);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &m).unwrap();
+        let back = read_matrix_market_csr(Cursor::new(buf)).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,124 @@
+//! Run-length encoded sparse format (§1 \[5]).
+//!
+//! Each non-zero is stored as a `(zero_run, value)` pair: the number of
+//! zeros separating it from the previous non-zero in row-major order,
+//! followed by its value. This is the encoding used by several DNN
+//! accelerators (e.g. SCNN) for weight streams.
+
+use crate::{CooMatrix, Result, SparseFormat};
+
+/// A run-length encoded sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RleMatrix {
+    rows: usize,
+    cols: usize,
+    /// Zero-run length preceding each value, in row-major scan order.
+    runs: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl RleMatrix {
+    /// Build from `(row, col, value)` triplets.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Result<Self> {
+        Ok(Self::from_coo(&CooMatrix::from_triplets(rows, cols, triplets)?))
+    }
+
+    /// Build from a COO matrix.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let cols = coo.cols();
+        let mut runs = Vec::with_capacity(coo.nnz());
+        let mut values = Vec::with_capacity(coo.nnz());
+        let mut prev_flat: Option<usize> = None;
+        for &(r, c, v) in coo.entries() {
+            let flat = r * cols + c;
+            let run = match prev_flat {
+                None => flat,
+                Some(p) => flat - p - 1,
+            };
+            runs.push(run as u32);
+            values.push(v);
+            prev_flat = Some(flat);
+        }
+        RleMatrix { rows: coo.rows(), cols, runs, values }
+    }
+
+    /// The zero-run lengths.
+    pub fn runs(&self) -> &[u32] {
+        &self.runs
+    }
+
+    /// The stored values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Longest zero run in the stream (determines the run-length field width
+    /// a hardware decoder needs).
+    pub fn max_run(&self) -> u32 {
+        self.runs.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl SparseFormat for RleMatrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+    fn triplets(&self) -> Vec<(usize, usize, f32)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        let mut flat = 0usize;
+        for (run, v) in self.runs.iter().zip(&self.values) {
+            flat += *run as usize;
+            out.push((flat / self.cols, flat % self.cols, *v));
+            flat += 1;
+        }
+        out
+    }
+    fn storage_bytes(&self) -> usize {
+        self.runs.len() * 4 + self.values.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrMatrix;
+
+    #[test]
+    fn runs_encode_gaps() {
+        // [[5,0,2],[0,0,3],[1,0,0]] -> flat positions 0,2,5,6
+        let t = vec![(0, 0, 5.0), (0, 2, 2.0), (1, 2, 3.0), (2, 0, 1.0)];
+        let m = RleMatrix::from_triplets(3, 3, &t).unwrap();
+        assert_eq!(m.runs(), &[0, 1, 2, 0]);
+        assert_eq!(m.values(), &[5.0, 2.0, 3.0, 1.0]);
+        assert_eq!(m.max_run(), 2);
+    }
+
+    #[test]
+    fn leading_zeros_counted_in_first_run() {
+        let m = RleMatrix::from_triplets(2, 2, &[(1, 1, 9.0)]).unwrap();
+        assert_eq!(m.runs(), &[3]);
+    }
+
+    #[test]
+    fn round_trip_with_csr() {
+        let t = vec![(0, 1, 1.0), (1, 0, 2.0), (1, 3, 3.0), (3, 2, 4.0)];
+        let rle = RleMatrix::from_triplets(4, 4, &t).unwrap();
+        let csr = CsrMatrix::from_triplets(4, 4, &t).unwrap();
+        assert_eq!(rle.triplets(), csr.triplets());
+        assert_eq!(rle.to_dense(), csr.to_dense());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = RleMatrix::from_triplets(4, 4, &[]).unwrap();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.max_run(), 0);
+        assert!(m.triplets().is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Compressed sparse vectors, the second operand of SpMSpV.
+//!
+//! A sparse vector stores sorted indices of its non-zeros plus their values
+//! — the *Vector indexes* that the SpMSpV HHT variant-1 engine matches
+//! against matrix column indices (§5.1).
+
+use crate::{DenseVector, Result, SparseError};
+
+/// A compressed sparse `f32` vector with sorted `u32` indices.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVector {
+    len: usize,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SparseVector {
+    /// An all-zero sparse vector of logical length `len`.
+    pub fn zeros(len: usize) -> Self {
+        SparseVector { len, indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Build from parallel `(index, value)` pairs. Indices must be unique
+    /// and in range; they are sorted internally.
+    pub fn from_pairs(len: usize, pairs: &[(usize, f32)]) -> Result<Self> {
+        let mut sorted: Vec<(usize, f32)> = Vec::with_capacity(pairs.len());
+        for &(i, v) in pairs {
+            if i >= len {
+                return Err(SparseError::IndexOutOfBounds { row: 0, col: i, rows: 1, cols: len });
+            }
+            sorted.push((i, v));
+        }
+        sorted.sort_unstable_by_key(|&(i, _)| i);
+        for w in sorted.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(SparseError::DuplicateEntry { row: 0, col: w[0].0 });
+            }
+        }
+        Ok(SparseVector {
+            len,
+            indices: sorted.iter().map(|&(i, _)| i as u32).collect(),
+            values: sorted.iter().map(|&(_, v)| v).collect(),
+        })
+    }
+
+    /// Build from a dense vector, keeping entries that are not exactly zero.
+    pub fn from_dense(d: &DenseVector) -> Self {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, &v) in d.as_slice().iter().enumerate() {
+            if v != 0.0 {
+                indices.push(i as u32);
+                values.push(v);
+            }
+        }
+        SparseVector { len: d.len(), indices, values }
+    }
+
+    /// Logical (uncompressed) length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Sorted indices of the non-zeros.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Values parallel to [`indices`](SparseVector::indices).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Fraction of zero entries.
+    pub fn sparsity(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / self.len as f64
+    }
+
+    /// Value at logical index `i` (0.0 when structurally zero).
+    pub fn get(&self, i: usize) -> f32 {
+        match self.indices.binary_search(&(i as u32)) {
+            Ok(k) => self.values[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Expand to a dense vector.
+    pub fn to_dense(&self) -> DenseVector {
+        let mut d = DenseVector::zeros(self.len);
+        for (i, v) in self.indices.iter().zip(&self.values) {
+            d[*i as usize] = *v;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_validates() {
+        let v = SparseVector::from_pairs(8, &[(5, 2.0), (1, 1.0)]).unwrap();
+        assert_eq!(v.indices(), &[1, 5]);
+        assert_eq!(v.values(), &[1.0, 2.0]);
+        assert!(SparseVector::from_pairs(4, &[(4, 1.0)]).is_err());
+        assert!(SparseVector::from_pairs(4, &[(2, 1.0), (2, 3.0)]).is_err());
+    }
+
+    #[test]
+    fn get_returns_zero_for_missing() {
+        let v = SparseVector::from_pairs(8, &[(3, 7.0)]).unwrap();
+        assert_eq!(v.get(3), 7.0);
+        assert_eq!(v.get(4), 0.0);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let d = DenseVector::from(vec![0.0, 1.0, 0.0, 0.0, 2.0]);
+        let s = SparseVector::from_dense(&d);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.sparsity(), 0.6);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn zeros_vector() {
+        let v = SparseVector::zeros(10);
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.sparsity(), 1.0);
+        assert_eq!(v.get(5), 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Whole-system configuration (Table 1).
+
+use hht_accel::HhtParams;
+use hht_sim::config::CacheGeometry;
+use hht_sim::CoreConfig;
+use serde::{Deserialize, Serialize};
+
+/// Table 1 of the paper, as a value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Core timing parameters (vector width, latencies).
+    pub core: CoreConfig,
+    /// HHT buffer provisioning (N buffers × BLEN elements).
+    pub hht: HhtParams,
+    /// SRAM size in bytes (Table 1: 1 MB).
+    pub ram_size: u32,
+    /// Cycles one 32-bit SRAM word access occupies the shared port.
+    pub ram_word_cycles: u64,
+    /// Core clock, Hz (Table 1: 1.1 GHz) — used only to convert cycles to
+    /// seconds for the energy model.
+    pub clock_hz: f64,
+}
+
+impl SystemConfig {
+    /// The paper's configuration: RV32 with VL=8/SEW=32, 4-cycle vector
+    /// arithmetic, ASIC HHT with N=2 buffers of 32 B, 1 MB RAM, 1.1 GHz.
+    pub fn paper_default() -> Self {
+        SystemConfig {
+            core: CoreConfig::paper_default(),
+            hht: HhtParams { num_buffers: 2, blen: 8 },
+            ram_size: 1 << 20,
+            ram_word_cycles: 1,
+            clock_hz: 1.1e9,
+        }
+    }
+
+    /// Same configuration with a different vector width (Fig. 8). The HHT
+    /// buffer length tracks the vector width ("BLEN ... corresponds to
+    /// vector width used by the RISCV vector instructions", §3.1 fn. 3),
+    /// with the 1-element scalar interface keeping the Table-1 8-element
+    /// buffers.
+    pub fn with_vlen(mut self, vlen: usize) -> Self {
+        self.core = self.core.with_vlen(vlen);
+        self.hht.blen = if vlen >= 8 { vlen } else { 8 };
+        self
+    }
+
+    /// Same configuration with N buffers (Figs. 4-7 compare N=1 and N=2).
+    pub fn with_buffers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one buffer required");
+        self.hht.num_buffers = n;
+        self
+    }
+
+    /// Same configuration with a different SRAM word latency (memory
+    /// ablation).
+    pub fn with_ram_word_cycles(mut self, c: u64) -> Self {
+        self.ram_word_cycles = c;
+        self
+    }
+
+    /// Same configuration with an L1 data cache on the CPU (§3.2's
+    /// "high-performance processor integration"; the HHT stays on the
+    /// memory side).
+    pub fn with_l1d(mut self, g: CacheGeometry) -> Self {
+        self.core = self.core.with_l1d(g);
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table1() {
+        let c = SystemConfig::paper_default();
+        assert_eq!(c.core.vlen, 8);
+        assert_eq!(c.hht.num_buffers, 2);
+        assert_eq!(c.hht.blen, 8);
+        assert_eq!(c.ram_size, 1 << 20);
+        assert_eq!(c.clock_hz, 1.1e9);
+    }
+
+    #[test]
+    fn with_vlen_keeps_blen_at_least_8() {
+        assert_eq!(SystemConfig::paper_default().with_vlen(1).hht.blen, 8);
+        assert_eq!(SystemConfig::paper_default().with_vlen(4).hht.blen, 8);
+        assert_eq!(SystemConfig::paper_default().with_vlen(8).hht.blen, 8);
+        assert_eq!(SystemConfig::paper_default().with_vlen(16).hht.blen, 16);
+    }
+
+    #[test]
+    fn with_buffers() {
+        assert_eq!(SystemConfig::paper_default().with_buffers(1).hht.num_buffers, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one buffer")]
+    fn zero_buffers_rejected() {
+        let _ = SystemConfig::paper_default().with_buffers(0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The kernel library: every program the evaluation runs, emitted as real
+//! RV32IMF+V assembly through [`hht_isa::builder::KernelBuilder`].
+//!
+//! Baselines implement Algorithm 1 (and its SpMSpV merge counterpart) on
+//! the CPU alone — including the indirect `v[cols[k]]` accesses via the
+//! vector indexed-load, "similar to Intel AVX2 Gather" (§5.4). HHT kernels
+//! program the accelerator's MMRs, start it, and consume pre-gathered
+//! values from the fixed buffer windows.
+//!
+//! Register conventions shared by all kernels:
+//!
+//! | reg | meaning |
+//! |---|---|
+//! | `a0` | rows (row-pointer) base |
+//! | `a1` | cols base |
+//! | `a2` | vals base |
+//! | `a3` | dense vector base |
+//! | `a4` | y base |
+//! | `a5` | number of rows |
+//! | `a6` | HHT primary window |
+//! | `a7` | HHT secondary window |
+//! | `s7` | HHT counts window |
+
+mod smash;
+mod spmspv;
+mod spmspv_csc;
+mod spmv;
+
+pub use smash::smash_spmv_hht;
+pub use spmspv::{spmspv_baseline, spmspv_hht_v1, spmspv_hht_v2};
+pub use spmspv_csc::{layout_spmspv_csc, spmspv_csc_baseline};
+pub use spmv::{dense_matvec, spmv_baseline, spmv_hht, spmv_hht_programmable};
+
+use crate::layout::ProblemLayout;
+use hht_accel::mmr::reg;
+use hht_accel::Mode;
+use hht_isa::builder::KernelBuilder;
+use hht_isa::Reg;
+use hht_mem::map;
+
+/// Emit the MMR programming sequence (§3.1): store each configuration
+/// register, then set `Start` last. Uses `t5`/`t6` as scratch.
+pub(crate) fn emit_hht_setup(b: &mut KernelBuilder, l: &ProblemLayout, mode: Mode) {
+    let t5 = Reg::t(5);
+    let t6 = Reg::t(6);
+    b.li(t6, map::HHT_MMR_BASE as i32);
+    let (rows_base, cols_base) = match mode {
+        // SMASH mode reuses the metadata base registers for the bitmaps.
+        Mode::Smash => (l.smash_l0_base, l.smash_l1_base),
+        _ => (l.rows_base, l.cols_base),
+    };
+    let writes: &[(u32, u32)] = &[
+        (reg::M_NUM_ROWS, l.num_rows),
+        (reg::M_ROWS_BASE, rows_base),
+        (reg::M_COLS_BASE, cols_base),
+        (reg::M_VALS_BASE, l.vals_base),
+        (reg::V_BASE, l.v_base),
+        (reg::V_IDX_BASE, l.x_idx_base),
+        (reg::V_VALS_BASE, l.x_vals_base),
+        (reg::V_NNZ, l.x_nnz),
+        (reg::M_NNZ, l.m_nnz),
+        (reg::ELEMENT_SIZES, (l.num_cols << 16) | 4),
+        (reg::MODE, mode as u32),
+        (reg::START, 1),
+    ];
+    for (off, value) in writes {
+        b.li(t5, *value as i32);
+        b.sw(t5, *off as i32, t6);
+    }
+}
+
+/// Emit the per-tile MMR reprogramming used by [`crate::tiling`]: all
+/// values come from registers loaded out of a tile descriptor, `START` is
+/// written last. `mmr` must already hold the MMR window base; `scratch`
+/// registers hold the descriptor fields.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_hht_setup_regs(
+    b: &mut KernelBuilder,
+    mmr: Reg,
+    rows_base: Reg,
+    cols_base: Reg,
+    vals_base: Reg,
+    v_base: Reg,
+    num_rows: Reg,
+    m_nnz: Reg,
+) {
+    b.sw(num_rows, reg::M_NUM_ROWS as i32, mmr);
+    b.sw(rows_base, reg::M_ROWS_BASE as i32, mmr);
+    b.sw(cols_base, reg::M_COLS_BASE as i32, mmr);
+    b.sw(vals_base, reg::M_VALS_BASE as i32, mmr);
+    b.sw(v_base, reg::V_BASE as i32, mmr);
+    b.sw(m_nnz, reg::M_NNZ as i32, mmr);
+    // Start bit last (§3.1). Use t4 as scratch: the tile-loop kernel does
+    // not keep live state there.
+    let t4 = Reg::t(4);
+    b.li(t4, 1);
+    b.sw(t4, reg::START as i32, mmr);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hht_isa::Instr;
+
+    #[test]
+    fn setup_ends_with_start_write() {
+        let mut b = KernelBuilder::new(0);
+        let l = ProblemLayout {
+            rows_base: 0x100,
+            cols_base: 0x200,
+            vals_base: 0x300,
+            v_base: 0x400,
+            x_idx_base: 0,
+            x_vals_base: 0,
+            y_base: 0x500,
+            smash_l0_base: 0,
+            smash_l1_base: 0,
+            num_rows: 4,
+            num_cols: 4,
+            m_nnz: 7,
+            x_nnz: 0,
+        };
+        emit_hht_setup(&mut b, &l, Mode::SpMV);
+        b.ebreak();
+        let p = b.build();
+        // The last store before ebreak must target the START register.
+        let stores: Vec<&Instr> =
+            p.instrs().iter().filter(|i| matches!(i, Instr::Sw { .. })).collect();
+        match stores.last().unwrap() {
+            Instr::Sw { offset, .. } => assert_eq!(*offset, reg::START as i32),
+            _ => unreachable!(),
+        }
+        assert_eq!(stores.len(), 12);
+    }
+
+    #[test]
+    fn smash_setup_points_at_bitmaps() {
+        let mut b = KernelBuilder::new(0);
+        let l = ProblemLayout {
+            rows_base: 0,
+            cols_base: 0,
+            vals_base: 0x300,
+            v_base: 0x400,
+            x_idx_base: 0,
+            x_vals_base: 0,
+            y_base: 0x500,
+            smash_l0_base: 0x1000,
+            smash_l1_base: 0x2000,
+            num_rows: 64,
+            num_cols: 64,
+            m_nnz: 9,
+            x_nnz: 0,
+        };
+        emit_hht_setup(&mut b, &l, Mode::Smash);
+        b.ebreak();
+        // Find the li t5, 0x1000 used for M_ROWS_BASE.
+        let p = b.build();
+        let has_l0 = p.instrs().iter().any(|i| {
+            matches!(i, Instr::OpImm { imm, .. } if *imm == 0x1000)
+                || matches!(i, Instr::Lui { imm20, .. } if *imm20 == 1)
+        });
+        assert!(has_l0, "level-0 bitmap base not programmed");
+    }
+}

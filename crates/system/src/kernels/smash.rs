@@ -1,0 +1,97 @@
+//! SpMV over a SMASH-encoded matrix with HHT assistance (§6).
+//!
+//! The accelerator walks the bitmap hierarchy and supplies gathered vector
+//! values plus a per-row non-zero count; the CPU streams the packed value
+//! array unit-stride. There is no CSR metadata at all — the row structure
+//! is recovered by the HHT from the bitmaps.
+
+use super::emit_hht_setup;
+use crate::layout::ProblemLayout;
+use hht_accel::hht::window;
+use hht_accel::Mode;
+use hht_isa::builder::KernelBuilder;
+use hht_isa::{FReg, Program, Reg, VReg};
+use hht_mem::map;
+
+/// HHT-assisted SMASH SpMV kernel.
+pub fn smash_spmv_hht(l: &ProblemLayout) -> Program {
+    let mut b = KernelBuilder::new(0);
+    let (a2, a5, a6, a7) = (Reg::a(2), Reg::a(5), Reg::a(6), Reg::a(7));
+    let (s0, s4, s6, s7) = (Reg::s(0), Reg::s(4), Reg::s(6), Reg::s(7));
+    let (t0, t2, t5, t6) = (Reg::t(0), Reg::t(2), Reg::t(5), Reg::t(6));
+    let (v0, v1, v3, v4, v5) =
+        (VReg::new(0), VReg::new(1), VReg::new(3), VReg::new(4), VReg::new(5));
+    b.li(a2, l.vals_base as i32);
+    b.li(a5, l.num_rows as i32);
+    b.li(a7, l.y_base as i32);
+    emit_hht_setup(&mut b, l, Mode::Smash);
+    b.li(a6, (map::HHT_BUF_BASE + window::PRIMARY) as i32);
+    b.li(s7, (map::HHT_BUF_BASE + window::COUNTS) as i32);
+    b.li(s0, 0);
+    b.mv(s4, a2); // packed vals cursor
+    b.mv(s6, a7); // y cursor
+    let (t3, t4) = (Reg::t(3), Reg::t(4));
+    let row_loop = b.here();
+    let done = b.label();
+    b.bge(s0, a5, done);
+    b.vsetvli(t0, Reg::ZERO);
+    b.vmv_v_i(v0, 0);
+    let chunk_loop = b.here();
+    b.lw(t2, 0, s7); // chunk header from the bitmap walk
+    b.srli(t4, t2, 31); // last-of-row flag
+    b.slli(t3, t2, 1); // count
+    b.srli(t3, t3, 1);
+    let inner = b.here();
+    let chunk_done = b.label();
+    b.beqz(t3, chunk_done);
+    b.vsetvli(t5, t3);
+    b.vle32(v1, a6); // gathered v values
+    b.vle32(v3, s4); // packed matrix values
+    b.vfmacc_vv(v0, v1, v3);
+    b.slli(t6, t5, 2);
+    b.add(s4, s4, t6);
+    b.sub(t3, t3, t5);
+    b.j(inner);
+    b.bind(chunk_done);
+    b.beqz(t4, chunk_loop); // more chunks in this row
+    b.vsetvli(t0, Reg::ZERO);
+    b.vmv_v_i(v4, 0);
+    b.vfredosum_vs(v5, v0, v4);
+    b.vfmv_f_s(FReg::a(0), v5);
+    b.fsw(FReg::a(0), 0, s6);
+    b.addi(s6, s6, 4);
+    b.addi(s0, s0, 1);
+    b.j(row_loop);
+    b.bind(done);
+    b.ebreak();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hht_isa::Instr;
+
+    #[test]
+    fn kernel_shape() {
+        let l = ProblemLayout {
+            rows_base: 0,
+            cols_base: 0,
+            vals_base: 0x300,
+            v_base: 0x400,
+            x_idx_base: 0,
+            x_vals_base: 0,
+            y_base: 0x500,
+            smash_l0_base: 0x1000,
+            smash_l1_base: 0x1100,
+            num_rows: 64,
+            num_cols: 64,
+            m_nnz: 10,
+            x_nnz: 0,
+        };
+        let p = smash_spmv_hht(&l);
+        // No gather, no CSR metadata loads beyond the count window.
+        assert!(!p.instrs().iter().any(|i| matches!(i, Instr::Vluxei32 { .. })));
+        assert!(p.instrs().iter().any(|i| matches!(i, Instr::Ebreak)));
+    }
+}

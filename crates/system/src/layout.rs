@@ -1,0 +1,274 @@
+//! SRAM image construction for a problem instance.
+//!
+//! Software (the host side of the reproduction) lays out the CSR arrays,
+//! the vector(s) and the output array in the simulated 1 MB SRAM; the
+//! resulting [`ProblemLayout`] carries the base addresses the kernels and
+//! the HHT MMR programming need.
+
+use hht_mem::Sram;
+use hht_sparse::{CsrMatrix, DenseMatrix, DenseVector, SmashMatrix, SparseFormat, SparseVector};
+
+/// Base addresses of every array placed in SRAM for one problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProblemLayout {
+    /// CSR row-pointer array (`rows() + 1` words).
+    pub rows_base: u32,
+    /// CSR column-index array (`nnz` words).
+    pub cols_base: u32,
+    /// CSR value array (`nnz` words). For SMASH problems this is the packed
+    /// value array.
+    pub vals_base: u32,
+    /// Dense vector (SpMV) base; 0 when absent.
+    pub v_base: u32,
+    /// Sparse vector index array base; 0 when absent.
+    pub x_idx_base: u32,
+    /// Sparse vector value array base; 0 when absent.
+    pub x_vals_base: u32,
+    /// Output vector `y` base.
+    pub y_base: u32,
+    /// SMASH level-0 bitmap base; 0 when absent.
+    pub smash_l0_base: u32,
+    /// SMASH level-1 bitmap base; 0 when no summary level.
+    pub smash_l1_base: u32,
+    /// Matrix shape and counts.
+    pub num_rows: u32,
+    /// Number of matrix columns.
+    pub num_cols: u32,
+    /// Matrix stored non-zero count.
+    pub m_nnz: u32,
+    /// Sparse vector non-zero count (0 for dense-vector problems).
+    pub x_nnz: u32,
+}
+
+/// Incremental SRAM image builder with word-aligned bump allocation.
+#[derive(Debug)]
+pub struct ImageBuilder<'a> {
+    sram: &'a mut Sram,
+    cursor: u32,
+}
+
+impl<'a> ImageBuilder<'a> {
+    /// Start allocating at `base` (must be word-aligned).
+    pub fn new(sram: &'a mut Sram, base: u32) -> Self {
+        assert_eq!(base % 4, 0, "image base must be word aligned");
+        ImageBuilder { sram, cursor: base }
+    }
+
+    /// Next free address.
+    pub fn cursor(&self) -> u32 {
+        self.cursor
+    }
+
+    fn reserve(&mut self, words: usize) -> u32 {
+        let addr = self.cursor;
+        let bytes = 4 * words as u32;
+        assert!(
+            addr + bytes <= self.sram.size(),
+            "problem does not fit in SRAM ({} bytes needed past {addr:#x})",
+            bytes
+        );
+        self.cursor += bytes;
+        // Keep arrays 32-byte separated to mimic alignment padding.
+        self.cursor = (self.cursor + 31) & !31;
+        addr
+    }
+
+    /// Place a `u32` array, returning its base address.
+    pub fn place_words(&mut self, words: &[u32]) -> u32 {
+        let addr = self.reserve(words.len().max(1));
+        self.sram.load_words(addr, words);
+        addr
+    }
+
+    /// Place an `f32` array, returning its base address.
+    pub fn place_f32s(&mut self, values: &[f32]) -> u32 {
+        let addr = self.reserve(values.len().max(1));
+        self.sram.load_f32s(addr, values);
+        addr
+    }
+
+    /// Reserve a zeroed output array of `words` words.
+    pub fn place_output(&mut self, words: usize) -> u32 {
+        self.reserve(words.max(1))
+    }
+}
+
+/// Lay out a CSR SpMV problem (`y = M * v`, dense `v`).
+pub fn layout_spmv(sram: &mut Sram, m: &CsrMatrix, v: &DenseVector) -> ProblemLayout {
+    assert_eq!(m.cols(), v.len(), "matrix/vector width mismatch");
+    let mut b = ImageBuilder::new(sram, 0x100);
+    let rows_base = b.place_words(m.row_ptr());
+    let cols_base = b.place_words(m.col_indices());
+    let vals_base = b.place_f32s(m.values());
+    let v_base = b.place_f32s(v.as_slice());
+    let y_base = b.place_output(m.rows());
+    ProblemLayout {
+        rows_base,
+        cols_base,
+        vals_base,
+        v_base,
+        x_idx_base: 0,
+        x_vals_base: 0,
+        y_base,
+        smash_l0_base: 0,
+        smash_l1_base: 0,
+        num_rows: m.rows() as u32,
+        num_cols: m.cols() as u32,
+        m_nnz: m.nnz() as u32,
+        x_nnz: 0,
+    }
+}
+
+/// Lay out a CSR SpMSpV problem (`y = M * x`, sparse `x`).
+pub fn layout_spmspv(sram: &mut Sram, m: &CsrMatrix, x: &SparseVector) -> ProblemLayout {
+    assert_eq!(m.cols(), x.len(), "matrix/vector width mismatch");
+    let mut b = ImageBuilder::new(sram, 0x100);
+    let rows_base = b.place_words(m.row_ptr());
+    let cols_base = b.place_words(m.col_indices());
+    let vals_base = b.place_f32s(m.values());
+    let x_idx_base = b.place_words(x.indices());
+    let x_vals_base = b.place_f32s(x.values());
+    let y_base = b.place_output(m.rows());
+    ProblemLayout {
+        rows_base,
+        cols_base,
+        vals_base,
+        v_base: 0,
+        x_idx_base,
+        x_vals_base,
+        y_base,
+        smash_l0_base: 0,
+        smash_l1_base: 0,
+        num_rows: m.rows() as u32,
+        num_cols: m.cols() as u32,
+        m_nnz: m.nnz() as u32,
+        x_nnz: x.nnz() as u32,
+    }
+}
+
+/// Lay out a *dense* matrix-vector problem (`vals_base` holds the
+/// row-major dense matrix) — the expansion baseline of the §6 discussion
+/// ("at lower sparsities, such expansion can improve performance").
+pub fn layout_dense(sram: &mut Sram, m: &DenseMatrix, v: &DenseVector) -> ProblemLayout {
+    assert_eq!(m.cols(), v.len(), "matrix/vector width mismatch");
+    let mut b = ImageBuilder::new(sram, 0x100);
+    let vals_base = b.place_f32s(m.as_slice());
+    let v_base = b.place_f32s(v.as_slice());
+    let y_base = b.place_output(m.rows());
+    ProblemLayout {
+        rows_base: 0,
+        cols_base: 0,
+        vals_base,
+        v_base,
+        x_idx_base: 0,
+        x_vals_base: 0,
+        y_base,
+        smash_l0_base: 0,
+        smash_l1_base: 0,
+        num_rows: m.rows() as u32,
+        num_cols: m.cols() as u32,
+        m_nnz: (m.rows() * m.cols()) as u32,
+        x_nnz: 0,
+    }
+}
+
+/// Lay out a SMASH SpMV problem: hierarchical bitmaps + packed values +
+/// dense vector.
+pub fn layout_smash_spmv(sram: &mut Sram, m: &SmashMatrix, v: &DenseVector) -> ProblemLayout {
+    assert_eq!(m.cols(), v.len(), "matrix/vector width mismatch");
+    let mut b = ImageBuilder::new(sram, 0x100);
+    let smash_l0_base = b.place_words(m.level(0));
+    let smash_l1_base = if m.num_levels() > 1 { b.place_words(m.level(1)) } else { 0 };
+    let vals_base = b.place_f32s(m.values());
+    let v_base = b.place_f32s(v.as_slice());
+    let y_base = b.place_output(m.rows());
+    ProblemLayout {
+        rows_base: 0,
+        cols_base: 0,
+        vals_base,
+        v_base,
+        x_idx_base: 0,
+        x_vals_base: 0,
+        y_base,
+        smash_l0_base,
+        smash_l1_base,
+        num_rows: m.rows() as u32,
+        num_cols: m.cols() as u32,
+        m_nnz: m.nnz() as u32,
+        x_nnz: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hht_sparse::generate;
+
+    #[test]
+    fn spmv_layout_places_all_arrays() {
+        let mut sram = Sram::new(1 << 20, 1);
+        let m = generate::random_csr(16, 16, 0.5, 1);
+        let v = generate::random_dense_vector(16, 2);
+        let l = layout_spmv(&mut sram, &m, &v);
+        // Arrays readable back.
+        assert_eq!(sram.read_u32s(l.rows_base, 17), m.row_ptr());
+        assert_eq!(sram.read_u32s(l.cols_base, m.nnz()), m.col_indices());
+        assert_eq!(sram.read_f32s(l.vals_base, m.nnz()), m.values());
+        assert_eq!(sram.read_f32s(l.v_base, 16), v.as_slice());
+        assert!(l.y_base > l.v_base);
+        assert_eq!(l.m_nnz, m.nnz() as u32);
+    }
+
+    #[test]
+    fn arrays_do_not_overlap() {
+        let mut sram = Sram::new(1 << 20, 1);
+        let m = generate::random_csr(32, 32, 0.3, 3);
+        let v = generate::random_dense_vector(32, 4);
+        let l = layout_spmv(&mut sram, &m, &v);
+        let ends = [
+            (l.rows_base, 33 * 4),
+            (l.cols_base, m.nnz() * 4),
+            (l.vals_base, m.nnz() * 4),
+            (l.v_base, 32 * 4),
+            (l.y_base, 32 * 4),
+        ];
+        for (i, (a, alen)) in ends.iter().enumerate() {
+            for (b, blen) in ends.iter().skip(i + 1) {
+                let (a0, a1) = (*a, a + *alen as u32);
+                let (b0, b1) = (*b, b + *blen as u32);
+                assert!(a1 <= b0 || b1 <= a0, "overlap between {a0:#x} and {b0:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmspv_layout_places_vector_arrays() {
+        let mut sram = Sram::new(1 << 20, 1);
+        let m = generate::random_csr(16, 16, 0.5, 5);
+        let x = generate::random_sparse_vector(16, 0.5, 6);
+        let l = layout_spmspv(&mut sram, &m, &x);
+        assert_eq!(sram.read_u32s(l.x_idx_base, x.nnz()), x.indices());
+        assert_eq!(sram.read_f32s(l.x_vals_base, x.nnz()), x.values());
+        assert_eq!(l.x_nnz, x.nnz() as u32);
+    }
+
+    #[test]
+    fn smash_layout() {
+        let mut sram = Sram::new(1 << 20, 1);
+        let m = SmashMatrix::from_triplets(64, 64, &[(0, 0, 1.0), (63, 63, 2.0)]).unwrap();
+        let v = generate::random_dense_vector(64, 7);
+        let l = layout_smash_spmv(&mut sram, &m, &v);
+        assert_ne!(l.smash_l0_base, 0);
+        assert_ne!(l.smash_l1_base, 0);
+        assert_eq!(sram.read_u32s(l.smash_l0_base, m.level(0).len()), m.level(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fit in SRAM")]
+    fn overflow_is_detected() {
+        let mut sram = Sram::new(4096, 1);
+        let m = generate::random_csr(64, 64, 0.1, 1);
+        let v = generate::random_dense_vector(64, 2);
+        let _ = layout_spmv(&mut sram, &m, &v);
+    }
+}

@@ -1,0 +1,39 @@
+//! The heterogeneous CPU + HHT system (the paper's Fig. 2 MCU).
+//!
+//! This crate wires the pieces together and is the main entry point of the
+//! reproduction:
+//!
+//! - [`config`] — [`config::SystemConfig`]: Table 1 plus the calibrated
+//!   free parameters.
+//! - [`layout`] — builds the SRAM image for a problem instance and records
+//!   where each array lives.
+//! - [`kernels`] — the kernel library: every baseline and HHT-assisted
+//!   SpMV / SpMSpV program, emitted as real RV32 assembly through
+//!   `hht-isa`.
+//! - [`system`] — [`system::System`]: the lock-step cycle loop (CPU steps
+//!   first each cycle, then the HHT, sharing the SRAM port).
+//! - [`runner`] — one-call "run kernel X on problem Y" helpers that also
+//!   verify the numeric result against the `hht-sparse` golden kernels.
+//! - [`experiments`] — the figure-level drivers (speedup sweeps, wait-cycle
+//!   fractions, vector-width sensitivity, DNN suite).
+//!
+//! ```
+//! use hht_system::config::SystemConfig;
+//! use hht_system::experiments::spmv_point;
+//!
+//! let cfg = SystemConfig::paper_default();
+//! let r = spmv_point(&cfg, 64, 0.7, 2);
+//! assert!(r.speedup() > 1.0);
+//! ```
+
+pub mod config;
+pub mod experiments;
+pub mod kernels;
+pub mod layout;
+pub mod runner;
+pub mod system;
+pub mod tiling;
+
+pub use config::SystemConfig;
+pub use runner::{RunOutput, RunStats};
+pub use system::System;

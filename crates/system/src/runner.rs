@@ -1,0 +1,259 @@
+//! One-call "run this kernel on this problem" helpers.
+//!
+//! Every runner builds the SRAM image, assembles the kernel, runs the
+//! system to completion, reads back `y` and **verifies it against the
+//! golden `hht-sparse` kernel** (exact to a small FP-reassociation
+//! tolerance). A wrong result panics: performance numbers from an
+//! incorrect kernel are meaningless.
+
+use crate::config::SystemConfig;
+use crate::kernels;
+use crate::layout;
+use crate::system::{System, SystemStats};
+use hht_mem::Sram;
+use hht_sparse::{
+    kernels as golden, CscMatrix, CsrMatrix, DenseMatrix, DenseVector, SmashMatrix,
+    SparseFormat, SparseVector,
+};
+
+/// Numeric result plus measured statistics of one kernel run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The computed output vector.
+    pub y: DenseVector,
+    /// Measured statistics.
+    pub stats: SystemStats,
+}
+
+/// Re-export of [`SystemStats`] under the name used by the experiment
+/// drivers.
+pub type RunStats = SystemStats;
+
+/// Tolerance for comparing simulated FP results with golden results: both
+/// use f32 adds in the same per-row order, but vector strip-mining
+/// reassociates partial sums.
+const TOL: f32 = 1e-3;
+
+fn verify(y: &DenseVector, golden: &DenseVector, what: &str) {
+    let scale = golden
+        .as_slice()
+        .iter()
+        .fold(1.0f32, |m, v| m.max(v.abs()));
+    let diff = y.max_abs_diff(golden);
+    assert!(
+        diff <= TOL * scale,
+        "{what}: simulated result diverges from golden (max abs diff {diff}, scale {scale})"
+    );
+}
+
+/// Build the SRAM, growing it beyond the configured (Table-1) 1 MB when
+/// the problem image does not fit. The paper runs 512x512 matrices at 10 %
+/// sparsity, whose CSR image alone is ~1.9 MB — their spike memory model
+/// must have been sized up the same way (documented in EXPERIMENTS.md).
+fn sram_for(cfg: &SystemConfig, words: usize) -> Sram {
+    // base offset + arrays + per-array alignment padding slack
+    let needed = 0x100u64 + 4 * words as u64 + 32 * 8;
+    let size = (cfg.ram_size as u64).max(needed.next_multiple_of(4096)) as u32;
+    Sram::new(size, cfg.ram_word_cycles)
+}
+
+fn spmv_words(m: &CsrMatrix, v: &DenseVector) -> usize {
+    (m.rows() + 1) + 2 * m.nnz() + v.len() + m.rows()
+}
+
+fn spmspv_words(m: &CsrMatrix, x: &SparseVector) -> usize {
+    (m.rows() + 1) + 2 * m.nnz() + 2 * x.nnz() + m.rows()
+}
+
+/// Run baseline SpMV (CPU only, Algorithm 1).
+pub fn run_spmv_baseline(cfg: &SystemConfig, m: &CsrMatrix, v: &DenseVector) -> RunOutput {
+    let mut sram = sram_for(cfg, spmv_words(m, v));
+    let l = layout::layout_spmv(&mut sram, m, v);
+    let program = kernels::spmv_baseline(&l, cfg.core.vlen > 1);
+    let mut sys = System::new(cfg, program, sram);
+    let stats = sys.run().expect("baseline SpMV kernel fault");
+    let y = sys.read_output(l.y_base, m.rows());
+    verify(&y, &golden::spmv(m, v).expect("shapes validated by layout"), "spmv_baseline");
+    RunOutput { y, stats }
+}
+
+/// Run HHT-assisted SpMV.
+pub fn run_spmv_hht(cfg: &SystemConfig, m: &CsrMatrix, v: &DenseVector) -> RunOutput {
+    let mut sram = sram_for(cfg, spmv_words(m, v));
+    let l = layout::layout_spmv(&mut sram, m, v);
+    let program = kernels::spmv_hht(&l, cfg.core.vlen > 1);
+    let mut sys = System::new(cfg, program, sram);
+    let stats = sys.run().expect("HHT SpMV kernel fault");
+    let y = sys.read_output(l.y_base, m.rows());
+    verify(&y, &golden::spmv(m, v).expect("shapes validated by layout"), "spmv_hht");
+    RunOutput { y, stats }
+}
+
+/// Run baseline SpMSpV (CPU-only scalar merge).
+pub fn run_spmspv_baseline(cfg: &SystemConfig, m: &CsrMatrix, x: &SparseVector) -> RunOutput {
+    let mut sram = sram_for(cfg, spmspv_words(m, x));
+    let l = layout::layout_spmspv(&mut sram, m, x);
+    let program = kernels::spmspv_baseline(&l);
+    let mut sys = System::new(cfg, program, sram);
+    let stats = sys.run().expect("baseline SpMSpV kernel fault");
+    let y = sys.read_output(l.y_base, m.rows());
+    verify(&y, &golden::spmspv(m, x).expect("shapes validated"), "spmspv_baseline");
+    RunOutput { y, stats }
+}
+
+/// Run the work-efficient CSC SpMSpV baseline (related work [43]):
+/// column-scatter over the non-zeros of `x` only.
+pub fn run_spmspv_csc_baseline(cfg: &SystemConfig, m: &CsrMatrix, x: &SparseVector) -> RunOutput {
+    let csc = CscMatrix::from_triplets(m.rows(), m.cols(), &m.triplets())
+        .expect("valid triplets from CSR");
+    let words = (m.cols() + 1) + 2 * m.nnz() + 2 * x.nnz() + m.rows();
+    let mut sram = sram_for(cfg, words);
+    let l = kernels::layout_spmspv_csc(&mut sram, &csc, x);
+    let program = kernels::spmspv_csc_baseline(&l);
+    let mut sys = System::new(cfg, program, sram);
+    let stats = sys.run().expect("CSC SpMSpV kernel fault");
+    let y = sys.read_output(l.y_base, m.rows());
+    verify(&y, &golden::spmspv(m, x).expect("shapes validated"), "spmspv_csc_baseline");
+    RunOutput { y, stats }
+}
+
+/// Run HHT SpMSpV variant-1 (aligned pairs).
+pub fn run_spmspv_hht_v1(cfg: &SystemConfig, m: &CsrMatrix, x: &SparseVector) -> RunOutput {
+    let mut sram = sram_for(cfg, spmspv_words(m, x));
+    let l = layout::layout_spmspv(&mut sram, m, x);
+    let program = kernels::spmspv_hht_v1(&l);
+    let mut sys = System::new(cfg, program, sram);
+    let stats = sys.run().expect("HHT SpMSpV v1 kernel fault");
+    let y = sys.read_output(l.y_base, m.rows());
+    verify(&y, &golden::spmspv(m, x).expect("shapes validated"), "spmspv_hht_v1");
+    RunOutput { y, stats }
+}
+
+/// Run HHT SpMSpV variant-2 (value-or-zero).
+pub fn run_spmspv_hht_v2(cfg: &SystemConfig, m: &CsrMatrix, x: &SparseVector) -> RunOutput {
+    let mut sram = sram_for(cfg, spmspv_words(m, x));
+    let l = layout::layout_spmspv(&mut sram, m, x);
+    let program = kernels::spmspv_hht_v2(&l);
+    let mut sys = System::new(cfg, program, sram);
+    let stats = sys.run().expect("HHT SpMSpV v2 kernel fault");
+    let y = sys.read_output(l.y_base, m.rows());
+    verify(&y, &golden::spmspv(m, x).expect("shapes validated"), "spmspv_hht_v2");
+    RunOutput { y, stats }
+}
+
+/// Run the dense (expanded) matrix-vector baseline: the §6 comparator that
+/// stores every zero and pays no metadata cost.
+pub fn run_dense_matvec(cfg: &SystemConfig, m: &DenseMatrix, v: &DenseVector) -> RunOutput {
+    let mut sram = sram_for(cfg, m.rows() * m.cols() + v.len() + m.rows());
+    let l = layout::layout_dense(&mut sram, m, v);
+    let program = kernels::dense_matvec(&l);
+    let mut sys = System::new(cfg, program, sram);
+    let stats = sys.run().expect("dense matvec kernel fault");
+    let y = sys.read_output(l.y_base, m.rows());
+    verify(&y, &m.matvec(v).expect("shapes validated"), "dense_matvec");
+    RunOutput { y, stats }
+}
+
+/// Run SpMV with the *programmable* HHT back-end (§7 future work): same
+/// CPU-side kernel, but the gather is performed by a helper core running a
+/// microprogram instead of the ASIC FSM.
+pub fn run_spmv_hht_programmable(cfg: &SystemConfig, m: &CsrMatrix, v: &DenseVector) -> RunOutput {
+    let mut sram = sram_for(cfg, spmv_words(m, v));
+    let l = layout::layout_spmv(&mut sram, m, v);
+    let program = kernels::spmv_hht_programmable(&l, cfg.core.vlen > 1);
+    let mut sys = System::new(cfg, program, sram);
+    let stats = sys.run().expect("programmable HHT SpMV kernel fault");
+    let y = sys.read_output(l.y_base, m.rows());
+    verify(
+        &y,
+        &golden::spmv(m, v).expect("shapes validated by layout"),
+        "spmv_hht_programmable",
+    );
+    RunOutput { y, stats }
+}
+
+/// Run HHT-assisted SpMV over a SMASH-encoded matrix (§6 ablation).
+pub fn run_smash_spmv_hht(cfg: &SystemConfig, m: &SmashMatrix, v: &DenseVector) -> RunOutput {
+    let words = m.level(0).len()
+        + if m.num_levels() > 1 { m.level(1).len() } else { 0 }
+        + m.nnz()
+        + v.len()
+        + m.rows();
+    let mut sram = sram_for(cfg, words);
+    let l = layout::layout_smash_spmv(&mut sram, m, v);
+    let program = kernels::smash_spmv_hht(&l);
+    let mut sys = System::new(cfg, program, sram);
+    let stats = sys.run().expect("SMASH HHT kernel fault");
+    let y = sys.read_output(l.y_base, m.rows());
+    // Golden: densify via triplets and use CSR spmv.
+    let csr = CsrMatrix::from_triplets(m.rows(), m.cols(), &m.triplets())
+        .expect("triplets from a valid SMASH matrix");
+    verify(&y, &golden::spmv(&csr, v).expect("shapes validated"), "smash_spmv_hht");
+    RunOutput { y, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hht_sparse::generate;
+
+    #[test]
+    fn spmv_baseline_and_hht_agree_with_golden() {
+        let cfg = SystemConfig::paper_default();
+        let m = generate::random_csr(24, 24, 0.6, 11);
+        let v = generate::random_dense_vector(24, 12);
+        let base = run_spmv_baseline(&cfg, &m, &v);
+        let hht = run_spmv_hht(&cfg, &m, &v);
+        // Both verified against golden inside the runners; also: HHT must
+        // be faster.
+        assert!(
+            hht.stats.cycles < base.stats.cycles,
+            "HHT ({}) not faster than baseline ({})",
+            hht.stats.cycles,
+            base.stats.cycles
+        );
+    }
+
+    #[test]
+    fn spmv_scalar_interface() {
+        let cfg = SystemConfig::paper_default().with_vlen(1);
+        let m = generate::random_csr(16, 16, 0.5, 21);
+        let v = generate::random_dense_vector(16, 22);
+        let base = run_spmv_baseline(&cfg, &m, &v);
+        let hht = run_spmv_hht(&cfg, &m, &v);
+        assert!(hht.stats.cycles < base.stats.cycles);
+    }
+
+    #[test]
+    fn spmspv_all_three_kernels_agree() {
+        let cfg = SystemConfig::paper_default();
+        let m = generate::random_csr(24, 24, 0.7, 31);
+        let x = generate::random_sparse_vector(24, 0.7, 32);
+        let base = run_spmspv_baseline(&cfg, &m, &x);
+        let v1 = run_spmspv_hht_v1(&cfg, &m, &x);
+        let v2 = run_spmspv_hht_v2(&cfg, &m, &x);
+        assert!(v1.y.max_abs_diff(&base.y) < 1e-3);
+        assert!(v2.y.max_abs_diff(&base.y) < 1e-3);
+    }
+
+    #[test]
+    fn smash_run_matches_golden() {
+        let cfg = SystemConfig::paper_default();
+        let csr = generate::random_csr(32, 32, 0.8, 41);
+        let m = SmashMatrix::from_triplets(32, 32, &csr.triplets()).unwrap();
+        let v = generate::random_dense_vector(32, 42);
+        let out = run_smash_spmv_hht(&cfg, &m, &v);
+        assert!(out.stats.cycles > 0);
+    }
+
+    #[test]
+    fn empty_matrix_runs() {
+        let cfg = SystemConfig::paper_default();
+        let m = generate::random_csr(8, 8, 1.0, 51);
+        let v = generate::random_dense_vector(8, 52);
+        let base = run_spmv_baseline(&cfg, &m, &v);
+        assert!(base.y.as_slice().iter().all(|x| *x == 0.0));
+        let hht = run_spmv_hht(&cfg, &m, &v);
+        assert!(hht.y.as_slice().iter().all(|x| *x == 0.0));
+    }
+}

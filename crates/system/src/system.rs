@@ -1,0 +1,142 @@
+//! The lock-step cycle loop coupling CPU, HHT and SRAM.
+
+use crate::config::SystemConfig;
+use hht_accel::{Hht, HhtStats};
+use hht_mem::{Sram, SramStats};
+use hht_sim::{Core, CoreStats, RunError};
+use hht_sparse::DenseVector;
+use hht_isa::Program;
+use serde::{Deserialize, Serialize};
+
+/// Everything measured in one run (§4's counters plus port statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemStats {
+    /// Total execution cycles.
+    pub cycles: u64,
+    /// CPU counters.
+    pub core: CoreStats,
+    /// HHT counters.
+    pub hht: HhtStats,
+    /// SRAM port counters.
+    pub sram: SramStats,
+}
+
+impl SystemStats {
+    /// Fraction of total time the CPU idled waiting for the HHT (Figs. 6/7).
+    pub fn cpu_wait_frac(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.core.hht_wait_cycles as f64 / self.cycles as f64
+    }
+
+    /// Fraction of total time the HHT was throttled waiting for the CPU to
+    /// free buffers.
+    pub fn hht_wait_frac(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.hht.engine.stall_out_full as f64 / self.cycles as f64
+    }
+}
+
+/// A CPU + HHT + SRAM instance executing one program.
+pub struct System {
+    core: Core,
+    hht: Hht,
+    sram: Sram,
+    cycle: u64,
+    max_cycles: u64,
+}
+
+impl System {
+    /// Build a system: the SRAM must already hold the problem image.
+    pub fn new(cfg: &SystemConfig, program: Program, sram: Sram) -> Self {
+        System {
+            core: Core::new(cfg.core, program),
+            hht: Hht::new(cfg.hht),
+            sram,
+            cycle: 0,
+            max_cycles: cfg.core.max_cycles,
+        }
+    }
+
+    /// Advance one cycle: CPU first (port priority), then the HHT.
+    pub fn step(&mut self) {
+        self.core.step(self.cycle, &mut self.sram, &mut self.hht);
+        self.hht.step(self.cycle, &mut self.sram);
+        self.cycle += 1;
+    }
+
+    /// Run to `ebreak`. Returns the collected statistics.
+    ///
+    /// Errors on guest faults; panics only if the watchdog expires (a
+    /// kernel/HHT deadlock is a reproduction bug, not a data condition).
+    pub fn run(&mut self) -> Result<SystemStats, RunError> {
+        while !self.core.halted() {
+            self.step();
+            assert!(
+                self.cycle < self.max_cycles,
+                "watchdog: no ebreak after {} cycles (kernel or HHT deadlock?)",
+                self.max_cycles
+            );
+        }
+        if let Some(e) = self.core.error() {
+            return Err(e);
+        }
+        Ok(self.stats())
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> SystemStats {
+        SystemStats {
+            cycles: self.cycle,
+            core: self.core.stats(),
+            hht: self.hht.stats(),
+            sram: self.sram.stats(),
+        }
+    }
+
+    /// Read the output vector from SRAM after a run.
+    pub fn read_output(&self, y_base: u32, n: usize) -> DenseVector {
+        DenseVector::from(self.sram.read_f32s(y_base, n))
+    }
+
+    /// Borrow the memory (for test inspection).
+    pub fn sram(&self) -> &Sram {
+        &self.sram
+    }
+
+    /// Borrow the core (for test inspection).
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hht_isa::asm::assemble;
+
+    #[test]
+    fn trivial_program_runs() {
+        let cfg = SystemConfig::paper_default();
+        let sram = Sram::new(cfg.ram_size, cfg.ram_word_cycles);
+        let p = assemble("li a0, 1\nebreak").unwrap();
+        let mut sys = System::new(&cfg, p, sram);
+        let stats = sys.run().unwrap();
+        assert!(stats.cycles >= 2);
+        assert_eq!(stats.core.instructions, 2);
+        assert_eq!(stats.cpu_wait_frac(), 0.0);
+    }
+
+    #[test]
+    fn guest_fault_is_an_error() {
+        let cfg = SystemConfig::paper_default();
+        let sram = Sram::new(cfg.ram_size, cfg.ram_word_cycles);
+        let p = assemble("li a0, 0x50000000\nlw a1, 0(a0)\nebreak").unwrap();
+        let mut sys = System::new(&cfg, p, sram);
+        // 0x5000_0000 is unmapped (not RAM, not HHT windows).
+        assert!(sys.run().is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Sparse convolution workloads (the paper's conclusion: "a heterogeneous
+//! architecture ... to accelerate sparse matrix-vector and convolution
+//! computations").
+//!
+//! A conv layer with pruned weights lowers to SpMV via *im2col*: the
+//! weight tensor `[out_ch, in_ch, k, k]` flattens to a sparse
+//! `out_ch x (in_ch*k*k)` matrix, and each output position's receptive
+//! field becomes a dense column vector. One SpMV per output position (or a
+//! batched SpMM) — the HHT accelerates the per-position gather exactly as
+//! for FC layers.
+
+use hht_sparse::{generate, CsrMatrix, DenseVector};
+use serde::{Deserialize, Serialize};
+
+/// A pruned 2-D convolution layer specification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvLayer {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Weight sparsity (fraction of pruned weights).
+    pub sparsity: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl ConvLayer {
+    /// The im2col patch length (`in_ch * k * k`).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// The lowered sparse weight matrix, `out_ch x patch_len`.
+    pub fn lowered_weights(&self) -> CsrMatrix {
+        generate::random_csr(self.out_channels, self.patch_len(), self.sparsity, self.seed)
+    }
+
+    /// One input patch (im2col column) for a single output position,
+    /// synthesized from activations in `[-1, 1]`.
+    pub fn input_patch(&self, position_seed: u64) -> DenseVector {
+        generate::random_dense_vector(self.patch_len(), self.seed ^ position_seed)
+    }
+}
+
+/// Representative pruned conv layers from the paper's network families.
+pub fn suite() -> Vec<(String, ConvLayer)> {
+    vec![
+        (
+            "mobilenet_pw".into(),
+            // MobileNet pointwise conv: 1x1, many channels.
+            ConvLayer { in_channels: 256, out_channels: 256, kernel: 1, sparsity: 0.7, seed: 0xC1 },
+        ),
+        (
+            "vgg_conv3x3".into(),
+            ConvLayer { in_channels: 64, out_channels: 128, kernel: 3, sparsity: 0.8, seed: 0xC2 },
+        ),
+        (
+            "resnet_conv3x3".into(),
+            ConvLayer { in_channels: 64, out_channels: 64, kernel: 3, sparsity: 0.75, seed: 0xC3 },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hht_sparse::SparseFormat;
+
+    #[test]
+    fn lowering_shapes() {
+        let l = ConvLayer { in_channels: 8, out_channels: 4, kernel: 3, sparsity: 0.5, seed: 1 };
+        assert_eq!(l.patch_len(), 72);
+        let w = l.lowered_weights();
+        assert_eq!(w.rows(), 4);
+        assert_eq!(w.cols(), 72);
+        assert!((w.sparsity() - 0.5).abs() < 0.05);
+        assert_eq!(l.input_patch(0).len(), 72);
+    }
+
+    #[test]
+    fn pointwise_conv_is_plain_matmul() {
+        let l = ConvLayer { in_channels: 16, out_channels: 8, kernel: 1, sparsity: 0.6, seed: 2 };
+        assert_eq!(l.patch_len(), 16);
+    }
+
+    #[test]
+    fn suite_layers_are_valid() {
+        for (name, l) in suite() {
+            let w = l.lowered_weights();
+            assert!(w.nnz() > 0, "{name} has no weights");
+            assert_eq!(w.cols(), l.patch_len());
+        }
+    }
+
+    #[test]
+    fn patches_differ_by_position() {
+        let l = suite()[1].1;
+        assert_ne!(l.input_patch(0), l.input_patch(1));
+        assert_eq!(l.input_patch(3), l.input_patch(3));
+    }
+}

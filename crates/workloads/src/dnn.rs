@@ -1,0 +1,134 @@
+//! DNN fully-connected layer workloads (Fig. 9).
+//!
+//! The paper "leveraged the quantized weights matrix of this layer from a
+//! variety of networks". We do not have the authors' quantized weights, so
+//! each entry is a synthetic stand-in with
+//!
+//! - the network's real final-FC dimensionality (1000-class ImageNet heads),
+//! - a per-network sparsity in the range quantized/pruned deployments of
+//!   that family typically show.
+//!
+//! Since the only HHT-relevant properties of a weight matrix are its shape
+//! and sparsity (the gather stream depends on the *positions* of non-zeros,
+//! which for FC weights are unstructured), the substitution preserves the
+//! measured behaviour; the paper itself notes the DNN results "are similar
+//! to the synthetic results at different sparsity and matrix sizes" (§5.4).
+
+use hht_sparse::{generate, CsrMatrix};
+use serde::{Deserialize, Serialize};
+
+/// One fully-connected layer workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FcLayer {
+    /// Network name as in Fig. 9.
+    pub network: String,
+    /// Input features of the FC layer.
+    pub in_features: usize,
+    /// Output features (classes).
+    pub out_features: usize,
+    /// Weight sparsity (fraction of zeros).
+    pub sparsity: f64,
+    /// Generator seed (fixed per network for reproducibility).
+    pub seed: u64,
+}
+
+impl FcLayer {
+    /// Materialize the weight matrix in CSR (shape `out x in`, so SpMV
+    /// computes one inference of the layer).
+    pub fn weights(&self) -> CsrMatrix {
+        generate::random_csr(self.out_features, self.in_features, self.sparsity, self.seed)
+    }
+}
+
+/// The Fig. 9 suite. Shapes are the networks' classifier layers
+/// (1000-class heads); sizes are scaled to `SCALE`th of the full
+/// dimensionality so a full sweep stays tractable in a cycle-level
+/// simulator, preserving each network's in/out ratio and sparsity.
+pub fn suite() -> Vec<FcLayer> {
+    suite_scaled(4)
+}
+
+/// The suite with an explicit down-scale divisor (1 = full layer sizes).
+pub fn suite_scaled(scale: usize) -> Vec<FcLayer> {
+    assert!(scale >= 1);
+    // (name, in_features, typical deployment sparsity)
+    let nets: &[(&str, usize, f64)] = &[
+        ("MobileNet", 1024, 0.70),
+        ("MobileNetV2", 1280, 0.72),
+        ("DenseNet", 1024, 0.60),
+        ("ResNet", 2048, 0.75),
+        ("ResNetV2", 2048, 0.78),
+        ("VGG16", 4096, 0.85),
+        ("VGG19", 4096, 0.88),
+    ];
+    nets.iter()
+        .enumerate()
+        .map(|(i, (name, in_f, sp))| FcLayer {
+            network: name.to_string(),
+            in_features: (in_f / scale).max(8),
+            out_features: (1000 / scale).max(8),
+            sparsity: *sp,
+            seed: 0xD77 + i as u64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hht_sparse::SparseFormat;
+
+    #[test]
+    fn suite_has_seven_networks() {
+        let s = suite();
+        assert_eq!(s.len(), 7);
+        let names: Vec<&str> = s.iter().map(|l| l.network.as_str()).collect();
+        assert!(names.contains(&"DenseNet"));
+        assert!(names.contains(&"VGG19"));
+    }
+
+    #[test]
+    fn weights_match_requested_sparsity() {
+        for l in suite() {
+            let m = l.weights();
+            assert_eq!(m.rows(), l.out_features);
+            assert_eq!(m.cols(), l.in_features);
+            assert!(
+                (m.sparsity() - l.sparsity).abs() < 0.02,
+                "{}: sparsity {} vs {}",
+                l.network,
+                m.sparsity(),
+                l.sparsity
+            );
+        }
+    }
+
+    #[test]
+    fn weights_are_reproducible() {
+        let a = suite()[0].weights();
+        let b = suite()[0].weights();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaling_preserves_ratio() {
+        let full = suite_scaled(1);
+        let quarter = suite_scaled(4);
+        assert_eq!(full[0].in_features, 1024);
+        assert_eq!(quarter[0].in_features, 256);
+        assert_eq!(quarter[0].out_features, 250);
+    }
+
+    #[test]
+    fn densenet_is_least_sparse_vgg19_most() {
+        // Fig. 9's ordering driver: DenseNet lowest speedup (densest),
+        // VGG19 highest.
+        let s = suite();
+        let dense = s.iter().find(|l| l.network == "DenseNet").unwrap();
+        let vgg = s.iter().find(|l| l.network == "VGG19").unwrap();
+        for l in &s {
+            assert!(l.sparsity >= dense.sparsity);
+            assert!(l.sparsity <= vgg.sparsity);
+        }
+    }
+}

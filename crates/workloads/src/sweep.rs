@@ -1,0 +1,93 @@
+//! The synthetic sparsity-sweep inputs of Figs. 4-8.
+
+use hht_sparse::{generate, CsrMatrix, DenseVector, SparseVector};
+use serde::{Deserialize, Serialize};
+
+/// One (matrix, dense vector) SpMV input at a given sparsity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmvInput {
+    /// The sparse matrix.
+    pub matrix: CsrMatrix,
+    /// The dense vector.
+    pub vector: DenseVector,
+    /// Target sparsity.
+    pub sparsity: f64,
+}
+
+/// One (matrix, sparse vector) SpMSpV input at a given shared sparsity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmspvInput {
+    /// The sparse matrix.
+    pub matrix: CsrMatrix,
+    /// The sparse vector.
+    pub vector: SparseVector,
+    /// Target sparsity (shared by matrix and vector, as in §5.1).
+    pub sparsity: f64,
+}
+
+/// Parameters of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Matrix dimension (paper: 512).
+    pub n: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec { n: 512, seed: 0xF1C5 }
+    }
+}
+
+impl SweepSpec {
+    /// SpMV input at one sparsity level.
+    pub fn spmv_input(&self, sparsity: f64) -> SpmvInput {
+        let seed = self.seed ^ ((sparsity * 1e3) as u64);
+        SpmvInput {
+            matrix: generate::random_csr(self.n, self.n, sparsity, seed),
+            vector: generate::random_dense_vector(self.n, seed ^ 0xAA),
+            sparsity,
+        }
+    }
+
+    /// SpMSpV input at one sparsity level.
+    pub fn spmspv_input(&self, sparsity: f64) -> SpmspvInput {
+        let seed = self.seed ^ 0x5000 ^ ((sparsity * 1e3) as u64);
+        SpmspvInput {
+            matrix: generate::random_csr(self.n, self.n, sparsity, seed),
+            vector: generate::random_sparse_vector(self.n, sparsity, seed ^ 0xBB),
+            sparsity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hht_sparse::SparseFormat;
+
+    #[test]
+    fn inputs_hit_requested_sparsity() {
+        let spec = SweepSpec { n: 128, seed: 1 };
+        for s in [0.1, 0.5, 0.9] {
+            let i = spec.spmv_input(s);
+            assert!((i.matrix.sparsity() - s).abs() < 0.02);
+            let j = spec.spmspv_input(s);
+            assert!((j.matrix.sparsity() - s).abs() < 0.02);
+            assert!((j.vector.sparsity() - s).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn default_spec_is_paper_size() {
+        assert_eq!(SweepSpec::default().n, 512);
+    }
+
+    #[test]
+    fn inputs_are_reproducible_and_distinct_across_sparsity() {
+        let spec = SweepSpec { n: 64, seed: 2 };
+        assert_eq!(spec.spmv_input(0.5), spec.spmv_input(0.5));
+        assert_ne!(spec.spmv_input(0.5).matrix, spec.spmv_input(0.6).matrix);
+    }
+}

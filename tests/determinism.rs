@@ -1,0 +1,67 @@
+//! The simulation is fully deterministic: identical inputs produce
+//! identical cycle counts, statistics and results — a property the
+//! experiment sweeps rely on (and which a real Spike-with-extensions setup
+//! also has).
+
+use hht::sparse::generate;
+use hht::system::config::SystemConfig;
+use hht::system::{experiments, runner};
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let cfg = SystemConfig::paper_default();
+    let m = generate::random_csr(48, 48, 0.6, 1234);
+    let v = generate::random_dense_vector(48, 1235);
+    let a = runner::run_spmv_hht(&cfg, &m, &v);
+    let b = runner::run_spmv_hht(&cfg, &m, &v);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.y, b.y);
+}
+
+#[test]
+fn experiment_points_are_reproducible() {
+    let cfg = SystemConfig::paper_default();
+    let a = experiments::spmv_point(&cfg, 48, 0.5, 2);
+    let b = experiments::spmv_point(&cfg, 48, 0.5, 2);
+    assert_eq!(a, b);
+    let c = experiments::spmspv_point(&cfg, 48, 0.5, 2, experiments::SpMSpVKind::V1);
+    let d = experiments::spmspv_point(&cfg, 48, 0.5, 2, experiments::SpMSpVKind::V1);
+    assert_eq!(c, d);
+}
+
+#[test]
+fn different_seeds_give_different_matrices_same_trends() {
+    let cfg = SystemConfig::paper_default();
+    // Three seeds, all must show HHT gains.
+    for seed in [1u64, 1000, 424242] {
+        let m = generate::random_csr(64, 64, 0.5, seed);
+        let v = generate::random_dense_vector(64, seed ^ 0xF);
+        let base = runner::run_spmv_baseline(&cfg, &m, &v);
+        let hht = runner::run_spmv_hht(&cfg, &m, &v);
+        assert!(
+            hht.stats.cycles < base.stats.cycles,
+            "seed {seed}: {} !< {}",
+            hht.stats.cycles,
+            base.stats.cycles
+        );
+    }
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let cfg = SystemConfig::paper_default();
+    let m = generate::random_csr(48, 48, 0.5, 7);
+    let v = generate::random_dense_vector(48, 8);
+    let out = runner::run_spmv_hht(&cfg, &m, &v);
+    let s = out.stats;
+    // The HHT delivered exactly nnz elements through the primary window.
+    assert_eq!(s.hht.elements_delivered, 48 * 48 / 2);
+    // Every delivered element was fetched from memory by the BE, plus one
+    // metadata read per element (cols array).
+    assert_eq!(s.hht.engine.mem_reads, 2 * s.hht.elements_delivered);
+    // Wait fractions are proper fractions.
+    assert!(s.cpu_wait_frac() >= 0.0 && s.cpu_wait_frac() <= 1.0);
+    assert!(s.hht_wait_frac() >= 0.0 && s.hht_wait_frac() <= 1.0);
+    // The core retired at least one instruction per matrix row.
+    assert!(s.core.instructions > 48);
+}
