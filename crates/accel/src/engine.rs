@@ -267,8 +267,7 @@ impl SpMSpVEngine {
     /// Create the engine for the given variant; `blen` is the chunk size
     /// (the buffer length).
     pub fn new(cfg: EngineConfig, variant: SpMSpVVariant, blen: usize) -> Self {
-        let phase =
-            if cfg.num_rows == 0 { MergePhase::Finished } else { MergePhase::NeedRowEnd };
+        let phase = if cfg.num_rows == 0 { MergePhase::Finished } else { MergePhase::NeedRowEnd };
         SpMSpVEngine {
             cfg,
             variant,
@@ -449,11 +448,8 @@ impl Engine for SpMSpVEngine {
                     std::cmp::Ordering::Equal => {
                         // Match: fetch the vector value (both variants need
                         // space in `primary`; variant-1 also in `secondary`).
-                        let need_secondary =
-                            matches!(self.variant, SpMSpVVariant::Aligned);
-                        if out.primary.is_full()
-                            || (need_secondary && out.secondary.is_full())
-                        {
+                        let need_secondary = matches!(self.variant, SpMSpVVariant::Aligned);
+                        if out.primary.is_full() || (need_secondary && out.secondary.is_full()) {
                             stats.stall_out_full += 1;
                             return;
                         }
@@ -775,12 +771,7 @@ mod tests {
         // cols at 0x100: [2, 0, 3]; v at 0x200: [10., 11., 12., 13.]
         sram.load_words(0x100, &[2, 0, 3]);
         sram.load_f32s(0x200, &[10.0, 11.0, 12.0, 13.0]);
-        let cfg = EngineConfig {
-            m_nnz: 3,
-            cols_base: 0x100,
-            v_base: 0x200,
-            ..base_cfg()
-        };
+        let cfg = EngineConfig { m_nnz: 3, cols_base: 0x100, v_base: 0x200, ..base_cfg() };
         let mut e = GatherEngine::new(cfg, 8);
         let (p, _, _, stats) = run_engine(&mut e, &mut sram, 1000);
         let vals: Vec<f32> = p.iter().map(|b| f32::from_bits(*b)).collect();
@@ -796,8 +787,7 @@ mod tests {
         let cols: Vec<u32> = (0..n).collect();
         sram.load_words(0x100, &cols);
         sram.load_f32s(0x1000, &vec![1.0; n as usize]);
-        let cfg =
-            EngineConfig { m_nnz: n, cols_base: 0x100, v_base: 0x1000, ..base_cfg() };
+        let cfg = EngineConfig { m_nnz: n, cols_base: 0x100, v_base: 0x1000, ..base_cfg() };
         let mut e = GatherEngine::new(cfg, 8);
         let mut primary = ElemFifo::new(1024);
         let mut secondary = ElemFifo::new(1);
@@ -827,8 +817,7 @@ mod tests {
         let mut sram = Sram::new(4096, 1);
         sram.load_words(0x100, &[0, 1, 2, 3]);
         sram.load_f32s(0x200, &[1.0, 2.0, 3.0, 4.0]);
-        let cfg =
-            EngineConfig { m_nnz: 4, cols_base: 0x100, v_base: 0x200, ..base_cfg() };
+        let cfg = EngineConfig { m_nnz: 4, cols_base: 0x100, v_base: 0x200, ..base_cfg() };
         let mut e = GatherEngine::new(cfg, 8);
         let mut primary = ElemFifo::new(2); // tiny output
         let mut secondary = ElemFifo::new(1);
@@ -882,10 +871,7 @@ mod tests {
         let sv: Vec<f32> = s.iter().map(|b| f32::from_bits(*b)).collect();
         assert_eq!(pv, vec![10.0, 20.0, 10.0, 30.0]);
         assert_eq!(sv, vec![1.0, 2.0, 4.0, 5.0]);
-        assert_eq!(
-            c,
-            vec![chunk_header(2, true), chunk_header(0, true), chunk_header(2, true)]
-        );
+        assert_eq!(c, vec![chunk_header(2, true), chunk_header(0, true), chunk_header(2, true)]);
     }
 
     #[test]
@@ -915,10 +901,7 @@ mod tests {
         let (p, s, c, _) = run_engine(&mut e, &mut sram, 100_000);
         assert_eq!(p.len(), 20);
         assert_eq!(s.len(), 20);
-        assert_eq!(
-            c,
-            vec![chunk_header(8, false), chunk_header(8, false), chunk_header(4, true)]
-        );
+        assert_eq!(c, vec![chunk_header(8, false), chunk_header(8, false), chunk_header(4, true)]);
     }
 
     #[test]
@@ -978,10 +961,7 @@ mod tests {
         let pv: Vec<f32> = p.iter().map(|b| f32::from_bits(*b)).collect();
         // nnz at (0,0),(0,2),(1,2),(2,0) -> v[0],v[2],v[2],v[0]
         assert_eq!(pv, vec![10.0, 12.0, 12.0, 10.0]);
-        assert_eq!(
-            c,
-            vec![chunk_header(2, true), chunk_header(1, true), chunk_header(1, true)]
-        );
+        assert_eq!(c, vec![chunk_header(2, true), chunk_header(1, true), chunk_header(1, true)]);
     }
 
     #[test]
@@ -1007,10 +987,7 @@ mod tests {
         let mut e = SmashEngine::new(cfg, 8);
         let (p, _, c, _) = run_engine(&mut e, &mut sram, 100_000);
         assert_eq!(p.len(), 20);
-        assert_eq!(
-            c,
-            vec![chunk_header(8, false), chunk_header(8, false), chunk_header(4, true)]
-        );
+        assert_eq!(c, vec![chunk_header(8, false), chunk_header(8, false), chunk_header(4, true)]);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::mmr::{reg, Mode, RegisterFile};
 use hht_mem::map;
 use hht_mem::mmio::{MmioDevice, MmioReadResult};
 use hht_mem::Sram;
+use hht_obs::{Event, EventBus, EventKind, StallCause, Track};
 use serde::{Deserialize, Serialize};
 
 /// Byte offsets of the stream windows inside the HHT buffer region.
@@ -75,6 +76,15 @@ pub struct Hht {
     engine: Option<Box<dyn Engine + Send>>,
     engine_done: bool,
     stats: HhtStats,
+    obs: Option<Box<EventBus>>,
+    /// True while an "engine" busy slice is open on the back-end track.
+    run_slice_open: bool,
+    /// True while an output-full stall interval is open on the back-end
+    /// track.
+    out_stall_open: bool,
+    /// Last emitted occupancy per stream buffer (primary, secondary,
+    /// counts), so the counter tracks only record changes.
+    last_levels: [u32; 3],
 }
 
 impl std::fmt::Debug for Hht {
@@ -101,6 +111,25 @@ impl Hht {
             engine: None,
             engine_done: false,
             stats: HhtStats::default(),
+            obs: None,
+            run_slice_open: false,
+            out_stall_open: false,
+            last_levels: [0; 3],
+        }
+    }
+
+    /// Install a structured-event sink for back-end slices, output-full
+    /// stalls and buffer-occupancy counters.
+    pub fn set_event_bus(&mut self, bus: EventBus) {
+        self.obs = Some(Box::new(bus));
+    }
+
+    /// Move the collected events out of the HHT's bus (empty when no bus
+    /// is installed).
+    pub fn take_events(&mut self) -> Vec<Event> {
+        match self.obs.as_mut() {
+            Some(bus) => bus.take_events(),
+            None => Vec::new(),
         }
     }
 
@@ -129,6 +158,7 @@ impl Hht {
         if let Some(engine) = self.engine.as_mut() {
             if !self.engine_done {
                 self.stats.busy_cycles += 1;
+                let out_full_before = self.stats.engine.stall_out_full;
                 engine.step(
                     now,
                     sram,
@@ -142,15 +172,54 @@ impl Hht {
                 if engine.done() {
                     self.engine_done = true;
                 }
+                if self.obs.is_some() {
+                    self.emit_step_events(now, out_full_before);
+                }
             }
         }
     }
 
+    /// Per-step event emission (cold path: only with a bus installed).
+    fn emit_step_events(&mut self, now: u64, out_full_before: u64) {
+        let stalled_out = self.stats.engine.stall_out_full > out_full_before;
+        let done = self.engine_done;
+        let levels =
+            [self.primary.len() as u32, self.secondary.len() as u32, self.counts.len() as u32];
+        let Some(bus) = self.obs.as_mut() else { return };
+        if !self.run_slice_open {
+            bus.emit(now, Track::HhtBackend, EventKind::SliceBegin("engine"));
+            self.run_slice_open = true;
+        }
+        match (stalled_out, self.out_stall_open) {
+            (true, false) => {
+                bus.emit(now, Track::HhtBackend, EventKind::StallBegin(StallCause::OutputFull));
+                self.out_stall_open = true;
+            }
+            (false, true) => {
+                bus.emit(now, Track::HhtBackend, EventKind::StallEnd(StallCause::OutputFull));
+                self.out_stall_open = false;
+            }
+            _ => {}
+        }
+        let tracks = [Track::BufferPrimary, Track::BufferSecondary, Track::BufferCounts];
+        for i in 0..3 {
+            if levels[i] != self.last_levels[i] {
+                bus.emit(now, tracks[i], EventKind::BufferLevel { level: levels[i] });
+                self.last_levels[i] = levels[i];
+            }
+        }
+        if done {
+            if self.out_stall_open {
+                bus.emit(now, Track::HhtBackend, EventKind::StallEnd(StallCause::OutputFull));
+                self.out_stall_open = false;
+            }
+            bus.emit(now, Track::HhtBackend, EventKind::SliceEnd("engine"));
+            self.run_slice_open = false;
+        }
+    }
+
     fn start(&mut self) {
-        let cfg = self
-            .regs
-            .decode()
-            .expect("software programmed an invalid HHT configuration");
+        let cfg = self.regs.decode().expect("software programmed an invalid HHT configuration");
         self.primary.clear();
         self.secondary.clear();
         self.counts.clear();
@@ -164,9 +233,7 @@ impl Hht {
                 Box::new(SpMSpVEngine::new(cfg, SpMSpVVariant::ValueOrZero, self.params.blen))
             }
             Mode::Smash => Box::new(SmashEngine::new(cfg, self.params.blen)),
-            Mode::ProgrammableSpMV => {
-                Box::new(crate::programmable::ProgrammableEngine::new(cfg))
-            }
+            Mode::ProgrammableSpMV => Box::new(crate::programmable::ProgrammableEngine::new(cfg)),
         });
         // A trivially empty operation may be done before its first step.
         if self.engine.as_ref().map(|e| e.done()).unwrap_or(false) {
@@ -257,10 +324,7 @@ mod tests {
         assert_eq!(got, vec![6.0, 5.0, 7.0]);
         assert!(hht.done());
         // Status register reads 1.
-        assert_eq!(
-            hht.mmio_read(map::HHT_MMR_BASE + reg::STATUS, 999),
-            MmioReadResult::Data(1)
-        );
+        assert_eq!(hht.mmio_read(map::HHT_MMR_BASE + reg::STATUS, 999), MmioReadResult::Data(1));
     }
 
     #[test]

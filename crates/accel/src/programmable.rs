@@ -178,7 +178,11 @@ mod tests {
         }
     }
 
-    fn run(engine: &mut ProgrammableEngine, sram: &mut Sram, budget: u64) -> (Vec<u32>, EngineStats) {
+    fn run(
+        engine: &mut ProgrammableEngine,
+        sram: &mut Sram,
+        budget: u64,
+    ) -> (Vec<u32>, EngineStats) {
         let mut primary = ElemFifo::new(16);
         let mut secondary = ElemFifo::new(1);
         let mut counts = ElemFifo::new(1);

@@ -24,9 +24,7 @@ fn bench_programmable(c: &mut Criterion) {
     );
     let mut group = c.benchmark_group("programmable_hht");
     group.sample_size(10);
-    group.bench_function("asic", |b| {
-        b.iter(|| runner::run_spmv_hht(&cfg, &m, &v).stats.cycles)
-    });
+    group.bench_function("asic", |b| b.iter(|| runner::run_spmv_hht(&cfg, &m, &v).stats.cycles));
     group.bench_function("microprogram", |b| {
         b.iter(|| runner::run_spmv_hht_programmable(&cfg, &m, &v).stats.cycles)
     });

@@ -23,15 +23,11 @@ fn bench_fig9(c: &mut Criterion) {
             hht.stats.cycles,
             base.stats.cycles as f64 / hht.stats.cycles as f64
         );
-        group.bench_with_input(
-            BenchmarkId::new("hht", &layer.network),
-            &layer,
-            |b, l| {
-                let m = l.weights();
-                let v = generate::random_dense_vector(m.cols(), l.seed ^ 0x9);
-                b.iter(|| runner::run_spmv_hht(&cfg, &m, &v).stats.cycles)
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("hht", &layer.network), &layer, |b, l| {
+            let m = l.weights();
+            let v = generate::random_dense_vector(m.cols(), l.seed ^ 0x9);
+            b.iter(|| runner::run_spmv_hht(&cfg, &m, &v).stats.cycles)
+        });
     }
     group.finish();
 }

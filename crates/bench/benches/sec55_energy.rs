@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hht_energy::{
-    area_um2, energy_savings, hht_inventory, hht_to_ibex_area_ratio, ibex_inventory,
-    power_watts, ClockSpeed, ProcessNode,
+    area_um2, energy_savings, hht_inventory, hht_to_ibex_area_ratio, ibex_inventory, power_watts,
+    ClockSpeed, ProcessNode,
 };
 use hht_system::config::SystemConfig;
 use hht_system::experiments;
@@ -13,11 +13,8 @@ use hht_system::experiments;
 fn bench_sec55(c: &mut Criterion) {
     println!("sec5.5 area ratio: {:.3} (paper: 0.389)", hht_to_ibex_area_ratio());
     let p_core = power_watts(&ibex_inventory(), ProcessNode::N16, ClockSpeed::MHz50);
-    let p_sys = power_watts(
-        &ibex_inventory().plus(&hht_inventory()),
-        ProcessNode::N16,
-        ClockSpeed::MHz50,
-    );
+    let p_sys =
+        power_watts(&ibex_inventory().plus(&hht_inventory()), ProcessNode::N16, ClockSpeed::MHz50);
     println!(
         "sec5.5 power: core {:.0} uW (paper 223), core+HHT {:.0} uW (paper 314)",
         p_core.total_uw(),

@@ -15,17 +15,42 @@
 //!
 //! Each figure also prints the paper's reported band next to the measured
 //! values so the comparison in EXPERIMENTS.md can be regenerated.
+//!
+//! Observability flags (usable with any subcommand):
+//!
+//! - `--metrics-out <path>` — run one instrumented HHT SpMV and write the
+//!   unified [`hht_system::MetricsSnapshot`] as JSON (validated: the
+//!   per-cause stall histogram sums exactly to the coarse wait counters);
+//! - `--trace-out <path>` — same run, exported as Chrome trace-event JSON
+//!   (open in `chrome://tracing` or <https://ui.perfetto.dev>).
 
 use hht_bench::format::table;
 use hht_energy::{ClockSpeed, ProcessNode};
 use hht_system::config::SystemConfig;
 use hht_system::experiments::{self, PAPER_SPARSITIES};
 
+/// Remove `flag <value>` from `args`, returning the value when present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} requires a path argument");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_out = take_flag(&mut args, "--metrics-out");
+    let trace_out = take_flag(&mut args, "--trace-out");
     let which = args.first().map(String::as_str).unwrap_or("all");
     let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(512);
     let cfg = SystemConfig::paper_default();
+    if metrics_out.is_some() || trace_out.is_some() {
+        export_observability(&cfg, n.min(256), metrics_out, trace_out);
+    }
     match which {
         "table1" => table1(&cfg),
         "fig4" => fig4(&cfg, n),
@@ -76,6 +101,38 @@ fn main() {
     }
 }
 
+/// One instrumented HHT SpMV run exporting the unified metrics snapshot
+/// and/or the Chrome event trace.
+fn export_observability(
+    cfg: &SystemConfig,
+    n: usize,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+) {
+    use hht_system::config::TraceConfig;
+    let traced = cfg.with_trace(TraceConfig::enabled());
+    let m = hht_sparse::generate::random_csr(n, n, 0.5, 0xB5);
+    let v = hht_sparse::generate::random_dense_vector(n, 0xB6);
+    let out = hht_system::runner::run_spmv_hht(&traced, &m, &v);
+    let snap = out.stats.snapshot();
+    snap.validate().expect("stall histogram must sum exactly to the wait counters");
+    if let Some(path) = metrics_out {
+        write_or_exit(&path, &snap.to_json());
+        eprintln!("wrote metrics snapshot ({n}x{n} SpMV, 50% sparsity) to {path}");
+    }
+    if let Some(path) = trace_out {
+        write_or_exit(&path, &hht_obs::chrome::chrome_trace_json(&out.events));
+        eprintln!("wrote Chrome trace ({} events) to {path}", out.events.len());
+    }
+}
+
+fn write_or_exit(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+}
+
 fn header(title: &str, paper: &str) {
     println!("\n=== {title} ===");
     println!("paper: {paper}\n");
@@ -115,10 +172,8 @@ fn fig4(cfg: &SystemConfig, n: usize) {
             format!("{:.3}", sweep[1].1[i].speedup()),
         ]);
     }
-    let avg1: f64 =
-        sweep[0].1.iter().map(|p| p.speedup()).sum::<f64>() / sweep[0].1.len() as f64;
-    let avg2: f64 =
-        sweep[1].1.iter().map(|p| p.speedup()).sum::<f64>() / sweep[1].1.len() as f64;
+    let avg1: f64 = sweep[0].1.iter().map(|p| p.speedup()).sum::<f64>() / sweep[0].1.len() as f64;
+    let avg2: f64 = sweep[1].1.iter().map(|p| p.speedup()).sum::<f64>() / sweep[1].1.len() as f64;
     rows.push(vec!["avg".into(), format!("{avg1:.3}"), format!("{avg2:.3}")]);
     print!("{}", table(&["sparsity", "HHT_1buffer", "HHT_2buffer"], &rows));
 }
@@ -139,10 +194,7 @@ fn fig5(cfg: &SystemConfig, n: usize) {
             format!("{:.3}", sweep[3].2[i].speedup()),
         ]);
     }
-    print!(
-        "{}",
-        table(&["sparsity", "v1_1buf", "v1_2buf", "v2_1buf", "v2_2buf"], &rows)
-    );
+    print!("{}", table(&["sparsity", "v1_1buf", "v1_2buf", "v2_1buf", "v2_2buf"], &rows));
 }
 
 fn fig6(cfg: &SystemConfig, n: usize) {
@@ -178,10 +230,7 @@ fn fig7(cfg: &SystemConfig, n: usize) {
             format!("{:.4}", sweep[3].2[i].cpu_wait_frac),
         ]);
     }
-    print!(
-        "{}",
-        table(&["sparsity", "v1_1buf", "v1_2buf", "v2_1buf", "v2_2buf"], &rows)
-    );
+    print!("{}", table(&["sparsity", "v1_1buf", "v1_2buf", "v2_1buf", "v2_2buf"], &rows));
 }
 
 fn fig8(cfg: &SystemConfig, n: usize) {
@@ -203,10 +252,7 @@ fn fig8(cfg: &SystemConfig, n: usize) {
 }
 
 fn fig9(cfg: &SystemConfig) {
-    header(
-        "Fig. 9: DNN fully-connected layers",
-        "1.53x on DenseNet up to 1.92x on VGG19",
-    );
+    header("Fig. 9: DNN fully-connected layers", "1.53x on DenseNet up to 1.92x on VGG19");
     let results = experiments::dnn_suite(cfg);
     let rows = results
         .iter()
@@ -232,18 +278,12 @@ fn area() {
         / hht_energy::ibex_inventory().total_ge();
     let mut rows = vec![
         vec!["ASIC HHT / Ibex area ratio".into(), format!("{:.1}%", ratio * 100.0)],
-        vec![
-            "programmable HHT / Ibex (Sec. 7)".into(),
-            format!("{:.1}%", prog_ratio * 100.0),
-        ],
+        vec!["programmable HHT / Ibex (Sec. 7)".into(), format!("{:.1}%", prog_ratio * 100.0)],
     ];
     for node in ProcessNode::ALL {
         let core = hht_energy::area_um2(&hht_energy::ibex_inventory(), node);
         let hht = hht_energy::area_um2(&hht_energy::hht_inventory(), node);
-        rows.push(vec![
-            format!("Ibex-class core @ {}", node.name()),
-            format!("{core:.0} um^2"),
-        ]);
+        rows.push(vec![format!("Ibex-class core @ {}", node.name()), format!("{core:.0} um^2")]);
         rows.push(vec![format!("HHT @ {}", node.name()), format!("{hht:.0} um^2")]);
     }
     print!("{}", table(&["quantity", "value"], &rows));
@@ -299,10 +339,7 @@ fn energy(cfg: &SystemConfig, n: usize) {
         format!("{:.3}", p16.speedup()),
         format!("{:.1}%", e16.savings() * 100.0),
     ]);
-    print!(
-        "{}",
-        table(&["sparsity", "P_base(uW)", "P_hht(uW)", "speedup", "energy saved"], &rows)
-    );
+    print!("{}", table(&["sparsity", "P_base(uW)", "P_hht(uW)", "speedup", "energy saved"], &rows));
 }
 
 fn motivation(cfg: &SystemConfig, n: usize) {
@@ -327,7 +364,14 @@ fn motivation(cfg: &SystemConfig, n: usize) {
     print!(
         "{}",
         table(
-            &["sparsity", "meta loads", "base instr/nnz", "hht instr/nnz", "base beats/nnz", "hht beats/nnz"],
+            &[
+                "sparsity",
+                "meta loads",
+                "base instr/nnz",
+                "hht instr/nnz",
+                "base beats/nnz",
+                "hht beats/nnz"
+            ],
             &rows
         )
     );
@@ -358,10 +402,7 @@ fn crossover(cfg: &SystemConfig, n: usize) {
             ]
         })
         .collect::<Vec<_>>();
-    print!(
-        "{}",
-        table(&["sparsity", "dense", "sparse base", "sparse+HHT", "fastest"], &rows)
-    );
+    print!("{}", table(&["sparsity", "dense", "sparse base", "sparse+HHT", "fastest"], &rows));
 }
 
 fn ablate_baseline(cfg: &SystemConfig, n: usize) {
@@ -565,10 +606,7 @@ fn ablate_format(cfg: &SystemConfig, n: usize) {
         .collect::<Vec<_>>();
     print!(
         "{}",
-        table(
-            &["sparsity", "csr_cycles", "smash_cycles", "csr_cpu_wait", "smash_cpu_wait"],
-            &rows
-        )
+        table(&["sparsity", "csr_cycles", "smash_cycles", "csr_cpu_wait", "smash_cpu_wait"], &rows)
     );
 }
 

@@ -71,10 +71,9 @@ fn parse_imm(s: &str, line: usize) -> Result<i32, AsmError> {
 /// Parse `offset(base)` into `(offset, Reg)`.
 fn parse_mem(s: &str, line: usize) -> Result<(i32, Reg), AsmError> {
     let s = s.trim();
-    let open = s.find('(').ok_or_else(|| AsmError {
-        line,
-        msg: format!("expected offset(base), got {s}"),
-    })?;
+    let open = s
+        .find('(')
+        .ok_or_else(|| AsmError { line, msg: format!("expected offset(base), got {s}") })?;
     if !s.ends_with(')') {
         return err(line, format!("expected offset(base), got {s}"));
     }
@@ -91,13 +90,11 @@ fn xreg(s: &str, line: usize) -> Result<Reg, AsmError> {
 }
 
 fn fregp(s: &str, line: usize) -> Result<FReg, AsmError> {
-    FReg::parse(s.trim())
-        .ok_or_else(|| AsmError { line, msg: format!("bad float register {s}") })
+    FReg::parse(s.trim()).ok_or_else(|| AsmError { line, msg: format!("bad float register {s}") })
 }
 
 fn vregp(s: &str, line: usize) -> Result<VReg, AsmError> {
-    VReg::parse(s.trim())
-        .ok_or_else(|| AsmError { line, msg: format!("bad vector register {s}") })
+    VReg::parse(s.trim()).ok_or_else(|| AsmError { line, msg: format!("bad vector register {s}") })
 }
 
 /// Strip the surrounding parens of a vector memory operand `(a0)`.
@@ -164,11 +161,8 @@ pub fn assemble_at(src: &str, base: u32) -> Result<crate::Program, AsmError> {
             Some(i) => (&text[..i], text[i..].trim()),
             None => (text, ""),
         };
-        let ops: Vec<&str> = if rest.is_empty() {
-            Vec::new()
-        } else {
-            rest.split(',').map(str::trim).collect()
-        };
+        let ops: Vec<&str> =
+            if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
         let nops = ops.len();
         let want = |n: usize| -> Result<(), AsmError> {
             if nops != n {
@@ -222,7 +216,12 @@ pub fn assemble_at(src: &str, base: u32) -> Result<crate::Program, AsmError> {
                     "ori" => AluOp::Or,
                     _ => AluOp::Sra,
                 };
-                ctx.b.alu_imm(op, xreg(ops[0], line)?, xreg(ops[1], line)?, parse_imm(ops[2], line)?);
+                ctx.b.alu_imm(
+                    op,
+                    xreg(ops[0], line)?,
+                    xreg(ops[1], line)?,
+                    parse_imm(ops[2], line)?,
+                );
             }
             "lui" | "auipc" => {
                 want(2)?;
@@ -288,11 +287,8 @@ pub fn assemble_at(src: &str, base: u32) -> Result<crate::Program, AsmError> {
             "sb" | "sh" => {
                 want(2)?;
                 let (off, base) = parse_mem(ops[1], line)?;
-                let width = if mnemonic == "sb" {
-                    hht_md::MemWidth::Byte
-                } else {
-                    hht_md::MemWidth::Half
-                };
+                let width =
+                    if mnemonic == "sb" { hht_md::MemWidth::Byte } else { hht_md::MemWidth::Half };
                 ctx.b.store_narrow(xreg(ops[0], line)?, off, base, width);
             }
             "sw" => {
@@ -411,11 +407,7 @@ pub fn assemble_at(src: &str, base: u32) -> Result<crate::Program, AsmError> {
             }
             "vsll.vi" => {
                 want(3)?;
-                ctx.b.vsll_vi(
-                    vregp(ops[0], line)?,
-                    vregp(ops[1], line)?,
-                    parse_imm(ops[2], line)?,
-                );
+                ctx.b.vsll_vi(vregp(ops[0], line)?, vregp(ops[1], line)?, parse_imm(ops[2], line)?);
             }
             "vmv.v.i" => {
                 want(2)?;
@@ -480,10 +472,9 @@ mod tests {
 
     #[test]
     fn labels_and_branches() {
-        let p = assemble(
-            "start:\n  li t0, 3\nloop:\n  addi t0, t0, -1\n  bnez t0, loop\n  ebreak\n",
-        )
-        .unwrap();
+        let p =
+            assemble("start:\n  li t0, 3\nloop:\n  addi t0, t0, -1\n  bnez t0, loop\n  ebreak\n")
+                .unwrap();
         assert_eq!(p.symbol("start"), Some(0));
         assert_eq!(p.symbol("loop"), Some(4));
         match p.instrs()[2] {

@@ -163,17 +163,12 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
         },
         0b0100111 => match funct3 {
             0b010 => Instr::Fsw { rs1: reg(w, 15), rs2: freg(w, 20), offset: s_imm(w) },
-            0b110 if (w >> 26) & 0b11 == 0 => {
-                Instr::Vse32 { vs3: vreg(w, 7), rs1: reg(w, 15) }
-            }
+            0b110 if (w >> 26) & 0b11 == 0 => Instr::Vse32 { vs3: vreg(w, 7), rs1: reg(w, 15) },
             _ => return err,
         },
-        0b1000011 => Instr::FmaddS {
-            rd: freg(w, 7),
-            rs1: freg(w, 15),
-            rs2: freg(w, 20),
-            rs3: freg(w, 27),
-        },
+        0b1000011 => {
+            Instr::FmaddS { rd: freg(w, 7), rs1: freg(w, 15), rs2: freg(w, 20), rs3: freg(w, 27) }
+        }
         0b1010011 => match funct7 {
             0b0000000 => Instr::FaddS { rd: freg(w, 7), rs1: freg(w, 15), rs2: freg(w, 20) },
             0b0000100 => Instr::FsubS { rd: freg(w, 7), rs1: freg(w, 15), rs2: freg(w, 20) },
@@ -206,26 +201,18 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
                     return err; // masked forms unsupported
                 }
                 match (funct6, funct3) {
-                    (0b000000, 0b001) => Instr::VfaddVV {
-                        vd: vreg(w, 7),
-                        vs1: vreg(w, 15),
-                        vs2: vreg(w, 20),
-                    },
-                    (0b000011, 0b001) => Instr::VfredosumVS {
-                        vd: vreg(w, 7),
-                        vs1: vreg(w, 15),
-                        vs2: vreg(w, 20),
-                    },
-                    (0b100100, 0b001) => Instr::VfmulVV {
-                        vd: vreg(w, 7),
-                        vs1: vreg(w, 15),
-                        vs2: vreg(w, 20),
-                    },
-                    (0b101100, 0b001) => Instr::VfmaccVV {
-                        vd: vreg(w, 7),
-                        vs1: vreg(w, 15),
-                        vs2: vreg(w, 20),
-                    },
+                    (0b000000, 0b001) => {
+                        Instr::VfaddVV { vd: vreg(w, 7), vs1: vreg(w, 15), vs2: vreg(w, 20) }
+                    }
+                    (0b000011, 0b001) => {
+                        Instr::VfredosumVS { vd: vreg(w, 7), vs1: vreg(w, 15), vs2: vreg(w, 20) }
+                    }
+                    (0b100100, 0b001) => {
+                        Instr::VfmulVV { vd: vreg(w, 7), vs1: vreg(w, 15), vs2: vreg(w, 20) }
+                    }
+                    (0b101100, 0b001) => {
+                        Instr::VfmaccVV { vd: vreg(w, 7), vs1: vreg(w, 15), vs2: vreg(w, 20) }
+                    }
                     (0b010000, 0b001) if (w >> 15) & 0x1f == 0 => {
                         Instr::VfmvFS { rd: freg(w, 7), vs2: vreg(w, 20) }
                     }
@@ -299,14 +286,23 @@ mod tests {
             (arb_reg(), imm20).prop_map(|(rd, imm20)| Instr::Auipc { rd, imm20 }),
             (arb_reg(), (-(1i32 << 19)..(1 << 19)).prop_map(|o| o * 2))
                 .prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
-            (arb_reg(), arb_reg(), i12.clone())
-                .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
+            (arb_reg(), arb_reg(), i12.clone()).prop_map(|(rd, rs1, offset)| Instr::Jalr {
+                rd,
+                rs1,
+                offset
+            }),
             (arb_branch(), arb_reg(), arb_reg(), (-2048i32..2048).prop_map(|o| o * 2))
                 .prop_map(|(op, rs1, rs2, offset)| Instr::Branch { op, rs1, rs2, offset }),
-            (arb_reg(), arb_reg(), i12.clone())
-                .prop_map(|(rd, rs1, offset)| Instr::Lw { rd, rs1, offset }),
-            (arb_reg(), arb_reg(), i12.clone())
-                .prop_map(|(rs1, rs2, offset)| Instr::Sw { rs1, rs2, offset }),
+            (arb_reg(), arb_reg(), i12.clone()).prop_map(|(rd, rs1, offset)| Instr::Lw {
+                rd,
+                rs1,
+                offset
+            }),
+            (arb_reg(), arb_reg(), i12.clone()).prop_map(|(rs1, rs2, offset)| Instr::Sw {
+                rs1,
+                rs2,
+                offset
+            }),
             (arb_alu(), arb_reg(), arb_reg(), i12.clone()).prop_map(|(op, rd, rs1, imm)| {
                 // immediate forms: no Sub; shifts use 5-bit shamt
                 let op = if op == AluOp::Sub { AluOp::Add } else { op };
@@ -317,10 +313,17 @@ mod tests {
                 };
                 Instr::OpImm { op, rd, rs1, imm }
             }),
-            (arb_alu(), arb_reg(), arb_reg(), arb_reg())
-                .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
-            (arb_reg(), arb_reg(), arb_reg())
-                .prop_map(|(rd, rs1, rs2)| Instr::Mul { rd, rs1, rs2 }),
+            (arb_alu(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Op {
+                op,
+                rd,
+                rs1,
+                rs2
+            }),
+            (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::Mul {
+                rd,
+                rs1,
+                rs2
+            }),
             (
                 prop_oneof![
                     Just(MulDivOp::Mulh),
@@ -362,37 +365,73 @@ mod tests {
                     offset,
                     width
                 }),
-            (arb_freg(), arb_reg(), i12.clone())
-                .prop_map(|(rd, rs1, offset)| Instr::Flw { rd, rs1, offset }),
-            (arb_reg(), arb_freg(), i12)
-                .prop_map(|(rs1, rs2, offset)| Instr::Fsw { rs1, rs2, offset }),
-            (arb_freg(), arb_freg(), arb_freg())
-                .prop_map(|(rd, rs1, rs2)| Instr::FaddS { rd, rs1, rs2 }),
-            (arb_freg(), arb_freg(), arb_freg())
-                .prop_map(|(rd, rs1, rs2)| Instr::FsubS { rd, rs1, rs2 }),
-            (arb_freg(), arb_freg(), arb_freg())
-                .prop_map(|(rd, rs1, rs2)| Instr::FmulS { rd, rs1, rs2 }),
+            (arb_freg(), arb_reg(), i12.clone()).prop_map(|(rd, rs1, offset)| Instr::Flw {
+                rd,
+                rs1,
+                offset
+            }),
+            (arb_reg(), arb_freg(), i12).prop_map(|(rs1, rs2, offset)| Instr::Fsw {
+                rs1,
+                rs2,
+                offset
+            }),
+            (arb_freg(), arb_freg(), arb_freg()).prop_map(|(rd, rs1, rs2)| Instr::FaddS {
+                rd,
+                rs1,
+                rs2
+            }),
+            (arb_freg(), arb_freg(), arb_freg()).prop_map(|(rd, rs1, rs2)| Instr::FsubS {
+                rd,
+                rs1,
+                rs2
+            }),
+            (arb_freg(), arb_freg(), arb_freg()).prop_map(|(rd, rs1, rs2)| Instr::FmulS {
+                rd,
+                rs1,
+                rs2
+            }),
             (arb_freg(), arb_freg(), arb_freg(), arb_freg())
                 .prop_map(|(rd, rs1, rs2, rs3)| Instr::FmaddS { rd, rs1, rs2, rs3 }),
             (arb_freg(), arb_reg()).prop_map(|(rd, rs1)| Instr::FmvWX { rd, rs1 }),
             (arb_reg(), arb_freg()).prop_map(|(rd, rs1)| Instr::FmvXW { rd, rs1 }),
-            (arb_reg(), arb_reg())
-                .prop_map(|(rd, rs1)| Instr::Vsetvli { rd, rs1, cfg: VConfig::E32M1 }),
+            (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::Vsetvli {
+                rd,
+                rs1,
+                cfg: VConfig::E32M1
+            }),
             (arb_vreg(), arb_reg()).prop_map(|(vd, rs1)| Instr::Vle32 { vd, rs1 }),
             (arb_vreg(), arb_reg()).prop_map(|(vs3, rs1)| Instr::Vse32 { vs3, rs1 }),
-            (arb_vreg(), arb_reg(), arb_vreg())
-                .prop_map(|(vd, rs1, vs2)| Instr::Vluxei32 { vd, rs1, vs2 }),
-            (arb_vreg(), arb_vreg(), arb_vreg())
-                .prop_map(|(vd, vs1, vs2)| Instr::VfmaccVV { vd, vs1, vs2 }),
-            (arb_vreg(), arb_vreg(), arb_vreg())
-                .prop_map(|(vd, vs1, vs2)| Instr::VfmulVV { vd, vs1, vs2 }),
-            (arb_vreg(), arb_vreg(), arb_vreg())
-                .prop_map(|(vd, vs1, vs2)| Instr::VfaddVV { vd, vs1, vs2 }),
-            (arb_vreg(), arb_vreg(), arb_vreg())
-                .prop_map(|(vd, vs1, vs2)| Instr::VfredosumVS { vd, vs1, vs2 }),
+            (arb_vreg(), arb_reg(), arb_vreg()).prop_map(|(vd, rs1, vs2)| Instr::Vluxei32 {
+                vd,
+                rs1,
+                vs2
+            }),
+            (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vs1, vs2)| Instr::VfmaccVV {
+                vd,
+                vs1,
+                vs2
+            }),
+            (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vs1, vs2)| Instr::VfmulVV {
+                vd,
+                vs1,
+                vs2
+            }),
+            (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vs1, vs2)| Instr::VfaddVV {
+                vd,
+                vs1,
+                vs2
+            }),
+            (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vs1, vs2)| Instr::VfredosumVS {
+                vd,
+                vs1,
+                vs2
+            }),
             (arb_vreg(), -16i32..16).prop_map(|(vd, imm5)| Instr::VmvVI { vd, imm5 }),
-            (arb_vreg(), arb_vreg(), 0i32..32)
-                .prop_map(|(vd, vs2, imm5)| Instr::VsllVI { vd, vs2, imm5 }),
+            (arb_vreg(), arb_vreg(), 0i32..32).prop_map(|(vd, vs2, imm5)| Instr::VsllVI {
+                vd,
+                vs2,
+                imm5
+            }),
             (arb_vreg(), arb_reg()).prop_map(|(vd, rs1)| Instr::VmvVX { vd, rs1 }),
             (arb_freg(), arb_vreg()).prop_map(|(rd, vs2)| Instr::VfmvFS { rd, vs2 }),
             (arb_reg(), prop_oneof![Just(0xc00u32), Just(0xc02u32)], arb_reg())
@@ -417,23 +456,15 @@ mod tests {
         assert!(decode(0xffff_ffff).is_err());
         assert!(decode(0).is_err());
         // A masked vector op (vm=0) is unsupported.
-        let w = encode(Instr::VfaddVV {
-            vd: VReg::new(0),
-            vs1: VReg::new(1),
-            vs2: VReg::new(2),
-        }) & !(1 << 25);
+        let w = encode(Instr::VfaddVV { vd: VReg::new(0), vs1: VReg::new(1), vs2: VReg::new(2) })
+            & !(1 << 25);
         assert!(decode(w).is_err());
     }
 
     #[test]
     fn negative_branch_offsets_round_trip() {
         for off in [-4096i32, -2048, -4, 4, 2048, 4094] {
-            let i = Instr::Branch {
-                op: BranchOp::Ne,
-                rs1: Reg::a(0),
-                rs2: Reg::a(1),
-                offset: off,
-            };
+            let i = Instr::Branch { op: BranchOp::Ne, rs1: Reg::a(0), rs2: Reg::a(1), offset: off };
             assert_eq!(decode(encode(i)).unwrap(), i, "offset {off}");
         }
     }

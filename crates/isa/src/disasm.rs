@@ -172,8 +172,7 @@ mod tests {
                    vsetvli t0, a0, e32, m1\nvle32.v v1, (a1)\nvluxei32.v v2, (a1), v1\n\
                    vfmacc.vv v3, v1, v2\nvmv.v.i v0, 0\nvfmv.f.s fa0, v3\nrdcycle t1\nebreak";
         let p1 = assemble(src).unwrap();
-        let text: String =
-            p1.instrs().iter().map(|i| i.to_string()).collect::<Vec<_>>().join("\n");
+        let text: String = p1.instrs().iter().map(|i| i.to_string()).collect::<Vec<_>>().join("\n");
         let p2 = assemble(&text).unwrap();
         assert_eq!(p1.instrs(), p2.instrs());
     }

@@ -33,7 +33,12 @@ fn i_type(imm: i32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
 
 fn s_type(imm: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
     let imm = imm as u32;
-    ((imm >> 5 & 0x7f) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1f) << 7) | opcode
+    ((imm >> 5 & 0x7f) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1f) << 7)
+        | opcode
 }
 
 fn b_type(offset: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
@@ -104,13 +109,9 @@ pub fn encode(i: Instr) -> u32 {
         Jalr { rd, rs1, offset } => {
             i_type(offset, rs1.num() as u32, 0b000, rd.num() as u32, OPC_JALR)
         }
-        Branch { op, rs1, rs2, offset } => b_type(
-            offset,
-            rs2.num() as u32,
-            rs1.num() as u32,
-            branch_funct3(op),
-            OPC_BRANCH,
-        ),
+        Branch { op, rs1, rs2, offset } => {
+            b_type(offset, rs2.num() as u32, rs1.num() as u32, branch_funct3(op), OPC_BRANCH)
+        }
         Lw { rd, rs1, offset } => {
             i_type(offset, rs1.num() as u32, 0b010, rd.num() as u32, OPC_LOAD)
         }
@@ -197,10 +198,18 @@ pub fn encode(i: Instr) -> u32 {
         }
         Vle32 { vd, rs1 } => {
             // nf=0 mew=0 mop=00 vm=1 lumop=00000 width=110
-            (1 << 25) | ((rs1.num() as u32) << 15) | (0b110 << 12) | ((vd.num() as u32) << 7) | OPC_LOAD_FP
+            (1 << 25)
+                | ((rs1.num() as u32) << 15)
+                | (0b110 << 12)
+                | ((vd.num() as u32) << 7)
+                | OPC_LOAD_FP
         }
         Vse32 { vs3, rs1 } => {
-            (1 << 25) | ((rs1.num() as u32) << 15) | (0b110 << 12) | ((vs3.num() as u32) << 7) | OPC_STORE_FP
+            (1 << 25)
+                | ((rs1.num() as u32) << 15)
+                | (0b110 << 12)
+                | ((vs3.num() as u32) << 7)
+                | OPC_STORE_FP
         }
         Vluxei32 { vd, rs1, vs2 } => {
             // mop=01 (indexed-unordered) at bits [27:26]
@@ -227,9 +236,7 @@ pub fn encode(i: Instr) -> u32 {
         VsllVI { vd, vs2, imm5 } => {
             opv(0b100101, vs2.num() as u32, (imm5 as u32) & 0x1f, 0b011, vd.num() as u32)
         }
-        VmvVI { vd, imm5 } => {
-            opv(0b010111, 0, (imm5 as u32) & 0x1f, 0b011, vd.num() as u32)
-        }
+        VmvVI { vd, imm5 } => opv(0b010111, 0, (imm5 as u32) & 0x1f, 0b011, vd.num() as u32),
         VmvVX { vd, rs1 } => opv(0b010111, 0, rs1.num() as u32, 0b100, vd.num() as u32),
         VfmvFS { rd, vs2 } => opv(0b010000, vs2.num() as u32, 0, 0b001, rd.num() as u32),
         Csrrs { rd, csr, rs1 } => {
@@ -303,12 +310,8 @@ mod tests {
             0xfff50513
         );
         // beq zero, zero, -4 -> imm[12|10:5]=111111, imm[4:1|11]=1110+1
-        let w = encode(Instr::Branch {
-            op: BranchOp::Eq,
-            rs1: Reg::ZERO,
-            rs2: Reg::ZERO,
-            offset: -4,
-        });
+        let w =
+            encode(Instr::Branch { op: BranchOp::Eq, rs1: Reg::ZERO, rs2: Reg::ZERO, offset: -4 });
         assert_eq!(w, 0xfe000ee3);
     }
 

@@ -58,9 +58,7 @@ impl L1dCache {
         assert!(num_lines.is_multiple_of(assoc), "geometry must divide evenly");
         let num_sets = num_lines / assoc;
         let ways = (0..num_sets)
-            .map(|_| {
-                (0..assoc).map(|_| Line { tag: 0, valid: false, last_used: 0 }).collect()
-            })
+            .map(|_| (0..assoc).map(|_| Line { tag: 0, valid: false, last_used: 0 }).collect())
             .collect();
         L1dCache { line_bytes, num_sets, ways, use_clock: 0, stats: CacheStats::default() }
     }

@@ -1,5 +1,6 @@
 //! The on-chip SRAM: functional storage plus a single-port timing model.
 
+use hht_obs::{Event, EventBus, EventKind, Track};
 use serde::{Deserialize, Serialize};
 
 /// Access counters for the SRAM port.
@@ -24,6 +25,16 @@ pub enum Requester {
     Hht,
 }
 
+impl Requester {
+    /// Stable label used on the arbitration event track.
+    pub fn label(self) -> &'static str {
+        match self {
+            Requester::Cpu => "cpu",
+            Requester::Hht => "hht",
+        }
+    }
+}
+
 /// Byte-addressable SRAM with a single shared port.
 ///
 /// *Functional* reads/writes (`read_u32`, `write_u32`, …) are untimed —
@@ -38,13 +49,34 @@ pub struct Sram {
     word_cycles: u64,
     free_at: u64,
     stats: SramStats,
+    obs: Option<Box<EventBus>>,
 }
 
 impl Sram {
     /// Create an SRAM of `size` bytes with `word_cycles` per word access.
     pub fn new(size: u32, word_cycles: u64) -> Self {
         assert!(word_cycles >= 1, "an access takes at least one cycle");
-        Sram { data: vec![0; size as usize], word_cycles, free_at: 0, stats: SramStats::default() }
+        Sram {
+            data: vec![0; size as usize],
+            word_cycles,
+            free_at: 0,
+            stats: SramStats::default(),
+            obs: None,
+        }
+    }
+
+    /// Install a structured-event sink for arbitration grants/conflicts.
+    pub fn set_event_bus(&mut self, bus: EventBus) {
+        self.obs = Some(Box::new(bus));
+    }
+
+    /// Move the collected arbitration events out of the port's bus (empty
+    /// when no bus is installed).
+    pub fn take_events(&mut self) -> Vec<Event> {
+        match self.obs.as_mut() {
+            Some(bus) => bus.take_events(),
+            None => Vec::new(),
+        }
     }
 
     /// Size in bytes.
@@ -70,12 +102,18 @@ impl Sram {
     pub fn try_start(&mut self, now: u64, who: Requester) -> Option<u64> {
         if self.free_at > now {
             self.stats.conflicts += 1;
+            if let Some(bus) = self.obs.as_mut() {
+                bus.emit(now, Track::SramPort, EventKind::ArbConflict { loser: who.label() });
+            }
             return None;
         }
         self.free_at = now + self.word_cycles;
         match who {
             Requester::Cpu => self.stats.cpu_accesses += 1,
             Requester::Hht => self.stats.hht_accesses += 1,
+        }
+        if let Some(bus) = self.obs.as_mut() {
+            bus.emit(now, Track::SramPort, EventKind::ArbGrant { requester: who.label() });
         }
         Some(now + self.word_cycles)
     }
@@ -87,6 +125,9 @@ impl Sram {
     pub fn try_start_burst(&mut self, now: u64, who: Requester, words: u64) -> Option<u64> {
         if self.free_at > now {
             self.stats.conflicts += 1;
+            if let Some(bus) = self.obs.as_mut() {
+                bus.emit(now, Track::SramPort, EventKind::ArbConflict { loser: who.label() });
+            }
             return None;
         }
         let cost = self.word_cycles + words.max(1) - 1;
@@ -94,6 +135,9 @@ impl Sram {
         match who {
             Requester::Cpu => self.stats.cpu_accesses += words,
             Requester::Hht => self.stats.hht_accesses += words,
+        }
+        if let Some(bus) = self.obs.as_mut() {
+            bus.emit(now, Track::SramPort, EventKind::ArbGrant { requester: who.label() });
         }
         Some(now + cost)
     }

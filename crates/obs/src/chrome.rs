@@ -1,0 +1,186 @@
+//! Chrome trace-event / Perfetto JSON exporter.
+//!
+//! Converts a merged [`Event`] stream into the Trace Event Format
+//! (`chrome://tracing`, <https://ui.perfetto.dev>): one "thread" per
+//! [`Track`], duration slices (`B`/`E`) for stalls and stages, instant
+//! events (`i`) for arbitration, and counter events (`C`) for buffer
+//! occupancy. Timestamps are simulated cycles. Output is rendered through
+//! the deterministic vendored serde_json, so identical runs export
+//! byte-identical JSON (relied on by the golden-file test).
+
+use crate::{Event, EventKind, Track};
+use serde::{Number, Value};
+
+const PID: u64 = 0;
+
+fn base_event(name: &str, ph: &str, tid: u32) -> Vec<(String, Value)> {
+    vec![
+        ("name".into(), Value::Str(name.into())),
+        ("ph".into(), Value::Str(ph.into())),
+        ("pid".into(), Value::Num(Number::U(PID))),
+        ("tid".into(), Value::Num(Number::U(tid as u64))),
+    ]
+}
+
+fn with_ts(mut fields: Vec<(String, Value)>, cycle: u64) -> Vec<(String, Value)> {
+    fields.push(("ts".into(), Value::Num(Number::U(cycle))));
+    fields
+}
+
+/// Build the trace as a serde [`Value`] tree.
+pub fn chrome_trace_value(events: &[Event]) -> Value {
+    let mut trace_events: Vec<Value> = Vec::new();
+
+    // Process + thread naming metadata first, in fixed track order.
+    let mut process_meta = base_event("process_name", "M", 0);
+    process_meta.push((
+        "args".into(),
+        Value::Map(vec![("name".into(), Value::Str("hht simulation".into()))]),
+    ));
+    trace_events.push(Value::Map(process_meta));
+    for track in Track::ALL {
+        let mut meta = base_event("thread_name", "M", track.tid());
+        meta.push((
+            "args".into(),
+            Value::Map(vec![("name".into(), Value::Str(track.name().into()))]),
+        ));
+        trace_events.push(Value::Map(meta));
+    }
+
+    // Track open B slices per (tid, name) so the exported trace is always
+    // balanced even if the run ended mid-stall.
+    let mut open: Vec<(u32, String)> = Vec::new();
+    let mut last_cycle = 0u64;
+
+    for event in events {
+        last_cycle = last_cycle.max(event.cycle);
+        let tid = event.track.tid();
+        match event.kind {
+            EventKind::StallBegin(cause) => {
+                let name = format!("stall:{}", cause.label());
+                trace_events.push(slice(&name, "B", tid, event.cycle, "stall"));
+                open.push((tid, name));
+            }
+            EventKind::StallEnd(cause) => {
+                let name = format!("stall:{}", cause.label());
+                open.retain(|(t, n)| !(*t == tid && *n == name));
+                trace_events.push(slice(&name, "E", tid, event.cycle, "stall"));
+            }
+            EventKind::SliceBegin(name) => {
+                trace_events.push(slice(name, "B", tid, event.cycle, "stage"));
+                open.push((tid, name.to_string()));
+            }
+            EventKind::SliceEnd(name) => {
+                open.retain(|(t, n)| !(*t == tid && n == name));
+                trace_events.push(slice(name, "E", tid, event.cycle, "stage"));
+            }
+            EventKind::ArbGrant { requester } => {
+                let mut fields =
+                    with_ts(base_event(&format!("grant:{requester}"), "i", tid), event.cycle);
+                fields.push(("cat".into(), Value::Str("arb".into())));
+                fields.push(("s".into(), Value::Str("t".into())));
+                trace_events.push(Value::Map(fields));
+            }
+            EventKind::ArbConflict { loser } => {
+                let mut fields =
+                    with_ts(base_event(&format!("conflict:{loser}"), "i", tid), event.cycle);
+                fields.push(("cat".into(), Value::Str("arb".into())));
+                fields.push(("s".into(), Value::Str("t".into())));
+                trace_events.push(Value::Map(fields));
+            }
+            EventKind::BufferLevel { level } => {
+                let mut fields = with_ts(base_event(event.track.name(), "C", tid), event.cycle);
+                fields.push((
+                    "args".into(),
+                    Value::Map(vec![("level".into(), Value::Num(Number::U(level as u64)))]),
+                ));
+                trace_events.push(Value::Map(fields));
+            }
+        }
+    }
+
+    // Close any dangling slices at the final cycle.
+    for (tid, name) in open {
+        trace_events.push(slice(&name, "E", tid, last_cycle, "stall"));
+    }
+
+    Value::Map(vec![
+        ("displayTimeUnit".into(), Value::Str("ns".into())),
+        (
+            "otherData".into(),
+            Value::Map(vec![("timestampUnit".into(), Value::Str("cycle".into()))]),
+        ),
+        ("traceEvents".into(), Value::Seq(trace_events)),
+    ])
+}
+
+fn slice(name: &str, ph: &str, tid: u32, cycle: u64, cat: &str) -> Value {
+    let mut fields = with_ts(base_event(name, ph, tid), cycle);
+    fields.push(("cat".into(), Value::Str(cat.into())));
+    Value::Map(fields)
+}
+
+/// Render the trace as a compact JSON string (byte-stable per event stream).
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    serde_json::to_string(&chrome_trace_value(events)).expect("trace values are always finite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StallCause;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                cycle: 1,
+                track: Track::CpuPipe,
+                kind: EventKind::StallBegin(StallCause::HhtWindowEmpty),
+            },
+            Event {
+                cycle: 4,
+                track: Track::CpuPipe,
+                kind: EventKind::StallEnd(StallCause::HhtWindowEmpty),
+            },
+            Event {
+                cycle: 2,
+                track: Track::SramPort,
+                kind: EventKind::ArbGrant { requester: "hht" },
+            },
+            Event {
+                cycle: 3,
+                track: Track::BufferPrimary,
+                kind: EventKind::BufferLevel { level: 5 },
+            },
+            Event { cycle: 5, track: Track::HhtBackend, kind: EventKind::SliceBegin("gather") },
+        ]
+    }
+
+    #[test]
+    fn export_is_byte_stable() {
+        assert_eq!(chrome_trace_json(&sample_events()), chrome_trace_json(&sample_events()));
+    }
+
+    #[test]
+    fn export_names_all_tracks_and_closes_dangling_slices() {
+        let json = chrome_trace_json(&sample_events());
+        for track in Track::ALL {
+            assert!(json.contains(track.name()), "missing track {:?}", track);
+        }
+        // The dangling "gather" B-slice is closed at the last cycle.
+        let begins = json.matches("\"ph\":\"B\"").count();
+        let ends = json.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, ends);
+        assert!(json.contains("\"stall:hht_window_empty\""));
+        assert!(json.contains("\"ph\":\"C\""));
+    }
+
+    #[test]
+    fn export_parses_back_as_json() {
+        let json = chrome_trace_json(&sample_events());
+        let v: Value = serde_json::from_str(&json).unwrap();
+        let events = v.get("traceEvents").and_then(Value::as_seq).unwrap();
+        // 1 process + 6 thread metadata records + 5 events + 1 auto-close.
+        assert_eq!(events.len(), 13);
+    }
+}

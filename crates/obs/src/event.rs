@@ -1,0 +1,210 @@
+//! Cycle-stamped structured events and the per-component event bus.
+//!
+//! Each simulated component (CPU core, HHT, SRAM) owns an
+//! `Option<Box<EventBus>>`; the simulation stays single-threaded and
+//! lock-free, and the exporter merges the per-component streams by cycle at
+//! the end of a run. With the sink disabled a component pays exactly one
+//! `Option` branch per event site.
+
+use crate::{RingBuffer, StallCause};
+
+/// Timeline track an event belongs to — one per hardware unit, rendered as
+/// one row ("thread") in the Chrome trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Track {
+    /// CPU pipeline (stall slices).
+    CpuPipe,
+    /// HHT back-end engine (busy slices, output stalls).
+    HhtBackend,
+    /// SRAM port (arbitration grants/conflicts).
+    SramPort,
+    /// CPU-side primary element buffer occupancy.
+    BufferPrimary,
+    /// CPU-side secondary element buffer occupancy.
+    BufferSecondary,
+    /// CPU-side counts (chunk header) buffer occupancy.
+    BufferCounts,
+}
+
+impl Track {
+    pub const ALL: [Track; 6] = [
+        Track::CpuPipe,
+        Track::HhtBackend,
+        Track::SramPort,
+        Track::BufferPrimary,
+        Track::BufferSecondary,
+        Track::BufferCounts,
+    ];
+
+    /// Human-readable track name (Chrome trace thread name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Track::CpuPipe => "CPU pipe",
+            Track::HhtBackend => "HHT BE",
+            Track::SramPort => "SRAM port",
+            Track::BufferPrimary => "buf primary",
+            Track::BufferSecondary => "buf secondary",
+            Track::BufferCounts => "buf counts",
+        }
+    }
+
+    /// Stable thread id for the Chrome trace (1-based, display order).
+    pub fn tid(self) -> u32 {
+        match self {
+            Track::CpuPipe => 1,
+            Track::HhtBackend => 2,
+            Track::SramPort => 3,
+            Track::BufferPrimary => 4,
+            Track::BufferSecondary => 5,
+            Track::BufferCounts => 6,
+        }
+    }
+}
+
+/// What happened on a track at a given cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A stall interval opened (closed by the matching `StallEnd`).
+    StallBegin(StallCause),
+    /// The stall interval for `StallCause` closed.
+    StallEnd(StallCause),
+    /// A named busy interval opened (e.g. a back-end stage).
+    SliceBegin(&'static str),
+    /// The busy interval `&str` closed.
+    SliceEnd(&'static str),
+    /// Port arbitration granted to `requester` this cycle.
+    ArbGrant { requester: &'static str },
+    /// Port arbitration conflict: `loser` retried while the port was held.
+    ArbConflict { loser: &'static str },
+    /// Buffer occupancy sample (counter track).
+    BufferLevel { level: u32 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    pub cycle: u64,
+    pub track: Track,
+    pub kind: EventKind,
+}
+
+/// Bounded, optionally sampling sink for [`Event`]s.
+#[derive(Debug, Clone)]
+pub struct EventBus {
+    events: RingBuffer<Event>,
+    /// Record only every Nth `BufferLevel` sample (1 = keep all).
+    /// Begin/end pairs are never sampled out, so slices stay balanced.
+    sample_every: u64,
+}
+
+impl EventBus {
+    pub fn new(capacity: usize) -> Self {
+        EventBus { events: RingBuffer::new(capacity), sample_every: 1 }
+    }
+
+    pub fn with_sampling(capacity: usize, sample_every: u64) -> Self {
+        EventBus { events: RingBuffer::new(capacity), sample_every: sample_every.max(1) }
+    }
+
+    #[inline]
+    pub fn emit(&mut self, cycle: u64, track: Track, kind: EventKind) {
+        if matches!(kind, EventKind::BufferLevel { .. }) && !cycle.is_multiple_of(self.sample_every)
+        {
+            return;
+        }
+        self.events.push(Event { cycle, track, kind });
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.events.dropped()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Move the retained window out of the bus.
+    pub fn take_events(&mut self) -> Vec<Event> {
+        let out: Vec<Event> = self.events.iter().copied().collect();
+        self.events.clear();
+        out
+    }
+}
+
+/// Merge per-component event streams into one cycle-ordered timeline.
+///
+/// Each input stream must itself be cycle-ordered (true for any stream a
+/// stepped component emitted). Ties are broken by track, then input order,
+/// so the merge is fully deterministic.
+pub fn merge_events(streams: Vec<Vec<Event>>) -> Vec<Event> {
+    let mut all: Vec<Event> = streams.into_iter().flatten().collect();
+    all.sort_by_key(|e| (e.cycle, e.track));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_drops_only_counter_events() {
+        let mut bus = EventBus::with_sampling(64, 4);
+        for cycle in 0..8 {
+            bus.emit(cycle, Track::BufferPrimary, EventKind::BufferLevel { level: 1 });
+            bus.emit(cycle, Track::CpuPipe, EventKind::StallBegin(StallCause::HhtWindowEmpty));
+        }
+        let counters =
+            bus.iter().filter(|e| matches!(e.kind, EventKind::BufferLevel { .. })).count();
+        let stalls = bus.iter().filter(|e| matches!(e.kind, EventKind::StallBegin(_))).count();
+        assert_eq!(counters, 2); // cycles 0 and 4
+        assert_eq!(stalls, 8);
+    }
+
+    #[test]
+    fn merge_is_cycle_ordered_and_deterministic() {
+        let a = vec![
+            Event {
+                cycle: 2,
+                track: Track::CpuPipe,
+                kind: EventKind::StallEnd(StallCause::LoadLatency),
+            },
+            Event {
+                cycle: 5,
+                track: Track::CpuPipe,
+                kind: EventKind::StallBegin(StallCause::LoadLatency),
+            },
+        ];
+        let b = vec![
+            Event {
+                cycle: 2,
+                track: Track::SramPort,
+                kind: EventKind::ArbGrant { requester: "cpu" },
+            },
+            Event { cycle: 3, track: Track::HhtBackend, kind: EventKind::SliceBegin("gather") },
+        ];
+        let merged = merge_events(vec![a.clone(), b.clone()]);
+        let cycles: Vec<u64> = merged.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, [2, 2, 3, 5]);
+        assert_eq!(merged[0].track, Track::CpuPipe);
+        assert_eq!(merged, merge_events(vec![a, b]));
+    }
+
+    #[test]
+    fn bus_is_bounded() {
+        let mut bus = EventBus::new(4);
+        for cycle in 0..10 {
+            bus.emit(cycle, Track::SramPort, EventKind::ArbGrant { requester: "hht" });
+        }
+        assert_eq!(bus.len(), 4);
+        assert_eq!(bus.dropped(), 6);
+        assert_eq!(bus.iter().next().unwrap().cycle, 6);
+    }
+}

@@ -1,0 +1,191 @@
+//! Cycle-domain observability for the HHT simulator.
+//!
+//! The paper's argument (§2, Fig. 6/7) is about *where cycles go* —
+//! CPU-waiting-for-HHT, HHT-waiting-for-CPU, arbitration losses. This crate
+//! provides the infrastructure every simulated component uses to make that
+//! attribution first-class:
+//!
+//! - [`StallCause`] / [`StallBreakdown`]: a per-cause stall-cycle histogram
+//!   whose buckets sum exactly to the coarse wait counters the stats structs
+//!   already expose (making the figures self-auditing);
+//! - [`RingBuffer`]: a bounded sink replacing unbounded trace `Vec`s;
+//! - [`EventBus`] / [`Event`]: a cycle-stamped structured-event stream with
+//!   one [`Track`] per hardware unit, cheap enough to leave compiled in
+//!   (`Option`-gated: one branch per event site when disabled);
+//! - [`chrome`]: a Chrome trace-event / Perfetto JSON exporter so any run
+//!   renders as an interactive timeline.
+//!
+//! The crate is deliberately leaf-level: it depends only on the (vendored)
+//! serde stack, so `hht-sim`, `hht-mem`, `hht-accel`, and `hht-system` can
+//! all emit into it without dependency cycles.
+
+pub mod chrome;
+mod event;
+mod ring;
+
+pub use event::{merge_events, Event, EventBus, EventKind, Track};
+pub use ring::RingBuffer;
+
+use serde::{Deserialize, Serialize};
+
+/// Why a unit spent a cycle stalled. Core-side causes attribute the CPU's
+/// wait counters; [`StallCause::OutputFull`] attributes the HHT back-end's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StallCause {
+    /// CPU blocked on scalar/vector load latency (`busy_until` from a
+    /// memory instruction).
+    LoadLatency,
+    /// CPU blocked on the vector unit finishing a prior vector op.
+    VectorBusy,
+    /// CPU read an HHT window element but the buffer had none ready.
+    HhtWindowEmpty,
+    /// CPU read an HHT chunk header (counts FIFO) before it was produced.
+    HhtHeaderWait,
+    /// CPU lost SRAM port arbitration to the HHT for a cycle.
+    ArbitrationLoss,
+    /// CPU refilling the pipeline after a taken branch.
+    BranchRefill,
+    /// HHT back-end stalled because a CPU-side buffer was full
+    /// (HHT-waiting-for-CPU in Fig. 7).
+    OutputFull,
+}
+
+impl StallCause {
+    /// Every cause, in display order.
+    pub const ALL: [StallCause; 7] = [
+        StallCause::LoadLatency,
+        StallCause::VectorBusy,
+        StallCause::HhtWindowEmpty,
+        StallCause::HhtHeaderWait,
+        StallCause::ArbitrationLoss,
+        StallCause::BranchRefill,
+        StallCause::OutputFull,
+    ];
+
+    /// Stable snake_case label used in trace names and metrics keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::LoadLatency => "load_latency",
+            StallCause::VectorBusy => "vector_busy",
+            StallCause::HhtWindowEmpty => "hht_window_empty",
+            StallCause::HhtHeaderWait => "hht_header_wait",
+            StallCause::ArbitrationLoss => "arbitration_loss",
+            StallCause::BranchRefill => "branch_refill",
+            StallCause::OutputFull => "output_full",
+        }
+    }
+}
+
+/// Per-cause stall-cycle histogram.
+///
+/// The counters are plain `u64`s incremented alongside the existing coarse
+/// counters, so they are always on (no sink required) and the invariants
+/// below hold exactly:
+///
+/// - `hht_window_empty + hht_header_wait` == the core's `hht_wait_cycles`;
+/// - `arbitration_loss` == the core's `mem_port_stall_cycles`;
+/// - `output_full` == the engine's `stall_out_full`.
+///
+/// `load_latency`, `vector_busy`, and `branch_refill` attribute the core's
+/// internal busy cycles, which the seed stats did not count at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallBreakdown {
+    pub load_latency: u64,
+    pub vector_busy: u64,
+    pub hht_window_empty: u64,
+    pub hht_header_wait: u64,
+    pub arbitration_loss: u64,
+    pub branch_refill: u64,
+    pub output_full: u64,
+}
+
+impl StallBreakdown {
+    /// Attribute one stalled cycle to `cause`.
+    #[inline]
+    pub fn record(&mut self, cause: StallCause) {
+        *self.bucket_mut(cause) += 1;
+    }
+
+    /// Attribute `cycles` stalled cycles to `cause`.
+    #[inline]
+    pub fn record_many(&mut self, cause: StallCause, cycles: u64) {
+        *self.bucket_mut(cause) += cycles;
+    }
+
+    pub fn get(&self, cause: StallCause) -> u64 {
+        match cause {
+            StallCause::LoadLatency => self.load_latency,
+            StallCause::VectorBusy => self.vector_busy,
+            StallCause::HhtWindowEmpty => self.hht_window_empty,
+            StallCause::HhtHeaderWait => self.hht_header_wait,
+            StallCause::ArbitrationLoss => self.arbitration_loss,
+            StallCause::BranchRefill => self.branch_refill,
+            StallCause::OutputFull => self.output_full,
+        }
+    }
+
+    fn bucket_mut(&mut self, cause: StallCause) -> &mut u64 {
+        match cause {
+            StallCause::LoadLatency => &mut self.load_latency,
+            StallCause::VectorBusy => &mut self.vector_busy,
+            StallCause::HhtWindowEmpty => &mut self.hht_window_empty,
+            StallCause::HhtHeaderWait => &mut self.hht_header_wait,
+            StallCause::ArbitrationLoss => &mut self.arbitration_loss,
+            StallCause::BranchRefill => &mut self.branch_refill,
+            StallCause::OutputFull => &mut self.output_full,
+        }
+    }
+
+    /// Cycles the CPU spent waiting on the HHT window
+    /// (must equal `CoreStats::hht_wait_cycles`).
+    pub fn cpu_hht_wait(&self) -> u64 {
+        self.hht_window_empty + self.hht_header_wait
+    }
+
+    /// All attributed stall cycles.
+    pub fn total(&self) -> u64 {
+        StallCause::ALL.iter().map(|&c| self.get(c)).sum()
+    }
+
+    /// Iterate `(label, cycles)` pairs in display order.
+    pub fn entries(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        StallCause::ALL.iter().map(move |&c| (c.label(), self.get(c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_buckets_sum() {
+        let mut b = StallBreakdown::default();
+        for &cause in &StallCause::ALL {
+            b.record(cause);
+        }
+        b.record_many(StallCause::HhtWindowEmpty, 9);
+        assert_eq!(b.total(), 7 + 9);
+        assert_eq!(b.cpu_hht_wait(), 1 + 9 + 1);
+        assert_eq!(b.get(StallCause::HhtWindowEmpty), 10);
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let labels: Vec<_> = StallCause::ALL.iter().map(|c| c.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert_eq!(StallCause::HhtWindowEmpty.label(), "hht_window_empty");
+    }
+
+    #[test]
+    fn breakdown_serializes_with_named_buckets() {
+        let mut b = StallBreakdown::default();
+        b.record(StallCause::ArbitrationLoss);
+        let json = serde_json::to_string(&b).unwrap();
+        assert!(json.contains("\"arbitration_loss\":1"));
+        let back: StallBreakdown = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+    }
+}

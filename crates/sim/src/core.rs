@@ -1,14 +1,24 @@
 //! The in-order core: functional execution + Table-1 timing.
 
 use crate::config::CoreConfig;
-use hht_mem::L1dCache;
 use hht_isa::instr::{MemWidth, MulDivOp};
 use hht_isa::{AluOp, BranchOp, FReg, Instr, Program, Reg, VReg};
 use hht_mem::map;
 use hht_mem::mmio::{MmioDevice, MmioReadResult};
 use hht_mem::sram::{Requester, Sram};
+use hht_mem::L1dCache;
+use hht_obs::{Event, EventBus, EventKind, RingBuffer, StallBreakdown, StallCause, Track};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Default bounded capacity of the instruction trace ring (entries kept).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// Byte offset of the counts (chunk header) window inside the HHT buffer
+/// region — mirrors `hht_accel::hht::window::COUNTS`, which this crate
+/// cannot name without a dependency cycle. Used only to attribute an HHT
+/// wait cycle to header reads vs. element reads.
+const HHT_COUNTS_WINDOW: u32 = 0x800;
 
 /// Fatal guest-program conditions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +64,11 @@ pub struct CoreStats {
     pub l1d_hits: u64,
     /// L1D misses (0 when no cache is configured).
     pub l1d_misses: u64,
+    /// Per-cause stall attribution. Always on; the coarse counters above
+    /// remain the source of truth and the breakdown's buckets sum exactly
+    /// to them (`arbitration_loss == mem_port_stall_cycles`,
+    /// `hht_window_empty + hht_header_wait == hht_wait_cycles`).
+    pub stalls: StallBreakdown,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -120,7 +135,11 @@ pub struct Core {
     halted: bool,
     error: Option<RunError>,
     stats: CoreStats,
-    trace: Option<Vec<TraceEntry>>,
+    trace: Option<RingBuffer<TraceEntry>>,
+    obs: Option<Box<EventBus>>,
+    /// Stall interval currently open on the CPU-pipe event track (only ever
+    /// `Some` while an event bus is installed).
+    open_stall: Option<StallCause>,
     l1d: Option<L1dCache>,
 }
 
@@ -154,31 +173,67 @@ impl Core {
             error: None,
             stats: CoreStats::default(),
             trace: None,
-            l1d: cfg
-                .l1d
-                .map(|g| L1dCache::new(g.size_bytes, g.assoc, g.line_bytes)),
+            obs: None,
+            open_stall: None,
+            l1d: cfg.l1d.map(|g| L1dCache::new(g.size_bytes, g.assoc, g.line_bytes)),
         }
     }
 
-    /// Record every issued instruction (cycle, pc, decoded form). Costs
-    /// memory proportional to the instruction count; off by default.
+    /// Record every issued instruction (cycle, pc, decoded form) into a
+    /// bounded ring keeping the most recent [`DEFAULT_TRACE_CAPACITY`]
+    /// entries; off by default.
     pub fn enable_trace(&mut self) {
-        self.trace = Some(Vec::new());
+        self.enable_trace_with_capacity(DEFAULT_TRACE_CAPACITY);
     }
 
-    /// The recorded trace (empty slice when tracing is off).
-    pub fn trace(&self) -> &[TraceEntry] {
-        self.trace.as_deref().unwrap_or(&[])
+    /// Like [`Core::enable_trace`] with an explicit retention bound.
+    pub fn enable_trace_with_capacity(&mut self, capacity: usize) {
+        self.trace = Some(RingBuffer::new(capacity));
     }
 
-    /// Render the trace as disassembly, one line per instruction.
+    /// The retained trace window, oldest first (empty when tracing is off).
+    pub fn trace(&self) -> Vec<TraceEntry> {
+        self.trace.as_ref().map(|t| t.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Trace entries evicted by the ring bound.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.as_ref().map_or(0, RingBuffer::dropped)
+    }
+
+    /// Render the retained trace window as disassembly, one line per
+    /// instruction (prefixed with an elision note when entries were
+    /// dropped).
     pub fn trace_to_string(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
+        if self.trace_dropped() > 0 {
+            let _ = writeln!(out, "... ({} earlier entries dropped)", self.trace_dropped());
+        }
         for e in self.trace() {
             let _ = writeln!(out, "{:>10}  {:#010x}  {}", e.cycle, e.pc, e.instr);
         }
         out
+    }
+
+    /// Install a structured-event sink. With no bus installed every event
+    /// site costs one `Option` branch and nothing else.
+    pub fn set_event_bus(&mut self, bus: EventBus) {
+        self.obs = Some(Box::new(bus));
+    }
+
+    /// Move the collected events out of the core's bus (empty when no bus
+    /// is installed).
+    pub fn take_events(&mut self) -> Vec<Event> {
+        match self.obs.as_mut() {
+            Some(bus) => bus.take_events(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Events evicted from the core's bus by its ring bound.
+    pub fn events_dropped(&self) -> u64 {
+        self.obs.as_ref().map_or(0, |b| b.dropped())
     }
 
     /// The core's configuration.
@@ -242,6 +297,67 @@ impl Core {
         self.busy_until = now + cycles.max(1);
     }
 
+    /// Open (or extend) a stall interval of `cause` on the CPU-pipe track.
+    /// Associated fn over the two fields so it stays callable while
+    /// `self.mem_op` is borrowed.
+    #[inline]
+    fn obs_stall(
+        obs: &mut Option<Box<EventBus>>,
+        open: &mut Option<StallCause>,
+        now: u64,
+        cause: StallCause,
+    ) {
+        let Some(bus) = obs.as_mut() else { return };
+        if *open == Some(cause) {
+            return;
+        }
+        if let Some(prev) = open.take() {
+            bus.emit(now, Track::CpuPipe, EventKind::StallEnd(prev));
+        }
+        bus.emit(now, Track::CpuPipe, EventKind::StallBegin(cause));
+        *open = Some(cause);
+    }
+
+    /// Close any open stall interval: the pipe made progress at `now`.
+    #[inline]
+    fn obs_unstall(obs: &mut Option<Box<EventBus>>, open: &mut Option<StallCause>, now: u64) {
+        if let Some(prev) = open.take() {
+            if let Some(bus) = obs.as_mut() {
+                bus.emit(now, Track::CpuPipe, EventKind::StallEnd(prev));
+            }
+        }
+    }
+
+    /// Attribute the busy span just installed by `set_busy`/a memory beat:
+    /// everything beyond the single issue cycle is a `cause` stall. Emits a
+    /// closed begin/end pair (the core is guaranteed quiet until
+    /// `busy_until`, so the pair cannot interleave with later CPU events).
+    #[inline]
+    fn attribute_busy(
+        stats: &mut CoreStats,
+        obs: &mut Option<Box<EventBus>>,
+        now: u64,
+        busy_until: u64,
+        cause: StallCause,
+    ) {
+        let span = busy_until.saturating_sub(now + 1);
+        if span == 0 {
+            return;
+        }
+        stats.stalls.record_many(cause, span);
+        if let Some(bus) = obs.as_mut() {
+            bus.emit(now + 1, Track::CpuPipe, EventKind::StallBegin(cause));
+            bus.emit(busy_until, Track::CpuPipe, EventKind::StallEnd(cause));
+        }
+    }
+
+    /// [`Core::attribute_busy`] for execute-stage sites (no `mem_op`
+    /// borrow in flight).
+    #[inline]
+    fn attribute_exec_busy(&mut self, now: u64, cause: StallCause) {
+        Self::attribute_busy(&mut self.stats, &mut self.obs, now, self.busy_until, cause);
+    }
+
     /// Advance the core by one cycle.
     pub fn step(&mut self, now: u64, sram: &mut Sram, dev: &mut dyn MmioDevice) {
         if self.halted || now < self.busy_until {
@@ -275,11 +391,26 @@ impl Core {
                         op.next += 1;
                         self.stats.mem_beats += 1;
                         self.busy_until = now + 1 + op.extra_per_beat;
+                        Self::obs_unstall(&mut self.obs, &mut self.open_stall, now);
+                        Self::attribute_busy(
+                            &mut self.stats,
+                            &mut self.obs,
+                            now,
+                            self.busy_until,
+                            StallCause::LoadLatency,
+                        );
                     } else {
                         let words = (cache.line_bytes() / 4) as u64;
                         match sram.try_start_burst(now, who, words) {
                             None => {
                                 self.stats.mem_port_stall_cycles += 1;
+                                self.stats.stalls.record(StallCause::ArbitrationLoss);
+                                Self::obs_stall(
+                                    &mut self.obs,
+                                    &mut self.open_stall,
+                                    now,
+                                    StallCause::ArbitrationLoss,
+                                );
                                 return;
                             }
                             Some(done) => {
@@ -289,6 +420,14 @@ impl Core {
                                 op.next += 1;
                                 self.stats.mem_beats += 1;
                                 self.busy_until = done + op.extra_per_beat;
+                                Self::obs_unstall(&mut self.obs, &mut self.open_stall, now);
+                                Self::attribute_busy(
+                                    &mut self.stats,
+                                    &mut self.obs,
+                                    now,
+                                    self.busy_until,
+                                    StallCause::LoadLatency,
+                                );
                             }
                         }
                     }
@@ -300,6 +439,13 @@ impl Core {
                 match sram.try_start(now, who) {
                     None => {
                         self.stats.mem_port_stall_cycles += 1;
+                        self.stats.stalls.record(StallCause::ArbitrationLoss);
+                        Self::obs_stall(
+                            &mut self.obs,
+                            &mut self.open_stall,
+                            now,
+                            StallCause::ArbitrationLoss,
+                        );
                         return;
                     }
                     Some(done) => {
@@ -307,12 +453,27 @@ impl Core {
                         op.next += 1;
                         self.stats.mem_beats += 1;
                         self.busy_until = done + op.extra_per_beat;
+                        Self::obs_unstall(&mut self.obs, &mut self.open_stall, now);
+                        Self::attribute_busy(
+                            &mut self.stats,
+                            &mut self.obs,
+                            now,
+                            self.busy_until,
+                            StallCause::LoadLatency,
+                        );
                     }
                 }
             }
             BeatAccess::RamWrite(v) => match sram.try_start(now, who) {
                 None => {
                     self.stats.mem_port_stall_cycles += 1;
+                    self.stats.stalls.record(StallCause::ArbitrationLoss);
+                    Self::obs_stall(
+                        &mut self.obs,
+                        &mut self.open_stall,
+                        now,
+                        StallCause::ArbitrationLoss,
+                    );
                     return;
                 }
                 Some(done) => {
@@ -327,23 +488,51 @@ impl Core {
                     op.next += 1;
                     self.stats.mem_beats += 1;
                     self.busy_until = done + op.extra_per_beat;
+                    Self::obs_unstall(&mut self.obs, &mut self.open_stall, now);
+                    Self::attribute_busy(
+                        &mut self.stats,
+                        &mut self.obs,
+                        now,
+                        self.busy_until,
+                        StallCause::LoadLatency,
+                    );
                 }
             },
             BeatAccess::DevRead => match dev.mmio_read(beat.addr, now) {
                 MmioReadResult::Stall => {
                     self.stats.hht_wait_cycles += 1;
+                    // Header (counts window) reads wait on chunk metadata;
+                    // everything else waits on element data.
+                    let cause = if map::is_hht_buffer(beat.addr)
+                        && (beat.addr - map::HHT_BUF_BASE) & 0xC00 == HHT_COUNTS_WINDOW
+                    {
+                        StallCause::HhtHeaderWait
+                    } else {
+                        StallCause::HhtWindowEmpty
+                    };
+                    self.stats.stalls.record(cause);
+                    Self::obs_stall(&mut self.obs, &mut self.open_stall, now, cause);
                     return;
                 }
                 MmioReadResult::Data(v) => {
                     op.collected.push(v);
                     op.next += 1;
                     self.busy_until = now + self.cfg.hht_beat_cycles;
+                    Self::obs_unstall(&mut self.obs, &mut self.open_stall, now);
+                    Self::attribute_busy(
+                        &mut self.stats,
+                        &mut self.obs,
+                        now,
+                        self.busy_until,
+                        StallCause::LoadLatency,
+                    );
                 }
             },
             BeatAccess::DevWrite(v) => {
                 dev.mmio_write(beat.addr, v, now);
                 op.next += 1;
                 self.busy_until = now + 1;
+                Self::obs_unstall(&mut self.obs, &mut self.open_stall, now);
             }
         }
         if op.next == op.beats.len() {
@@ -471,12 +660,14 @@ impl Core {
                 self.write_x(rd, self.pc.wrapping_add(4));
                 next_pc = self.pc.wrapping_add(offset as u32);
                 self.set_busy(now, cfg.alu_cycles + cfg.branch_taken_penalty);
+                self.attribute_exec_busy(now, StallCause::BranchRefill);
             }
             Jalr { rd, rs1, offset } => {
                 let target = self.read_x(rs1).wrapping_add(offset as u32) & !1;
                 self.write_x(rd, self.pc.wrapping_add(4));
                 next_pc = target;
                 self.set_busy(now, cfg.alu_cycles + cfg.branch_taken_penalty);
+                self.attribute_exec_busy(now, StallCause::BranchRefill);
             }
             Branch { op, rs1, rs2, offset } => {
                 let a = self.read_x(rs1);
@@ -492,6 +683,7 @@ impl Core {
                 if taken {
                     next_pc = self.pc.wrapping_add(offset as u32);
                     self.set_busy(now, cfg.alu_cycles + cfg.branch_taken_penalty);
+                    self.attribute_exec_busy(now, StallCause::BranchRefill);
                 } else {
                     self.set_busy(now, cfg.alu_cycles);
                 }
@@ -602,11 +794,7 @@ impl Core {
                 self.set_busy(now, cfg.alu_cycles);
             }
             Vsetvli { rd, rs1, .. } => {
-                let avl = if rs1 == Reg::ZERO {
-                    cfg.vlen as u32
-                } else {
-                    self.read_x(rs1)
-                };
+                let avl = if rs1 == Reg::ZERO { cfg.vlen as u32 } else { self.read_x(rs1) };
                 self.vl = (avl as usize).min(cfg.vlen);
                 self.write_x(rd, self.vl as u32);
                 self.set_busy(now, cfg.alu_cycles);
@@ -614,15 +802,7 @@ impl Core {
             Vle32 { vd, rs1 } => {
                 let base = self.read_x(rs1);
                 let addrs = (0..self.vl).map(|i| base.wrapping_add(4 * i as u32)).collect();
-                self.start_mem_op(
-                    now,
-                    sram,
-                    addrs,
-                    None,
-                    Dest::V(vd),
-                    cfg.vector_issue_cycles,
-                    0,
-                );
+                self.start_mem_op(now, sram, addrs, None, Dest::V(vd), cfg.vector_issue_cycles, 0);
             }
             Vse32 { vs3, rs1 } => {
                 let base = self.read_x(rs1);
@@ -641,9 +821,8 @@ impl Core {
             }
             Vluxei32 { vd, rs1, vs2 } => {
                 let base = self.read_x(rs1);
-                let addrs = (0..self.vl)
-                    .map(|i| base.wrapping_add(self.v[vs2.index()][i]))
-                    .collect();
+                let addrs =
+                    (0..self.vl).map(|i| base.wrapping_add(self.v[vs2.index()][i])).collect();
                 self.start_mem_op(
                     now,
                     sram,
@@ -662,6 +841,7 @@ impl Core {
                     self.v[vd.index()][i] = (d + a * b).to_bits();
                 }
                 self.set_busy(now, cfg.vector_arith_cycles);
+                self.attribute_exec_busy(now, StallCause::VectorBusy);
             }
             VfmulVV { vd, vs1, vs2 } => {
                 for i in 0..self.vl {
@@ -670,6 +850,7 @@ impl Core {
                     self.v[vd.index()][i] = (a * b).to_bits();
                 }
                 self.set_busy(now, cfg.vector_arith_cycles);
+                self.attribute_exec_busy(now, StallCause::VectorBusy);
             }
             VfaddVV { vd, vs1, vs2 } => {
                 for i in 0..self.vl {
@@ -678,6 +859,7 @@ impl Core {
                     self.v[vd.index()][i] = (a + b).to_bits();
                 }
                 self.set_busy(now, cfg.vector_arith_cycles);
+                self.attribute_exec_busy(now, StallCause::VectorBusy);
             }
             VfredosumVS { vd, vs1, vs2 } => {
                 let mut s = f32::from_bits(self.v[vs1.index()][0]);
@@ -686,6 +868,7 @@ impl Core {
                 }
                 self.v[vd.index()][0] = s.to_bits();
                 self.set_busy(now, cfg.vector_arith_cycles);
+                self.attribute_exec_busy(now, StallCause::VectorBusy);
             }
             VsllVI { vd, vs2, imm5 } => {
                 for i in 0..self.vl {
@@ -852,10 +1035,8 @@ mod tests {
     fn loads_and_stores() {
         let mut sram = Sram::new(1024, 2);
         sram.write_u32(0x100, 7);
-        let (core, _) = run(
-            "li a0, 0x100\nlw a1, 0(a0)\naddi a1, a1, 1\nsw a1, 4(a0)\nebreak",
-            &mut sram,
-        );
+        let (core, _) =
+            run("li a0, 0x100\nlw a1, 0(a0)\naddi a1, a1, 1\nsw a1, 4(a0)\nebreak", &mut sram);
         assert_eq!(core.read_x(Reg::a(1)), 8);
         assert_eq!(sram.read_u32(0x104), 8);
     }
@@ -982,7 +1163,8 @@ mod tests {
         let warm = "li a0, 8\nvsetvli t0, a0, e32, m1\n";
         let (_, base) = run(&format!("{warm}ebreak"), &mut sram);
         let (_, one) = run(&format!("{warm}vfadd.vv v1, v2, v3\nebreak"), &mut sram);
-        let (_, two) = run(&format!("{warm}vfadd.vv v1, v2, v3\nvfadd.vv v4, v5, v6\nebreak"), &mut sram);
+        let (_, two) =
+            run(&format!("{warm}vfadd.vv v1, v2, v3\nvfadd.vv v4, v5, v6\nebreak"), &mut sram);
         assert_eq!(one - base, 4);
         assert_eq!(two - one, 4); // not pipelined: strictly serialized
     }
@@ -1001,7 +1183,8 @@ mod tests {
     fn timing_gather_pays_per_element_addressing() {
         let mut sram = Sram::new(4096, 2);
         sram.load_words(0x200, &[0, 4, 8, 12, 16, 20, 24, 28]);
-        let pre = "li a0, 8\nvsetvli t0, a0, e32, m1\nli a1, 0x200\nvle32.v v1, (a1)\nli a2, 0x100\n";
+        let pre =
+            "li a0, 8\nvsetvli t0, a0, e32, m1\nli a1, 0x200\nvle32.v v1, (a1)\nli a2, 0x100\n";
         let (_, unit) = run(&format!("{pre}vle32.v v2, (a2)\nebreak"), &mut sram);
         let mut sram_b = Sram::new(4096, 2);
         sram_b.load_words(0x200, &[0, 4, 8, 12, 16, 20, 24, 28]);
@@ -1164,8 +1347,7 @@ mod tests {
     fn narrow_core_config() {
         let mut sram = Sram::new(1024, 2);
         let cfg = CoreConfig::paper_default().with_vlen(1);
-        let (core, _) =
-            run_cfg("li a0, 8\nvsetvli t0, a0, e32, m1\nebreak", &mut sram, cfg);
+        let (core, _) = run_cfg("li a0, 8\nvsetvli t0, a0, e32, m1\nebreak", &mut sram, cfg);
         assert_eq!(core.read_x(Reg::t(0)), 1);
     }
 }

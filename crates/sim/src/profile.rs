@@ -12,7 +12,6 @@ use hht_isa::Instr;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-
 /// Coarse instruction categories.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Category {
@@ -79,10 +78,20 @@ pub fn categorize(i: &Instr) -> Category {
         Lw { .. } | LoadNarrow { .. } | Flw { .. } => Category::ScalarLoad,
         Sw { .. } | StoreNarrow { .. } | Fsw { .. } => Category::ScalarStore,
         Jal { .. } | Jalr { .. } | Branch { .. } => Category::ControlFlow,
-        FaddS { .. } | FsubS { .. } | FmulS { .. } | FmaddS { .. } | FmvWX { .. }
+        FaddS { .. }
+        | FsubS { .. }
+        | FmulS { .. }
+        | FmaddS { .. }
+        | FmvWX { .. }
         | FmvXW { .. } => Category::Float,
-        VfmaccVV { .. } | VfmulVV { .. } | VfaddVV { .. } | VfredosumVS { .. }
-        | VsllVI { .. } | VmvVI { .. } | VmvVX { .. } | VfmvFS { .. } => Category::VectorArith,
+        VfmaccVV { .. }
+        | VfmulVV { .. }
+        | VfaddVV { .. }
+        | VfredosumVS { .. }
+        | VsllVI { .. }
+        | VmvVI { .. }
+        | VmvVX { .. }
+        | VfmvFS { .. } => Category::VectorArith,
         Vle32 { .. } | Vse32 { .. } => Category::VectorMem,
         Vluxei32 { .. } => Category::VectorGather,
         Vsetvli { .. } | Csrrs { .. } | Ecall | Ebreak => Category::System,
@@ -167,7 +176,7 @@ mod tests {
             now += 1;
             assert!(now < 100_000);
         }
-        InstructionMix::from_trace(core.trace())
+        InstructionMix::from_trace(&core.trace())
     }
 
     #[test]

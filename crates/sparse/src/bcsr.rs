@@ -59,15 +59,7 @@ impl BcsrMatrix {
             let k = lo + block_col_idx[lo..hi].binary_search(&cb).unwrap();
             block_values[k * br * bc + (r % br) * bc + (c % bc)] = v;
         }
-        Ok(BcsrMatrix {
-            rows,
-            cols,
-            br,
-            bc,
-            block_row_ptr,
-            block_col_idx,
-            block_values,
-        })
+        Ok(BcsrMatrix { rows, cols, br, bc, block_row_ptr, block_col_idx, block_values })
     }
 
     /// Block shape `(rows, cols)`.
@@ -98,12 +90,7 @@ impl BcsrMatrix {
     /// Fill-in ratio: stored values (incl. explicit zeros inside blocks)
     /// divided by true non-zeros. Always ≥ 1; 1 means blocks are fully dense.
     pub fn fill_ratio(&self) -> f64 {
-        let true_nnz = self
-            .block_values
-            .iter()
-            .filter(|v| **v != 0.0)
-            .count()
-            .max(1);
+        let true_nnz = self.block_values.iter().filter(|v| **v != 0.0).count().max(1);
         self.block_values.len() as f64 / true_nnz as f64
     }
 }
@@ -163,8 +150,7 @@ mod tests {
     #[test]
     fn single_block_holds_neighbors() {
         // Two nnz in the same 2x2 block -> one stored block of 4 slots.
-        let m =
-            BcsrMatrix::from_triplets(4, 4, 2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]).unwrap();
+        let m = BcsrMatrix::from_triplets(4, 4, 2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]).unwrap();
         assert_eq!(m.num_blocks(), 1);
         assert_eq!(m.nnz(), 4);
         assert_eq!(m.block(0), &[1.0, 0.0, 0.0, 2.0]);

@@ -21,7 +21,11 @@ pub struct BitVectorMatrix {
 
 impl BitVectorMatrix {
     /// Build from `(row, col, value)` triplets.
-    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Result<Self> {
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f32)],
+    ) -> Result<Self> {
         Ok(Self::from_coo(&CooMatrix::from_triplets(rows, cols, triplets)?))
     }
 

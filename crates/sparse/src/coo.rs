@@ -22,7 +22,11 @@ impl CooMatrix {
 
     /// Build from triplets. Entries are sorted row-major; duplicate
     /// coordinates and out-of-bounds indices are rejected.
-    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Result<Self> {
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f32)],
+    ) -> Result<Self> {
         let mut entries: Vec<(usize, usize, f32)> = Vec::with_capacity(triplets.len());
         for &(r, c, v) in triplets {
             if r >= rows || c >= cols {

@@ -14,7 +14,11 @@ pub struct CscMatrix {
 
 impl CscMatrix {
     /// Build from `(row, col, value)` triplets.
-    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Result<Self> {
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f32)],
+    ) -> Result<Self> {
         Ok(Self::from_coo(&CooMatrix::from_triplets(rows, cols, triplets)?))
     }
 
@@ -50,9 +54,7 @@ impl CscMatrix {
                 what: "col_ptr must have cols+1 entries starting at 0".into(),
             });
         }
-        if row_idx.len() != values.len()
-            || *col_ptr.last().unwrap() as usize != row_idx.len()
-        {
+        if row_idx.len() != values.len() || *col_ptr.last().unwrap() as usize != row_idx.len() {
             return Err(SparseError::InvalidStructure {
                 what: "col_ptr[last], row_idx and values disagree on nnz".into(),
             });

@@ -87,7 +87,11 @@ impl CsrMatrix {
     }
 
     /// Build from `(row, col, value)` triplets.
-    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Result<Self> {
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f32)],
+    ) -> Result<Self> {
         Ok(Self::from_coo(&CooMatrix::from_triplets(rows, cols, triplets)?))
     }
 
@@ -181,12 +185,8 @@ mod tests {
     /// The 3x3 example of the paper's Fig. 1:
     /// [[5, 0, 2], [0, 0, 3], [1, 0, 0]]
     fn fig1() -> CsrMatrix {
-        CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(0, 0, 5.0), (0, 2, 2.0), (1, 2, 3.0), (2, 0, 1.0)],
-        )
-        .unwrap()
+        CsrMatrix::from_triplets(3, 3, &[(0, 0, 5.0), (0, 2, 2.0), (1, 2, 3.0), (2, 0, 1.0)])
+            .unwrap()
     }
 
     #[test]
@@ -231,8 +231,7 @@ mod tests {
     #[test]
     fn from_raw_validates_column_order_and_bounds() {
         // duplicate column in a row
-        let e =
-            CsrMatrix::from_raw(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).unwrap_err();
+        let e = CsrMatrix::from_raw(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).unwrap_err();
         assert!(matches!(e, SparseError::InvalidStructure { .. }));
         // out of range column
         let e = CsrMatrix::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();

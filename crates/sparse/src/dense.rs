@@ -144,11 +144,7 @@ impl DenseVector {
     /// results under floating-point reassociation.
     pub fn max_abs_diff(&self, other: &DenseVector) -> f32 {
         assert_eq!(self.len(), other.len(), "max_abs_diff on different lengths");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 }
 

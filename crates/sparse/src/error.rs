@@ -48,10 +48,9 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
-                f,
-                "entry ({row}, {col}) out of bounds for a {rows}x{cols} matrix"
-            ),
+            SparseError::IndexOutOfBounds { row, col, rows, cols } => {
+                write!(f, "entry ({row}, {col}) out of bounds for a {rows}x{cols} matrix")
+            }
             SparseError::DimensionMismatch { what } => {
                 write!(f, "dimension mismatch: {what}")
             }

@@ -71,8 +71,7 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CooMatrix, MtxError> 
         Some((i, l)) => (i + 1, l?),
         None => return perr(1, "empty file"),
     };
-    let head: Vec<String> =
-        header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    let head: Vec<String> = header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
     if head.len() < 5 || head[0] != "%%matrixmarket" || head[1] != "matrix" {
         return perr(ln, "expected '%%MatrixMarket matrix ...' header");
     }
@@ -109,18 +108,15 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CooMatrix, MtxError> 
     if parts.len() != 3 {
         return perr(ln, "size line must be 'rows cols nnz'");
     }
-    let rows: usize = parts[0].parse().map_err(|_| MtxError::Parse {
-        line: ln,
-        msg: format!("bad row count {}", parts[0]),
-    })?;
-    let cols: usize = parts[1].parse().map_err(|_| MtxError::Parse {
-        line: ln,
-        msg: format!("bad col count {}", parts[1]),
-    })?;
-    let nnz: usize = parts[2].parse().map_err(|_| MtxError::Parse {
-        line: ln,
-        msg: format!("bad nnz count {}", parts[2]),
-    })?;
+    let rows: usize = parts[0]
+        .parse()
+        .map_err(|_| MtxError::Parse { line: ln, msg: format!("bad row count {}", parts[0]) })?;
+    let cols: usize = parts[1]
+        .parse()
+        .map_err(|_| MtxError::Parse { line: ln, msg: format!("bad col count {}", parts[1]) })?;
+    let nnz: usize = parts[2]
+        .parse()
+        .map_err(|_| MtxError::Parse { line: ln, msg: format!("bad nnz count {}", parts[2]) })?;
     let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(nnz);
     let mut seen = 0usize;
     for (i, l) in lines {

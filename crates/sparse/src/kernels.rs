@@ -70,9 +70,7 @@ pub type AlignedPairs = (Vec<(f32, f32)>, Vec<usize>);
 /// tests can reconstruct per-row accumulation.
 pub fn spmspv_aligned_pairs(m: &CsrMatrix, x: &SparseVector) -> Result<AlignedPairs> {
     if x.len() != m.cols() {
-        return Err(SparseError::DimensionMismatch {
-            what: "matrix/vector width mismatch".into(),
-        });
+        return Err(SparseError::DimensionMismatch { what: "matrix/vector width mismatch".into() });
     }
     let xi = x.indices();
     let xv = x.values();
@@ -104,9 +102,7 @@ pub fn spmspv_aligned_pairs(m: &CsrMatrix, x: &SparseVector) -> Result<AlignedPa
 /// are zero — the "wasted computations" the paper discusses.
 pub fn spmspv_value_or_zero(m: &CsrMatrix, x: &SparseVector) -> Result<Vec<f32>> {
     if x.len() != m.cols() {
-        return Err(SparseError::DimensionMismatch {
-            what: "matrix/vector width mismatch".into(),
-        });
+        return Err(SparseError::DimensionMismatch { what: "matrix/vector width mismatch".into() });
     }
     Ok(m.col_indices().iter().map(|&c| x.get(c as usize)).collect())
 }

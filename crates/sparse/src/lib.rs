@@ -115,8 +115,7 @@ mod tests {
 
     #[test]
     fn doc_example_runs() {
-        let m =
-            CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
         let v = DenseVector::from(vec![1.0, 1.0, 1.0]);
         let y = kernels::spmv(&m, &v).unwrap();
         assert_eq!(y.as_slice(), &[3.0, 3.0]);

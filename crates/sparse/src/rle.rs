@@ -19,7 +19,11 @@ pub struct RleMatrix {
 
 impl RleMatrix {
     /// Build from `(row, col, value)` triplets.
-    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Result<Self> {
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f32)],
+    ) -> Result<Self> {
         Ok(Self::from_coo(&CooMatrix::from_triplets(rows, cols, triplets)?))
     }
 

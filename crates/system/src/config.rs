@@ -1,9 +1,72 @@
-//! Whole-system configuration (Table 1).
+//! Whole-system configuration (Table 1) plus the observability knobs.
 
 use hht_accel::HhtParams;
 use hht_sim::config::CacheGeometry;
 use hht_sim::CoreConfig;
 use serde::{Deserialize, Serialize};
+
+/// Observability configuration: whether the structured-event sinks are
+/// installed and how much they retain. Stall-cause *counters* are always
+/// on; this only gates the cycle-stamped event streams (and their memory).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Install event buses on the core, HHT and SRAM port. Off by default:
+    /// every event site then costs a single `Option` branch and simulated
+    /// cycle counts are bit-identical to an untraced run.
+    pub events: bool,
+    /// Per-component event ring capacity (most recent events kept).
+    pub event_capacity: usize,
+    /// Keep only every Nth buffer-occupancy sample (1 = keep all);
+    /// begin/end pairs are never sampled out.
+    pub sample_every: u64,
+    /// Record the CPU instruction trace (bounded ring of
+    /// `instr_trace_capacity` entries).
+    pub instr_trace: bool,
+    /// Instruction-trace ring capacity.
+    pub instr_trace_capacity: usize,
+}
+
+impl TraceConfig {
+    /// Everything off (the measurement configuration).
+    pub fn disabled() -> Self {
+        TraceConfig {
+            events: false,
+            event_capacity: 1 << 16,
+            sample_every: 1,
+            instr_trace: false,
+            instr_trace_capacity: 1 << 16,
+        }
+    }
+
+    /// Event streams on with default retention; instruction trace off.
+    pub fn enabled() -> Self {
+        TraceConfig { events: true, ..Self::disabled() }
+    }
+
+    /// Same configuration with a different event-ring capacity.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.event_capacity = capacity;
+        self
+    }
+
+    /// Same configuration keeping only every `n`th buffer-level sample.
+    pub fn with_sampling(mut self, n: u64) -> Self {
+        self.sample_every = n.max(1);
+        self
+    }
+
+    /// Same configuration with the CPU instruction trace on.
+    pub fn with_instr_trace(mut self) -> Self {
+        self.instr_trace = true;
+        self
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
 
 /// Table 1 of the paper, as a value.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -19,6 +82,9 @@ pub struct SystemConfig {
     /// Core clock, Hz (Table 1: 1.1 GHz) — used only to convert cycles to
     /// seconds for the energy model.
     pub clock_hz: f64,
+    /// Observability sinks (event streams, instruction trace). Disabled by
+    /// default; never affects simulated cycle counts.
+    pub trace: TraceConfig,
 }
 
 impl SystemConfig {
@@ -31,6 +97,7 @@ impl SystemConfig {
             ram_size: 1 << 20,
             ram_word_cycles: 1,
             clock_hz: 1.1e9,
+            trace: TraceConfig::disabled(),
         }
     }
 
@@ -64,6 +131,12 @@ impl SystemConfig {
     /// memory side).
     pub fn with_l1d(mut self, g: CacheGeometry) -> Self {
         self.core = self.core.with_l1d(g);
+        self
+    }
+
+    /// Same configuration with the given observability sinks.
+    pub fn with_trace(mut self, t: TraceConfig) -> Self {
+        self.trace = t;
         self
     }
 }

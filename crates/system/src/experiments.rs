@@ -64,8 +64,7 @@ pub fn spmv_sweep(cfg: &SystemConfig, n: usize) -> Vec<(usize, Vec<SpeedupPoint>
     [1usize, 2]
         .iter()
         .map(|&nb| {
-            let points =
-                PAPER_SPARSITIES.iter().map(|&s| spmv_point(cfg, n, s, nb)).collect();
+            let points = PAPER_SPARSITIES.iter().map(|&s| spmv_point(cfg, n, s, nb)).collect();
             (nb, points)
         })
         .collect()
@@ -107,17 +106,12 @@ pub fn spmspv_point(
 }
 
 /// Figure 5/7 sweep: all four bars (v1/v2 × 1/2 buffers) per sparsity.
-pub fn spmspv_sweep(
-    cfg: &SystemConfig,
-    n: usize,
-) -> Vec<(SpMSpVKind, usize, Vec<SpeedupPoint>)> {
+pub fn spmspv_sweep(cfg: &SystemConfig, n: usize) -> Vec<(SpMSpVKind, usize, Vec<SpeedupPoint>)> {
     let mut out = Vec::new();
     for kind in [SpMSpVKind::V1, SpMSpVKind::V2] {
         for nb in [1usize, 2] {
-            let points = PAPER_SPARSITIES
-                .iter()
-                .map(|&s| spmspv_point(cfg, n, s, nb, kind))
-                .collect();
+            let points =
+                PAPER_SPARSITIES.iter().map(|&s| spmspv_point(cfg, n, s, nb, kind)).collect();
             out.push((kind, nb, points));
         }
     }
@@ -131,8 +125,7 @@ pub fn vector_width_sweep(cfg: &SystemConfig, n: usize) -> Vec<(usize, Vec<Speed
         .iter()
         .map(|&vl| {
             let cfg_w = cfg.with_vlen(vl);
-            let points =
-                PAPER_SPARSITIES.iter().map(|&s| spmv_point(&cfg_w, n, s, 2)).collect();
+            let points = PAPER_SPARSITIES.iter().map(|&s| spmv_point(&cfg_w, n, s, 2)).collect();
             (vl, points)
         })
         .collect()
@@ -376,8 +369,8 @@ pub fn format_ablation(cfg: &SystemConfig, n: usize) -> Vec<FormatAblationPoint>
             let seed = seed_for(3, n, s);
             let m = generate::random_csr(n, n, s, seed);
             let v = generate::random_dense_vector(n, seed ^ 1);
-            let smash = SmashMatrix::from_triplets(n, n, &m.triplets())
-                .expect("valid triplets from CSR");
+            let smash =
+                SmashMatrix::from_triplets(n, n, &m.triplets()).expect("valid triplets from CSR");
             let csr_run = runner::run_spmv_hht(cfg, &m, &v);
             let smash_run = runner::run_smash_spmv_hht(cfg, &smash, &v);
             FormatAblationPoint {

@@ -55,7 +55,7 @@ pub fn spmspv_baseline(l: &ProblemLayout) -> Program {
     let row_done = b.label();
     b.bge(t3, t2, row_done); // row exhausted
     b.bge(s9, s8, row_done); // vector exhausted
-    // load col = cols[k]
+                             // load col = cols[k]
     b.slli(t4, t3, 2);
     b.add(t4, A1, t4);
     b.lw(t4, 0, t4);
@@ -237,8 +237,7 @@ mod tests {
         let p = spmspv_baseline(&dummy_layout());
         assert!(!p.instrs().iter().any(|i| i.is_vector()));
         // Has both comparison branches of the merge.
-        let branches =
-            p.instrs().iter().filter(|i| matches!(i, Instr::Branch { .. })).count();
+        let branches = p.instrs().iter().filter(|i| matches!(i, Instr::Branch { .. })).count();
         assert!(branches >= 4);
     }
 
@@ -249,10 +248,9 @@ mod tests {
         for w in [window::PRIMARY, window::SECONDARY, window::COUNTS] {
             let addr = (map::HHT_BUF_BASE + w) as i32;
             let hi = addr >> 12; // lui chunk
-            let found = p
-                .instrs()
-                .iter()
-                .any(|i| matches!(i, Instr::Lui { imm20, .. } if (*imm20 == hi || *imm20 == hi + 1)));
+            let found = p.instrs().iter().any(
+                |i| matches!(i, Instr::Lui { imm20, .. } if (*imm20 == hi || *imm20 == hi + 1)),
+            );
             assert!(found, "window {w:#x} address not materialized");
         }
     }

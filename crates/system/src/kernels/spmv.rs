@@ -251,7 +251,6 @@ fn spmv_hht_scalar(l: &ProblemLayout, mode: Mode) -> Program {
     b.build()
 }
 
-
 /// Dense matrix-vector product: no metadata at all, `rows x cols` fused
 /// multiply-accumulates over unit-stride streams. This is the "expand
 /// sparse data into dense by inserting zeroes" comparator of §6 ([40],
@@ -350,11 +349,8 @@ mod tests {
     #[test]
     fn hht_kernels_program_the_mmrs() {
         let p = spmv_hht(&dummy_layout(), true);
-        let mmr_stores = p
-            .instrs()
-            .iter()
-            .filter(|i| matches!(i, hht_isa::Instr::Sw { .. }))
-            .count();
+        let mmr_stores =
+            p.instrs().iter().filter(|i| matches!(i, hht_isa::Instr::Sw { .. })).count();
         assert!(mmr_stores >= 12, "expected MMR programming stores");
     }
 }

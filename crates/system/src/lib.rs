@@ -30,10 +30,12 @@ pub mod config;
 pub mod experiments;
 pub mod kernels;
 pub mod layout;
+pub mod metrics;
 pub mod runner;
 pub mod system;
 pub mod tiling;
 
-pub use config::SystemConfig;
+pub use config::{SystemConfig, TraceConfig};
+pub use metrics::MetricsSnapshot;
 pub use runner::{RunOutput, RunStats};
 pub use system::System;

@@ -12,8 +12,8 @@ use crate::layout;
 use crate::system::{System, SystemStats};
 use hht_mem::Sram;
 use hht_sparse::{
-    kernels as golden, CscMatrix, CsrMatrix, DenseMatrix, DenseVector, SmashMatrix,
-    SparseFormat, SparseVector,
+    kernels as golden, CscMatrix, CsrMatrix, DenseMatrix, DenseVector, SmashMatrix, SparseFormat,
+    SparseVector,
 };
 
 /// Numeric result plus measured statistics of one kernel run.
@@ -23,6 +23,9 @@ pub struct RunOutput {
     pub y: DenseVector,
     /// Measured statistics.
     pub stats: SystemStats,
+    /// Merged structured-event timeline (empty unless the configuration
+    /// enables event tracing).
+    pub events: Vec<hht_obs::Event>,
 }
 
 /// Re-export of [`SystemStats`] under the name used by the experiment
@@ -35,10 +38,7 @@ pub type RunStats = SystemStats;
 const TOL: f32 = 1e-3;
 
 fn verify(y: &DenseVector, golden: &DenseVector, what: &str) {
-    let scale = golden
-        .as_slice()
-        .iter()
-        .fold(1.0f32, |m, v| m.max(v.abs()));
+    let scale = golden.as_slice().iter().fold(1.0f32, |m, v| m.max(v.abs()));
     let diff = y.max_abs_diff(golden);
     assert!(
         diff <= TOL * scale,
@@ -74,7 +74,7 @@ pub fn run_spmv_baseline(cfg: &SystemConfig, m: &CsrMatrix, v: &DenseVector) -> 
     let stats = sys.run().expect("baseline SpMV kernel fault");
     let y = sys.read_output(l.y_base, m.rows());
     verify(&y, &golden::spmv(m, v).expect("shapes validated by layout"), "spmv_baseline");
-    RunOutput { y, stats }
+    RunOutput { y, stats, events: sys.take_events() }
 }
 
 /// Run HHT-assisted SpMV.
@@ -86,7 +86,7 @@ pub fn run_spmv_hht(cfg: &SystemConfig, m: &CsrMatrix, v: &DenseVector) -> RunOu
     let stats = sys.run().expect("HHT SpMV kernel fault");
     let y = sys.read_output(l.y_base, m.rows());
     verify(&y, &golden::spmv(m, v).expect("shapes validated by layout"), "spmv_hht");
-    RunOutput { y, stats }
+    RunOutput { y, stats, events: sys.take_events() }
 }
 
 /// Run baseline SpMSpV (CPU-only scalar merge).
@@ -98,7 +98,7 @@ pub fn run_spmspv_baseline(cfg: &SystemConfig, m: &CsrMatrix, x: &SparseVector) 
     let stats = sys.run().expect("baseline SpMSpV kernel fault");
     let y = sys.read_output(l.y_base, m.rows());
     verify(&y, &golden::spmspv(m, x).expect("shapes validated"), "spmspv_baseline");
-    RunOutput { y, stats }
+    RunOutput { y, stats, events: sys.take_events() }
 }
 
 /// Run the work-efficient CSC SpMSpV baseline (related work [43]):
@@ -114,7 +114,7 @@ pub fn run_spmspv_csc_baseline(cfg: &SystemConfig, m: &CsrMatrix, x: &SparseVect
     let stats = sys.run().expect("CSC SpMSpV kernel fault");
     let y = sys.read_output(l.y_base, m.rows());
     verify(&y, &golden::spmspv(m, x).expect("shapes validated"), "spmspv_csc_baseline");
-    RunOutput { y, stats }
+    RunOutput { y, stats, events: sys.take_events() }
 }
 
 /// Run HHT SpMSpV variant-1 (aligned pairs).
@@ -126,7 +126,7 @@ pub fn run_spmspv_hht_v1(cfg: &SystemConfig, m: &CsrMatrix, x: &SparseVector) ->
     let stats = sys.run().expect("HHT SpMSpV v1 kernel fault");
     let y = sys.read_output(l.y_base, m.rows());
     verify(&y, &golden::spmspv(m, x).expect("shapes validated"), "spmspv_hht_v1");
-    RunOutput { y, stats }
+    RunOutput { y, stats, events: sys.take_events() }
 }
 
 /// Run HHT SpMSpV variant-2 (value-or-zero).
@@ -138,7 +138,7 @@ pub fn run_spmspv_hht_v2(cfg: &SystemConfig, m: &CsrMatrix, x: &SparseVector) ->
     let stats = sys.run().expect("HHT SpMSpV v2 kernel fault");
     let y = sys.read_output(l.y_base, m.rows());
     verify(&y, &golden::spmspv(m, x).expect("shapes validated"), "spmspv_hht_v2");
-    RunOutput { y, stats }
+    RunOutput { y, stats, events: sys.take_events() }
 }
 
 /// Run the dense (expanded) matrix-vector baseline: the §6 comparator that
@@ -151,7 +151,7 @@ pub fn run_dense_matvec(cfg: &SystemConfig, m: &DenseMatrix, v: &DenseVector) ->
     let stats = sys.run().expect("dense matvec kernel fault");
     let y = sys.read_output(l.y_base, m.rows());
     verify(&y, &m.matvec(v).expect("shapes validated"), "dense_matvec");
-    RunOutput { y, stats }
+    RunOutput { y, stats, events: sys.take_events() }
 }
 
 /// Run SpMV with the *programmable* HHT back-end (§7 future work): same
@@ -164,12 +164,8 @@ pub fn run_spmv_hht_programmable(cfg: &SystemConfig, m: &CsrMatrix, v: &DenseVec
     let mut sys = System::new(cfg, program, sram);
     let stats = sys.run().expect("programmable HHT SpMV kernel fault");
     let y = sys.read_output(l.y_base, m.rows());
-    verify(
-        &y,
-        &golden::spmv(m, v).expect("shapes validated by layout"),
-        "spmv_hht_programmable",
-    );
-    RunOutput { y, stats }
+    verify(&y, &golden::spmv(m, v).expect("shapes validated by layout"), "spmv_hht_programmable");
+    RunOutput { y, stats, events: sys.take_events() }
 }
 
 /// Run HHT-assisted SpMV over a SMASH-encoded matrix (§6 ablation).
@@ -189,7 +185,7 @@ pub fn run_smash_spmv_hht(cfg: &SystemConfig, m: &SmashMatrix, v: &DenseVector) 
     let csr = CsrMatrix::from_triplets(m.rows(), m.cols(), &m.triplets())
         .expect("triplets from a valid SMASH matrix");
     verify(&y, &golden::spmv(&csr, v).expect("shapes validated"), "smash_spmv_hht");
-    RunOutput { y, stats }
+    RunOutput { y, stats, events: sys.take_events() }
 }
 
 #[cfg(test)]

@@ -2,10 +2,11 @@
 
 use crate::config::SystemConfig;
 use hht_accel::{Hht, HhtStats};
+use hht_isa::Program;
 use hht_mem::{Sram, SramStats};
+use hht_obs::{merge_events, Event, EventBus};
 use hht_sim::{Core, CoreStats, RunError};
 use hht_sparse::DenseVector;
-use hht_isa::Program;
 use serde::{Deserialize, Serialize};
 
 /// Everything measured in one run (§4's counters plus port statistics).
@@ -50,15 +51,22 @@ pub struct System {
 }
 
 impl System {
-    /// Build a system: the SRAM must already hold the problem image.
-    pub fn new(cfg: &SystemConfig, program: Program, sram: Sram) -> Self {
-        System {
-            core: Core::new(cfg.core, program),
-            hht: Hht::new(cfg.hht),
-            sram,
-            cycle: 0,
-            max_cycles: cfg.core.max_cycles,
+    /// Build a system: the SRAM must already hold the problem image. When
+    /// `cfg.trace` asks for it, event buses are installed on the core, the
+    /// HHT and the SRAM port (sinks never change simulated timing).
+    pub fn new(cfg: &SystemConfig, program: Program, mut sram: Sram) -> Self {
+        let mut core = Core::new(cfg.core, program);
+        let mut hht = Hht::new(cfg.hht);
+        if cfg.trace.events {
+            let bus = || EventBus::with_sampling(cfg.trace.event_capacity, cfg.trace.sample_every);
+            core.set_event_bus(bus());
+            hht.set_event_bus(bus());
+            sram.set_event_bus(bus());
         }
+        if cfg.trace.instr_trace {
+            core.enable_trace_with_capacity(cfg.trace.instr_trace_capacity);
+        }
+        System { core, hht, sram, cycle: 0, max_cycles: cfg.core.max_cycles }
     }
 
     /// Advance one cycle: CPU first (port priority), then the HHT.
@@ -110,6 +118,18 @@ impl System {
     /// Borrow the core (for test inspection).
     pub fn core(&self) -> &Core {
         &self.core
+    }
+
+    /// Drain every component's event stream into one cycle-ordered
+    /// timeline (empty when the system was built without event sinks).
+    pub fn take_events(&mut self) -> Vec<Event> {
+        merge_events(vec![self.core.take_events(), self.hht.take_events(), self.sram.take_events()])
+    }
+
+    /// Drain the event streams and render them as Chrome trace-event JSON
+    /// (load in `chrome://tracing` or <https://ui.perfetto.dev>).
+    pub fn chrome_trace_json(&mut self) -> String {
+        hht_obs::chrome::chrome_trace_json(&self.take_events())
     }
 }
 

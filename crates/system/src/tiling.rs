@@ -192,8 +192,7 @@ pub fn run_spmv_tiled(cfg: &SystemConfig, m: &CsrMatrix, v: &DenseVector, tile: 
     // Size the SRAM: tiles add (tile+1) row-ptr words per non-empty block
     // plus the descriptor table; over-provision generously.
     let blocks = m.rows().div_ceil(tile) * m.cols().div_ceil(tile);
-    let words =
-        2 * m.nnz() + blocks * (tile + 1 + 8) + v.len() + m.rows() + 64;
+    let words = 2 * m.nnz() + blocks * (tile + 1 + 8) + v.len() + m.rows() + 64;
     let needed = (0x100 + 4 * words as u64 + 32 * (blocks as u64 + 8)).next_multiple_of(4096);
     let mut sram = Sram::new((cfg.ram_size as u64).max(needed) as u32, cfg.ram_word_cycles);
     let mut builder = ImageBuilder::new(&mut sram, 0x100);
@@ -206,11 +205,8 @@ pub fn run_spmv_tiled(cfg: &SystemConfig, m: &CsrMatrix, v: &DenseVector, tile: 
     let y = sys.read_output(y_base, m.rows());
     let gold = golden::spmv(m, v).expect("shapes validated");
     let scale = gold.as_slice().iter().fold(1.0f32, |a, b| a.max(b.abs()));
-    assert!(
-        y.max_abs_diff(&gold) <= 1e-3 * scale,
-        "tiled SpMV diverges from golden (tile={tile})"
-    );
-    TiledRun { out: RunOutput { y, stats }, tiles }
+    assert!(y.max_abs_diff(&gold) <= 1e-3 * scale, "tiled SpMV diverges from golden (tile={tile})");
+    TiledRun { out: RunOutput { y, stats, events: sys.take_events() }, tiles }
 }
 
 #[cfg(test)]
@@ -227,10 +223,7 @@ mod tests {
         let untiled = runner::run_spmv_hht(&cfg, &m, &v);
         for tile in [8usize, 16, 24, 48] {
             let t = run_spmv_tiled(&cfg, &m, &v, tile);
-            assert!(
-                t.out.y.max_abs_diff(&untiled.y) < 1e-3,
-                "tile={tile} diverges"
-            );
+            assert!(t.out.y.max_abs_diff(&untiled.y) < 1e-3, "tile={tile} diverges");
         }
     }
 

@@ -42,12 +42,8 @@ impl SuiteMatrix {
             // bandwidth 2 -> ≤ 5 nnz/row
             Profile::Banded => generate::banded_csr(self.n, 2, self.seed),
             Profile::PowerLaw => generate::power_law_csr(self.n, self.n as f64 * 0.02, self.seed),
-            Profile::BlockDiagonal => {
-                generate::block_diagonal_csr(self.n, 4, self.seed)
-            }
-            Profile::UniformRandom => {
-                generate::random_csr(self.n, self.n, 0.95, self.seed)
-            }
+            Profile::BlockDiagonal => generate::block_diagonal_csr(self.n, 4, self.seed),
+            Profile::UniformRandom => generate::random_csr(self.n, self.n, 0.95, self.seed),
         }
     }
 }
@@ -76,12 +72,7 @@ mod tests {
     fn all_profiles_are_high_sparsity() {
         for sm in suite(128) {
             let m = sm.matrix();
-            assert!(
-                m.sparsity() >= 0.9,
-                "{}: sparsity {} < 0.9",
-                sm.name,
-                m.sparsity()
-            );
+            assert!(m.sparsity() >= 0.9, "{}: sparsity {} < 0.9", sm.name, m.sparsity());
         }
     }
 

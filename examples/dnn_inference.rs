@@ -48,12 +48,8 @@ fn main() {
 
     // §5.5 energy: at the synthesis corner (16 nm, 50 MHz MCU clock) the
     // core+HHT draws more power but finishes sooner.
-    let e = energy_savings(
-        base.stats.cycles,
-        hht.stats.cycles,
-        ProcessNode::N16,
-        ClockSpeed::MHz50,
-    );
+    let e =
+        energy_savings(base.stats.cycles, hht.stats.cycles, ProcessNode::N16, ClockSpeed::MHz50);
     println!(
         "power:        {:.0} uW core-only vs {:.0} uW core+HHT",
         e.baseline_power_w * 1e6,

@@ -15,8 +15,10 @@ use hht::system::runner;
 fn main() {
     let cfg = SystemConfig::paper_default();
     let n = 256;
-    println!("{:>9} {:>10} {:>10} {:>10} {:>12} {:>12}",
-        "sparsity", "baseline", "variant1", "variant2", "v1 cpu-idle", "v2 cpu-idle");
+    println!(
+        "{:>9} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "sparsity", "baseline", "variant1", "variant2", "v1 cpu-idle", "v2 cpu-idle"
+    );
     // Sweep the event rate: a quiet sensor produces a very sparse
     // activation vector, a busy one a dense-ish vector.
     for sparsity in [0.5, 0.7, 0.9, 0.95] {

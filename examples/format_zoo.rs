@@ -7,15 +7,14 @@
 //! ```
 
 use hht::sparse::{
-    generate, BcsrMatrix, BitVectorMatrix, CooMatrix, CscMatrix, DiaMatrix, EllMatrix,
-    RleMatrix, SmashMatrix, SparseFormat,
+    generate, BcsrMatrix, BitVectorMatrix, CooMatrix, CscMatrix, DiaMatrix, EllMatrix, RleMatrix,
+    SmashMatrix, SparseFormat,
 };
 use hht::system::config::SystemConfig;
 use hht::system::runner;
 
 fn main() {
-    let sparsity: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.85);
+    let sparsity: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.85);
     let n = 128;
     let csr = generate::random_csr(n, n, sparsity, 99);
     let triplets = csr.triplets();
@@ -48,10 +47,7 @@ fn main() {
     report("run-length", rle.storage_bytes());
     report(&format!("ELL (k={})", ell.k()), ell.storage_bytes());
     report(&format!("DIA ({} diagonals)", dia.num_diagonals()), dia.storage_bytes());
-    report(
-        &format!("SMASH ({} levels)", smash.num_levels()),
-        smash.storage_bytes(),
-    );
+    report(&format!("SMASH ({} levels)", smash.num_levels()), smash.storage_bytes());
     println!("BCSR fill ratio: {:.2} stored slots per true non-zero", bcsr.fill_ratio());
 
     // Every format reconstructs the same matrix.
@@ -71,6 +67,8 @@ fn main() {
     let via_smash = runner::run_smash_spmv_hht(&cfg, &smash, &v);
     assert!(via_csr.y.max_abs_diff(&via_smash.y) < 1e-3);
     println!("\nHHT SpMV via CSR:   {} cycles", via_csr.stats.cycles);
-    println!("HHT SpMV via SMASH: {} cycles (more indexing work in the HHT, Sec. 6)",
-        via_smash.stats.cycles);
+    println!(
+        "HHT SpMV via SMASH: {} cycles (more indexing work in the HHT, Sec. 6)",
+        via_smash.stats.cycles
+    );
 }

@@ -70,8 +70,7 @@ fn main() {
         rank = next;
     }
 
-    let mut top: Vec<(usize, f32)> =
-        rank.as_slice().iter().copied().enumerate().collect();
+    let mut top: Vec<(usize, f32)> = rank.as_slice().iter().copied().enumerate().collect();
     top.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("top pages: {:?}", &top[..5.min(top.len())]);
     println!(

@@ -23,11 +23,8 @@ fn traced_run(cfg: &SystemConfig, hht_kernel: bool) -> (InstructionMix, u64) {
     let v = generate::random_dense_vector(64, 8);
     let mut sram = Sram::new(cfg.ram_size, cfg.ram_word_cycles);
     let l = layout::layout_spmv(&mut sram, &m, &v);
-    let program = if hht_kernel {
-        kernels::spmv_hht(&l, true)
-    } else {
-        kernels::spmv_baseline(&l, true)
-    };
+    let program =
+        if hht_kernel { kernels::spmv_hht(&l, true) } else { kernels::spmv_baseline(&l, true) };
     let mut core = Core::new(cfg.core, program);
     core.enable_trace();
     let mut hht = Hht::new(HhtParams::default());
@@ -37,7 +34,7 @@ fn traced_run(cfg: &SystemConfig, hht_kernel: bool) -> (InstructionMix, u64) {
         hht.step(now, &mut sram);
         now += 1;
     }
-    (InstructionMix::from_trace(core.trace()), now)
+    (InstructionMix::from_trace(&core.trace()), now)
 }
 
 fn main() {

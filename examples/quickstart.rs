@@ -35,14 +35,8 @@ fn main() {
     // HHT: the accelerator walks the metadata and pre-gathers v values.
     let hht = runner::run_spmv_hht(&cfg, &m, &v);
     println!("with HHT:              {:>9} cycles", hht.stats.cycles);
-    println!(
-        "speedup:               {:>9.2}x",
-        base.stats.cycles as f64 / hht.stats.cycles as f64
-    );
-    println!(
-        "CPU waited for HHT:    {:>8.1}% of cycles",
-        hht.stats.cpu_wait_frac() * 100.0
-    );
+    println!("speedup:               {:>9.2}x", base.stats.cycles as f64 / hht.stats.cycles as f64);
+    println!("CPU waited for HHT:    {:>8.1}% of cycles", hht.stats.cpu_wait_frac() * 100.0);
 
     // Both runners verified the numeric result against the golden kernel;
     // show a couple of entries anyway.

@@ -24,6 +24,8 @@
 //! - [`mem`] — SRAM/MMIO cycle-level memory model.
 //! - [`accel`] — the HHT itself (front-end, back-end pipeline, engines).
 //! - [`sim`] — the in-order CPU core timing model.
+//! - [`obs`] — cycle-domain observability: stall attribution, structured
+//!   event tracing, Chrome trace export.
 //! - [`system`] — composition + kernel library + experiments.
 //! - [`energy`] — area/power/energy model (Synopsys-flow substitute).
 //! - [`workloads`] — synthetic, DNN and SuiteSparse-profile generators.
@@ -32,6 +34,7 @@ pub use hht_accel as accel;
 pub use hht_energy as energy;
 pub use hht_isa as isa;
 pub use hht_mem as mem;
+pub use hht_obs as obs;
 pub use hht_sim as sim;
 pub use hht_sparse as sparse;
 pub use hht_system as system;

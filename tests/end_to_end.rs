@@ -136,8 +136,7 @@ fn single_dense_row_matrix() {
     // One row holding every non-zero: exercises chunking across many
     // buffers' worth of elements in a single row.
     let cfg = SystemConfig::paper_default();
-    let triplets: Vec<(usize, usize, f32)> =
-        (0..64).map(|c| (0usize, c, 1.0 + c as f32)).collect();
+    let triplets: Vec<(usize, usize, f32)> = (0..64).map(|c| (0usize, c, 1.0 + c as f32)).collect();
     let m = hht::sparse::CsrMatrix::from_triplets(1, 64, &triplets).unwrap();
     let x = generate::random_sparse_vector(64, 0.3, 9);
     let base = runner::run_spmspv_baseline(&cfg, &m, &x);

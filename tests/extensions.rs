@@ -174,11 +174,7 @@ fn execution_trace_is_inspectable() {
     }
     // The baseline trace contains gathers; the per-group count matches the
     // strip-mined structure (one vluxei32 per inner iteration).
-    let gathers = core
-        .trace()
-        .iter()
-        .filter(|e| matches!(e.instr, Instr::Vluxei32 { .. }))
-        .count();
+    let gathers = core.trace().iter().filter(|e| matches!(e.instr, Instr::Vluxei32 { .. })).count();
     let groups: usize = (0..m.rows()).map(|r| m.row_nnz(r).div_ceil(8)).sum();
     assert_eq!(gathers, groups);
     // Disassembled trace mentions the gather mnemonic.

@@ -2,8 +2,8 @@
 //! simulator-vs-golden agreement on arbitrary inputs.
 
 use hht::sparse::{
-    kernels, BcsrMatrix, BitVectorMatrix, CooMatrix, CscMatrix, CsrMatrix, DenseVector,
-    DiaMatrix, EllMatrix, RleMatrix, SmashMatrix, SparseFormat, SparseVector,
+    kernels, BcsrMatrix, BitVectorMatrix, CooMatrix, CscMatrix, CsrMatrix, DenseVector, DiaMatrix,
+    EllMatrix, RleMatrix, SmashMatrix, SparseFormat, SparseVector,
 };
 use hht::system::config::SystemConfig;
 use hht::system::runner;

@@ -1,0 +1,368 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal, API-compatible subset of serde: the
+//! `Serialize`/`Deserialize` traits (routed through an owned [`Value`]
+//! tree rather than serde's visitor machinery) plus derive macros for
+//! named-field structs and unit-variant enums — exactly the shapes this
+//! repository serializes. `serde_json` (also vendored) renders and parses
+//! the `Value` tree.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Serialization error (also reused by the vendored `serde_json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// An exact JSON-like number: integers keep full 64-bit precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U(v) => v as f64,
+            Number::I(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::U(v) => Some(v),
+            Number::I(v) => u64::try_from(v).ok(),
+            Number::F(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::U(v) => i64::try_from(v).ok(),
+            Number::I(v) => Some(v),
+            Number::F(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            Number::F(_) => None,
+        }
+    }
+}
+
+/// Owned serialization tree; maps preserve insertion (field) order so
+/// rendered output is deterministic and byte-stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(Number),
+    Str(String),
+    Seq(Vec<Value>),
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Like [`Value::get`] but returns a decode error naming the key.
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key).ok_or_else(|| Error::msg(format!("missing field `{key}`")))
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<Number> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Types that can be turned into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_num()
+                    .and_then(Number::as_u64)
+                    .ok_or_else(|| Error::msg(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::msg(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::I(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_num()
+                    .and_then(Number::as_i64)
+                    .ok_or_else(|| Error::msg(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::msg(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_num().map(Number::as_f64).ok_or_else(|| Error::msg("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_bool().ok_or_else(|| Error::msg("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_str().map(str::to_owned).ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::msg("expected sequence"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_seq() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(Error::msg("expected 2-tuple")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_seq() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(Error::msg("expected 3-tuple")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(pairs) => {
+                pairs.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+            }
+            _ => Err(Error::msg("expected map")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        let v: Vec<u16> = Deserialize::from_value(&vec![1u16, 2, 3].to_value()).unwrap();
+        assert_eq!(v, [1, 2, 3]);
+        let t: (usize, usize) = Deserialize::from_value(&(4usize, 5usize).to_value()).unwrap();
+        assert_eq!(t, (4, 5));
+    }
+
+    #[test]
+    fn map_lookup_reports_missing_fields() {
+        let m = Value::Map(vec![("x".into(), Value::Bool(true))]);
+        assert!(m.field("x").is_ok());
+        assert!(m.field("y").unwrap_err().0.contains("`y`"));
+    }
+}
