@@ -71,6 +71,39 @@ pub struct Outputs<'a> {
     pub counts: &'a mut ElemFifo,
 }
 
+/// Read-only occupancy snapshot of the output FIFOs for [`Engine::wake`].
+#[derive(Debug, Clone, Copy)]
+pub struct OutputLevels {
+    /// Free slots in the vector-value stream.
+    pub primary_free: usize,
+    /// Free slots in the matrix-value stream.
+    pub secondary_free: usize,
+    /// Free slots in the chunk-header stream.
+    pub counts_free: usize,
+}
+
+/// When an engine can next make progress — the hint consumed by the
+/// cycle-skipping scheduler (`hht-system`'s `System::run`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// The engine's next state-changing `step` happens at this absolute
+    /// cycle; every step strictly before it only ticks `busy_cycles`.
+    At(u64),
+    /// The next step issues an SRAM read the moment the port is free; while
+    /// the port is busy each stepped cycle loses arbitration and performs
+    /// exactly the per-cycle charges [`Engine::replay_inert`] replays (at
+    /// least one `port_conflicts`), changing nothing else. The scheduler
+    /// resolves this against the port's free cycle, which the engine
+    /// cannot see from `wake`.
+    NeedsPort,
+    /// Inert until the CPU drains an output FIFO: every stepped cycle in
+    /// this state records exactly one `stall_out_full` and changes nothing
+    /// else.
+    OutputBlocked,
+    /// Retired — stepping does nothing at all.
+    Never,
+}
+
 /// A back-end engine: stepped once per cycle while running.
 pub trait Engine {
     /// Advance one cycle. `now` is the global cycle count.
@@ -78,6 +111,34 @@ pub trait Engine {
 
     /// True once every element has been pushed to the FIFOs.
     fn done(&self) -> bool;
+
+    /// When this engine can next make progress. The default — "right now" —
+    /// is always safe: it merely disables skipping. Implementations must
+    /// guarantee that every step strictly before the returned wake point
+    /// performs exactly the per-cycle charges the scheduler replays in bulk
+    /// (`busy_cycles` plus whatever [`Engine::replay_inert`] records for
+    /// the current state).
+    fn wake(&self, now: u64, _out: OutputLevels) -> Wake {
+        Wake::At(now)
+    }
+
+    /// Charge the engine-side counters for `span` skipped cycles in the
+    /// current (provably inert) state — exactly `span` times what one
+    /// `step` would record. The default derives the charge from [`wake`]:
+    /// a port-starved state loses arbitration once per cycle, an
+    /// output-blocked state records one `stall_out_full` per cycle, and a
+    /// pending/retired state charges nothing (its steps return at the
+    /// guard). Engines whose stepped states charge more than one counter
+    /// at once must override this.
+    ///
+    /// [`wake`]: Engine::wake
+    fn replay_inert(&self, now: u64, span: u64, out: OutputLevels, stats: &mut EngineStats) {
+        match self.wake(now, out) {
+            Wake::NeedsPort => stats.port_conflicts += span,
+            Wake::OutputBlocked => stats.stall_out_full += span,
+            Wake::At(_) | Wake::Never => {}
+        }
+    }
 }
 
 /// One outstanding memory read: data captured at issue, architecturally
@@ -189,6 +250,42 @@ impl Engine for GatherEngine {
 
     fn done(&self) -> bool {
         self.supplied == self.cfg.m_nnz && self.pending.is_none() && self.col_q.is_empty()
+    }
+
+    fn wake(&self, now: u64, out: OutputLevels) -> Wake {
+        if let Some((p, _)) = self.pending {
+            // Steps before `ready_at` return immediately after the guard.
+            return Wake::At(p.ready_at.max(now));
+        }
+        if self.done() {
+            return Wake::Never;
+        }
+        if self.col_q.front().is_some() && out.primary_free == 0 {
+            // Output full: only a metadata prefetch could still make
+            // progress. Without one, each stepped cycle records exactly one
+            // `stall_out_full`; with one, the step also contends for the
+            // port.
+            let can_prefetch = self.col_q.len() < self.col_q_cap && self.next_col < self.cfg.m_nnz;
+            return if can_prefetch { Wake::NeedsPort } else { Wake::OutputBlocked };
+        }
+        // A V fetch or metadata fetch issues as soon as the port is free.
+        Wake::NeedsPort
+    }
+
+    fn replay_inert(&self, _now: u64, span: u64, out: OutputLevels, stats: &mut EngineStats) {
+        if self.pending.is_some() || self.done() {
+            return;
+        }
+        if self.col_q.front().is_some() && out.primary_free == 0 {
+            // Every stepped cycle here records the throttle; the prefetch
+            // attempt additionally loses arbitration while the port is busy.
+            stats.stall_out_full += span;
+            if self.col_q.len() < self.col_q_cap && self.next_col < self.cfg.m_nnz {
+                stats.port_conflicts += span;
+            }
+            return;
+        }
+        stats.port_conflicts += span;
     }
 }
 
@@ -498,6 +595,65 @@ impl Engine for SpMSpVEngine {
     fn done(&self) -> bool {
         self.phase == MergePhase::Finished && self.pending.is_none()
     }
+
+    /// Mirrors the decision tree in `step`: `OutputBlocked` exactly for the
+    /// states whose step records one `stall_out_full` and returns.
+    fn wake(&self, now: u64, out: OutputLevels) -> Wake {
+        if let Some((p, _)) = self.pending {
+            return Wake::At(p.ready_at.max(now));
+        }
+        match self.phase {
+            MergePhase::Finished => Wake::Never,
+            MergePhase::NeedRowEnd => Wake::NeedsPort, // row-pointer fetch
+            MergePhase::EmitChunkHeader | MergePhase::EmitRowHeader => {
+                if out.counts_free == 0 {
+                    Wake::OutputBlocked
+                } else {
+                    Wake::At(now)
+                }
+            }
+            MergePhase::Merging => {
+                if self.k == self.row_end {
+                    return Wake::At(now); // end-of-row bookkeeping
+                }
+                if self.match_vval.is_some() {
+                    return Wake::NeedsPort; // matrix-value fetch
+                }
+                let Some(col) = self.cur_col else {
+                    return Wake::NeedsPort; // column-index fetch
+                };
+                let primary_blocked = out.primary_free == 0;
+                if self.b >= self.cfg.v_nnz {
+                    // Vector exhausted: variant-1 skips ahead internally,
+                    // variant-2 must emit a zero into `primary`.
+                    return match self.variant {
+                        SpMSpVVariant::Aligned => Wake::At(now),
+                        SpMSpVVariant::ValueOrZero if primary_blocked => Wake::OutputBlocked,
+                        SpMSpVVariant::ValueOrZero => Wake::At(now),
+                    };
+                }
+                let Some(vidx) = self.cur_vidx else {
+                    return Wake::NeedsPort; // vector-index fetch
+                };
+                match col.cmp(&vidx) {
+                    std::cmp::Ordering::Equal => {
+                        let need_secondary = matches!(self.variant, SpMSpVVariant::Aligned);
+                        if primary_blocked || (need_secondary && out.secondary_free == 0) {
+                            Wake::OutputBlocked
+                        } else {
+                            Wake::NeedsPort // vector-value fetch
+                        }
+                    }
+                    std::cmp::Ordering::Less => match self.variant {
+                        SpMSpVVariant::Aligned => Wake::At(now),
+                        SpMSpVVariant::ValueOrZero if primary_blocked => Wake::OutputBlocked,
+                        SpMSpVVariant::ValueOrZero => Wake::At(now),
+                    },
+                    std::cmp::Ordering::Greater => Wake::At(now),
+                }
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -694,6 +850,46 @@ impl Engine for SmashEngine {
             && self.rows_closed == self.cfg.num_rows
             && self.pending.is_none()
             && !self.owe_full_header
+    }
+
+    fn wake(&self, now: u64, out: OutputLevels) -> Wake {
+        if let Some((p, _)) = self.pending {
+            return Wake::At(p.ready_at.max(now));
+        }
+        if self.done() {
+            return Wake::Never;
+        }
+        if self.owe_full_header {
+            return if out.counts_free == 0 { Wake::OutputBlocked } else { Wake::At(now) };
+        }
+        if let Some(bits) = self.cur_word {
+            if bits == 0 {
+                return Wake::At(now); // word retires internally
+            }
+            let pos = self.cur_word_base_pos + bits.trailing_zeros();
+            if pos / self.cfg.num_cols > self.cur_row {
+                // Row headers owed first; `close_rows_until` only advances
+                // when `counts` has a free slot.
+                return if out.counts_free == 0 { Wake::OutputBlocked } else { Wake::At(now) };
+            }
+            return if out.primary_free == 0 { Wake::OutputBlocked } else { Wake::NeedsPort };
+        }
+        if self.word < self.total_words {
+            if self.cfg.cols_base != 0 {
+                let group = self.word / 32;
+                if let Some((g, l1)) = self.cur_l1 {
+                    if g == group && l1 & (1 << (self.word % 32)) == 0 {
+                        return Wake::At(now); // level-1 summary skip (internal)
+                    }
+                }
+            }
+            return Wake::NeedsPort; // level-0 or level-1 bitmap fetch
+        }
+        // Tail: closing the remaining rows, gated on `counts` space.
+        if self.rows_closed < self.cfg.num_rows && out.counts_free == 0 {
+            return Wake::OutputBlocked;
+        }
+        Wake::At(now)
     }
 }
 

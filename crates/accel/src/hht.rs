@@ -8,12 +8,14 @@
 //! the core.
 
 use crate::engine::{
-    Engine, EngineStats, GatherEngine, Outputs, SmashEngine, SpMSpVEngine, SpMSpVVariant,
+    Engine, EngineStats, GatherEngine, OutputLevels, Outputs, SmashEngine, SpMSpVEngine,
+    SpMSpVVariant, Wake,
 };
 use crate::fifo::ElemFifo;
 use crate::mmr::{reg, Mode, RegisterFile};
 use hht_mem::map;
 use hht_mem::mmio::{MmioDevice, MmioReadResult};
+use hht_mem::sram::Requester;
 use hht_mem::Sram;
 use hht_obs::{Event, EventBus, EventKind, StallCause, Track};
 use serde::{Deserialize, Serialize};
@@ -85,6 +87,11 @@ pub struct Hht {
     /// Last emitted occupancy per stream buffer (primary, secondary,
     /// counts), so the counter tracks only record changes.
     last_levels: [u32; 3],
+    /// Memoized engine wake hint. Valid until the engine steps, a stream
+    /// pop changes buffer levels, or a new operation starts — the only
+    /// state changes the hint depends on. `None` = recompute on demand, so
+    /// cycles where the scheduler never asks cost nothing.
+    cached_wake: Option<Wake>,
 }
 
 impl std::fmt::Debug for Hht {
@@ -115,6 +122,7 @@ impl Hht {
             run_slice_open: false,
             out_stall_open: false,
             last_levels: [0; 3],
+            cached_wake: None,
         }
     }
 
@@ -157,6 +165,7 @@ impl Hht {
     pub fn step(&mut self, now: u64, sram: &mut Sram) {
         if let Some(engine) = self.engine.as_mut() {
             if !self.engine_done {
+                self.cached_wake = None;
                 self.stats.busy_cycles += 1;
                 let out_full_before = self.stats.engine.stall_out_full;
                 engine.step(
@@ -175,6 +184,112 @@ impl Hht {
                 if self.obs.is_some() {
                     self.emit_step_events(now, out_full_before);
                 }
+            }
+        }
+    }
+
+    /// When the back-end can next change state — the cycle-skipping
+    /// scheduler's hint. `Never` when no engine is running (or it already
+    /// retired); `At(t)` when the engine waits on a memory read;
+    /// `NeedsPort` when its next step issues a read and is throttled only
+    /// by SRAM-port arbitration (the scheduler resolves this against the
+    /// port's free cycle); and `OutputBlocked` when it is throttled by a
+    /// full output FIFO and can only re-check once the CPU pops an element.
+    #[inline]
+    pub fn next_event(&mut self, now: u64) -> Wake {
+        let Some(engine) = self.engine.as_ref() else {
+            return Wake::Never;
+        };
+        if self.engine_done {
+            return Wake::Never;
+        }
+        let wake = match self.cached_wake {
+            Some(w) => w,
+            None => {
+                let out = OutputLevels {
+                    primary_free: self.primary.free(),
+                    secondary_free: self.secondary.free(),
+                    counts_free: self.counts.free(),
+                };
+                let w = engine.wake(now, out);
+                self.cached_wake = Some(w);
+                w
+            }
+        };
+        match wake {
+            Wake::At(t) => Wake::At(t.max(now)),
+            // `done()` should already have latched `engine_done`; act now to
+            // latch it rather than trusting the claim.
+            Wake::Never => Wake::At(now),
+            w => w,
+        }
+    }
+
+    /// Would a CPU load of `addr` stall right now? Non-mutating mirror of
+    /// the [`MmioDevice::mmio_read`] stream-window path, used by the
+    /// cycle-skipping scheduler to recognise a core parked on an empty
+    /// window (MMR reads never stall).
+    #[inline]
+    pub fn window_read_would_stall(&self, addr: u32) -> bool {
+        if !map::is_hht_buffer(addr) {
+            return false;
+        }
+        match ((addr - map::HHT_BUF_BASE) & !0x3) & 0xC00 {
+            window::PRIMARY => self.primary.is_empty(),
+            window::SECONDARY => self.secondary.is_empty(),
+            window::COUNTS => self.counts.is_empty(),
+            _ => false,
+        }
+    }
+
+    /// Account for `span` skipped cycles during which the CPU retried a
+    /// stream-window load that provably kept stalling (one failed pop
+    /// attempt per cycle, mirrored by `Core::skip_hht_wait` on the core
+    /// side).
+    pub fn skip_stalled_reads(&mut self, span: u64) {
+        self.stats.cpu_stall_reads += span;
+    }
+
+    /// Account for `span` skipped cycles starting at `now` during which the
+    /// engine was provably inert: the per-cycle loop would have charged
+    /// `busy_cycles` plus the engine's own per-cycle retry counters
+    /// (`stall_out_full` while output-blocked, `port_conflicts` while
+    /// port-starved — see [`Engine::replay_inert`]) without any other state
+    /// change. The one event transition a skipped span can contain is the
+    /// *onset* of an output-full stall — the per-cycle loop stamps
+    /// `StallBegin` on the first blocked cycle, so replay it here at `now`
+    /// when the interval is not already open.
+    pub fn skip_idle(&mut self, now: u64, span: u64, sram: &mut Sram) {
+        if span == 0 || self.engine_done {
+            return;
+        }
+        let Some(engine) = self.engine.as_ref() else {
+            return;
+        };
+        self.stats.busy_cycles += span;
+        if matches!(self.cached_wake, Some(Wake::At(_))) {
+            // `Wake::At` contract: steps strictly before the wake cycle
+            // only tick `busy_cycles` — nothing further to replay.
+            return;
+        }
+        let out = OutputLevels {
+            primary_free: self.primary.free(),
+            secondary_free: self.secondary.free(),
+            counts_free: self.counts.free(),
+        };
+        let out_full_before = self.stats.engine.stall_out_full;
+        let conflicts_before = self.stats.engine.port_conflicts;
+        engine.replay_inert(now, span, out, &mut self.stats.engine);
+        // Each replayed arbitration loss is one failing `try_start` the
+        // per-cycle loop would have issued — mirror it on the port side.
+        let lost = self.stats.engine.port_conflicts - conflicts_before;
+        if lost > 0 {
+            sram.skip_conflicts(now, lost, Requester::Hht);
+        }
+        if self.stats.engine.stall_out_full > out_full_before && !self.out_stall_open {
+            if let Some(bus) = self.obs.as_mut() {
+                bus.emit(now, Track::HhtBackend, EventKind::StallBegin(StallCause::OutputFull));
+                self.out_stall_open = true;
             }
         }
     }
@@ -224,6 +339,7 @@ impl Hht {
         self.secondary.clear();
         self.counts.clear();
         self.engine_done = false;
+        self.cached_wake = None;
         self.engine = Some(match cfg.mode {
             Mode::SpMV => Box::new(GatherEngine::new(cfg, self.params.blen)),
             Mode::SpMSpVAligned => {
@@ -250,6 +366,9 @@ impl Hht {
         };
         match fifo.pop() {
             Some(v) => {
+                // Buffer levels changed: an output-blocked engine may now
+                // be runnable, so the memoized wake hint is stale.
+                self.cached_wake = None;
                 self.stats.elements_delivered += 1;
                 MmioReadResult::Data(v)
             }

@@ -28,6 +28,7 @@ pub mod hht;
 pub mod mmr;
 pub mod programmable;
 
+pub use engine::Wake;
 pub use fifo::ElemFifo;
 pub use hht::{Hht, HhtParams, HhtStats};
 pub use mmr::{EngineConfig, Mode};

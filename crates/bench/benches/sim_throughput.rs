@@ -1,0 +1,62 @@
+//! Host-side simulator throughput: simulated cycles per host second.
+//!
+//! Each benchmark runs one SpMV kernel to completion and sets criterion's
+//! `Throughput::Elements` to the run's simulated cycle count, so the
+//! reported `elem/s` reads directly as *simulated cycles per host second*.
+//! The grid crosses {baseline, HHT} x {skip on, skip off} at two sparsity
+//! levels and two memory speeds:
+//!
+//! - `sram1` — the paper's Table-1 single-cycle SRAM. Almost every cycle
+//!   does real work, so the event-driven scheduler mostly measures its own
+//!   overhead here (the expectation is parity with the legacy loop).
+//! - `slow16` — a 16-cycle word access, modelling the same system against
+//!   slower memory. Long pending-read, port-arbitration and window-wait
+//!   spans dominate, and the scheduler collapses each into one jump: the
+//!   high-sparsity SpMV HHT run is the headline (>= 2x over legacy).
+//!
+//! Simulated cycle counts are identical between the two modes (enforced by
+//! `tests/determinism.rs`), so the elem/s ratio is exactly the wall-clock
+//! ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hht_sparse::generate;
+use hht_system::config::SystemConfig;
+use hht_system::runner;
+
+const N: usize = 192;
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    for (mem, word_cycles) in [("sram1", 1), ("slow16", 16)] {
+        for sparsity in [0.5, 0.9] {
+            let m = generate::random_csr(N, N, sparsity, 21);
+            let v = generate::random_dense_vector(N, 22);
+            for skip in [true, false] {
+                let cfg = SystemConfig::paper_default()
+                    .with_ram_word_cycles(word_cycles)
+                    .with_cycle_skip(skip);
+                let mode = if skip { "skip" } else { "legacy" };
+                let param = format!("{mem}/s{sparsity}");
+                let base_cycles = runner::run_spmv_baseline(&cfg, &m, &v).stats.cycles;
+                let hht_cycles = runner::run_spmv_hht(&cfg, &m, &v).stats.cycles;
+                group.throughput(Throughput::Elements(base_cycles));
+                group.bench_with_input(
+                    BenchmarkId::new(format!("spmv_baseline/{mode}"), &param),
+                    &cfg,
+                    |b, cfg| b.iter(|| runner::run_spmv_baseline(cfg, &m, &v).stats.cycles),
+                );
+                group.throughput(Throughput::Elements(hht_cycles));
+                group.bench_with_input(
+                    BenchmarkId::new(format!("spmv_hht/{mode}"), &param),
+                    &cfg,
+                    |b, cfg| b.iter(|| runner::run_spmv_hht(cfg, &m, &v).stats.cycles),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_throughput);
+criterion_main!(benches);

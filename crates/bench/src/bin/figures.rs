@@ -16,8 +16,12 @@
 //! Each figure also prints the paper's reported band next to the measured
 //! values so the comparison in EXPERIMENTS.md can be regenerated.
 //!
-//! Observability flags (usable with any subcommand):
+//! Flags (usable with any subcommand):
 //!
+//! - `--jobs N` — run the independent experiment cells of each figure on up
+//!   to `N` host threads (default: available parallelism). Results are
+//!   collected in input order, so output is identical for every `N`;
+//!   `--jobs 1` reproduces the serial run exactly.
 //! - `--metrics-out <path>` — run one instrumented HHT SpMV and write the
 //!   unified [`hht_system::MetricsSnapshot`] as JSON (validated: the
 //!   per-cause stall histogram sums exactly to the coarse wait counters);
@@ -33,7 +37,7 @@ use hht_system::experiments::{self, PAPER_SPARSITIES};
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let i = args.iter().position(|a| a == flag)?;
     if i + 1 >= args.len() {
-        eprintln!("{flag} requires a path argument");
+        eprintln!("{flag} requires a value");
         std::process::exit(2);
     }
     let value = args.remove(i + 1);
@@ -45,6 +49,13 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics_out = take_flag(&mut args, "--metrics-out");
     let trace_out = take_flag(&mut args, "--trace-out");
+    let jobs = match take_flag(&mut args, "--jobs") {
+        Some(v) => v.parse().ok().filter(|&j| j >= 1).unwrap_or_else(|| {
+            eprintln!("--jobs expects a positive integer, got `{v}`");
+            std::process::exit(2);
+        }),
+        None => hht_exec::default_jobs(),
+    };
     let which = args.first().map(String::as_str).unwrap_or("all");
     let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(512);
     let cfg = SystemConfig::paper_default();
@@ -53,46 +64,46 @@ fn main() {
     }
     match which {
         "table1" => table1(&cfg),
-        "fig4" => fig4(&cfg, n),
-        "fig5" => fig5(&cfg, n),
-        "fig6" => fig6(&cfg, n),
-        "fig7" => fig7(&cfg, n),
-        "fig8" => fig8(&cfg, n),
-        "fig9" => fig9(&cfg),
+        "fig4" => fig4(&cfg, n, jobs),
+        "fig5" => fig5(&cfg, n, jobs),
+        "fig6" => fig6(&cfg, n, jobs),
+        "fig7" => fig7(&cfg, n, jobs),
+        "fig8" => fig8(&cfg, n, jobs),
+        "fig9" => fig9(&cfg, jobs),
         "area" => area(),
-        "energy" => energy(&cfg, n),
-        "motivation" => motivation(&cfg, n.min(256)),
-        "crossover" => crossover(&cfg, n.min(256)),
-        "ablate-baseline" => ablate_baseline(&cfg, n.min(256)),
-        "ablate-programmable" => ablate_programmable(&cfg, n.min(256)),
+        "energy" => energy(&cfg, n, jobs),
+        "motivation" => motivation(&cfg, n.min(256), jobs),
+        "crossover" => crossover(&cfg, n.min(256), jobs),
+        "ablate-baseline" => ablate_baseline(&cfg, n.min(256), jobs),
+        "ablate-programmable" => ablate_programmable(&cfg, n.min(256), jobs),
         "ablate-tiling" => ablate_tiling(&cfg, n.min(256)),
-        "conv" => conv(&cfg),
+        "conv" => conv(&cfg, jobs),
         "ablate-cache" => ablate_cache(&cfg, n.min(256)),
         "ablate-buffers" => ablate_buffers(&cfg, n),
         "ablate-latency" => ablate_latency(&cfg, n),
-        "ablate-format" => ablate_format(&cfg, n.min(256)),
-        "suite" => suite(&cfg, n.min(256)),
+        "ablate-format" => ablate_format(&cfg, n.min(256), jobs),
+        "suite" => suite(&cfg, n.min(256), jobs),
         "all" => {
             table1(&cfg);
-            fig4(&cfg, n);
-            fig5(&cfg, n);
-            fig6(&cfg, n);
-            fig7(&cfg, n);
-            fig8(&cfg, n);
-            fig9(&cfg);
+            fig4(&cfg, n, jobs);
+            fig5(&cfg, n, jobs);
+            fig6(&cfg, n, jobs);
+            fig7(&cfg, n, jobs);
+            fig8(&cfg, n, jobs);
+            fig9(&cfg, jobs);
             area();
-            energy(&cfg, n);
-            motivation(&cfg, n.min(256));
-            crossover(&cfg, n.min(256));
-            ablate_baseline(&cfg, n.min(256));
-            ablate_programmable(&cfg, n.min(256));
+            energy(&cfg, n, jobs);
+            motivation(&cfg, n.min(256), jobs);
+            crossover(&cfg, n.min(256), jobs);
+            ablate_baseline(&cfg, n.min(256), jobs);
+            ablate_programmable(&cfg, n.min(256), jobs);
             ablate_tiling(&cfg, n.min(256));
-            conv(&cfg);
+            conv(&cfg, jobs);
             ablate_cache(&cfg, n.min(256));
             ablate_buffers(&cfg, n);
             ablate_latency(&cfg, n);
-            ablate_format(&cfg, n.min(256));
-            suite(&cfg, n.min(256));
+            ablate_format(&cfg, n.min(256), jobs);
+            suite(&cfg, n.min(256), jobs);
         }
         other => {
             eprintln!("unknown figure `{other}`");
@@ -158,12 +169,12 @@ fn table1(cfg: &SystemConfig) {
     print!("{}", table(&["parameter", "value"], &rows));
 }
 
-fn fig4(cfg: &SystemConfig, n: usize) {
+fn fig4(cfg: &SystemConfig, n: usize, jobs: usize) {
     header(
         &format!("Fig. 4: HHT speedup for SpMV ({n}x{n})"),
         "1-buffer avg 1.70 (1.67-1.72); 2-buffer avg 1.73 (1.71-1.75); gains shrink at high sparsity",
     );
-    let sweep = experiments::spmv_sweep(cfg, n);
+    let sweep = experiments::spmv_sweep_jobs(cfg, n, jobs);
     let mut rows = Vec::new();
     for (i, &s) in PAPER_SPARSITIES.iter().enumerate() {
         rows.push(vec![
@@ -178,12 +189,12 @@ fn fig4(cfg: &SystemConfig, n: usize) {
     print!("{}", table(&["sparsity", "HHT_1buffer", "HHT_2buffer"], &rows));
 }
 
-fn fig5(cfg: &SystemConfig, n: usize) {
+fn fig5(cfg: &SystemConfig, n: usize, jobs: usize) {
     header(
         &format!("Fig. 5: HHT speedup for SpMSpV ({n}x{n})"),
         "variant-1 avg 2.47 (1.48 to 4.0+, rising with sparsity); variant-2 avg 3.05 (2.5-3.52); v2 wins below ~80% sparsity, v1 above",
     );
-    let sweep = experiments::spmspv_sweep(cfg, n);
+    let sweep = experiments::spmspv_sweep_jobs(cfg, n, jobs);
     let mut rows = Vec::new();
     for (i, &s) in PAPER_SPARSITIES.iter().enumerate() {
         rows.push(vec![
@@ -197,12 +208,12 @@ fn fig5(cfg: &SystemConfig, n: usize) {
     print!("{}", table(&["sparsity", "v1_1buf", "v1_2buf", "v2_1buf", "v2_2buf"], &rows));
 }
 
-fn fig6(cfg: &SystemConfig, n: usize) {
+fn fig6(cfg: &SystemConfig, n: usize, jobs: usize) {
     header(
         &format!("Fig. 6: CPU wait-cycle fraction for SpMV ({n}x{n})"),
         "with the ASIC HHT the application CPU rarely waits",
     );
-    let sweep = experiments::spmv_sweep(cfg, n);
+    let sweep = experiments::spmv_sweep_jobs(cfg, n, jobs);
     let mut rows = Vec::new();
     for (i, &s) in PAPER_SPARSITIES.iter().enumerate() {
         rows.push(vec![
@@ -214,12 +225,12 @@ fn fig6(cfg: &SystemConfig, n: usize) {
     print!("{}", table(&["sparsity", "wait_1buffer", "wait_2buffer"], &rows));
 }
 
-fn fig7(cfg: &SystemConfig, n: usize) {
+fn fig7(cfg: &SystemConfig, n: usize, jobs: usize) {
     header(
         &format!("Fig. 7: CPU wait-cycle fraction for SpMSpV ({n}x{n})"),
         "variant-1 idles the CPU a significant fraction (2 buffers help little); variant-2 greatly reduced",
     );
-    let sweep = experiments::spmspv_sweep(cfg, n);
+    let sweep = experiments::spmspv_sweep_jobs(cfg, n, jobs);
     let mut rows = Vec::new();
     for (i, &s) in PAPER_SPARSITIES.iter().enumerate() {
         rows.push(vec![
@@ -233,12 +244,12 @@ fn fig7(cfg: &SystemConfig, n: usize) {
     print!("{}", table(&["sparsity", "v1_1buf", "v1_2buf", "v2_1buf", "v2_2buf"], &rows));
 }
 
-fn fig8(cfg: &SystemConfig, n: usize) {
+fn fig8(cfg: &SystemConfig, n: usize, jobs: usize) {
     header(
         &format!("Fig. 8: sensitivity to vector width ({n}x{n}, 2 buffers)"),
         "speedup 1.77-1.81 scalar, 1.51-1.62 VL=4, 1.71-1.75 VL=8",
     );
-    let sweep = experiments::vector_width_sweep(cfg, n);
+    let sweep = experiments::vector_width_sweep_jobs(cfg, n, jobs);
     let mut rows = Vec::new();
     for (i, &s) in PAPER_SPARSITIES.iter().enumerate() {
         rows.push(vec![
@@ -251,9 +262,9 @@ fn fig8(cfg: &SystemConfig, n: usize) {
     print!("{}", table(&["sparsity", "VL=1", "VL=4", "VL=8"], &rows));
 }
 
-fn fig9(cfg: &SystemConfig) {
+fn fig9(cfg: &SystemConfig, jobs: usize) {
     header("Fig. 9: DNN fully-connected layers", "1.53x on DenseNet up to 1.92x on VGG19");
-    let results = experiments::dnn_suite(cfg);
+    let results = experiments::dnn_suite_jobs(cfg, jobs);
     let rows = results
         .iter()
         .map(|r| {
@@ -289,7 +300,7 @@ fn area() {
     print!("{}", table(&["quantity", "value"], &rows));
 }
 
-fn energy(cfg: &SystemConfig, n: usize) {
+fn energy(cfg: &SystemConfig, n: usize, jobs: usize) {
     header(
         &format!("Sec. 5.5: power and energy ({n}x{n} SpMV, 16nm @ 50MHz)"),
         "223 uW core alone vs 314 uW core+HHT; ~19% average energy savings for SpMV across 10-90% sparsity",
@@ -301,8 +312,10 @@ fn energy(cfg: &SystemConfig, n: usize) {
     // 16x16-without-tiling row is printed last for completeness.
     let mut rows = Vec::new();
     let mut savings_sum = 0.0;
-    for &s in &PAPER_SPARSITIES {
-        let p = experiments::spmv_point(cfg, n, s, 2);
+    let points = hht_exec::parallel_map(jobs, PAPER_SPARSITIES.to_vec(), |_, s| {
+        (s, experiments::spmv_point(cfg, n, s, 2))
+    });
+    for (s, p) in points {
         let e = hht_energy::energy_savings(
             p.baseline_cycles,
             p.hht_cycles,
@@ -342,12 +355,12 @@ fn energy(cfg: &SystemConfig, n: usize) {
     print!("{}", table(&["sparsity", "P_base(uW)", "P_hht(uW)", "speedup", "energy saved"], &rows));
 }
 
-fn motivation(cfg: &SystemConfig, n: usize) {
+fn motivation(cfg: &SystemConfig, n: usize, jobs: usize) {
     header(
         &format!("Sec. 2 motivation: metadata overhead of Algorithm 1 ({n}x{n})"),
         "indirect v[cols[.]] accesses are cache/prefetch-hostile and inflate the dynamic instruction count",
     );
-    let pts = experiments::motivation(cfg, n);
+    let pts = experiments::motivation_jobs(cfg, n, jobs);
     let rows = pts
         .iter()
         .map(|p| {
@@ -377,12 +390,12 @@ fn motivation(cfg: &SystemConfig, n: usize) {
     );
 }
 
-fn crossover(cfg: &SystemConfig, n: usize) {
+fn crossover(cfg: &SystemConfig, n: usize, jobs: usize) {
     header(
         &format!("Sec. 6: dense-expansion crossover ({n}x{n})"),
         "[40]/[23]: at lower sparsities, expanding sparse data to dense can improve performance; the HHT moves the crossover toward lower sparsity",
     );
-    let pts = experiments::crossover(cfg, n);
+    let pts = experiments::crossover_jobs(cfg, n, jobs);
     let rows = pts
         .iter()
         .map(|p| {
@@ -405,12 +418,12 @@ fn crossover(cfg: &SystemConfig, n: usize) {
     print!("{}", table(&["sparsity", "dense", "sparse base", "sparse+HHT", "fastest"], &rows));
 }
 
-fn ablate_baseline(cfg: &SystemConfig, n: usize) {
+fn ablate_baseline(cfg: &SystemConfig, n: usize, jobs: usize) {
     header(
         &format!("Ablation: SpMSpV baseline choice ({n}x{n})"),
         "row-merge (the Fig. 5 baseline) vs work-efficient CSC scatter [43]; HHT speedups depend on which baseline the reader assumes",
     );
-    let pts = experiments::baseline_ablation(cfg, n);
+    let pts = experiments::baseline_ablation_jobs(cfg, n, jobs);
     let rows = pts
         .iter()
         .map(|p| {
@@ -434,12 +447,12 @@ fn ablate_baseline(cfg: &SystemConfig, n: usize) {
     );
 }
 
-fn ablate_programmable(cfg: &SystemConfig, n: usize) {
+fn ablate_programmable(cfg: &SystemConfig, n: usize, jobs: usize) {
     header(
         &format!("Ablation: ASIC vs programmable HHT back-end ({n}x{n}, SpMV)"),
         "Sec. 7 future work: a programmable HHT using a simple RISCV-like core trades throughput for format flexibility",
     );
-    let pts = experiments::programmable_ablation(cfg, n);
+    let pts = experiments::programmable_ablation_jobs(cfg, n, jobs);
     let rows = pts
         .iter()
         .map(|p| {
@@ -483,24 +496,23 @@ fn ablate_tiling(cfg: &SystemConfig, n: usize) {
     print!("{}", table(&["tile", "tiles", "cycles", "vs untiled"], &rows));
 }
 
-fn conv(cfg: &SystemConfig) {
+fn conv(cfg: &SystemConfig, jobs: usize) {
     header(
         "Conclusion: sparse convolution layers (im2col -> SpMV)",
         "the paper's conclusion lists convolution among the accelerated kernels",
     );
-    let mut rows = Vec::new();
-    for (name, layer) in hht_workloads::conv::suite() {
+    let rows = hht_exec::parallel_map(jobs, hht_workloads::conv::suite(), |_, (name, layer)| {
         let w = layer.lowered_weights();
         let patch = layer.input_patch(0);
         let base = hht_system::runner::run_spmv_baseline(cfg, &w, &patch);
         let hht = hht_system::runner::run_spmv_hht(cfg, &w, &patch);
-        rows.push(vec![
+        vec![
             name,
             format!("{}x{}", layer.out_channels, layer.patch_len()),
             format!("{:.0}%", layer.sparsity * 100.0),
             format!("{:.3}", base.stats.cycles as f64 / hht.stats.cycles as f64),
-        ]);
-    }
+        ]
+    });
     print!("{}", table(&["layer", "lowered shape", "sparsity", "speedup"], &rows));
 }
 
@@ -585,12 +597,12 @@ fn ablate_latency(cfg: &SystemConfig, n: usize) {
     );
 }
 
-fn ablate_format(cfg: &SystemConfig, n: usize) {
+fn ablate_format(cfg: &SystemConfig, n: usize, jobs: usize) {
     header(
         &format!("Ablation: CSR vs SMASH HHT engines ({n}x{n})"),
         "Sec. 6: under SMASH the HHT performs more work than the CPU, causing the CPU to idle",
     );
-    let pts = experiments::format_ablation(cfg, n);
+    let pts = experiments::format_ablation_jobs(cfg, n, jobs);
     let rows = pts
         .iter()
         .map(|p| {
@@ -610,23 +622,22 @@ fn ablate_format(cfg: &SystemConfig, n: usize) {
     );
 }
 
-fn suite(cfg: &SystemConfig, n: usize) {
+fn suite(cfg: &SystemConfig, n: usize, jobs: usize) {
     header(
         &format!("SuiteSparse-profile workloads ({n}x{n})"),
         "Sec. 4: collection matrices (>90% sparsity) show speedups inline with the synthetic results",
     );
     use hht_sparse::SparseFormat;
-    let mut rows = Vec::new();
-    for sm in hht_workloads::suite::suite(n) {
+    let rows = hht_exec::parallel_map(jobs, hht_workloads::suite::suite(n), |_, sm| {
         let m = sm.matrix();
         let v = hht_sparse::generate::random_dense_vector(m.cols(), sm.seed ^ 0xEE);
         let base = hht_system::runner::run_spmv_baseline(cfg, &m, &v);
         let hht = hht_system::runner::run_spmv_hht(cfg, &m, &v);
-        rows.push(vec![
+        vec![
             sm.name.clone(),
             format!("{:.1}%", m.sparsity() * 100.0),
             format!("{:.3}", base.stats.cycles as f64 / hht.stats.cycles as f64),
-        ]);
-    }
+        ]
+    });
     print!("{}", table(&["matrix", "sparsity", "speedup"], &rows));
 }

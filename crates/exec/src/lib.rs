@@ -1,0 +1,171 @@
+//! A minimal scoped-thread work queue for embarrassingly parallel
+//! experiment cells.
+//!
+//! The figure sweeps are grids of independent `(figure, sparsity, config)`
+//! cells, each a deterministic simulation. This crate fans those cells out
+//! across host threads with `std::thread::scope` — no external
+//! dependencies — while keeping results **deterministic and in input
+//! order**: every cell writes into the slot of its input index, so the
+//! collected `Vec` is independent of scheduling. With `jobs == 1` the cells
+//! run in the calling thread, in order, reproducing serial behaviour
+//! exactly (including the order of any side effects such as progress
+//! prints).
+//!
+//! A panicking cell (e.g. a deadlocked configuration hitting the system
+//! watchdog) fails only its own slot: [`try_parallel_map`] surfaces it as a
+//! [`CellError`] so the rest of a sweep still completes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The host's available parallelism (the `--jobs` default), at least 1.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// One failed cell: its input index and the panic payload rendered to text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellError {
+    /// Index of the failed item in the input order.
+    pub index: usize,
+    /// The panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell {} failed: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for CellError {}
+
+/// Run `f(index, item)` over every item on up to `jobs` threads, returning
+/// results in input order. Panics (after every cell has finished) if any
+/// cell panicked — use [`try_parallel_map`] to keep partial results.
+pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    try_parallel_map(jobs, items, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect()
+}
+
+/// Like [`parallel_map`], but a panicking cell yields `Err(CellError)` in
+/// its slot instead of poisoning the whole sweep.
+pub fn try_parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<Result<R, CellError>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let jobs = jobs.max(1);
+    if jobs == 1 || items.len() <= 1 {
+        // Serial fast path: calling thread, input order.
+        return items.into_iter().enumerate().map(|(i, item)| run_cell(&f, i, item)).collect();
+    }
+    let n = items.len();
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<Result<R, CellError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().unwrap().take().expect("each cell claimed once");
+                let r = run_cell(&f, i, item);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots.into_iter().map(|m| m.into_inner().unwrap().expect("every cell ran")).collect()
+}
+
+fn run_cell<T, R>(f: &(impl Fn(usize, T) -> R + Sync), i: usize, item: T) -> Result<R, CellError> {
+    catch_unwind(AssertUnwindSafe(|| f(i, item)))
+        .map_err(|e| CellError { index: i, message: panic_message(e.as_ref()) })
+}
+
+fn panic_message(payload: &dyn std::any::Any) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        for jobs in [1, 2, 8] {
+            let out = parallel_map(jobs, (0..100).collect(), |i, x: usize| {
+                assert_eq!(i, x);
+                // Stagger so completion order differs from input order.
+                if x.is_multiple_of(7) {
+                    std::thread::yield_now();
+                }
+                x * x
+            });
+            assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn serial_jobs_run_on_the_calling_thread() {
+        let id = std::thread::current().id();
+        parallel_map(1, vec![(); 4], |_, ()| assert_eq!(std::thread::current().id(), id));
+    }
+
+    #[test]
+    fn a_panicking_cell_fails_alone() {
+        for jobs in [1, 4] {
+            let out = try_parallel_map(jobs, (0..10).collect(), |_, x: usize| {
+                if x == 3 {
+                    panic!("boom {x}");
+                }
+                x
+            });
+            for (i, r) in out.iter().enumerate() {
+                if i == 3 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.index, 3);
+                    assert!(e.message.contains("boom 3"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 2 failed")]
+    fn parallel_map_propagates_cell_panics() {
+        parallel_map(4, (0..8).collect(), |_, x: usize| assert_ne!(x, 2));
+    }
+
+    #[test]
+    fn empty_and_oversubscribed_inputs() {
+        assert!(parallel_map(8, Vec::<u32>::new(), |_, x| x).is_empty());
+        let out = parallel_map(64, vec![1u32, 2], |_, x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

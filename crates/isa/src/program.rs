@@ -32,11 +32,18 @@ impl Program {
     }
 
     /// The instruction at byte address `pc`, if in range.
+    ///
+    /// Executed once per non-stalled cycle, so this is a single
+    /// subtract-shift-index: `base` is 4-aligned (asserted in `new`), so a
+    /// misaligned `pc` leaves low bits in the wrapped offset, and `pc <
+    /// base` wraps to an offset far past `instrs.len()` — both fall out of
+    /// the one slice lookup.
     pub fn fetch(&self, pc: u32) -> Option<Instr> {
-        if pc < self.base || !pc.is_multiple_of(4) {
+        let off = pc.wrapping_sub(self.base);
+        if off & 3 != 0 {
             return None;
         }
-        self.instrs.get(((pc - self.base) / 4) as usize).copied()
+        self.instrs.get((off >> 2) as usize).copied()
     }
 
     /// Address of a label.

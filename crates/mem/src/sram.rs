@@ -147,6 +147,29 @@ impl Sram {
         self.free_at
     }
 
+    /// The cycle at which the port next changes state, when busy at `now` —
+    /// the cycle-skipping scheduler's hint. `None` while idle (an idle port
+    /// has no self-scheduled work; only the core or the HHT can start a
+    /// transaction).
+    #[inline]
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        (self.free_at > now).then_some(self.free_at)
+    }
+
+    /// Replay `span` skipped arbitration losses by `who`, one per cycle
+    /// starting at `now` — exactly what `span` failing [`Sram::try_start`]
+    /// retries would have recorded, including the per-cycle conflict events
+    /// when a sink is installed (event streams stay bit-identical between
+    /// the per-cycle and cycle-skipping schedulers).
+    pub fn skip_conflicts(&mut self, now: u64, span: u64, who: Requester) {
+        self.stats.conflicts += span;
+        if let Some(bus) = self.obs.as_mut() {
+            for c in 0..span {
+                bus.emit(now + c, Track::SramPort, EventKind::ArbConflict { loser: who.label() });
+            }
+        }
+    }
+
     // ---- functional storage ----
 
     /// Read one byte.

@@ -28,6 +28,10 @@ pub enum RunError {
     /// A data access fell outside SRAM and every device window, or was
     /// misaligned.
     MemFault(u32),
+    /// The system watchdog expired: no `ebreak` after this many cycles
+    /// (kernel or HHT deadlock). Recoverable so one deadlocked experiment
+    /// cell fails alone instead of aborting a whole parallel sweep.
+    Watchdog(u64),
 }
 
 impl fmt::Display for RunError {
@@ -35,6 +39,9 @@ impl fmt::Display for RunError {
         match self {
             RunError::InvalidPc(pc) => write!(f, "invalid PC {pc:#010x}"),
             RunError::MemFault(a) => write!(f, "data access fault at {a:#010x}"),
+            RunError::Watchdog(c) => {
+                write!(f, "watchdog: no ebreak after {c} cycles (kernel or HHT deadlock?)")
+            }
         }
     }
 }
@@ -249,6 +256,94 @@ impl Core {
     /// The fault that stopped the core, if any.
     pub fn error(&self) -> Option<RunError> {
         self.error
+    }
+
+    /// The earliest cycle `>= now` at which [`Core::step`] can do anything,
+    /// or `None` once halted. While `now < busy_until` the core is provably
+    /// inert (`step` returns immediately), so the scheduler may fast-forward
+    /// to the returned cycle. Stall-retry states (HHT window empty, port
+    /// arbitration loss) keep `busy_until <= now` and thus report `now`:
+    /// their per-cycle counter updates are never skipped.
+    #[inline]
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if self.halted {
+            None
+        } else {
+            Some(self.busy_until.max(now))
+        }
+    }
+
+    /// When the core is runnable *now* but its next action is a stream-window
+    /// load from the HHT buffer region, return that address. The scheduler
+    /// combines this with the HHT's wake hint: if the window is empty and the
+    /// engine cannot push before cycle `t`, every cycle in between is a
+    /// provably failing retry and can be replayed in bulk by
+    /// [`Core::skip_hht_wait`].
+    #[inline]
+    pub fn pending_hht_read(&self, now: u64) -> Option<u32> {
+        if self.halted || self.busy_until > now {
+            return None;
+        }
+        let op = self.mem_op.as_ref()?;
+        let beat = op.beats.get(op.next)?;
+        match beat.access {
+            BeatAccess::DevRead if map::is_hht_buffer(beat.addr) => Some(beat.addr),
+            _ => None,
+        }
+    }
+
+    /// Account for `span` skipped cycles starting at `now` during which the
+    /// core retried a stream-window load that provably kept stalling: each
+    /// cycle charges one `hht_wait_cycles` plus the per-cause bucket, exactly
+    /// as the per-cycle retry path does. The stall interval opens at `now`
+    /// (a no-op when the first failing attempt already opened it).
+    pub fn skip_hht_wait(&mut self, now: u64, span: u64, addr: u32) {
+        let cause = if (addr - map::HHT_BUF_BASE) & 0xC00 == HHT_COUNTS_WINDOW {
+            StallCause::HhtHeaderWait
+        } else {
+            StallCause::HhtWindowEmpty
+        };
+        self.stats.hht_wait_cycles += span;
+        self.stats.stalls.record_many(cause, span);
+        Self::obs_stall(&mut self.obs, &mut self.open_stall, now, cause);
+    }
+
+    /// When the core is runnable *now* but its next action is a RAM access
+    /// that must win the SRAM port (no L1D hit can serve it), return true.
+    /// The scheduler combines this with the port's free cycle: while the
+    /// port is held by an in-flight HHT burst, every stepped cycle loses
+    /// arbitration and charges exactly one `mem_port_stall_cycles`,
+    /// replayed in bulk by [`Core::skip_port_wait`].
+    #[inline]
+    pub fn pending_port_access(&self, now: u64) -> bool {
+        if self.halted || self.busy_until > now {
+            return false;
+        }
+        let Some(op) = self.mem_op.as_ref() else {
+            return false;
+        };
+        let Some(beat) = op.beats.get(op.next) else {
+            return false;
+        };
+        match beat.access {
+            BeatAccess::RamRead => self.l1d.as_ref().is_none_or(|c| !c.probe(beat.addr)),
+            BeatAccess::RamWrite(_) => true,
+            BeatAccess::DevRead | BeatAccess::DevWrite(_) => false,
+        }
+    }
+
+    /// Account for `span` skipped cycles starting at `now` during which the
+    /// core retried SRAM-port arbitration against an in-flight HHT burst:
+    /// each cycle charges one `mem_port_stall_cycles` plus the
+    /// `ArbitrationLoss` bucket and one port conflict on the SRAM side,
+    /// exactly as the per-cycle retry path does. The stall interval opens
+    /// at `now` (a no-op when the first failing attempt already opened it).
+    pub fn skip_port_wait(&mut self, now: u64, span: u64, sram: &mut Sram) {
+        let who = if self.cfg.is_helper { Requester::Hht } else { Requester::Cpu };
+        self.stats.mem_port_stall_cycles += span;
+        self.stats.stalls.record_many(StallCause::ArbitrationLoss, span);
+        sram.skip_conflicts(now, span, who);
+        Self::obs_stall(&mut self.obs, &mut self.open_stall, now, StallCause::ArbitrationLoss);
     }
 
     /// Current program counter.

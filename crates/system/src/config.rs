@@ -85,6 +85,13 @@ pub struct SystemConfig {
     /// Observability sinks (event streams, instruction trace). Disabled by
     /// default; never affects simulated cycle counts.
     pub trace: TraceConfig,
+    /// Event-driven cycle skipping: `System::run` fast-forwards over spans
+    /// where the core, the HHT and the SRAM port are all provably inert,
+    /// charging the skipped cycles to the same counters the per-cycle loop
+    /// would have recorded. Simulated cycle counts are bit-identical either
+    /// way; turning this off keeps the legacy per-cycle loop for
+    /// differential testing.
+    pub cycle_skip: bool,
 }
 
 impl SystemConfig {
@@ -98,6 +105,7 @@ impl SystemConfig {
             ram_word_cycles: 1,
             clock_hz: 1.1e9,
             trace: TraceConfig::disabled(),
+            cycle_skip: true,
         }
     }
 
@@ -137,6 +145,13 @@ impl SystemConfig {
     /// Same configuration with the given observability sinks.
     pub fn with_trace(mut self, t: TraceConfig) -> Self {
         self.trace = t;
+        self
+    }
+
+    /// Same configuration with cycle skipping on or off (off = the legacy
+    /// per-cycle loop, for differential testing).
+    pub fn with_cycle_skip(mut self, on: bool) -> Self {
+        self.cycle_skip = on;
         self
     }
 }

@@ -2,11 +2,24 @@
 //!
 //! Each function reproduces the measurement behind one paper figure; the
 //! `hht-bench` crate calls these to print the actual series.
+//!
+//! Every sweep is a grid of independent, deterministically seeded cells, so
+//! each has a `*_jobs` variant fanning the cells across host threads via
+//! `hht-exec`; results come back in input order, so output is identical for
+//! every `jobs` value (the serial names delegate to `jobs = 1`).
 
 use crate::config::SystemConfig;
 use crate::runner;
 use hht_sparse::generate;
 use serde::{Deserialize, Serialize};
+
+/// Group a flat cell-major result list back into `(key, points)` series:
+/// `flat` holds `keys.len()` consecutive runs of `per` points each.
+fn regroup<K: Copy, P>(keys: &[K], per: usize, flat: Vec<P>) -> Vec<(K, Vec<P>)> {
+    assert_eq!(flat.len(), keys.len() * per);
+    let mut flat = flat.into_iter();
+    keys.iter().map(|&k| (k, flat.by_ref().take(per).collect())).collect()
+}
 
 /// Sparsity levels the paper sweeps (10% … 90%).
 pub const PAPER_SPARSITIES: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
@@ -61,13 +74,20 @@ pub fn spmv_point(cfg: &SystemConfig, n: usize, sparsity: f64, num_buffers: usiz
 /// Figure 4/6 sweep: SpMV speedup and CPU-wait fraction vs sparsity for
 /// N ∈ {1, 2} buffers on an `n x n` matrix.
 pub fn spmv_sweep(cfg: &SystemConfig, n: usize) -> Vec<(usize, Vec<SpeedupPoint>)> {
-    [1usize, 2]
-        .iter()
-        .map(|&nb| {
-            let points = PAPER_SPARSITIES.iter().map(|&s| spmv_point(cfg, n, s, nb)).collect();
-            (nb, points)
-        })
-        .collect()
+    spmv_sweep_jobs(cfg, n, 1)
+}
+
+/// [`spmv_sweep`] with its 18 cells spread over up to `jobs` threads.
+pub fn spmv_sweep_jobs(
+    cfg: &SystemConfig,
+    n: usize,
+    jobs: usize,
+) -> Vec<(usize, Vec<SpeedupPoint>)> {
+    let buffers = [1usize, 2];
+    let cells: Vec<(usize, f64)> =
+        buffers.iter().flat_map(|&nb| PAPER_SPARSITIES.iter().map(move |&s| (nb, s))).collect();
+    let flat = hht_exec::parallel_map(jobs, cells, |_, (nb, s)| spmv_point(cfg, n, s, nb));
+    regroup(&buffers, PAPER_SPARSITIES.len(), flat)
 }
 
 /// Which SpMSpV variant to measure.
@@ -107,28 +127,50 @@ pub fn spmspv_point(
 
 /// Figure 5/7 sweep: all four bars (v1/v2 × 1/2 buffers) per sparsity.
 pub fn spmspv_sweep(cfg: &SystemConfig, n: usize) -> Vec<(SpMSpVKind, usize, Vec<SpeedupPoint>)> {
-    let mut out = Vec::new();
-    for kind in [SpMSpVKind::V1, SpMSpVKind::V2] {
-        for nb in [1usize, 2] {
-            let points =
-                PAPER_SPARSITIES.iter().map(|&s| spmspv_point(cfg, n, s, nb, kind)).collect();
-            out.push((kind, nb, points));
-        }
-    }
-    out
+    spmspv_sweep_jobs(cfg, n, 1)
+}
+
+/// [`spmspv_sweep`] with its 36 cells spread over up to `jobs` threads.
+pub fn spmspv_sweep_jobs(
+    cfg: &SystemConfig,
+    n: usize,
+    jobs: usize,
+) -> Vec<(SpMSpVKind, usize, Vec<SpeedupPoint>)> {
+    let series: Vec<(SpMSpVKind, usize)> = [SpMSpVKind::V1, SpMSpVKind::V2]
+        .into_iter()
+        .flat_map(|kind| [1usize, 2].into_iter().map(move |nb| (kind, nb)))
+        .collect();
+    let cells: Vec<(SpMSpVKind, usize, f64)> = series
+        .iter()
+        .flat_map(|&(kind, nb)| PAPER_SPARSITIES.iter().map(move |&s| (kind, nb, s)))
+        .collect();
+    let flat =
+        hht_exec::parallel_map(jobs, cells, |_, (kind, nb, s)| spmspv_point(cfg, n, s, nb, kind));
+    regroup(&series, PAPER_SPARSITIES.len(), flat)
+        .into_iter()
+        .map(|((kind, nb), points)| (kind, nb, points))
+        .collect()
 }
 
 /// Figure 8 sweep: SpMV speedup vs sparsity for vector widths 1, 4, 8
 /// (N = 2 buffers; the baseline at each width uses the same width).
 pub fn vector_width_sweep(cfg: &SystemConfig, n: usize) -> Vec<(usize, Vec<SpeedupPoint>)> {
-    [1usize, 4, 8]
-        .iter()
-        .map(|&vl| {
-            let cfg_w = cfg.with_vlen(vl);
-            let points = PAPER_SPARSITIES.iter().map(|&s| spmv_point(&cfg_w, n, s, 2)).collect();
-            (vl, points)
-        })
-        .collect()
+    vector_width_sweep_jobs(cfg, n, 1)
+}
+
+/// [`vector_width_sweep`] with its 27 cells spread over up to `jobs`
+/// threads.
+pub fn vector_width_sweep_jobs(
+    cfg: &SystemConfig,
+    n: usize,
+    jobs: usize,
+) -> Vec<(usize, Vec<SpeedupPoint>)> {
+    let widths = [1usize, 4, 8];
+    let cells: Vec<(usize, f64)> =
+        widths.iter().flat_map(|&vl| PAPER_SPARSITIES.iter().map(move |&s| (vl, s))).collect();
+    let flat =
+        hht_exec::parallel_map(jobs, cells, |_, (vl, s)| spmv_point(&cfg.with_vlen(vl), n, s, 2));
+    regroup(&widths, PAPER_SPARSITIES.len(), flat)
 }
 
 /// A named DNN fully-connected layer workload result (Fig. 9).
@@ -146,28 +188,30 @@ pub struct DnnResult {
 
 /// Figure 9: SpMV over DNN fully-connected layer weight matrices.
 pub fn dnn_suite(cfg: &SystemConfig) -> Vec<DnnResult> {
-    hht_workloads::dnn::suite()
-        .into_iter()
-        .map(|layer| {
-            let m = layer.weights();
-            let v = generate::random_dense_vector(m.cols(), 0xD00D ^ m.cols() as u64);
-            let base = runner::run_spmv_baseline(cfg, &m, &v);
-            let hht = runner::run_spmv_hht(cfg, &m, &v);
-            use hht_sparse::SparseFormat;
-            DnnResult {
-                network: layer.network.clone(),
-                shape: (m.rows(), m.cols()),
+    dnn_suite_jobs(cfg, 1)
+}
+
+/// [`dnn_suite`] with one cell per layer, spread over up to `jobs` threads.
+pub fn dnn_suite_jobs(cfg: &SystemConfig, jobs: usize) -> Vec<DnnResult> {
+    hht_exec::parallel_map(jobs, hht_workloads::dnn::suite(), |_, layer| {
+        let m = layer.weights();
+        let v = generate::random_dense_vector(m.cols(), 0xD00D ^ m.cols() as u64);
+        let base = runner::run_spmv_baseline(cfg, &m, &v);
+        let hht = runner::run_spmv_hht(cfg, &m, &v);
+        use hht_sparse::SparseFormat;
+        DnnResult {
+            network: layer.network.clone(),
+            shape: (m.rows(), m.cols()),
+            sparsity: m.sparsity(),
+            point: SpeedupPoint {
                 sparsity: m.sparsity(),
-                point: SpeedupPoint {
-                    sparsity: m.sparsity(),
-                    baseline_cycles: base.stats.cycles,
-                    hht_cycles: hht.stats.cycles,
-                    cpu_wait_frac: hht.stats.cpu_wait_frac(),
-                    hht_wait_frac: hht.stats.hht_wait_frac(),
-                },
-            }
-        })
-        .collect()
+                baseline_cycles: base.stats.cycles,
+                hht_cycles: hht.stats.cycles,
+                cpu_wait_frac: hht.stats.cpu_wait_frac(),
+                hht_wait_frac: hht.stats.hht_wait_frac(),
+            },
+        }
+    })
 }
 
 /// Baseline-choice ablation for SpMSpV (explains the Fig. 5 magnitude
@@ -190,21 +234,28 @@ pub struct BaselineAblationPoint {
 
 /// Run the SpMSpV baseline-choice ablation.
 pub fn baseline_ablation(cfg: &SystemConfig, n: usize) -> Vec<BaselineAblationPoint> {
-    PAPER_SPARSITIES
-        .iter()
-        .map(|&s| {
-            let seed = seed_for(7, n, s);
-            let m = generate::random_csr(n, n, s, seed);
-            let x = generate::random_sparse_vector(n, s, seed ^ 1);
-            BaselineAblationPoint {
-                sparsity: s,
-                merge_cycles: runner::run_spmspv_baseline(cfg, &m, &x).stats.cycles,
-                csc_cycles: runner::run_spmspv_csc_baseline(cfg, &m, &x).stats.cycles,
-                v1_cycles: runner::run_spmspv_hht_v1(cfg, &m, &x).stats.cycles,
-                v2_cycles: runner::run_spmspv_hht_v2(cfg, &m, &x).stats.cycles,
-            }
-        })
-        .collect()
+    baseline_ablation_jobs(cfg, n, 1)
+}
+
+/// [`baseline_ablation`] with one cell per sparsity, spread over up to
+/// `jobs` threads.
+pub fn baseline_ablation_jobs(
+    cfg: &SystemConfig,
+    n: usize,
+    jobs: usize,
+) -> Vec<BaselineAblationPoint> {
+    hht_exec::parallel_map(jobs, PAPER_SPARSITIES.to_vec(), |_, s| {
+        let seed = seed_for(7, n, s);
+        let m = generate::random_csr(n, n, s, seed);
+        let x = generate::random_sparse_vector(n, s, seed ^ 1);
+        BaselineAblationPoint {
+            sparsity: s,
+            merge_cycles: runner::run_spmspv_baseline(cfg, &m, &x).stats.cycles,
+            csc_cycles: runner::run_spmspv_csc_baseline(cfg, &m, &x).stats.cycles,
+            v1_cycles: runner::run_spmspv_hht_v1(cfg, &m, &x).stats.cycles,
+            v2_cycles: runner::run_spmspv_hht_v2(cfg, &m, &x).stats.cycles,
+        }
+    })
 }
 
 /// Dense-expansion crossover point (§6's discussion of [40]/[23]): cycles
@@ -224,24 +275,27 @@ pub struct CrossoverPoint {
 
 /// Sweep the dense-vs-sparse crossover.
 pub fn crossover(cfg: &SystemConfig, n: usize) -> Vec<CrossoverPoint> {
+    crossover_jobs(cfg, n, 1)
+}
+
+/// [`crossover`] with one cell per sparsity, spread over up to `jobs`
+/// threads.
+pub fn crossover_jobs(cfg: &SystemConfig, n: usize, jobs: usize) -> Vec<CrossoverPoint> {
     use hht_sparse::SparseFormat;
-    PAPER_SPARSITIES
-        .iter()
-        .map(|&s| {
-            let seed = seed_for(6, n, s);
-            let m = generate::random_csr(n, n, s, seed);
-            let v = generate::random_dense_vector(n, seed ^ 1);
-            let dense = runner::run_dense_matvec(cfg, &m.to_dense(), &v);
-            let base = runner::run_spmv_baseline(cfg, &m, &v);
-            let hht = runner::run_spmv_hht(cfg, &m, &v);
-            CrossoverPoint {
-                sparsity: s,
-                dense_cycles: dense.stats.cycles,
-                sparse_baseline_cycles: base.stats.cycles,
-                sparse_hht_cycles: hht.stats.cycles,
-            }
-        })
-        .collect()
+    hht_exec::parallel_map(jobs, PAPER_SPARSITIES.to_vec(), |_, s| {
+        let seed = seed_for(6, n, s);
+        let m = generate::random_csr(n, n, s, seed);
+        let v = generate::random_dense_vector(n, seed ^ 1);
+        let dense = runner::run_dense_matvec(cfg, &m.to_dense(), &v);
+        let base = runner::run_spmv_baseline(cfg, &m, &v);
+        let hht = runner::run_spmv_hht(cfg, &m, &v);
+        CrossoverPoint {
+            sparsity: s,
+            dense_cycles: dense.stats.cycles,
+            sparse_baseline_cycles: base.stats.cycles,
+            sparse_hht_cycles: hht.stats.cycles,
+        }
+    })
 }
 
 /// The §2 motivation measurement: where do the baseline's loads and
@@ -268,27 +322,30 @@ pub struct MotivationPoint {
 
 /// Run the §2 motivation study across the paper sparsities.
 pub fn motivation(cfg: &SystemConfig, n: usize) -> Vec<MotivationPoint> {
+    motivation_jobs(cfg, n, 1)
+}
+
+/// [`motivation`] with one cell per sparsity, spread over up to `jobs`
+/// threads.
+pub fn motivation_jobs(cfg: &SystemConfig, n: usize, jobs: usize) -> Vec<MotivationPoint> {
     use hht_sparse::kernels::spmv_access_counts;
     use hht_sparse::SparseFormat;
-    PAPER_SPARSITIES
-        .iter()
-        .map(|&s| {
-            let seed = seed_for(5, n, s);
-            let m = generate::random_csr(n, n, s, seed);
-            let v = generate::random_dense_vector(n, seed ^ 1);
-            let nnz = m.nnz().max(1) as f64;
-            let base = runner::run_spmv_baseline(cfg, &m, &v);
-            let hht = runner::run_spmv_hht(cfg, &m, &v);
-            MotivationPoint {
-                sparsity: s,
-                metadata_load_fraction: spmv_access_counts(&m).metadata_fraction(),
-                baseline_instr_per_nnz: base.stats.core.instructions as f64 / nnz,
-                hht_instr_per_nnz: hht.stats.core.instructions as f64 / nnz,
-                baseline_beats_per_nnz: base.stats.core.mem_beats as f64 / nnz,
-                hht_beats_per_nnz: hht.stats.core.mem_beats as f64 / nnz,
-            }
-        })
-        .collect()
+    hht_exec::parallel_map(jobs, PAPER_SPARSITIES.to_vec(), |_, s| {
+        let seed = seed_for(5, n, s);
+        let m = generate::random_csr(n, n, s, seed);
+        let v = generate::random_dense_vector(n, seed ^ 1);
+        let nnz = m.nnz().max(1) as f64;
+        let base = runner::run_spmv_baseline(cfg, &m, &v);
+        let hht = runner::run_spmv_hht(cfg, &m, &v);
+        MotivationPoint {
+            sparsity: s,
+            metadata_load_fraction: spmv_access_counts(&m).metadata_fraction(),
+            baseline_instr_per_nnz: base.stats.core.instructions as f64 / nnz,
+            hht_instr_per_nnz: hht.stats.core.instructions as f64 / nnz,
+            baseline_beats_per_nnz: base.stats.core.mem_beats as f64 / nnz,
+            hht_beats_per_nnz: hht.stats.core.mem_beats as f64 / nnz,
+        }
+    })
 }
 
 /// ASIC vs programmable back-end (§7) comparison at one parameter point.
@@ -319,24 +376,31 @@ impl ProgrammablePoint {
 
 /// Run the §7 ASIC-vs-programmable ablation across the paper sparsities.
 pub fn programmable_ablation(cfg: &SystemConfig, n: usize) -> Vec<ProgrammablePoint> {
-    PAPER_SPARSITIES
-        .iter()
-        .map(|&s| {
-            let seed = seed_for(4, n, s);
-            let m = generate::random_csr(n, n, s, seed);
-            let v = generate::random_dense_vector(n, seed ^ 1);
-            let base = runner::run_spmv_baseline(cfg, &m, &v);
-            let asic = runner::run_spmv_hht(cfg, &m, &v);
-            let prog = runner::run_spmv_hht_programmable(cfg, &m, &v);
-            ProgrammablePoint {
-                sparsity: s,
-                baseline_cycles: base.stats.cycles,
-                asic_cycles: asic.stats.cycles,
-                programmable_cycles: prog.stats.cycles,
-                programmable_cpu_wait: prog.stats.cpu_wait_frac(),
-            }
-        })
-        .collect()
+    programmable_ablation_jobs(cfg, n, 1)
+}
+
+/// [`programmable_ablation`] with one cell per sparsity, spread over up to
+/// `jobs` threads.
+pub fn programmable_ablation_jobs(
+    cfg: &SystemConfig,
+    n: usize,
+    jobs: usize,
+) -> Vec<ProgrammablePoint> {
+    hht_exec::parallel_map(jobs, PAPER_SPARSITIES.to_vec(), |_, s| {
+        let seed = seed_for(4, n, s);
+        let m = generate::random_csr(n, n, s, seed);
+        let v = generate::random_dense_vector(n, seed ^ 1);
+        let base = runner::run_spmv_baseline(cfg, &m, &v);
+        let asic = runner::run_spmv_hht(cfg, &m, &v);
+        let prog = runner::run_spmv_hht_programmable(cfg, &m, &v);
+        ProgrammablePoint {
+            sparsity: s,
+            baseline_cycles: base.stats.cycles,
+            asic_cycles: asic.stats.cycles,
+            programmable_cycles: prog.stats.cycles,
+            programmable_cpu_wait: prog.stats.cpu_wait_frac(),
+        }
+    })
 }
 
 /// SMASH-format ablation (§6): CSR-HHT vs SMASH-HHT on the same matrix.
@@ -362,26 +426,29 @@ pub const FORMAT_ABLATION_SPARSITIES: [f64; 11] =
 
 /// Run the §6 format ablation on an `n x n` matrix per sparsity level.
 pub fn format_ablation(cfg: &SystemConfig, n: usize) -> Vec<FormatAblationPoint> {
+    format_ablation_jobs(cfg, n, 1)
+}
+
+/// [`format_ablation`] with one cell per sparsity, spread over up to
+/// `jobs` threads.
+pub fn format_ablation_jobs(cfg: &SystemConfig, n: usize, jobs: usize) -> Vec<FormatAblationPoint> {
     use hht_sparse::{SmashMatrix, SparseFormat};
-    FORMAT_ABLATION_SPARSITIES
-        .iter()
-        .map(|&s| {
-            let seed = seed_for(3, n, s);
-            let m = generate::random_csr(n, n, s, seed);
-            let v = generate::random_dense_vector(n, seed ^ 1);
-            let smash =
-                SmashMatrix::from_triplets(n, n, &m.triplets()).expect("valid triplets from CSR");
-            let csr_run = runner::run_spmv_hht(cfg, &m, &v);
-            let smash_run = runner::run_smash_spmv_hht(cfg, &smash, &v);
-            FormatAblationPoint {
-                sparsity: s,
-                csr_hht_cycles: csr_run.stats.cycles,
-                smash_hht_cycles: smash_run.stats.cycles,
-                smash_cpu_wait_frac: smash_run.stats.cpu_wait_frac(),
-                csr_cpu_wait_frac: csr_run.stats.cpu_wait_frac(),
-            }
-        })
-        .collect()
+    hht_exec::parallel_map(jobs, FORMAT_ABLATION_SPARSITIES.to_vec(), |_, s| {
+        let seed = seed_for(3, n, s);
+        let m = generate::random_csr(n, n, s, seed);
+        let v = generate::random_dense_vector(n, seed ^ 1);
+        let smash =
+            SmashMatrix::from_triplets(n, n, &m.triplets()).expect("valid triplets from CSR");
+        let csr_run = runner::run_spmv_hht(cfg, &m, &v);
+        let smash_run = runner::run_smash_spmv_hht(cfg, &smash, &v);
+        FormatAblationPoint {
+            sparsity: s,
+            csr_hht_cycles: csr_run.stats.cycles,
+            smash_hht_cycles: smash_run.stats.cycles,
+            smash_cpu_wait_frac: smash_run.stats.cpu_wait_frac(),
+            csr_cpu_wait_frac: csr_run.stats.cpu_wait_frac(),
+        }
+    })
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! The lock-step cycle loop coupling CPU, HHT and SRAM.
 
 use crate::config::SystemConfig;
-use hht_accel::{Hht, HhtStats};
+use hht_accel::{Hht, HhtStats, Wake};
 use hht_isa::Program;
 use hht_mem::{Sram, SramStats};
 use hht_obs::{merge_events, Event, EventBus};
@@ -48,6 +48,7 @@ pub struct System {
     sram: Sram,
     cycle: u64,
     max_cycles: u64,
+    cycle_skip: bool,
 }
 
 impl System {
@@ -66,7 +67,14 @@ impl System {
         if cfg.trace.instr_trace {
             core.enable_trace_with_capacity(cfg.trace.instr_trace_capacity);
         }
-        System { core, hht, sram, cycle: 0, max_cycles: cfg.core.max_cycles }
+        System {
+            core,
+            hht,
+            sram,
+            cycle: 0,
+            max_cycles: cfg.core.max_cycles,
+            cycle_skip: cfg.cycle_skip,
+        }
     }
 
     /// Advance one cycle: CPU first (port priority), then the HHT.
@@ -78,21 +86,126 @@ impl System {
 
     /// Run to `ebreak`. Returns the collected statistics.
     ///
-    /// Errors on guest faults; panics only if the watchdog expires (a
-    /// kernel/HHT deadlock is a reproduction bug, not a data condition).
+    /// Errors on guest faults and on watchdog expiry
+    /// ([`RunError::Watchdog`]), so a deadlocked configuration fails one
+    /// experiment cell instead of aborting a whole parallel sweep.
+    ///
+    /// With `cfg.cycle_skip` (the default) the loop is event-driven: after
+    /// each stepped cycle it asks every component for its next wake cycle
+    /// and fast-forwards `self.cycle` over spans where all of them are
+    /// provably inert, charging the span to the same counters the per-cycle
+    /// loop would have recorded. Cycle counts, stats and obs event streams
+    /// are bit-identical between the two modes (see `tests/determinism.rs`).
     pub fn run(&mut self) -> Result<SystemStats, RunError> {
         while !self.core.halted() {
             self.step();
-            assert!(
-                self.cycle < self.max_cycles,
-                "watchdog: no ebreak after {} cycles (kernel or HHT deadlock?)",
-                self.max_cycles
-            );
+            if self.cycle >= self.max_cycles {
+                return Err(RunError::Watchdog(self.max_cycles));
+            }
+            if self.cycle_skip {
+                self.fast_forward();
+                // A skipped span may land exactly on the watchdog limit (a
+                // detected deadlock jumps straight there); expire before
+                // stepping a cycle the per-cycle loop never executes.
+                if self.cycle >= self.max_cycles {
+                    return Err(RunError::Watchdog(self.max_cycles));
+                }
+            }
         }
         if let Some(e) = self.core.error() {
             return Err(e);
         }
         Ok(self.stats())
+    }
+
+    /// Advance `self.cycle` to the earliest cycle at which any component can
+    /// act. Skipped spans are exactly the cycles the per-cycle loop would
+    /// have burned ticking inert components:
+    ///
+    /// - the core returns from `step` immediately while `now < busy_until`;
+    ///   its two runnable retry states — parked on an empty stream window,
+    ///   or losing SRAM-port arbitration to an in-flight HHT burst — fail
+    ///   provably until the engine pushes (resp. the port frees), and their
+    ///   per-cycle charges are replayed in bulk by `Core::skip_hht_wait` /
+    ///   `Core::skip_port_wait`;
+    /// - the HHT charges `busy_cycles` per cycle while an engine waits on a
+    ///   memory read, plus its state's retry counters (`stall_out_full`
+    ///   while output-blocked, `port_conflicts` + an SRAM conflict while
+    ///   port-starved) — replayed in bulk by `Hht::skip_idle`;
+    /// - obs event *transitions* only ever fire on stepped cycles (a span
+    ///   with no state change emits nothing), and the per-retry-cycle SRAM
+    ///   conflict events are replayed with their original stamps, so event
+    ///   streams stay bit-identical.
+    fn fast_forward(&mut self) {
+        let now = self.cycle;
+        let Some(core_at) = self.core.next_event(now) else {
+            return; // halted: the run loop exits next check
+        };
+        // Classify the core before the (costlier) HHT hint: busy until a
+        // known cycle, runnable (nothing to skip), or runnable-but-blocked
+        // on a provably failing retry.
+        let mut window_read = None;
+        let mut port_free = None;
+        if core_at <= now {
+            if let Some(addr) = self.core.pending_hht_read(now) {
+                if !self.hht.window_read_would_stall(addr) {
+                    return; // the pop succeeds this cycle
+                }
+                window_read = Some(addr);
+            } else {
+                match self.sram.next_event(now) {
+                    Some(free_at) if self.core.pending_port_access(now) => {
+                        if free_at <= now + 1 {
+                            return; // a 1-cycle skip costs more than a step
+                        }
+                        port_free = Some(free_at);
+                    }
+                    _ => return, // the core acts this cycle
+                }
+            }
+        } else if core_at <= now + 1 {
+            // The core resumes next cycle, capping any span at 1 — not
+            // worth the hint computations below.
+            return;
+        }
+        let hht_wake = self.hht.next_event(now);
+        // When the engine can next change state, or `None` when only a CPU
+        // action (popping a full FIFO) — or nothing at all — can unblock it.
+        let hht_bound = match hht_wake {
+            Wake::At(t) => Some(t),
+            // Wants the port: issues the moment it frees.
+            Wake::NeedsPort => Some(self.sram.next_event(now).unwrap_or(now)),
+            Wake::OutputBlocked | Wake::Never => None,
+        };
+        let target = if let Some(free_at) = port_free {
+            // Core losing arbitration: the holder is the engine's in-flight
+            // burst, so core and engine both resume at the port's free
+            // cycle.
+            hht_bound.map_or(free_at, |t| t.min(free_at))
+        } else if window_read.is_some() {
+            // Core parked on an empty window: only the engine can unpark
+            // it; every cycle until then is one failing retry on the core
+            // side and one idle cycle on the engine side. With no engine
+            // wake bound this is a true deadlock (the parked core can never
+            // pop the FIFO an output-blocked engine waits on) — jump
+            // straight to the watchdog limit, both retry counters replayed.
+            hht_bound.unwrap_or(self.max_cycles)
+        } else {
+            // Core busy until `core_at`; the engine may wake earlier.
+            hht_bound.map_or(core_at, |t| t.min(core_at))
+        };
+        if target <= now + 1 {
+            return; // nothing to skip (or a 1-cycle span: cheaper to step)
+        }
+        let span = (target - now).min(self.max_cycles.saturating_sub(now));
+        self.hht.skip_idle(now, span, &mut self.sram);
+        if let Some(addr) = window_read {
+            self.core.skip_hht_wait(now, span, addr);
+            self.hht.skip_stalled_reads(span);
+        } else if port_free.is_some() {
+            self.core.skip_port_wait(now, span, &mut self.sram);
+        }
+        self.cycle = now + span;
     }
 
     /// Statistics snapshot.

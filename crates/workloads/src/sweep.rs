@@ -60,6 +60,19 @@ impl SweepSpec {
             sparsity,
         }
     }
+
+    /// The SpMV inputs for a whole sparsity sweep, generated on up to
+    /// `jobs` threads (each level is seeded independently, so results are
+    /// identical for every `jobs` value and come back in `sparsities`
+    /// order).
+    pub fn spmv_inputs(&self, sparsities: &[f64], jobs: usize) -> Vec<SpmvInput> {
+        hht_exec::parallel_map(jobs, sparsities.to_vec(), |_, s| self.spmv_input(s))
+    }
+
+    /// The SpMSpV inputs for a whole sparsity sweep; see [`Self::spmv_inputs`].
+    pub fn spmspv_inputs(&self, sparsities: &[f64], jobs: usize) -> Vec<SpmspvInput> {
+        hht_exec::parallel_map(jobs, sparsities.to_vec(), |_, s| self.spmspv_input(s))
+    }
 }
 
 #[cfg(test)]
@@ -89,5 +102,13 @@ mod tests {
         let spec = SweepSpec { n: 64, seed: 2 };
         assert_eq!(spec.spmv_input(0.5), spec.spmv_input(0.5));
         assert_ne!(spec.spmv_input(0.5).matrix, spec.spmv_input(0.6).matrix);
+    }
+
+    #[test]
+    fn parallel_inputs_match_serial() {
+        let spec = SweepSpec { n: 64, seed: 3 };
+        let levels = [0.1, 0.3, 0.5, 0.7, 0.9];
+        assert_eq!(spec.spmv_inputs(&levels, 4), spec.spmv_inputs(&levels, 1));
+        assert_eq!(spec.spmspv_inputs(&levels, 4), spec.spmspv_inputs(&levels, 1));
     }
 }

@@ -4,8 +4,9 @@
 //! also has).
 
 use hht::sparse::generate;
-use hht::system::config::SystemConfig;
-use hht::system::{experiments, runner};
+use hht::system::config::{SystemConfig, TraceConfig};
+use hht::system::{experiments, runner, RunOutput};
+use proptest::prelude::*;
 
 #[test]
 fn repeated_runs_are_bit_identical() {
@@ -64,4 +65,120 @@ fn stats_are_internally_consistent() {
     assert!(s.hht_wait_frac() >= 0.0 && s.hht_wait_frac() <= 1.0);
     // The core retired at least one instruction per matrix row.
     assert!(s.core.instructions > 48);
+}
+
+// ---------------------------------------------------------------------------
+// Cycle-skipping scheduler vs legacy per-cycle loop
+// ---------------------------------------------------------------------------
+
+/// Run every kernel flavour once for a given config; index selects one.
+fn run_kernel(cfg: &SystemConfig, kernel: usize, n: usize, sparsity: f64, seed: u64) -> RunOutput {
+    let m = generate::random_csr(n, n, sparsity, seed);
+    match kernel {
+        0 => {
+            let v = generate::random_dense_vector(n, seed ^ 1);
+            runner::run_spmv_baseline(cfg, &m, &v)
+        }
+        1 => {
+            let v = generate::random_dense_vector(n, seed ^ 1);
+            runner::run_spmv_hht(cfg, &m, &v)
+        }
+        2 => {
+            let x = generate::random_sparse_vector(n, sparsity, seed ^ 2);
+            runner::run_spmspv_hht_v1(cfg, &m, &x)
+        }
+        3 => {
+            let x = generate::random_sparse_vector(n, sparsity, seed ^ 2);
+            runner::run_spmspv_hht_v2(cfg, &m, &x)
+        }
+        4 => {
+            use hht::sparse::{SmashMatrix, SparseFormat};
+            let v = generate::random_dense_vector(n, seed ^ 1);
+            let sm = SmashMatrix::from_triplets(n, n, &m.triplets()).expect("valid triplets");
+            runner::run_smash_spmv_hht(cfg, &sm, &v)
+        }
+        _ => {
+            let v = generate::random_dense_vector(n, seed ^ 1);
+            runner::run_spmv_hht_programmable(cfg, &m, &v)
+        }
+    }
+}
+
+/// The skip-mode and legacy-mode runs of one kernel must agree bit-for-bit
+/// on results, cycle counts, every counter and (when traced) every event.
+fn assert_skip_matches_legacy(base: SystemConfig, kernel: usize, n: usize, s: f64, seed: u64) {
+    let skip = run_kernel(&base.with_cycle_skip(true), kernel, n, s, seed);
+    let legacy = run_kernel(&base.with_cycle_skip(false), kernel, n, s, seed);
+    assert_eq!(
+        skip.stats, legacy.stats,
+        "kernel {kernel} n={n} s={s} buffers={}",
+        base.hht.num_buffers
+    );
+    assert_eq!(skip.y, legacy.y);
+    assert_eq!(skip.events, legacy.events);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The differential property behind the scheduler: `SystemStats` is
+    /// bit-identical between the cycle-skipping and legacy loops across
+    /// random kernels × sparsities × buffer counts.
+    #[test]
+    fn cycle_skipping_is_bit_identical(
+        kernel in 0usize..6,
+        sparsity_pct in 5u32..95,
+        buffers in 1usize..=3,
+        n in 12usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = SystemConfig::paper_default().with_buffers(buffers);
+        assert_skip_matches_legacy(cfg, kernel, n, sparsity_pct as f64 / 100.0, seed);
+    }
+}
+
+#[test]
+fn cycle_skipping_matches_legacy_with_slow_memory_and_events() {
+    // Fixed heavier configurations the proptest would be too slow to cover:
+    // multi-cycle SRAM words (burst wake hints) and full event tracing
+    // (identical StallBegin/StallEnd cycle stamps).
+    for kernel in 0..6 {
+        let traced = SystemConfig::paper_default()
+            .with_ram_word_cycles(4)
+            .with_trace(TraceConfig::enabled());
+        assert_skip_matches_legacy(traced, kernel, 24, 0.5, 0xD1FF);
+    }
+}
+
+#[test]
+fn cycle_skipping_matches_legacy_on_figure_sweep_cells() {
+    // Spot-check the Fig. 4-7 sweep grid corners at reduced n.
+    let cfg = SystemConfig::paper_default();
+    for kernel in [1usize, 2, 3] {
+        for s in [0.1, 0.9] {
+            for buffers in [1usize, 2] {
+                assert_skip_matches_legacy(cfg.with_buffers(buffers), kernel, 48, s, 99);
+            }
+        }
+    }
+}
+
+#[test]
+fn watchdog_expiry_is_a_recoverable_error() {
+    use hht::isa::asm::assemble;
+    use hht::mem::Sram;
+    use hht::sim::RunError;
+    use hht::system::System;
+
+    let mut cfg = SystemConfig::paper_default();
+    cfg.core.max_cycles = 10_000;
+    let p = assemble("loop:\n  j loop\n").unwrap();
+    for skip in [true, false] {
+        let sram = Sram::new(cfg.ram_size, cfg.ram_word_cycles);
+        let mut sys = System::new(&cfg.with_cycle_skip(skip), p.clone(), sram);
+        match sys.run() {
+            Err(RunError::Watchdog(c)) => assert_eq!(c, 10_000),
+            other => panic!("expected watchdog error, got {other:?}"),
+        }
+    }
 }
