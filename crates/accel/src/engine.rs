@@ -150,11 +150,13 @@ struct Pending {
 }
 
 /// Issue a timed read of `addr`; `None` when the port is busy this cycle.
+/// Out-of-range addresses (software programmed a bad base into an MMR) read
+/// open-bus zero instead of crashing the simulator.
 fn issue_read(sram: &mut Sram, now: u64, addr: u32, stats: &mut EngineStats) -> Option<Pending> {
     match sram.try_start(now, Requester::Hht) {
         Some(done) => {
             stats.mem_reads += 1;
-            Some(Pending { ready_at: done, value: sram.read_u32(addr) })
+            Some(Pending { ready_at: done, value: sram.read_u32_checked(addr).unwrap_or(0) })
         }
         None => {
             stats.port_conflicts += 1;

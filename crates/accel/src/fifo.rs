@@ -65,6 +65,18 @@ impl ElemFifo {
         self.q.pop_front()
     }
 
+    /// Flip bit `bit % 32` of the head element in place (fault injection:
+    /// a buffer soft error). Returns `false` when the FIFO is empty.
+    pub fn corrupt_head(&mut self, bit: u8) -> bool {
+        match self.q.front_mut() {
+            Some(v) => {
+                *v ^= 1 << (bit % 32);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Total elements ever pushed.
     pub fn total_pushed(&self) -> u64 {
         self.pushed

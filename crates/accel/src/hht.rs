@@ -66,6 +66,11 @@ pub struct HhtStats {
     pub engine: EngineStats,
     /// Cycles the back-end was stepped while running.
     pub busy_cycles: u64,
+    /// Buffer parity errors detected (each latches the sticky error bit).
+    pub parity_errors: u64,
+    /// START doorbells rejected because the MMR file decoded to an invalid
+    /// configuration (each latches the sticky error bit).
+    pub decode_errors: u64,
 }
 
 /// The Hardware Helper Thread.
@@ -92,6 +97,17 @@ pub struct Hht {
     /// state changes the hint depends on. `None` = recompute on demand, so
     /// cycles where the scheduler never asks cost nothing.
     cached_wake: Option<Wake>,
+    /// Fault injection: stream-window reads stall while `now <
+    /// delay_until` (a delayed HHT response).
+    delay_until: u64,
+    /// Fault injection: the engine is not stepped while `now <
+    /// frozen_until` (an engine stall); busy cycles still accrue.
+    frozen_until: u64,
+    /// Latched fault-error bit (STATUS bit 1): set by buffer parity errors
+    /// and MMR decode failures. While set, all stream-window reads stall —
+    /// the device withholds possibly-corrupt data and relies on the
+    /// CPU-side timeout protocol to recover.
+    sticky_error: bool,
 }
 
 impl std::fmt::Debug for Hht {
@@ -123,6 +139,9 @@ impl Hht {
             out_stall_open: false,
             last_levels: [0; 3],
             cached_wake: None,
+            delay_until: 0,
+            frozen_until: 0,
+            sticky_error: false,
         }
     }
 
@@ -165,6 +184,13 @@ impl Hht {
     pub fn step(&mut self, now: u64, sram: &mut Sram) {
         if let Some(engine) = self.engine.as_mut() {
             if !self.engine_done {
+                if now < self.frozen_until {
+                    // Injected engine stall: the cycle is consumed holding
+                    // state, no progress is made (and the memoized wake
+                    // stays valid — nothing changed).
+                    self.stats.busy_cycles += 1;
+                    return;
+                }
                 self.cached_wake = None;
                 self.stats.busy_cycles += 1;
                 let out_full_before = self.stats.engine.stall_out_full;
@@ -216,6 +242,18 @@ impl Hht {
                 w
             }
         };
+        // An injected engine stall defers any wake to the thaw cycle; the
+        // frozen steps in between only tick `busy_cycles`, which is exactly
+        // the `Wake::At` contract.
+        let wake = if now < self.frozen_until {
+            match wake {
+                Wake::At(t) => Wake::At(t.max(self.frozen_until)),
+                Wake::Never => Wake::Never,
+                _ => Wake::At(self.frozen_until),
+            }
+        } else {
+            wake
+        };
         match wake {
             Wake::At(t) => Wake::At(t.max(now)),
             // `done()` should already have latched `engine_done`; act now to
@@ -225,21 +263,45 @@ impl Hht {
         }
     }
 
-    /// Would a CPU load of `addr` stall right now? Non-mutating mirror of
-    /// the [`MmioDevice::mmio_read`] stream-window path, used by the
-    /// cycle-skipping scheduler to recognise a core parked on an empty
+    /// Would a CPU load of `addr` stall at cycle `now`? Non-mutating mirror
+    /// of the [`MmioDevice::mmio_read`] stream-window path, used by the
+    /// cycle-skipping scheduler to recognise a core parked on a stalled
     /// window (MMR reads never stall).
     #[inline]
-    pub fn window_read_would_stall(&self, addr: u32) -> bool {
+    pub fn window_read_would_stall(&self, addr: u32, now: u64) -> bool {
         if !map::is_hht_buffer(addr) {
             return false;
         }
-        match ((addr - map::HHT_BUF_BASE) & !0x3) & 0xC00 {
+        let off = ((addr - map::HHT_BUF_BASE) & !0x3) & 0xC00;
+        let is_window = matches!(off, window::PRIMARY | window::SECONDARY | window::COUNTS);
+        if is_window && (self.sticky_error || now < self.delay_until) {
+            return true;
+        }
+        match off {
             window::PRIMARY => self.primary.is_empty(),
             window::SECONDARY => self.secondary.is_empty(),
             window::COUNTS => self.counts.is_empty(),
             _ => false,
         }
+    }
+
+    /// When a stalled window read of `addr` will succeed *by time alone*:
+    /// `Some(t)` when the stream has data but responses are fault-delayed
+    /// until `t`. `None` when the read needs engine progress (empty
+    /// stream) or can never succeed (sticky error latched) — the scheduler
+    /// falls back to the engine wake / timeout bounds in those cases.
+    #[inline]
+    pub fn window_ready_at(&self, addr: u32, now: u64) -> Option<u64> {
+        if !map::is_hht_buffer(addr) || self.sticky_error || now >= self.delay_until {
+            return None;
+        }
+        let has_data = match ((addr - map::HHT_BUF_BASE) & !0x3) & 0xC00 {
+            window::PRIMARY => !self.primary.is_empty(),
+            window::SECONDARY => !self.secondary.is_empty(),
+            window::COUNTS => !self.counts.is_empty(),
+            _ => false,
+        };
+        has_data.then_some(self.delay_until)
     }
 
     /// Account for `span` skipped cycles during which the CPU retried a
@@ -267,6 +329,11 @@ impl Hht {
             return;
         };
         self.stats.busy_cycles += span;
+        if now < self.frozen_until {
+            // Injected engine stall: each frozen step only ticks
+            // `busy_cycles` (mirrors the early return in [`Hht::step`]).
+            return;
+        }
         if matches!(self.cached_wake, Some(Wake::At(_))) {
             // `Wake::At` contract: steps strictly before the wake cycle
             // only tick `busy_cycles` — nothing further to replay.
@@ -333,8 +400,79 @@ impl Hht {
         }
     }
 
-    fn start(&mut self) {
-        let cfg = self.regs.decode().expect("software programmed an invalid HHT configuration");
+    // ---- fault-injection hooks (driven by the system's fault plan) ----
+
+    /// Freeze the engine for `cycles` starting at `now` (an engine stall):
+    /// it holds state and accrues busy cycles but makes no progress.
+    pub fn freeze_engine(&mut self, now: u64, cycles: u64) {
+        self.frozen_until = self.frozen_until.max(now + cycles);
+    }
+
+    /// Withhold stream-window responses for `cycles` starting at `now`
+    /// (a delayed HHT response): CPU window reads stall until the delay
+    /// expires, even when data is buffered.
+    pub fn delay_responses(&mut self, now: u64, cycles: u64) {
+        self.delay_until = self.delay_until.max(now + cycles);
+    }
+
+    /// Latch the sticky fault-error bit (STATUS bit 1) directly.
+    pub fn set_sticky_error(&mut self) {
+        self.sticky_error = true;
+    }
+
+    /// Whether the sticky fault-error bit is latched.
+    pub fn sticky_error(&self) -> bool {
+        self.sticky_error
+    }
+
+    /// Flip bit `bit % 32` of the primary stream's head element (a buffer
+    /// soft error). Per-element parity catches the flip immediately —
+    /// detection is modelled with zero latency so the per-cycle and
+    /// cycle-skipping schedulers observe it on the same cycle — and
+    /// latches the sticky error bit: the device withholds the corrupt
+    /// stream rather than deliver a wrong word. Returns `false` (no fault
+    /// landed) when the buffer is empty.
+    pub fn corrupt_buffer(&mut self, now: u64, bit: u8) -> bool {
+        if !self.primary.corrupt_head(bit) {
+            return false;
+        }
+        self.stats.parity_errors += 1;
+        self.sticky_error = true;
+        if let Some(bus) = self.obs.as_mut() {
+            bus.emit(now, Track::Fault, EventKind::FaultDetect { what: "buffer_parity" });
+        }
+        true
+    }
+
+    /// Silently discard the primary stream's head element (a dropped HHT
+    /// response). Returns `false` when there was nothing to drop.
+    pub fn drop_response(&mut self) -> bool {
+        match self.primary.pop() {
+            Some(_) => {
+                // Buffer levels changed: an output-blocked engine may now
+                // be runnable, so the memoized wake hint is stale.
+                self.cached_wake = None;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn start(&mut self, now: u64) {
+        let Some(cfg) = self.regs.decode() else {
+            // Invalid MODE / element size: a real device NAKs the doorbell
+            // by latching the sticky error bit instead of wedging — the
+            // CPU-side timeout/watchdog protocol owns recovery.
+            self.stats.decode_errors += 1;
+            self.sticky_error = true;
+            self.engine = None;
+            self.engine_done = false;
+            self.cached_wake = None;
+            if let Some(bus) = self.obs.as_mut() {
+                bus.emit(now, Track::Fault, EventKind::FaultDetect { what: "mmr_decode" });
+            }
+            return;
+        };
         self.primary.clear();
         self.secondary.clear();
         self.counts.clear();
@@ -357,7 +495,15 @@ impl Hht {
         }
     }
 
-    fn pop_stream(&mut self, which: u32) -> MmioReadResult {
+    fn pop_stream(&mut self, which: u32, now: u64) -> MmioReadResult {
+        let is_window = matches!(which, window::PRIMARY | window::SECONDARY | window::COUNTS);
+        if is_window && (self.sticky_error || now < self.delay_until) {
+            // Responses withheld: a latched error stalls the windows until
+            // the CPU-side protocol gives up; a delayed-response fault
+            // stalls them until the delay expires.
+            self.stats.cpu_stall_reads += 1;
+            return MmioReadResult::Stall;
+        }
         let fifo = match which {
             window::PRIMARY => &mut self.primary,
             window::SECONDARY => &mut self.secondary,
@@ -381,27 +527,29 @@ impl Hht {
 }
 
 impl MmioDevice for Hht {
-    fn mmio_read(&mut self, addr: u32, _now: u64) -> MmioReadResult {
+    fn mmio_read(&mut self, addr: u32, now: u64) -> MmioReadResult {
         if map::is_hht_buffer(addr) {
             let off = (addr - map::HHT_BUF_BASE) & !0x3;
-            return self.pop_stream(off & 0xC00);
+            return self.pop_stream(off & 0xC00, now);
         }
         if map::is_hht_mmr(addr) {
             let off = addr - map::HHT_MMR_BASE;
             if off == reg::STATUS {
-                return MmioReadResult::Data(self.engine_done as u32);
+                return MmioReadResult::Data(
+                    (self.engine_done as u32) | ((self.sticky_error as u32) << 1),
+                );
             }
             return MmioReadResult::Data(self.regs.read(off));
         }
         MmioReadResult::Data(0)
     }
 
-    fn mmio_write(&mut self, addr: u32, value: u32, _now: u64) {
+    fn mmio_write(&mut self, addr: u32, value: u32, now: u64) {
         if map::is_hht_mmr(addr) {
             let off = addr - map::HHT_MMR_BASE;
             self.regs.write(off, value);
             if off == reg::START && value & 1 == 1 {
-                self.start();
+                self.start(now);
             }
         }
         // Stores to the buffer window are ignored (read-only streams).
@@ -477,6 +625,109 @@ mod tests {
         program_spmv(&mut hht, 0x0, 0x0, 0);
         hht.step(0, &mut sram);
         assert!(hht.done());
+    }
+
+    #[test]
+    fn invalid_start_latches_sticky_error_instead_of_panicking() {
+        let mut hht = Hht::new(HhtParams::default());
+        let b = map::HHT_MMR_BASE;
+        hht.mmio_write(b + reg::ELEMENT_SIZES, 8, 0); // unsupported SEW
+        hht.mmio_write(b + reg::MODE, Mode::SpMV as u32, 0);
+        hht.mmio_write(b + reg::START, 1, 0);
+        assert_eq!(hht.stats().decode_errors, 1);
+        assert!(hht.sticky_error());
+        // STATUS bit 1 = fault error, bit 0 (done) clear.
+        assert_eq!(hht.mmio_read(b + reg::STATUS, 1), MmioReadResult::Data(2));
+        // Window reads stall rather than deliver garbage.
+        assert_eq!(hht.mmio_read(map::HHT_BUF_BASE, 1), MmioReadResult::Stall);
+        assert!(hht.window_read_would_stall(map::HHT_BUF_BASE, 1));
+    }
+
+    #[test]
+    fn bad_mode_start_is_rejected() {
+        let mut hht = Hht::new(HhtParams::default());
+        let b = map::HHT_MMR_BASE;
+        hht.mmio_write(b + reg::ELEMENT_SIZES, 4, 0);
+        hht.mmio_write(b + reg::MODE, 99, 0); // invalid mode index
+        hht.mmio_write(b + reg::START, 1, 0);
+        assert_eq!(hht.stats().decode_errors, 1);
+        assert!(hht.sticky_error());
+    }
+
+    #[test]
+    fn delayed_responses_stall_windows_until_expiry() {
+        let mut sram = Sram::new(4096, 1);
+        sram.load_words(0x100, &[0]);
+        sram.load_f32s(0x200, &[5.0]);
+        let mut hht = Hht::new(HhtParams::default());
+        program_spmv(&mut hht, 0x100, 0x200, 1);
+        for now in 0..50 {
+            hht.step(now, &mut sram);
+        }
+        hht.delay_responses(50, 10);
+        assert!(hht.window_read_would_stall(map::HHT_BUF_BASE, 50));
+        assert_eq!(hht.window_ready_at(map::HHT_BUF_BASE, 50), Some(60));
+        assert_eq!(hht.mmio_read(map::HHT_BUF_BASE, 55), MmioReadResult::Stall);
+        assert_eq!(hht.mmio_read(map::HHT_BUF_BASE, 60), MmioReadResult::Data(5.0f32.to_bits()));
+    }
+
+    #[test]
+    fn corrupt_buffer_detects_parity_and_latches_error() {
+        let mut sram = Sram::new(4096, 1);
+        sram.load_words(0x100, &[0]);
+        sram.load_f32s(0x200, &[5.0]);
+        let mut hht = Hht::new(HhtParams::default());
+        program_spmv(&mut hht, 0x100, 0x200, 1);
+        for now in 0..50 {
+            hht.step(now, &mut sram);
+        }
+        assert!(hht.corrupt_buffer(50, 3));
+        assert_eq!(hht.stats().parity_errors, 1);
+        assert!(hht.sticky_error());
+        assert_eq!(hht.mmio_read(map::HHT_BUF_BASE, 51), MmioReadResult::Stall);
+        // Empty buffer: the fault does not land.
+        let mut idle = Hht::new(HhtParams::default());
+        assert!(!idle.corrupt_buffer(0, 0));
+        assert_eq!(idle.stats().parity_errors, 0);
+    }
+
+    #[test]
+    fn dropped_response_loses_one_element() {
+        let mut sram = Sram::new(4096, 1);
+        sram.load_words(0x100, &[0, 1]);
+        sram.load_f32s(0x200, &[5.0, 6.0]);
+        let mut hht = Hht::new(HhtParams::default());
+        program_spmv(&mut hht, 0x100, 0x200, 2);
+        for now in 0..50 {
+            hht.step(now, &mut sram);
+        }
+        assert!(hht.drop_response());
+        // The second element is now at the head; the first never arrives.
+        assert_eq!(hht.mmio_read(map::HHT_BUF_BASE, 51), MmioReadResult::Data(6.0f32.to_bits()));
+        assert_eq!(hht.mmio_read(map::HHT_BUF_BASE, 52), MmioReadResult::Stall);
+    }
+
+    #[test]
+    fn frozen_engine_holds_state_but_accrues_busy() {
+        let mut sram = Sram::new(4096, 1);
+        sram.load_words(0x100, &[0]);
+        sram.load_f32s(0x200, &[5.0]);
+        let mut hht = Hht::new(HhtParams::default());
+        program_spmv(&mut hht, 0x100, 0x200, 1);
+        hht.freeze_engine(0, 20);
+        let busy0 = hht.stats().busy_cycles;
+        for now in 0..20 {
+            hht.step(now, &mut sram);
+            // No element can be produced while frozen.
+            assert!(hht.window_read_would_stall(map::HHT_BUF_BASE, now));
+        }
+        assert_eq!(hht.stats().busy_cycles, busy0 + 20);
+        assert_eq!(hht.stats().engine.mem_reads, 0);
+        // Thawed: the gather proceeds normally.
+        for now in 20..80 {
+            hht.step(now, &mut sram);
+        }
+        assert_eq!(hht.mmio_read(map::HHT_BUF_BASE, 80), MmioReadResult::Data(5.0f32.to_bits()));
     }
 
     #[test]

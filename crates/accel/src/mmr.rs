@@ -34,7 +34,8 @@ pub mod reg {
     pub const MODE: u32 = 0x28;
     /// `Start`: "This bit is set last to trigger the hardware operation."
     pub const START: u32 = 0x2C;
-    /// Read-only status: bit 0 = back-end done.
+    /// Read-only status: bit 0 = back-end done, bit 1 = sticky fault
+    /// error (buffer parity error or rejected START configuration).
     pub const STATUS: u32 = 0x30;
 }
 

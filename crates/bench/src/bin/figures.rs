@@ -27,6 +27,13 @@
 //!   per-cause stall histogram sums exactly to the coarse wait counters);
 //! - `--trace-out <path>` — same run, exported as Chrome trace-event JSON
 //!   (open in `chrome://tracing` or <https://ui.perfetto.dev>).
+//! - `--fault-seed <u64>` — run one HHT SpMV under deterministic
+//!   seed-driven fault injection (timeout/retry protocol and software
+//!   fallback enabled) and print what was injected and how the system
+//!   recovered. Seed 0 disables injection.
+//! - `--fault-plan <spec>` — same report with an explicit schedule, e.g.
+//!   `1000:drop_response,2000:sram_bit_flip:0x420:3` (see
+//!   `hht_fault::FaultPlan::parse`). Overrides `--fault-seed`.
 
 use hht_bench::format::table;
 use hht_energy::{ClockSpeed, ProcessNode};
@@ -49,6 +56,8 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics_out = take_flag(&mut args, "--metrics-out");
     let trace_out = take_flag(&mut args, "--trace-out");
+    let fault_seed = take_flag(&mut args, "--fault-seed");
+    let fault_plan = take_flag(&mut args, "--fault-plan");
     let jobs = match take_flag(&mut args, "--jobs") {
         Some(v) => v.parse().ok().filter(|&j| j >= 1).unwrap_or_else(|| {
             eprintln!("--jobs expects a positive integer, got `{v}`");
@@ -61,6 +70,10 @@ fn main() {
     let cfg = SystemConfig::paper_default();
     if metrics_out.is_some() || trace_out.is_some() {
         export_observability(&cfg, n.min(256), metrics_out, trace_out);
+    }
+    if fault_seed.is_some() || fault_plan.is_some() {
+        fault_report(&cfg, n.min(256), fault_seed, fault_plan);
+        return;
     }
     match which {
         "table1" => table1(&cfg),
@@ -135,6 +148,67 @@ fn export_observability(
         write_or_exit(&path, &hht_obs::chrome::chrome_trace_json(&out.events));
         eprintln!("wrote Chrome trace ({} events) to {path}", out.events.len());
     }
+}
+
+/// One HHT SpMV run under deterministic fault injection, with the core's
+/// timeout/retry protocol and the system-level software fallback enabled,
+/// reported against the clean run.
+fn fault_report(cfg: &SystemConfig, n: usize, seed: Option<String>, plan_spec: Option<String>) {
+    use hht_fault::FaultPlan;
+    header(
+        &format!("Fault injection: HHT timeout/retry and software fallback ({n}x{n} SpMV)"),
+        "robustness extension (not in the paper): results stay numerically correct, cycles degrade",
+    );
+    let m = hht_sparse::generate::random_csr(n, n, 0.5, 0xFA);
+    let v = hht_sparse::generate::random_dense_vector(n, 0xFB);
+    let robust = cfg.with_recovery(true).with_hht_timeout(64);
+    let clean = hht_system::runner::run_spmv_hht(&robust, &m, &v);
+    let (what, out) = match plan_spec {
+        Some(spec) => {
+            let plan = FaultPlan::parse(&spec).unwrap_or_else(|e| {
+                eprintln!("--fault-plan: {e}");
+                std::process::exit(2);
+            });
+            (
+                format!("plan `{spec}`"),
+                hht_system::runner::run_spmv_hht_with_plan(&robust, &m, &v, plan),
+            )
+        }
+        None => {
+            let raw = seed.expect("fault_report called with neither seed nor plan");
+            let seed: u64 = raw.parse().unwrap_or_else(|_| {
+                eprintln!("--fault-seed expects an unsigned integer, got `{raw}`");
+                std::process::exit(2);
+            });
+            (
+                format!("seed {seed}"),
+                hht_system::runner::run_spmv_hht(&robust.with_fault_seed(seed), &m, &v),
+            )
+        }
+    };
+    let diff = out.y.max_abs_diff(&clean.y);
+    // After a fallback the merged `out.stats.core` belongs to the clean
+    // software rerun; the detection counters live in the failed attempt.
+    let detect = out.recovery.as_ref().map_or(out.stats.core, |r| r.failed_stats.core);
+    let rows = vec![
+        vec!["fault source".into(), what],
+        vec!["faults injected".into(), out.stats.faults.injected.to_string()],
+        vec!["HHT timeouts detected".into(), detect.hht_timeouts.to_string()],
+        vec!["HHT retries".into(), detect.hht_retries.to_string()],
+        vec!["software fallbacks".into(), out.stats.faults.fallbacks.to_string()],
+        vec!["clean cycles".into(), clean.stats.cycles.to_string()],
+        vec!["faulted cycles".into(), out.stats.cycles.to_string()],
+        vec![
+            "cycle overhead".into(),
+            format!("{:.3}x", out.stats.cycles as f64 / clean.stats.cycles as f64),
+        ],
+        vec!["max |y - y_clean|".into(), format!("{diff:.1e}")],
+    ];
+    print!("{}", table(&["quantity", "value"], &rows));
+    if let Some(r) = &out.recovery {
+        println!("recovered via software fallback after: {}", r.error);
+    }
+    assert!(diff == 0.0, "faulted run must return the numerically correct result");
 }
 
 fn write_or_exit(path: &str, contents: &str) {

@@ -43,21 +43,41 @@ impl std::error::Error for CellError {}
 
 /// Run `f(index, item)` over every item on up to `jobs` threads, returning
 /// results in input order. Panics (after every cell has finished) if any
-/// cell panicked — use [`try_parallel_map`] to keep partial results.
+/// cell panicked, with a message naming **every** failed cell's input
+/// index and original panic payload — use [`try_parallel_map`] to keep
+/// partial results instead.
 pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
-    try_parallel_map(jobs, items, f)
-        .into_iter()
-        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
-        .collect()
+    let results = try_parallel_map(jobs, items, f);
+    let failures: Vec<&CellError> = results.iter().filter_map(|r| r.as_ref().err()).collect();
+    if !failures.is_empty() {
+        let detail: Vec<String> = failures.iter().map(|e| e.to_string()).collect();
+        panic!("{} of {} cells failed: {}", failures.len(), results.len(), detail.join("; "));
+    }
+    results.into_iter().map(|r| r.expect("failures handled above")).collect()
 }
 
 /// Like [`parallel_map`], but a panicking cell yields `Err(CellError)` in
 /// its slot instead of poisoning the whole sweep.
+///
+/// Contract:
+///
+/// - **Every cell runs.** A panic in one cell never prevents other cells
+///   from being claimed and executed (no short-circuit), so a sweep with
+///   one deadlocked configuration still produces every other result.
+/// - **Slots are in input order.** `out[i]` is always the outcome of
+///   `items[i]`, independent of thread scheduling.
+/// - **`Err(CellError)` localizes the failure**: `index` is the input
+///   index and `message` is the panic payload rendered to text (`&str`
+///   and `String` payloads verbatim; anything else as a placeholder).
+///   The panic does not cross the sweep boundary — the calling thread
+///   never unwinds.
+/// - **`jobs == 1` is exactly serial**: cells run on the calling thread
+///   in input order, so side-effect order is reproducible.
 pub fn try_parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<Result<R, CellError>>
 where
     T: Send,
@@ -155,6 +175,23 @@ mod tests {
     #[should_panic(expected = "cell 2 failed")]
     fn parallel_map_propagates_cell_panics() {
         parallel_map(4, (0..8).collect(), |_, x: usize| assert_ne!(x, 2));
+    }
+
+    #[test]
+    fn parallel_map_panic_names_every_failed_cell() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(4, (0..8).collect(), |_, x: usize| {
+                if x == 2 || x == 5 {
+                    panic!("cell payload {x}");
+                }
+                x
+            });
+        })
+        .unwrap_err();
+        let msg = caught.downcast_ref::<String>().expect("formatted panic message");
+        assert!(msg.contains("2 of 8 cells failed"), "{msg}");
+        assert!(msg.contains("cell 2 failed: cell payload 2"), "{msg}");
+        assert!(msg.contains("cell 5 failed: cell payload 5"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! Deterministic, cycle-domain fault injection for the HHT system.
+//!
+//! A [`FaultPlan`] is a cycle-sorted list of [`FaultEvent`]s the system
+//! applies at *exact* cycles, before the CPU step of the target cycle. The
+//! plan is either derived from a seed ([`FaultPlan::from_seed`], a
+//! splitmix64 stream — same seed, same machine image, same plan, always) or
+//! parsed from an explicit spec string ([`FaultPlan::parse`], the
+//! `figures --fault-plan` syntax).
+//!
+//! The crate is deliberately leaf-level (vendored serde only) so every
+//! layer — `hht-system`'s injection loop, the bench CLI, the differential
+//! tests — can share one fault vocabulary without dependency cycles.
+//!
+//! Determinism contract: a plan never consults wall-clock time or ambient
+//! randomness, and the cycle of every event is fixed when the plan is
+//! built. The cycle-skipping scheduler treats the next pending fault cycle
+//! as a wake bound, so injection lands on the same cycle in the skip and
+//! legacy loops (differentially tested in `tests/determinism.rs`).
+
+use serde::{Deserialize, Serialize};
+
+/// One kind of injected hardware mischief.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip bit `bit` (0-31) of the SRAM word at byte address `addr`
+    /// (silent data corruption; surfaces as a wrong numeric result).
+    SramBitFlip { addr: u32, bit: u8 },
+    /// Silently discard the element at the head of the HHT primary stream
+    /// buffer (a lost response: the CPU waits forever for its last
+    /// element).
+    DropResponse,
+    /// The HHT stream windows answer `Stall` for the next `cycles` cycles
+    /// (a transient response delay; survivable by the core's retry
+    /// protocol when it outlasts the timeout).
+    DelayResponse { cycles: u64 },
+    /// The back-end engine freezes — makes no progress — for `cycles`
+    /// cycles, then resumes where it left off.
+    EngineStall { cycles: u64 },
+    /// Flip bit `bit` of the element at the head of the primary stream
+    /// buffer. The buffers are parity-protected, so this is *detected* at
+    /// injection and latches the sticky error bit instead of delivering
+    /// corrupt data.
+    BufferCorrupt { bit: u8 },
+    /// Latch the sticky error bit in the HHT STATUS register: the control
+    /// unit has failed and every stream window stalls from here on.
+    MmrStickyError,
+}
+
+impl FaultKind {
+    /// Stable snake_case label used in obs events and plan specs.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::SramBitFlip { .. } => "sram_bit_flip",
+            FaultKind::DropResponse => "drop_response",
+            FaultKind::DelayResponse { .. } => "delay_response",
+            FaultKind::EngineStall { .. } => "engine_stall",
+            FaultKind::BufferCorrupt { .. } => "buffer_corrupt",
+            FaultKind::MmrStickyError => "mmr_sticky_error",
+        }
+    }
+}
+
+/// One fault at one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cycle the fault is applied (before the CPU step of that cycle).
+    pub cycle: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Seed-driven fault generation knobs, carried by the system configuration
+/// (`Copy` so `SystemConfig` stays `Copy`). `seed == 0` means no injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Splitmix64 seed for [`FaultPlan::from_seed`]; 0 disables injection.
+    pub seed: u64,
+    /// Number of faults a seeded plan contains.
+    pub max_faults: u32,
+    /// Seeded fault cycles are drawn from `[1, horizon]`.
+    pub horizon: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig { seed: 0, max_faults: 2, horizon: 4096 }
+    }
+}
+
+/// A cycle-sorted schedule of faults with an injection cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    /// Index of the first not-yet-applied event.
+    cursor: usize,
+}
+
+/// Error from [`FaultPlan::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// The offending clause.
+    pub clause: String,
+    /// What was wrong with it.
+    pub msg: String,
+}
+
+impl std::fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault clause `{}`: {}", self.clause, self.msg)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+/// splitmix64: the tiny deterministic PRNG the seeded plans draw from.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// Build a plan from explicit events (sorted by cycle, stably).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.cycle);
+        FaultPlan { events, cursor: 0 }
+    }
+
+    /// Derive a plan deterministically from `cfg.seed`: `cfg.max_faults`
+    /// events with cycles in `[1, cfg.horizon]`, kinds drawn uniformly,
+    /// SRAM addresses word-aligned inside `[0, sram_size)`. `seed == 0`
+    /// yields the empty plan (injection disabled).
+    pub fn from_seed(cfg: FaultConfig, sram_size: u32) -> Self {
+        if cfg.seed == 0 {
+            return FaultPlan::new(Vec::new());
+        }
+        let mut state = cfg.seed;
+        let horizon = cfg.horizon.max(1);
+        let words = (sram_size / 4).max(1);
+        let events = (0..cfg.max_faults)
+            .map(|_| {
+                let cycle = 1 + splitmix64(&mut state) % horizon;
+                let kind = match splitmix64(&mut state) % 6 {
+                    0 => FaultKind::SramBitFlip {
+                        addr: (splitmix64(&mut state) as u32 % words) * 4,
+                        bit: (splitmix64(&mut state) % 32) as u8,
+                    },
+                    1 => FaultKind::DropResponse,
+                    2 => FaultKind::DelayResponse { cycles: 1 + splitmix64(&mut state) % 256 },
+                    3 => FaultKind::EngineStall { cycles: 1 + splitmix64(&mut state) % 256 },
+                    4 => FaultKind::BufferCorrupt { bit: (splitmix64(&mut state) % 32) as u8 },
+                    _ => FaultKind::MmrStickyError,
+                };
+                FaultEvent { cycle, kind }
+            })
+            .collect();
+        FaultPlan::new(events)
+    }
+
+    /// Parse a plan spec: comma-separated `cycle:kind[:arg[:arg]]` clauses.
+    ///
+    /// ```text
+    /// 100:drop_response
+    /// 50:delay_response:200,800:mmr_sticky_error
+    /// 10:sram_bit_flip:0x200:7    (addr, bit)
+    /// 30:engine_stall:64
+    /// 40:buffer_corrupt:3         (bit)
+    /// ```
+    pub fn parse(spec: &str) -> Result<Self, PlanParseError> {
+        let err = |clause: &str, msg: &str| PlanParseError {
+            clause: clause.to_string(),
+            msg: msg.to_string(),
+        };
+        let num = |clause: &str, s: &str| -> Result<u64, PlanParseError> {
+            let s = s.trim();
+            let parsed = match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            };
+            parsed.map_err(|_| err(clause, "expected a number"))
+        };
+        let mut events = Vec::new();
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let parts: Vec<&str> = clause.split(':').map(str::trim).collect();
+            if parts.len() < 2 {
+                return Err(err(clause, "expected `cycle:kind[:args]`"));
+            }
+            let cycle = num(clause, parts[0])?;
+            let arg = |i: usize| -> Result<u64, PlanParseError> {
+                num(clause, parts.get(i).copied().ok_or_else(|| err(clause, "missing argument"))?)
+            };
+            let kind = match parts[1] {
+                "sram_bit_flip" => {
+                    FaultKind::SramBitFlip { addr: arg(2)? as u32, bit: (arg(3)? % 32) as u8 }
+                }
+                "drop_response" => FaultKind::DropResponse,
+                "delay_response" => FaultKind::DelayResponse { cycles: arg(2)?.max(1) },
+                "engine_stall" => FaultKind::EngineStall { cycles: arg(2)?.max(1) },
+                "buffer_corrupt" => FaultKind::BufferCorrupt { bit: (arg(2)? % 32) as u8 },
+                "mmr_sticky_error" => FaultKind::MmrStickyError,
+                other => return Err(err(clause, &format!("unknown fault kind `{other}`"))),
+            };
+            events.push(FaultEvent { cycle, kind });
+        }
+        Ok(FaultPlan::new(events))
+    }
+
+    /// All events, in cycle order (applied and pending).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events not yet handed out by [`FaultPlan::take_due`].
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// True when no events are scheduled at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Cycle of the next pending fault — the scheduler's wake bound: a
+    /// skipped span must never jump past it.
+    pub fn next_cycle(&self) -> Option<u64> {
+        self.events.get(self.cursor).map(|e| e.cycle)
+    }
+
+    /// Advance the cursor over every event with `cycle <= now` and return
+    /// them (in cycle order) for injection.
+    pub fn take_due(&mut self, now: u64) -> &[FaultEvent] {
+        let start = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].cycle <= now {
+            self.cursor += 1;
+        }
+        &self.events[start..self.cursor]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_sorted() {
+        let cfg = FaultConfig { seed: 42, max_faults: 8, horizon: 1000 };
+        let a = FaultPlan::from_seed(cfg, 1 << 16);
+        let b = FaultPlan::from_seed(cfg, 1 << 16);
+        assert_eq!(a, b);
+        assert_eq!(a.events().len(), 8);
+        assert!(a.events().windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        assert!(a.events().iter().all(|e| e.cycle >= 1 && e.cycle <= 1000));
+    }
+
+    #[test]
+    fn zero_seed_is_the_empty_plan() {
+        let plan = FaultPlan::from_seed(FaultConfig::default(), 1 << 16);
+        assert!(plan.is_empty());
+        assert_eq!(plan.next_cycle(), None);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let base = FaultConfig { seed: 1, max_faults: 4, horizon: 10_000 };
+        let a = FaultPlan::from_seed(base, 1 << 16);
+        let b = FaultPlan::from_seed(FaultConfig { seed: 2, ..base }, 1 << 16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn take_due_walks_the_cursor_in_order() {
+        let mut plan = FaultPlan::new(vec![
+            FaultEvent { cycle: 30, kind: FaultKind::DropResponse },
+            FaultEvent { cycle: 10, kind: FaultKind::MmrStickyError },
+            FaultEvent { cycle: 10, kind: FaultKind::BufferCorrupt { bit: 1 } },
+        ]);
+        assert_eq!(plan.next_cycle(), Some(10));
+        assert!(plan.take_due(9).is_empty());
+        let due = plan.take_due(10);
+        assert_eq!(due.len(), 2);
+        assert_eq!(plan.next_cycle(), Some(30));
+        assert_eq!(plan.take_due(100).len(), 1);
+        assert_eq!(plan.remaining(), 0);
+        assert_eq!(plan.next_cycle(), None);
+    }
+
+    #[test]
+    fn parse_round_trips_each_kind() {
+        let plan = FaultPlan::parse(
+            "10:sram_bit_flip:0x200:7, 20:drop_response, 30:delay_response:64, \
+             40:engine_stall:5, 50:buffer_corrupt:31, 60:mmr_sticky_error",
+        )
+        .unwrap();
+        assert_eq!(
+            plan.events(),
+            &[
+                FaultEvent { cycle: 10, kind: FaultKind::SramBitFlip { addr: 0x200, bit: 7 } },
+                FaultEvent { cycle: 20, kind: FaultKind::DropResponse },
+                FaultEvent { cycle: 30, kind: FaultKind::DelayResponse { cycles: 64 } },
+                FaultEvent { cycle: 40, kind: FaultKind::EngineStall { cycles: 5 } },
+                FaultEvent { cycle: 50, kind: FaultKind::BufferCorrupt { bit: 31 } },
+                FaultEvent { cycle: 60, kind: FaultKind::MmrStickyError },
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        assert!(FaultPlan::parse("nonsense").is_err());
+        assert!(FaultPlan::parse("10:unknown_kind").is_err());
+        assert!(FaultPlan::parse("x:drop_response").is_err());
+        assert!(FaultPlan::parse("10:sram_bit_flip").is_err()); // missing args
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FaultKind::MmrStickyError.label(), "mmr_sticky_error");
+        assert_eq!(FaultKind::SramBitFlip { addr: 0, bit: 0 }.label(), "sram_bit_flip");
+    }
+
+    proptest! {
+        /// Seeded generation never panics and always respects its bounds,
+        /// for any seed/horizon/memory size.
+        #[test]
+        fn seeded_plan_bounds(
+            seed in 0u64..=u64::MAX,
+            horizon in 0u64..1 << 40,
+            sram in 0u32..=u32::MAX,
+        ) {
+            let cfg = FaultConfig { seed, max_faults: 4, horizon };
+            let plan = FaultPlan::from_seed(cfg, sram);
+            for e in plan.events() {
+                prop_assert!(e.cycle >= 1);
+                if let FaultKind::SramBitFlip { addr, bit } = e.kind {
+                    prop_assert!(bit < 32);
+                    prop_assert!(sram < 8 || addr + 4 <= sram.max(4));
+                    prop_assert!(addr.is_multiple_of(4));
+                }
+            }
+        }
+
+        /// The parser never panics on arbitrary input.
+        #[test]
+        fn parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let spec = String::from_utf8_lossy(&bytes);
+            let _ = FaultPlan::parse(&spec);
+        }
+    }
+}

@@ -201,6 +201,31 @@ impl Sram {
         u32::from_le_bytes(self.data[a..a + 4].try_into().expect("in-range SRAM read"))
     }
 
+    /// Read a little-endian 32-bit word, or `None` when any byte of the
+    /// word falls outside the array. Guest-programmable agents (the HHT
+    /// engines, whose base addresses come from software-written MMRs) use
+    /// this so bad programming reads open-bus instead of crashing the
+    /// simulator.
+    pub fn read_u32_checked(&self, addr: u32) -> Option<u32> {
+        let a = addr as usize;
+        let end = a.checked_add(4)?;
+        let bytes = self.data.get(a..end)?;
+        Some(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+    }
+
+    /// Flip bit `bit % 32` of the word at `addr` (fault injection: an SRAM
+    /// soft error). Returns `false` without touching memory when the word
+    /// is out of range.
+    pub fn corrupt_word(&mut self, addr: u32, bit: u8) -> bool {
+        match self.read_u32_checked(addr) {
+            Some(w) => {
+                self.write_u32(addr, w ^ (1 << (bit % 32)));
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Write a little-endian 32-bit word.
     pub fn write_u32(&mut self, addr: u32, value: u32) {
         let a = addr as usize;
@@ -318,6 +343,27 @@ mod tests {
     fn out_of_range_read_panics() {
         let m = Sram::new(8, 1);
         m.read_u32(8);
+    }
+
+    #[test]
+    fn checked_read_is_total() {
+        let mut m = Sram::new(8, 1);
+        m.write_u32(4, 7);
+        assert_eq!(m.read_u32_checked(4), Some(7));
+        assert_eq!(m.read_u32_checked(5), None); // straddles the end
+        assert_eq!(m.read_u32_checked(8), None);
+        assert_eq!(m.read_u32_checked(u32::MAX), None); // end overflows
+    }
+
+    #[test]
+    fn corrupt_word_flips_one_bit() {
+        let mut m = Sram::new(8, 1);
+        m.write_u32(0, 0xF0);
+        assert!(m.corrupt_word(0, 4));
+        assert_eq!(m.read_u32(0), 0xE0);
+        assert!(m.corrupt_word(0, 36)); // bit index wraps mod 32
+        assert_eq!(m.read_u32(0), 0xF0);
+        assert!(!m.corrupt_word(8, 0)); // out of range: no-op
     }
 
     #[test]

@@ -88,6 +88,15 @@ pub fn chrome_trace_value(events: &[Event]) -> Value {
                 fields.push(("s".into(), Value::Str("t".into())));
                 trace_events.push(Value::Map(fields));
             }
+            EventKind::FaultInject { what } => {
+                trace_events.push(instant(&format!("fault:{what}"), tid, event.cycle, "fault"));
+            }
+            EventKind::FaultDetect { what } => {
+                trace_events.push(instant(&format!("detect:{what}"), tid, event.cycle, "fault"));
+            }
+            EventKind::Recovery { what } => {
+                trace_events.push(instant(&format!("recover:{what}"), tid, event.cycle, "fault"));
+            }
             EventKind::BufferLevel { level } => {
                 let mut fields = with_ts(base_event(event.track.name(), "C", tid), event.cycle);
                 fields.push((
@@ -117,6 +126,13 @@ pub fn chrome_trace_value(events: &[Event]) -> Value {
 fn slice(name: &str, ph: &str, tid: u32, cycle: u64, cat: &str) -> Value {
     let mut fields = with_ts(base_event(name, ph, tid), cycle);
     fields.push(("cat".into(), Value::Str(cat.into())));
+    Value::Map(fields)
+}
+
+fn instant(name: &str, tid: u32, cycle: u64, cat: &str) -> Value {
+    let mut fields = with_ts(base_event(name, "i", tid), cycle);
+    fields.push(("cat".into(), Value::Str(cat.into())));
+    fields.push(("s".into(), Value::Str("t".into())));
     Value::Map(fields)
 }
 
@@ -153,6 +169,11 @@ mod tests {
                 kind: EventKind::BufferLevel { level: 5 },
             },
             Event { cycle: 5, track: Track::HhtBackend, kind: EventKind::SliceBegin("gather") },
+            Event {
+                cycle: 6,
+                track: Track::Fault,
+                kind: EventKind::FaultInject { what: "drop_response" },
+            },
         ]
     }
 
@@ -173,6 +194,7 @@ mod tests {
         assert_eq!(begins, ends);
         assert!(json.contains("\"stall:hht_window_empty\""));
         assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"fault:drop_response\""));
     }
 
     #[test]
@@ -180,7 +202,7 @@ mod tests {
         let json = chrome_trace_json(&sample_events());
         let v: Value = serde_json::from_str(&json).unwrap();
         let events = v.get("traceEvents").and_then(Value::as_seq).unwrap();
-        // 1 process + 6 thread metadata records + 5 events + 1 auto-close.
-        assert_eq!(events.len(), 13);
+        // 1 process + 7 thread metadata records + 6 events + 1 auto-close.
+        assert_eq!(events.len(), 15);
     }
 }

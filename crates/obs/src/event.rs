@@ -24,16 +24,20 @@ pub enum Track {
     BufferSecondary,
     /// CPU-side counts (chunk header) buffer occupancy.
     BufferCounts,
+    /// Fault-injection timeline: injected faults, detections (parity,
+    /// decode, timeout) and recovery actions (retries, fallback).
+    Fault,
 }
 
 impl Track {
-    pub const ALL: [Track; 6] = [
+    pub const ALL: [Track; 7] = [
         Track::CpuPipe,
         Track::HhtBackend,
         Track::SramPort,
         Track::BufferPrimary,
         Track::BufferSecondary,
         Track::BufferCounts,
+        Track::Fault,
     ];
 
     /// Human-readable track name (Chrome trace thread name).
@@ -45,6 +49,7 @@ impl Track {
             Track::BufferPrimary => "buf primary",
             Track::BufferSecondary => "buf secondary",
             Track::BufferCounts => "buf counts",
+            Track::Fault => "faults",
         }
     }
 
@@ -57,6 +62,7 @@ impl Track {
             Track::BufferPrimary => 4,
             Track::BufferSecondary => 5,
             Track::BufferCounts => 6,
+            Track::Fault => 7,
         }
     }
 }
@@ -78,6 +84,14 @@ pub enum EventKind {
     ArbConflict { loser: &'static str },
     /// Buffer occupancy sample (counter track).
     BufferLevel { level: u32 },
+    /// A fault-plan event was injected into the machine (`what` is the
+    /// fault-kind label, e.g. `"drop_response"`).
+    FaultInject { what: &'static str },
+    /// A fault was detected (`"buffer_parity"`, `"mmr_decode"`,
+    /// `"hht_timeout"`, `"hht_failed"`).
+    FaultDetect { what: &'static str },
+    /// A recovery action was taken (`"hht_retry"`, `"software_fallback"`).
+    Recovery { what: &'static str },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

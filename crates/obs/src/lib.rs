@@ -48,11 +48,14 @@ pub enum StallCause {
     /// HHT back-end stalled because a CPU-side buffer was full
     /// (HHT-waiting-for-CPU in Fig. 7).
     OutputFull,
+    /// CPU sleeping out an HHT retry backoff window after a window-wait
+    /// timeout (fault-recovery protocol).
+    HhtRetryBackoff,
 }
 
 impl StallCause {
     /// Every cause, in display order.
-    pub const ALL: [StallCause; 7] = [
+    pub const ALL: [StallCause; 8] = [
         StallCause::LoadLatency,
         StallCause::VectorBusy,
         StallCause::HhtWindowEmpty,
@@ -60,6 +63,7 @@ impl StallCause {
         StallCause::ArbitrationLoss,
         StallCause::BranchRefill,
         StallCause::OutputFull,
+        StallCause::HhtRetryBackoff,
     ];
 
     /// Stable snake_case label used in trace names and metrics keys.
@@ -72,6 +76,7 @@ impl StallCause {
             StallCause::ArbitrationLoss => "arbitration_loss",
             StallCause::BranchRefill => "branch_refill",
             StallCause::OutputFull => "output_full",
+            StallCause::HhtRetryBackoff => "hht_retry_backoff",
         }
     }
 }
@@ -97,6 +102,7 @@ pub struct StallBreakdown {
     pub arbitration_loss: u64,
     pub branch_refill: u64,
     pub output_full: u64,
+    pub hht_retry_backoff: u64,
 }
 
 impl StallBreakdown {
@@ -121,6 +127,7 @@ impl StallBreakdown {
             StallCause::ArbitrationLoss => self.arbitration_loss,
             StallCause::BranchRefill => self.branch_refill,
             StallCause::OutputFull => self.output_full,
+            StallCause::HhtRetryBackoff => self.hht_retry_backoff,
         }
     }
 
@@ -133,6 +140,7 @@ impl StallBreakdown {
             StallCause::ArbitrationLoss => &mut self.arbitration_loss,
             StallCause::BranchRefill => &mut self.branch_refill,
             StallCause::OutputFull => &mut self.output_full,
+            StallCause::HhtRetryBackoff => &mut self.hht_retry_backoff,
         }
     }
 
@@ -164,7 +172,7 @@ mod tests {
             b.record(cause);
         }
         b.record_many(StallCause::HhtWindowEmpty, 9);
-        assert_eq!(b.total(), 7 + 9);
+        assert_eq!(b.total(), 8 + 9);
         assert_eq!(b.cpu_hht_wait(), 1 + 9 + 1);
         assert_eq!(b.get(StallCause::HhtWindowEmpty), 10);
     }

@@ -61,6 +61,17 @@ pub struct CoreConfig {
     pub hht_beat_cycles: u64,
     /// Watchdog: abort a run after this many cycles.
     pub max_cycles: u64,
+    /// HHT window-wait timeout: declare a timeout after this many
+    /// *consecutive* stalled cycles on one HHT stream-window load.
+    /// 0 disables the protocol (the seed behaviour: wait forever, rely on
+    /// the watchdog).
+    pub hht_timeout: u64,
+    /// Bounded retries after an HHT window-wait timeout before the core
+    /// declares the HHT failed ([`crate::core::RunError::HhtFailed`]).
+    pub hht_max_retries: u32,
+    /// Base backoff in cycles slept after the n-th timeout before
+    /// re-polling the window; doubles each retry (exponential backoff).
+    pub hht_retry_backoff: u64,
     /// Optional L1 data cache (§3.2's high-performance integration);
     /// `None` = the MCU configuration of the main results.
     pub l1d: Option<CacheGeometry>,
@@ -86,6 +97,9 @@ impl CoreConfig {
             gather_issue_cycles: 4,
             hht_beat_cycles: 1,
             max_cycles: 2_000_000_000,
+            hht_timeout: 0,
+            hht_max_retries: 3,
+            hht_retry_backoff: 32,
             l1d: None,
             is_helper: false,
         }
@@ -109,6 +123,14 @@ impl CoreConfig {
     pub fn with_vlen(mut self, vlen: usize) -> Self {
         assert!(vlen >= 1, "VL must be at least 1");
         self.vlen = vlen;
+        self
+    }
+
+    /// Same configuration with the HHT window-wait timeout protocol
+    /// enabled: time out after `timeout` consecutive stalled cycles on one
+    /// window read (0 disables).
+    pub fn with_hht_timeout(mut self, timeout: u64) -> Self {
+        self.hht_timeout = timeout;
         self
     }
 }

@@ -32,6 +32,16 @@ pub enum RunError {
     /// (kernel or HHT deadlock). Recoverable so one deadlocked experiment
     /// cell fails alone instead of aborting a whole parallel sweep.
     Watchdog(u64),
+    /// The HHT wait-timeout/retry protocol gave up: a stream-window load
+    /// at `addr` kept timing out after the configured bounded retries.
+    /// Recoverable — the system-level policy re-runs the affected kernel
+    /// on the baseline software path.
+    HhtFailed {
+        /// The stream-window address the core was polling.
+        addr: u32,
+        /// Cycle at which the protocol declared the HHT failed.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -41,6 +51,9 @@ impl fmt::Display for RunError {
             RunError::MemFault(a) => write!(f, "data access fault at {a:#010x}"),
             RunError::Watchdog(c) => {
                 write!(f, "watchdog: no ebreak after {c} cycles (kernel or HHT deadlock?)")
+            }
+            RunError::HhtFailed { addr, cycle } => {
+                write!(f, "HHT failed: window read at {addr:#010x} timed out (cycle {cycle})")
             }
         }
     }
@@ -71,6 +84,10 @@ pub struct CoreStats {
     pub l1d_hits: u64,
     /// L1D misses (0 when no cache is configured).
     pub l1d_misses: u64,
+    /// HHT window-wait timeouts declared by the fault-recovery protocol.
+    pub hht_timeouts: u64,
+    /// Bounded retries taken after an HHT window-wait timeout.
+    pub hht_retries: u64,
     /// Per-cause stall attribution. Always on; the coarse counters above
     /// remain the source of truth and the breakdown's buckets sum exactly
     /// to them (`arbitration_loss == mem_port_stall_cycles`,
@@ -148,6 +165,12 @@ pub struct Core {
     /// `Some` while an event bus is installed).
     open_stall: Option<StallCause>,
     l1d: Option<L1dCache>,
+    /// Consecutive stalled cycles on the current HHT window load (the
+    /// timeout protocol's detection window; reset by a successful beat or
+    /// a retry).
+    hht_stall_run: u64,
+    /// Retries taken since the last successful HHT window beat.
+    hht_retries_used: u32,
 }
 
 impl fmt::Debug for Core {
@@ -183,6 +206,8 @@ impl Core {
             obs: None,
             open_stall: None,
             l1d: cfg.l1d.map(|g| L1dCache::new(g.size_bytes, g.assoc, g.line_bytes)),
+            hht_stall_run: 0,
+            hht_retries_used: 0,
         }
     }
 
@@ -305,7 +330,22 @@ impl Core {
         };
         self.stats.hht_wait_cycles += span;
         self.stats.stalls.record_many(cause, span);
+        self.hht_stall_run += span;
         Self::obs_stall(&mut self.obs, &mut self.open_stall, now, cause);
+    }
+
+    /// Inclusive bound on how far window-wait retries may be bulk-replayed
+    /// before the timeout protocol must run a real step: at the returned
+    /// cycle the stall run reaches `hht_timeout - 1`, so the *next* stepped
+    /// stall trips the timeout exactly as it would in the per-cycle loop.
+    /// `None` when the protocol is disabled (`hht_timeout == 0`).
+    #[inline]
+    pub fn hht_timeout_bound(&self, now: u64) -> Option<u64> {
+        if self.cfg.hht_timeout == 0 {
+            return None;
+        }
+        let left = (self.cfg.hht_timeout - 1).saturating_sub(self.hht_stall_run);
+        Some(now + left)
     }
 
     /// When the core is runnable *now* but its next action is a RAM access
@@ -607,9 +647,15 @@ impl Core {
                     };
                     self.stats.stalls.record(cause);
                     Self::obs_stall(&mut self.obs, &mut self.open_stall, now, cause);
+                    self.hht_stall_run += 1;
+                    if self.cfg.hht_timeout > 0 && self.hht_stall_run >= self.cfg.hht_timeout {
+                        self.on_hht_timeout(now, beat.addr);
+                    }
                     return;
                 }
                 MmioReadResult::Data(v) => {
+                    self.hht_stall_run = 0;
+                    self.hht_retries_used = 0;
                     op.collected.push(v);
                     op.next += 1;
                     self.busy_until = now + self.cfg.hht_beat_cycles;
@@ -632,6 +678,42 @@ impl Core {
         }
         if op.next == op.beats.len() {
             self.finish_mem_op();
+        }
+    }
+
+    /// The HHT wait-timeout/retry protocol (detection + bounded recovery):
+    /// a window load stalled for `hht_timeout` consecutive cycles. Take a
+    /// bounded retry — sleep out an exponential backoff, then re-poll the
+    /// same window — or, with retries exhausted, declare the HHT failed so
+    /// the system-level policy can fall back to the software kernel.
+    fn on_hht_timeout(&mut self, now: u64, addr: u32) {
+        self.stats.hht_timeouts += 1;
+        if let Some(bus) = self.obs.as_mut() {
+            bus.emit(now, Track::Fault, EventKind::FaultDetect { what: "hht_timeout" });
+        }
+        if self.hht_retries_used < self.cfg.hht_max_retries {
+            self.hht_retries_used += 1;
+            self.stats.hht_retries += 1;
+            self.hht_stall_run = 0;
+            let backoff = self.cfg.hht_retry_backoff.max(1) << (self.hht_retries_used - 1).min(16);
+            self.busy_until = now + backoff;
+            Self::obs_unstall(&mut self.obs, &mut self.open_stall, now);
+            Self::attribute_busy(
+                &mut self.stats,
+                &mut self.obs,
+                now,
+                self.busy_until,
+                StallCause::HhtRetryBackoff,
+            );
+            if let Some(bus) = self.obs.as_mut() {
+                bus.emit(now, Track::Fault, EventKind::Recovery { what: "hht_retry" });
+            }
+        } else {
+            Self::obs_unstall(&mut self.obs, &mut self.open_stall, now);
+            if let Some(bus) = self.obs.as_mut() {
+                bus.emit(now, Track::Fault, EventKind::FaultDetect { what: "hht_failed" });
+            }
+            self.fault(RunError::HhtFailed { addr, cycle: now });
         }
     }
 

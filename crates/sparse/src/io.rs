@@ -117,7 +117,15 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CooMatrix, MtxError> 
     let nnz: usize = parts[2]
         .parse()
         .map_err(|_| MtxError::Parse { line: ln, msg: format!("bad nnz count {}", parts[2]) })?;
-    let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(nnz);
+    // An adversarial size line can promise more entries than the matrix
+    // can hold; reject it rather than trusting it (overflow-safe).
+    if nnz > rows.saturating_mul(cols) {
+        return perr(ln, format!("nnz {nnz} exceeds {rows}x{cols} capacity"));
+    }
+    // Cap the *preallocation* (not the matrix size) so a huge-but-plausible
+    // promised nnz on a truncated file cannot allocate gigabytes up front;
+    // the vector still grows to the real entry count.
+    let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(nnz.min(1 << 20));
     let mut seen = 0usize;
     for (i, l) in lines {
         let l = l?;
@@ -147,6 +155,12 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CooMatrix, MtxError> 
                 msg: format!("bad value {}", parts[2]),
             })?,
         };
+        if !v.is_finite() {
+            return perr(ln, format!("non-finite value {v}"));
+        }
+        if seen == nnz {
+            return perr(ln, format!("more entries than the promised {nnz}"));
+        }
         let (r, c) = (r - 1, c - 1);
         if v != 0.0 {
             triplets.push((r, c, v));
@@ -241,7 +255,7 @@ mod tests {
         assert!(read_matrix_market(Cursor::new(bad_fmt)).is_err());
         let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
         assert!(read_matrix_market(Cursor::new(oob)).is_err());
-        let short = "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1.0\n";
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
         let e = read_matrix_market(Cursor::new(short)).unwrap_err();
         assert!(e.to_string().contains("promised"));
         let zero_based = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
@@ -255,5 +269,83 @@ mod tests {
         write_matrix_market(&mut buf, &m).unwrap();
         let back = read_matrix_market_csr(Cursor::new(buf)).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn adversarial_inputs_error_instead_of_panicking() {
+        // A size line promising more entries than rows*cols can hold (or
+        // enough to overflow an allocation) must be rejected up front.
+        let huge = "%%MatrixMarket matrix coordinate real general\n2 2 18446744073709551615\n";
+        let e = read_matrix_market(Cursor::new(huge)).unwrap_err();
+        assert!(e.to_string().contains("capacity"), "{e}");
+        // Index overflow in an entry: parse error, not a wraparound.
+        let overflow = "%%MatrixMarket matrix coordinate real general\n\
+                        2 2 1\n99999999999999999999999 1 1.0\n";
+        assert!(read_matrix_market(Cursor::new(overflow)).is_err());
+        // More data lines than promised: rejected at the extra line.
+        let extra = "%%MatrixMarket matrix coordinate real general\n\
+                     2 2 1\n1 1 1.0\n2 2 2.0\n";
+        let e = read_matrix_market(Cursor::new(extra)).unwrap_err();
+        assert!(e.to_string().contains("more entries"), "{e}");
+        // Non-finite values are data corruption, not numbers to compute on.
+        let nan = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 NaN\n";
+        assert!(read_matrix_market(Cursor::new(nan)).is_err());
+        let inf = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 inf\n";
+        assert!(read_matrix_market(Cursor::new(inf)).is_err());
+        // Truncated size line / pattern entry lines.
+        let short_size = "%%MatrixMarket matrix coordinate real general\n2 2\n";
+        assert!(read_matrix_market(Cursor::new(short_size)).is_err());
+        let short_entry = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n";
+        assert!(read_matrix_market(Cursor::new(short_entry)).is_err());
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Arbitrary bytes never panic the parser: every outcome is
+            /// `Ok` or a structured `MtxError`.
+            #[test]
+            fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let text = String::from_utf8_lossy(&bytes).into_owned();
+                let _ = read_matrix_market(Cursor::new(text.as_bytes()));
+            }
+
+            /// A well-formed header followed by arbitrary size/entry bytes
+            /// never panics (exercises the post-header paths the raw fuzz
+            /// rarely reaches).
+            #[test]
+            fn arbitrary_body_never_panics(
+                bytes in proptest::collection::vec(any::<u8>(), 0..200),
+                sym in 0u8..3,
+            ) {
+                let sym = ["general", "symmetric", "skew-symmetric"][sym as usize];
+                let body = String::from_utf8_lossy(&bytes).into_owned();
+                let text = format!("%%MatrixMarket matrix coordinate real {sym}\n{body}");
+                let _ = read_matrix_market(Cursor::new(text.as_bytes()));
+            }
+
+            /// Structured-but-hostile numeric triples: parse succeeds or
+            /// errors, and any accepted matrix satisfies its own invariants.
+            #[test]
+            fn hostile_triples_parse_or_error(
+                rows in 0usize..6, cols in 0usize..6,
+                nnz in 0usize..12,
+                entries in proptest::collection::vec((0u64..8, 0u64..8, -2i32..3), 0..12),
+            ) {
+                let mut text = format!("%%MatrixMarket matrix coordinate real general\n{rows} {cols} {nnz}\n");
+                for (r, c, v) in &entries {
+                    text.push_str(&format!("{r} {c} {v}\n"));
+                }
+                if let Ok(m) = read_matrix_market(Cursor::new(text.as_bytes())) {
+                    prop_assert_eq!(m.rows(), rows);
+                    prop_assert_eq!(m.cols(), cols);
+                    prop_assert!(m.nnz() <= nnz);
+                }
+            }
+        }
     }
 }

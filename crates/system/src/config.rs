@@ -1,6 +1,7 @@
 //! Whole-system configuration (Table 1) plus the observability knobs.
 
 use hht_accel::HhtParams;
+use hht_fault::FaultConfig;
 use hht_sim::config::CacheGeometry;
 use hht_sim::CoreConfig;
 use serde::{Deserialize, Serialize};
@@ -92,6 +93,17 @@ pub struct SystemConfig {
     /// way; turning this off keeps the legacy per-cycle loop for
     /// differential testing.
     pub cycle_skip: bool,
+    /// Seed-driven fault injection (`seed == 0`, the default, disables it).
+    /// [`crate::system::System::new`] derives the cycle-exact
+    /// [`hht_fault::FaultPlan`] from this.
+    pub fault: FaultConfig,
+    /// System-level recovery policy: when an accelerated run fails
+    /// (HHT declared failed, watchdog expiry, or a result that diverges
+    /// from golden), the runner re-runs the kernel on the baseline
+    /// software path instead of panicking, keeping results numerically
+    /// correct at a degraded cycle count. Off by default (the seed
+    /// behaviour).
+    pub recovery: bool,
 }
 
 impl SystemConfig {
@@ -106,6 +118,8 @@ impl SystemConfig {
             clock_hz: 1.1e9,
             trace: TraceConfig::disabled(),
             cycle_skip: true,
+            fault: FaultConfig::default(),
+            recovery: false,
         }
     }
 
@@ -152,6 +166,33 @@ impl SystemConfig {
     /// per-cycle loop, for differential testing).
     pub fn with_cycle_skip(mut self, on: bool) -> Self {
         self.cycle_skip = on;
+        self
+    }
+
+    /// Same configuration with seed-driven fault injection (seed 0
+    /// disables; other knobs keep their [`FaultConfig`] defaults).
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault.seed = seed;
+        self
+    }
+
+    /// Same configuration with full fault-generation knobs.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Same configuration with the system-level software-fallback recovery
+    /// policy on or off.
+    pub fn with_recovery(mut self, on: bool) -> Self {
+        self.recovery = on;
+        self
+    }
+
+    /// Same configuration with the core's HHT window-wait timeout protocol
+    /// enabled (`timeout` consecutive stalled cycles; 0 disables).
+    pub fn with_hht_timeout(mut self, timeout: u64) -> Self {
+        self.core = self.core.with_hht_timeout(timeout);
         self
     }
 }

@@ -37,5 +37,5 @@ pub mod tiling;
 
 pub use config::{SystemConfig, TraceConfig};
 pub use metrics::MetricsSnapshot;
-pub use runner::{RunOutput, RunStats};
-pub use system::System;
+pub use runner::{RecoveryReport, RunOutput, RunStats};
+pub use system::{FaultSummary, System};

@@ -8,7 +8,7 @@
 //! checks that the fine-grained stall histogram sums exactly to the coarse
 //! wait counters the figures are computed from.
 
-use crate::system::SystemStats;
+use crate::system::{FaultSummary, SystemStats};
 use hht_accel::HhtStats;
 use hht_mem::SramStats;
 use hht_obs::StallBreakdown;
@@ -33,6 +33,8 @@ pub struct MetricsSnapshot {
     pub cpu_wait_frac: f64,
     /// Fraction of cycles the HHT back-end was throttled by full buffers.
     pub hht_wait_frac: f64,
+    /// Fault-injection and recovery counters (all zero on a clean run).
+    pub faults: FaultSummary,
 }
 
 impl MetricsSnapshot {
@@ -48,6 +50,7 @@ impl MetricsSnapshot {
             stalls,
             cpu_wait_frac: s.cpu_wait_frac(),
             hht_wait_frac: s.hht_wait_frac(),
+            faults: s.faults,
         }
     }
 

@@ -5,16 +5,40 @@
 //! golden `hht-sparse` kernel** (exact to a small FP-reassociation
 //! tolerance). A wrong result panics: performance numbers from an
 //! incorrect kernel are meaningless.
+//!
+//! With [`SystemConfig::recovery`] enabled, the accelerated runners
+//! degrade gracefully instead: when the HHT is declared failed
+//! ([`RunError::HhtFailed`]), the watchdog expires, or the accelerated
+//! result diverges from golden, the kernel is re-run on the baseline
+//! software path (fault injection disabled) and the returned `y` is the
+//! numerically correct fallback result. The failed attempt's cycles are
+//! added to the total so the degradation is visible in the stats, and the
+//! recovery is recorded in [`RunOutput::recovery`] and
+//! `stats.faults.fallbacks`.
 
 use crate::config::SystemConfig;
 use crate::kernels;
 use crate::layout;
 use crate::system::{System, SystemStats};
+use hht_fault::FaultPlan;
 use hht_mem::Sram;
+use hht_sim::RunError;
 use hht_sparse::{
     kernels as golden, CscMatrix, CsrMatrix, DenseMatrix, DenseVector, SmashMatrix, SparseFormat,
     SparseVector,
 };
+
+/// How an accelerated run recovered after a fault (see
+/// [`RunOutput::recovery`]).
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Human-readable description of what failed (the [`RunError`] or the
+    /// golden-divergence that triggered the fallback).
+    pub error: String,
+    /// Statistics of the failed accelerated attempt (its cycles are also
+    /// folded into the returned total).
+    pub failed_stats: SystemStats,
+}
 
 /// Numeric result plus measured statistics of one kernel run.
 #[derive(Debug, Clone)]
@@ -26,6 +50,9 @@ pub struct RunOutput {
     /// Merged structured-event timeline (empty unless the configuration
     /// enables event tracing).
     pub events: Vec<hht_obs::Event>,
+    /// `Some` when the recovery policy re-ran the kernel on the software
+    /// path after an accelerated-run failure; `None` for a clean run.
+    pub recovery: Option<RecoveryReport>,
 }
 
 /// Re-export of [`SystemStats`] under the name used by the experiment
@@ -37,6 +64,11 @@ pub type RunStats = SystemStats;
 /// reassociates partial sums.
 const TOL: f32 = 1e-3;
 
+fn matches_golden(y: &DenseVector, golden: &DenseVector) -> bool {
+    let scale = golden.as_slice().iter().fold(1.0f32, |m, v| m.max(v.abs()));
+    y.max_abs_diff(golden) <= TOL * scale
+}
+
 fn verify(y: &DenseVector, golden: &DenseVector, what: &str) {
     let scale = golden.as_slice().iter().fold(1.0f32, |m, v| m.max(v.abs()));
     let diff = y.max_abs_diff(golden);
@@ -44,6 +76,77 @@ fn verify(y: &DenseVector, golden: &DenseVector, what: &str) {
         diff <= TOL * scale,
         "{what}: simulated result diverges from golden (max abs diff {diff}, scale {scale})"
     );
+}
+
+/// Shared driver for the accelerated (HHT) runners: run the system, verify
+/// against golden, and — when `cfg.recovery` is on — degrade to the
+/// software `baseline` closure on HHT failure, watchdog expiry, or a
+/// corrupted result. Guest faults unrelated to the accelerator still
+/// panic: those are kernel bugs, not injected hardware faults.
+fn run_accelerated(
+    cfg: &SystemConfig,
+    what: &str,
+    golden: &DenseVector,
+    rows: usize,
+    plan: Option<FaultPlan>,
+    build: &dyn Fn(&SystemConfig) -> (System, u32),
+    baseline: &dyn Fn(&SystemConfig) -> RunOutput,
+) -> RunOutput {
+    let (mut sys, y_base) = build(cfg);
+    if let Some(p) = plan {
+        sys.set_fault_plan(p);
+    }
+    match sys.run() {
+        Ok(stats) => {
+            let y = sys.read_output(y_base, rows);
+            if matches_golden(&y, golden) {
+                return RunOutput { y, stats, events: sys.take_events(), recovery: None };
+            }
+            if !cfg.recovery {
+                verify(&y, golden, what); // panics with the standard message
+            }
+            let error = format!("{what}: accelerated result diverges from golden");
+            software_fallback(cfg, error, stats, sys.take_events(), baseline)
+        }
+        Err(e @ (RunError::HhtFailed { .. } | RunError::Watchdog(_))) if cfg.recovery => {
+            let stats = sys.stats();
+            software_fallback(cfg, e.to_string(), stats, sys.take_events(), baseline)
+        }
+        Err(e) => panic!("{what} kernel fault: {e}"),
+    }
+}
+
+/// Re-run the kernel on the baseline software path after a failed
+/// accelerated attempt, folding the failed attempt's cost into the stats.
+fn software_fallback(
+    cfg: &SystemConfig,
+    error: String,
+    failed_stats: SystemStats,
+    failed_events: Vec<hht_obs::Event>,
+    baseline: &dyn Fn(&SystemConfig) -> RunOutput,
+) -> RunOutput {
+    let mut fb_cfg = *cfg;
+    fb_cfg.fault.seed = 0; // the fallback run must not re-inject faults
+    let mut out = baseline(&fb_cfg);
+    out.stats.cycles += failed_stats.cycles;
+    out.stats.faults.injected = failed_stats.faults.injected;
+    out.stats.faults.fallbacks = 1;
+    out.stats.faults.failed_cycles = failed_stats.cycles;
+    if cfg.trace.events {
+        // Keep the failed attempt's timeline (where the injections and
+        // detections live) plus one recovery marker; the fallback run's
+        // own events would carry restarted cycle stamps, so they are
+        // dropped rather than spliced in.
+        let mut events = failed_events;
+        events.push(hht_obs::Event {
+            cycle: failed_stats.cycles,
+            track: hht_obs::Track::Fault,
+            kind: hht_obs::EventKind::Recovery { what: "software_fallback" },
+        });
+        out.events = events;
+    }
+    out.recovery = Some(RecoveryReport { error, failed_stats });
+    out
 }
 
 /// Build the SRAM, growing it beyond the configured (Table-1) 1 MB when
@@ -74,19 +177,46 @@ pub fn run_spmv_baseline(cfg: &SystemConfig, m: &CsrMatrix, v: &DenseVector) -> 
     let stats = sys.run().expect("baseline SpMV kernel fault");
     let y = sys.read_output(l.y_base, m.rows());
     verify(&y, &golden::spmv(m, v).expect("shapes validated by layout"), "spmv_baseline");
-    RunOutput { y, stats, events: sys.take_events() }
+    RunOutput { y, stats, events: sys.take_events(), recovery: None }
 }
 
 /// Run HHT-assisted SpMV.
 pub fn run_spmv_hht(cfg: &SystemConfig, m: &CsrMatrix, v: &DenseVector) -> RunOutput {
-    let mut sram = sram_for(cfg, spmv_words(m, v));
-    let l = layout::layout_spmv(&mut sram, m, v);
-    let program = kernels::spmv_hht(&l, cfg.core.vlen > 1);
-    let mut sys = System::new(cfg, program, sram);
-    let stats = sys.run().expect("HHT SpMV kernel fault");
-    let y = sys.read_output(l.y_base, m.rows());
-    verify(&y, &golden::spmv(m, v).expect("shapes validated by layout"), "spmv_hht");
-    RunOutput { y, stats, events: sys.take_events() }
+    run_spmv_hht_inner(cfg, m, v, None)
+}
+
+/// Run HHT-assisted SpMV with an explicit fault schedule (replacing any
+/// seed-derived plan from `cfg.fault`).
+pub fn run_spmv_hht_with_plan(
+    cfg: &SystemConfig,
+    m: &CsrMatrix,
+    v: &DenseVector,
+    plan: FaultPlan,
+) -> RunOutput {
+    run_spmv_hht_inner(cfg, m, v, Some(plan))
+}
+
+fn run_spmv_hht_inner(
+    cfg: &SystemConfig,
+    m: &CsrMatrix,
+    v: &DenseVector,
+    plan: Option<FaultPlan>,
+) -> RunOutput {
+    let gold = golden::spmv(m, v).expect("shapes validated by layout");
+    run_accelerated(
+        cfg,
+        "spmv_hht",
+        &gold,
+        m.rows(),
+        plan,
+        &|cfg| {
+            let mut sram = sram_for(cfg, spmv_words(m, v));
+            let l = layout::layout_spmv(&mut sram, m, v);
+            let program = kernels::spmv_hht(&l, cfg.core.vlen > 1);
+            (System::new(cfg, program, sram), l.y_base)
+        },
+        &|cfg| run_spmv_baseline(cfg, m, v),
+    )
 }
 
 /// Run baseline SpMSpV (CPU-only scalar merge).
@@ -98,7 +228,7 @@ pub fn run_spmspv_baseline(cfg: &SystemConfig, m: &CsrMatrix, x: &SparseVector) 
     let stats = sys.run().expect("baseline SpMSpV kernel fault");
     let y = sys.read_output(l.y_base, m.rows());
     verify(&y, &golden::spmspv(m, x).expect("shapes validated"), "spmspv_baseline");
-    RunOutput { y, stats, events: sys.take_events() }
+    RunOutput { y, stats, events: sys.take_events(), recovery: None }
 }
 
 /// Run the work-efficient CSC SpMSpV baseline (related work [43]):
@@ -114,31 +244,45 @@ pub fn run_spmspv_csc_baseline(cfg: &SystemConfig, m: &CsrMatrix, x: &SparseVect
     let stats = sys.run().expect("CSC SpMSpV kernel fault");
     let y = sys.read_output(l.y_base, m.rows());
     verify(&y, &golden::spmspv(m, x).expect("shapes validated"), "spmspv_csc_baseline");
-    RunOutput { y, stats, events: sys.take_events() }
+    RunOutput { y, stats, events: sys.take_events(), recovery: None }
 }
 
 /// Run HHT SpMSpV variant-1 (aligned pairs).
 pub fn run_spmspv_hht_v1(cfg: &SystemConfig, m: &CsrMatrix, x: &SparseVector) -> RunOutput {
-    let mut sram = sram_for(cfg, spmspv_words(m, x));
-    let l = layout::layout_spmspv(&mut sram, m, x);
-    let program = kernels::spmspv_hht_v1(&l);
-    let mut sys = System::new(cfg, program, sram);
-    let stats = sys.run().expect("HHT SpMSpV v1 kernel fault");
-    let y = sys.read_output(l.y_base, m.rows());
-    verify(&y, &golden::spmspv(m, x).expect("shapes validated"), "spmspv_hht_v1");
-    RunOutput { y, stats, events: sys.take_events() }
+    let gold = golden::spmspv(m, x).expect("shapes validated");
+    run_accelerated(
+        cfg,
+        "spmspv_hht_v1",
+        &gold,
+        m.rows(),
+        None,
+        &|cfg| {
+            let mut sram = sram_for(cfg, spmspv_words(m, x));
+            let l = layout::layout_spmspv(&mut sram, m, x);
+            let program = kernels::spmspv_hht_v1(&l);
+            (System::new(cfg, program, sram), l.y_base)
+        },
+        &|cfg| run_spmspv_baseline(cfg, m, x),
+    )
 }
 
 /// Run HHT SpMSpV variant-2 (value-or-zero).
 pub fn run_spmspv_hht_v2(cfg: &SystemConfig, m: &CsrMatrix, x: &SparseVector) -> RunOutput {
-    let mut sram = sram_for(cfg, spmspv_words(m, x));
-    let l = layout::layout_spmspv(&mut sram, m, x);
-    let program = kernels::spmspv_hht_v2(&l);
-    let mut sys = System::new(cfg, program, sram);
-    let stats = sys.run().expect("HHT SpMSpV v2 kernel fault");
-    let y = sys.read_output(l.y_base, m.rows());
-    verify(&y, &golden::spmspv(m, x).expect("shapes validated"), "spmspv_hht_v2");
-    RunOutput { y, stats, events: sys.take_events() }
+    let gold = golden::spmspv(m, x).expect("shapes validated");
+    run_accelerated(
+        cfg,
+        "spmspv_hht_v2",
+        &gold,
+        m.rows(),
+        None,
+        &|cfg| {
+            let mut sram = sram_for(cfg, spmspv_words(m, x));
+            let l = layout::layout_spmspv(&mut sram, m, x);
+            let program = kernels::spmspv_hht_v2(&l);
+            (System::new(cfg, program, sram), l.y_base)
+        },
+        &|cfg| run_spmspv_baseline(cfg, m, x),
+    )
 }
 
 /// Run the dense (expanded) matrix-vector baseline: the §6 comparator that
@@ -151,41 +295,55 @@ pub fn run_dense_matvec(cfg: &SystemConfig, m: &DenseMatrix, v: &DenseVector) ->
     let stats = sys.run().expect("dense matvec kernel fault");
     let y = sys.read_output(l.y_base, m.rows());
     verify(&y, &m.matvec(v).expect("shapes validated"), "dense_matvec");
-    RunOutput { y, stats, events: sys.take_events() }
+    RunOutput { y, stats, events: sys.take_events(), recovery: None }
 }
 
 /// Run SpMV with the *programmable* HHT back-end (§7 future work): same
 /// CPU-side kernel, but the gather is performed by a helper core running a
 /// microprogram instead of the ASIC FSM.
 pub fn run_spmv_hht_programmable(cfg: &SystemConfig, m: &CsrMatrix, v: &DenseVector) -> RunOutput {
-    let mut sram = sram_for(cfg, spmv_words(m, v));
-    let l = layout::layout_spmv(&mut sram, m, v);
-    let program = kernels::spmv_hht_programmable(&l, cfg.core.vlen > 1);
-    let mut sys = System::new(cfg, program, sram);
-    let stats = sys.run().expect("programmable HHT SpMV kernel fault");
-    let y = sys.read_output(l.y_base, m.rows());
-    verify(&y, &golden::spmv(m, v).expect("shapes validated by layout"), "spmv_hht_programmable");
-    RunOutput { y, stats, events: sys.take_events() }
+    let gold = golden::spmv(m, v).expect("shapes validated by layout");
+    run_accelerated(
+        cfg,
+        "spmv_hht_programmable",
+        &gold,
+        m.rows(),
+        None,
+        &|cfg| {
+            let mut sram = sram_for(cfg, spmv_words(m, v));
+            let l = layout::layout_spmv(&mut sram, m, v);
+            let program = kernels::spmv_hht_programmable(&l, cfg.core.vlen > 1);
+            (System::new(cfg, program, sram), l.y_base)
+        },
+        &|cfg| run_spmv_baseline(cfg, m, v),
+    )
 }
 
 /// Run HHT-assisted SpMV over a SMASH-encoded matrix (§6 ablation).
 pub fn run_smash_spmv_hht(cfg: &SystemConfig, m: &SmashMatrix, v: &DenseVector) -> RunOutput {
-    let words = m.level(0).len()
-        + if m.num_levels() > 1 { m.level(1).len() } else { 0 }
-        + m.nnz()
-        + v.len()
-        + m.rows();
-    let mut sram = sram_for(cfg, words);
-    let l = layout::layout_smash_spmv(&mut sram, m, v);
-    let program = kernels::smash_spmv_hht(&l);
-    let mut sys = System::new(cfg, program, sram);
-    let stats = sys.run().expect("SMASH HHT kernel fault");
-    let y = sys.read_output(l.y_base, m.rows());
-    // Golden: densify via triplets and use CSR spmv.
+    // Golden (and the fallback path): densify via triplets and use CSR.
     let csr = CsrMatrix::from_triplets(m.rows(), m.cols(), &m.triplets())
         .expect("triplets from a valid SMASH matrix");
-    verify(&y, &golden::spmv(&csr, v).expect("shapes validated"), "smash_spmv_hht");
-    RunOutput { y, stats, events: sys.take_events() }
+    let gold = golden::spmv(&csr, v).expect("shapes validated");
+    run_accelerated(
+        cfg,
+        "smash_spmv_hht",
+        &gold,
+        m.rows(),
+        None,
+        &|cfg| {
+            let words = m.level(0).len()
+                + if m.num_levels() > 1 { m.level(1).len() } else { 0 }
+                + m.nnz()
+                + v.len()
+                + m.rows();
+            let mut sram = sram_for(cfg, words);
+            let l = layout::layout_smash_spmv(&mut sram, m, v);
+            let program = kernels::smash_spmv_hht(&l);
+            (System::new(cfg, program, sram), l.y_base)
+        },
+        &|cfg| run_spmv_baseline(cfg, &csr, v),
+    )
 }
 
 #[cfg(test)]

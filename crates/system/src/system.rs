@@ -2,12 +2,28 @@
 
 use crate::config::SystemConfig;
 use hht_accel::{Hht, HhtStats, Wake};
+use hht_fault::{FaultKind, FaultPlan};
 use hht_isa::Program;
 use hht_mem::{Sram, SramStats};
-use hht_obs::{merge_events, Event, EventBus};
+use hht_obs::{merge_events, Event, EventBus, EventKind, Track};
 use hht_sim::{Core, CoreStats, RunError};
 use hht_sparse::DenseVector;
 use serde::{Deserialize, Serialize};
+
+/// Fault-injection and recovery counters for one run. `injected` is filled
+/// by [`System`] as plan events land; `fallbacks`/`failed_cycles` are
+/// filled by the runner's recovery policy when an accelerated run degrades
+/// to the software kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Fault-plan events injected into the machine.
+    pub injected: u64,
+    /// Software-fallback recoveries taken (0 or 1 per run).
+    pub fallbacks: u64,
+    /// Cycles burned by the failed accelerated attempt before fallback
+    /// (already included in the total `cycles`).
+    pub failed_cycles: u64,
+}
 
 /// Everything measured in one run (§4's counters plus port statistics).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -20,6 +36,8 @@ pub struct SystemStats {
     pub hht: HhtStats,
     /// SRAM port counters.
     pub sram: SramStats,
+    /// Fault-injection and recovery counters.
+    pub faults: FaultSummary,
 }
 
 impl SystemStats {
@@ -49,6 +67,13 @@ pub struct System {
     cycle: u64,
     max_cycles: u64,
     cycle_skip: bool,
+    /// Pending fault schedule (`None` once drained or when injection is
+    /// disabled). The next pending cycle bounds every fast-forward so no
+    /// injection point is skipped over.
+    fault_plan: Option<FaultPlan>,
+    faults_injected: u64,
+    /// The system's own event sink (fault-injection timeline).
+    obs: Option<Box<EventBus>>,
 }
 
 impl System {
@@ -58,15 +83,18 @@ impl System {
     pub fn new(cfg: &SystemConfig, program: Program, mut sram: Sram) -> Self {
         let mut core = Core::new(cfg.core, program);
         let mut hht = Hht::new(cfg.hht);
+        let mut obs = None;
         if cfg.trace.events {
             let bus = || EventBus::with_sampling(cfg.trace.event_capacity, cfg.trace.sample_every);
             core.set_event_bus(bus());
             hht.set_event_bus(bus());
             sram.set_event_bus(bus());
+            obs = Some(Box::new(bus()));
         }
         if cfg.trace.instr_trace {
             core.enable_trace_with_capacity(cfg.trace.instr_trace_capacity);
         }
+        let plan = FaultPlan::from_seed(cfg.fault, sram.size());
         System {
             core,
             hht,
@@ -74,7 +102,15 @@ impl System {
             cycle: 0,
             max_cycles: cfg.core.max_cycles,
             cycle_skip: cfg.cycle_skip,
+            fault_plan: (!plan.is_empty()).then_some(plan),
+            faults_injected: 0,
+            obs,
         }
+    }
+
+    /// Install an explicit fault schedule (replacing any seed-derived one).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = (!plan.is_empty()).then_some(plan);
     }
 
     /// Advance one cycle: CPU first (port priority), then the HHT.
@@ -82,6 +118,52 @@ impl System {
         self.core.step(self.cycle, &mut self.sram, &mut self.hht);
         self.hht.step(self.cycle, &mut self.sram);
         self.cycle += 1;
+    }
+
+    /// Apply every fault-plan event due at or before the current cycle.
+    /// Runs at the top of the run loop, so an injection at cycle `t`
+    /// perturbs state *before* cycle `t` executes — in both the per-cycle
+    /// and the cycle-skipping loop (fast-forward never jumps past the next
+    /// pending injection cycle).
+    fn inject_due_faults(&mut self) {
+        let Some(plan) = self.fault_plan.as_mut() else {
+            return;
+        };
+        let now = self.cycle;
+        let due: Vec<FaultKind> = plan.take_due(now).iter().map(|e| e.kind).collect();
+        if plan.remaining() == 0 {
+            self.fault_plan = None;
+        }
+        for kind in due {
+            self.apply_fault(now, kind);
+        }
+    }
+
+    /// Inject one fault into the machine and record it.
+    fn apply_fault(&mut self, now: u64, kind: FaultKind) {
+        let applied = match kind {
+            FaultKind::SramBitFlip { addr, bit } => self.sram.corrupt_word(addr, bit),
+            FaultKind::DropResponse => self.hht.drop_response(),
+            FaultKind::DelayResponse { cycles } => {
+                self.hht.delay_responses(now, cycles);
+                true
+            }
+            FaultKind::EngineStall { cycles } => {
+                self.hht.freeze_engine(now, cycles);
+                true
+            }
+            FaultKind::BufferCorrupt { bit } => self.hht.corrupt_buffer(now, bit),
+            FaultKind::MmrStickyError => {
+                self.hht.set_sticky_error();
+                true
+            }
+        };
+        if applied {
+            self.faults_injected += 1;
+            if let Some(obs) = self.obs.as_mut() {
+                obs.emit(now, Track::Fault, EventKind::FaultInject { what: kind.label() });
+            }
+        }
     }
 
     /// Run to `ebreak`. Returns the collected statistics.
@@ -98,6 +180,7 @@ impl System {
     /// are bit-identical between the two modes (see `tests/determinism.rs`).
     pub fn run(&mut self) -> Result<SystemStats, RunError> {
         while !self.core.halted() {
+            self.inject_due_faults();
             self.step();
             if self.cycle >= self.max_cycles {
                 return Err(RunError::Watchdog(self.max_cycles));
@@ -148,7 +231,7 @@ impl System {
         let mut port_free = None;
         if core_at <= now {
             if let Some(addr) = self.core.pending_hht_read(now) {
-                if !self.hht.window_read_would_stall(addr) {
+                if !self.hht.window_read_would_stall(addr, now) {
                     return; // the pop succeeds this cycle
                 }
                 window_read = Some(addr);
@@ -182,17 +265,36 @@ impl System {
             // burst, so core and engine both resume at the port's free
             // cycle.
             hht_bound.map_or(free_at, |t| t.min(free_at))
-        } else if window_read.is_some() {
+        } else if let Some(addr) = window_read {
             // Core parked on an empty window: only the engine can unpark
             // it; every cycle until then is one failing retry on the core
             // side and one idle cycle on the engine side. With no engine
             // wake bound this is a true deadlock (the parked core can never
             // pop the FIFO an output-blocked engine waits on) — jump
             // straight to the watchdog limit, both retry counters replayed.
-            hht_bound.unwrap_or(self.max_cycles)
+            let mut t = hht_bound.unwrap_or(self.max_cycles);
+            // A delayed response (fault) can make a window with buffered
+            // data stall: the pop succeeds the moment the delay expires,
+            // possibly before any engine wake.
+            if let Some(ready) = self.hht.window_ready_at(addr, now) {
+                t = t.min(ready);
+            }
+            // The timeout protocol fires mid-wait: stop the span at the
+            // cycle whose stalled retry trips it, so the timeout path
+            // executes on a stepped cycle exactly as in the legacy loop.
+            if let Some(bound) = self.core.hht_timeout_bound(now) {
+                t = t.min(bound);
+            }
+            t
         } else {
             // Core busy until `core_at`; the engine may wake earlier.
             hht_bound.map_or(core_at, |t| t.min(core_at))
+        };
+        // Never jump past a pending fault injection: the run loop applies
+        // it before stepping that cycle, identically in both modes.
+        let target = match self.fault_plan.as_ref().and_then(FaultPlan::next_cycle) {
+            Some(fault_at) => target.min(fault_at),
+            None => target,
         };
         if target <= now + 1 {
             return; // nothing to skip (or a 1-cycle span: cheaper to step)
@@ -215,6 +317,7 @@ impl System {
             core: self.core.stats(),
             hht: self.hht.stats(),
             sram: self.sram.stats(),
+            faults: FaultSummary { injected: self.faults_injected, fallbacks: 0, failed_cycles: 0 },
         }
     }
 
@@ -236,7 +339,13 @@ impl System {
     /// Drain every component's event stream into one cycle-ordered
     /// timeline (empty when the system was built without event sinks).
     pub fn take_events(&mut self) -> Vec<Event> {
-        merge_events(vec![self.core.take_events(), self.hht.take_events(), self.sram.take_events()])
+        let system = self.obs.as_mut().map(|b| b.take_events()).unwrap_or_default();
+        merge_events(vec![
+            self.core.take_events(),
+            self.hht.take_events(),
+            self.sram.take_events(),
+            system,
+        ])
     }
 
     /// Drain the event streams and render them as Chrome trace-event JSON

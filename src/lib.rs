@@ -27,6 +27,7 @@
 //! - [`obs`] — cycle-domain observability: stall attribution, structured
 //!   event tracing, Chrome trace export.
 //! - [`exec`] — scoped-thread parallel map for experiment sweeps.
+//! - [`fault`] — deterministic cycle-domain fault plans (injection).
 //! - [`system`] — composition + kernel library + experiments.
 //! - [`energy`] — area/power/energy model (Synopsys-flow substitute).
 //! - [`workloads`] — synthetic, DNN and SuiteSparse-profile generators.
@@ -34,6 +35,7 @@
 pub use hht_accel as accel;
 pub use hht_energy as energy;
 pub use hht_exec as exec;
+pub use hht_fault as fault;
 pub use hht_isa as isa;
 pub use hht_mem as mem;
 pub use hht_obs as obs;

@@ -3,6 +3,7 @@
 //! experiment sweeps rely on (and which a real Spike-with-extensions setup
 //! also has).
 
+use hht::fault::FaultConfig;
 use hht::sparse::generate;
 use hht::system::config::{SystemConfig, TraceConfig};
 use hht::system::{experiments, runner, RunOutput};
@@ -135,6 +136,27 @@ proptest! {
         let cfg = SystemConfig::paper_default().with_buffers(buffers);
         assert_skip_matches_legacy(cfg, kernel, n, sparsity_pct as f64 / 100.0, seed);
     }
+
+    /// The same differential property holds under deterministic fault
+    /// injection with the timeout/retry protocol and recovery enabled:
+    /// injections land at the same cycles in both loops, detections fire
+    /// on the same stepped cycle, and a fallback reruns identically.
+    /// (HHT kernels only: a corrupted baseline run has no recovery path.)
+    #[test]
+    fn cycle_skipping_is_bit_identical_under_fault_injection(
+        kernel in 1usize..6,
+        sparsity_pct in 10u32..90,
+        fault_seed in 1u64..1_000_000,
+        timeout in 16u64..128,
+        n in 12usize..32,
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = SystemConfig::paper_default()
+            .with_fault(FaultConfig { seed: fault_seed, max_faults: 3, horizon: 2048 })
+            .with_hht_timeout(timeout)
+            .with_recovery(true);
+        assert_skip_matches_legacy(cfg, kernel, n, sparsity_pct as f64 / 100.0, seed);
+    }
 }
 
 #[test]
@@ -147,6 +169,20 @@ fn cycle_skipping_matches_legacy_with_slow_memory_and_events() {
             .with_ram_word_cycles(4)
             .with_trace(TraceConfig::enabled());
         assert_skip_matches_legacy(traced, kernel, 24, 0.5, 0xD1FF);
+    }
+}
+
+#[test]
+fn cycle_skipping_matches_legacy_with_faults_and_events() {
+    // Full event tracing under injection: the fault track (inject, detect,
+    // retry, fallback) must carry identical cycle stamps in both loops.
+    for kernel in 1..6 {
+        let cfg = SystemConfig::paper_default()
+            .with_trace(TraceConfig::enabled())
+            .with_fault(FaultConfig { seed: 0xFEED ^ kernel as u64, max_faults: 3, horizon: 2048 })
+            .with_hht_timeout(64)
+            .with_recovery(true);
+        assert_skip_matches_legacy(cfg, kernel, 24, 0.5, 0xABC);
     }
 }
 

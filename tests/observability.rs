@@ -2,6 +2,7 @@
 //! must sum exactly to the coarse wait counters, sinks must never change
 //! simulated timing, and the Chrome trace export must stay byte-stable.
 
+use hht::fault::{FaultEvent, FaultKind, FaultPlan};
 use hht::obs::chrome::chrome_trace_json;
 use hht::obs::{Event, EventKind, StallCause, Track};
 use hht::sparse::generate;
@@ -29,8 +30,9 @@ fn sinks_never_change_simulated_timing() {
 }
 
 /// Event-enabled HHT runs populate every track (SpMV never touches the
-/// secondary window, so SpMSpV v1 covers that one) and export balanced
-/// Chrome traces (each `B` slice has a matching `E`).
+/// secondary window, so SpMSpV v1 covers that one; the fault track needs
+/// an injected fault) and export balanced Chrome traces (each `B` slice
+/// has a matching `E`).
 #[test]
 fn traced_runs_cover_all_tracks_with_balanced_slices() {
     let cfg = SystemConfig::paper_default().with_trace(TraceConfig::enabled());
@@ -39,14 +41,23 @@ fn traced_runs_cover_all_tracks_with_balanced_slices() {
     let x = generate::random_sparse_vector(48, 0.6, 43);
     let spmv = runner::run_spmv_hht(&cfg, &m, &v);
     let spmspv = runner::run_spmspv_hht_v1(&cfg, &m, &x);
+    // A transient engine stall covers the fault track without perturbing
+    // the result (the engine resumes and the run completes normally).
+    let plan =
+        FaultPlan::new(vec![FaultEvent { cycle: 5, kind: FaultKind::EngineStall { cycles: 16 } }]);
+    let faulty = runner::run_spmv_hht_with_plan(&cfg, &m, &v, plan);
     for track in Track::ALL {
         assert!(
-            spmv.events.iter().chain(&spmspv.events).any(|e| e.track == track),
+            spmv.events
+                .iter()
+                .chain(&spmspv.events)
+                .chain(&faulty.events)
+                .any(|e| e.track == track),
             "no events on track {:?}",
             track
         );
     }
-    for events in [&spmv.events, &spmspv.events] {
+    for events in [&spmv.events, &spmspv.events, &faulty.events] {
         let json = chrome_trace_json(events);
         assert_eq!(json.matches("\"ph\":\"B\"").count(), json.matches("\"ph\":\"E\"").count());
     }
@@ -129,6 +140,17 @@ fn golden_events() -> Vec<Event> {
             kind: EventKind::StallBegin(StallCause::HhtWindowEmpty),
         },
         Event { cycle: 4, track: Track::SramPort, kind: EventKind::ArbConflict { loser: "cpu" } },
+        Event {
+            cycle: 5,
+            track: Track::Fault,
+            kind: EventKind::FaultInject { what: "drop_response" },
+        },
+        Event {
+            cycle: 5,
+            track: Track::Fault,
+            kind: EventKind::FaultDetect { what: "hht_timeout" },
+        },
+        Event { cycle: 6, track: Track::Fault, kind: EventKind::Recovery { what: "hht_retry" } },
         Event {
             cycle: 6,
             track: Track::CpuPipe,
