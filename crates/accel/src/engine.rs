@@ -24,7 +24,7 @@
 
 use crate::fifo::ElemFifo;
 use crate::mmr::EngineConfig;
-use hht_mem::sram::{Requester, Sram};
+use hht_mem::{MemoryPort, Requester};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -107,7 +107,13 @@ pub enum Wake {
 /// A back-end engine: stepped once per cycle while running.
 pub trait Engine {
     /// Advance one cycle. `now` is the global cycle count.
-    fn step(&mut self, now: u64, sram: &mut Sram, out: Outputs<'_>, stats: &mut EngineStats);
+    fn step(
+        &mut self,
+        now: u64,
+        sram: &mut dyn MemoryPort,
+        out: Outputs<'_>,
+        stats: &mut EngineStats,
+    );
 
     /// True once every element has been pushed to the FIFOs.
     fn done(&self) -> bool;
@@ -152,8 +158,13 @@ struct Pending {
 /// Issue a timed read of `addr`; `None` when the port is busy this cycle.
 /// Out-of-range addresses (software programmed a bad base into an MMR) read
 /// open-bus zero instead of crashing the simulator.
-fn issue_read(sram: &mut Sram, now: u64, addr: u32, stats: &mut EngineStats) -> Option<Pending> {
-    match sram.try_start(now, Requester::Hht) {
+fn issue_read(
+    sram: &mut dyn MemoryPort,
+    now: u64,
+    addr: u32,
+    stats: &mut EngineStats,
+) -> Option<Pending> {
+    match sram.try_start(now, addr, Requester::Hht) {
         Some(done) => {
             stats.mem_reads += 1;
             Some(Pending { ready_at: done, value: sram.read_u32_checked(addr).unwrap_or(0) })
@@ -208,7 +219,13 @@ impl GatherEngine {
 }
 
 impl Engine for GatherEngine {
-    fn step(&mut self, now: u64, sram: &mut Sram, out: Outputs<'_>, stats: &mut EngineStats) {
+    fn step(
+        &mut self,
+        now: u64,
+        sram: &mut dyn MemoryPort,
+        out: Outputs<'_>,
+        stats: &mut EngineStats,
+    ) {
         // Commit a completed fetch.
         if let Some((p, kind)) = self.pending {
             if now < p.ready_at {
@@ -419,7 +436,13 @@ impl SpMSpVEngine {
 }
 
 impl Engine for SpMSpVEngine {
-    fn step(&mut self, now: u64, sram: &mut Sram, out: Outputs<'_>, stats: &mut EngineStats) {
+    fn step(
+        &mut self,
+        now: u64,
+        sram: &mut dyn MemoryPort,
+        out: Outputs<'_>,
+        stats: &mut EngineStats,
+    ) {
         // Commit a completed fetch.
         if let Some((p, kind)) = self.pending {
             if now < p.ready_at {
@@ -740,7 +763,13 @@ impl SmashEngine {
 }
 
 impl Engine for SmashEngine {
-    fn step(&mut self, now: u64, sram: &mut Sram, mut out: Outputs<'_>, stats: &mut EngineStats) {
+    fn step(
+        &mut self,
+        now: u64,
+        sram: &mut dyn MemoryPort,
+        mut out: Outputs<'_>,
+        stats: &mut EngineStats,
+    ) {
         if let Some((p, kind)) = self.pending {
             if now < p.ready_at {
                 return;
@@ -899,12 +928,13 @@ impl Engine for SmashEngine {
 mod tests {
     use super::*;
     use crate::mmr::Mode;
+    use hht_mem::Sram;
 
     /// Drive an engine against a prepared SRAM until done (or a cycle
     /// budget runs out), draining outputs every cycle.
     fn run_engine(
         engine: &mut dyn Engine,
-        sram: &mut Sram,
+        sram: &mut dyn MemoryPort,
         budget: u64,
     ) -> (Vec<u32>, Vec<u32>, Vec<u32>, EngineStats) {
         let mut primary = ElemFifo::new(16);
@@ -1038,7 +1068,7 @@ mod tests {
 
     /// Shared fixture: 3x4 matrix rows=[0,2,3,5], cols=[0,2 | 1 | 0,3],
     /// vals=[1,2,3,4,5]; sparse x: idx=[0,2,3], vals=[10,20,30].
-    fn spmspv_fixture(sram: &mut Sram) -> EngineConfig {
+    fn spmspv_fixture(sram: &mut dyn MemoryPort) -> EngineConfig {
         sram.load_words(0x100, &[0, 2, 3, 5]); // rows
         sram.load_words(0x200, &[0, 2, 1, 0, 3]); // cols
         sram.load_f32s(0x300, &[1.0, 2.0, 3.0, 4.0, 5.0]); // vals

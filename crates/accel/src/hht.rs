@@ -16,7 +16,7 @@ use crate::mmr::{reg, Mode, RegisterFile};
 use hht_mem::map;
 use hht_mem::mmio::{MmioDevice, MmioReadResult};
 use hht_mem::sram::Requester;
-use hht_mem::Sram;
+use hht_mem::MemoryPort;
 use hht_obs::{Event, EventBus, EventKind, StallCause, Track};
 use serde::{Deserialize, Serialize};
 
@@ -181,7 +181,7 @@ impl Hht {
 
     /// Step the back-end one cycle (called by the system *after* the CPU's
     /// step so the CPU wins SRAM-port arbitration).
-    pub fn step(&mut self, now: u64, sram: &mut Sram) {
+    pub fn step(&mut self, now: u64, sram: &mut dyn MemoryPort) {
         if let Some(engine) = self.engine.as_mut() {
             if !self.engine_done {
                 if now < self.frozen_until {
@@ -321,7 +321,7 @@ impl Hht {
     /// *onset* of an output-full stall — the per-cycle loop stamps
     /// `StallBegin` on the first blocked cycle, so replay it here at `now`
     /// when the interval is not already open.
-    pub fn skip_idle(&mut self, now: u64, span: u64, sram: &mut Sram) {
+    pub fn skip_idle(&mut self, now: u64, span: u64, sram: &mut dyn MemoryPort) {
         if span == 0 || self.engine_done {
             return;
         }
@@ -351,7 +351,7 @@ impl Hht {
         // per-cycle loop would have issued — mirror it on the port side.
         let lost = self.stats.engine.port_conflicts - conflicts_before;
         if lost > 0 {
-            sram.skip_conflicts(now, lost, Requester::Hht);
+            sram.skip_conflicts(now, lost, 0, Requester::Hht);
         }
         if self.stats.engine.stall_out_full > out_full_before && !self.out_stall_open {
             if let Some(bus) = self.obs.as_mut() {
@@ -560,6 +560,7 @@ impl MmioDevice for Hht {
 mod tests {
     use super::*;
     use crate::mmr::reg;
+    use hht_mem::Sram;
 
     fn program_spmv(hht: &mut Hht, cols_base: u32, v_base: u32, nnz: u32) {
         let b = map::HHT_MMR_BASE;

@@ -24,7 +24,7 @@ use crate::mmr::EngineConfig;
 use hht_isa::builder::KernelBuilder;
 use hht_isa::{Program, Reg};
 use hht_mem::mmio::{MmioDevice, MmioReadResult};
-use hht_mem::Sram;
+use hht_mem::MemoryPort;
 use hht_sim::{Core, CoreConfig};
 
 /// The magic store address the microprogram pushes gathered words to.
@@ -123,7 +123,13 @@ impl ProgrammableEngine {
 }
 
 impl Engine for ProgrammableEngine {
-    fn step(&mut self, now: u64, sram: &mut Sram, out: Outputs<'_>, stats: &mut EngineStats) {
+    fn step(
+        &mut self,
+        now: u64,
+        sram: &mut dyn MemoryPort,
+        out: Outputs<'_>,
+        stats: &mut EngineStats,
+    ) {
         if self.core.halted() {
             return;
         }
@@ -160,6 +166,7 @@ mod tests {
     use super::*;
     use crate::fifo::ElemFifo;
     use crate::mmr::Mode;
+    use hht_mem::Sram;
 
     fn cfg(cols_base: u32, v_base: u32, m_nnz: u32) -> EngineConfig {
         EngineConfig {
@@ -180,7 +187,7 @@ mod tests {
 
     fn run(
         engine: &mut ProgrammableEngine,
-        sram: &mut Sram,
+        sram: &mut dyn MemoryPort,
         budget: u64,
     ) -> (Vec<u32>, EngineStats) {
         let mut primary = ElemFifo::new(16);

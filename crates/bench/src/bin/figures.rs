@@ -8,7 +8,7 @@
 //!
 //! Subcommands: `table1`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`,
 //! `area`, `energy`, `motivation`, `crossover`, `conv`, `suite`,
-//! `ablate-baseline`, `ablate-programmable`, `ablate-tiling`,
+//! `scaling`, `ablate-baseline`, `ablate-programmable`, `ablate-tiling`,
 //! `ablate-cache`, `ablate-buffers`, `ablate-latency`, `ablate-format`,
 //! `all`. The default matrix dimension is 512 (the paper's); passing a
 //! smaller `n` speeds everything up with the same shapes.
@@ -24,7 +24,10 @@
 //!   `--jobs 1` reproduces the serial run exactly.
 //! - `--metrics-out <path>` — run one instrumented HHT SpMV and write the
 //!   unified [`hht_system::MetricsSnapshot`] as JSON (validated: the
-//!   per-cause stall histogram sums exactly to the coarse wait counters);
+//!   per-cause stall histogram sums exactly to the coarse wait counters).
+//!   With the `scaling` subcommand the flag instead writes the scaling
+//!   sweep itself: one record per tile count, each embedding a validated
+//!   `MetricsSnapshot` of the merged fabric statistics;
 //! - `--trace-out <path>` — same run, exported as Chrome trace-event JSON
 //!   (open in `chrome://tracing` or <https://ui.perfetto.dev>).
 //! - `--fault-seed <u64>` — run one HHT SpMV under deterministic
@@ -68,6 +71,12 @@ fn main() {
     let which = args.first().map(String::as_str).unwrap_or("all");
     let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(512);
     let cfg = SystemConfig::paper_default();
+    // `scaling` consumes --metrics-out itself (it exports the sweep rather
+    // than the default single-tile SpMV snapshot).
+    if which == "scaling" {
+        scaling(&cfg, n, jobs, metrics_out);
+        return;
+    }
     if metrics_out.is_some() || trace_out.is_some() {
         export_observability(&cfg, n.min(256), metrics_out, trace_out);
     }
@@ -117,6 +126,7 @@ fn main() {
             ablate_latency(&cfg, n);
             ablate_format(&cfg, n.min(256), jobs);
             suite(&cfg, n.min(256), jobs);
+            scaling(&cfg, n, jobs, None);
         }
         other => {
             eprintln!("unknown figure `{other}`");
@@ -694,6 +704,55 @@ fn ablate_format(cfg: &SystemConfig, n: usize, jobs: usize) {
         "{}",
         table(&["sparsity", "csr_cycles", "smash_cycles", "csr_cpu_wait", "smash_cpu_wait"], &rows)
     );
+}
+
+fn scaling(cfg: &SystemConfig, n: usize, jobs: usize, metrics_out: Option<String>) {
+    header(
+        &format!("Fabric scaling: row-block sharded SpMV across N tiles ({n}x{n}, 90% sparsity)"),
+        "extension (Sec. 7: the architecture \"can be extended with multiple HHTs\"); 8 shared banks, round-robin arbitration",
+    );
+    use hht_system::FabricConfig;
+    let m = hht_sparse::generate::random_csr(n, n, 0.9, 0xC1);
+    let v = hht_sparse::generate::random_dense_vector(n, 0xC2);
+    let outs = hht_exec::parallel_map(jobs, vec![1usize, 2, 4, 8], |_, t| {
+        (t, hht_system::runner::run_spmv_fabric(cfg, FabricConfig::scaled(t), &m, &v))
+    });
+    let base = outs[0].1.stats.cycles;
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for (t, out) in &outs {
+        let s = &out.stats;
+        let snap = s.merged().snapshot();
+        snap.validate().expect("merged stall histogram must sum exactly to the wait counters");
+        rows.push(vec![
+            t.to_string(),
+            s.cycles.to_string(),
+            format!("{:.3}", base as f64 / s.cycles as f64),
+            format!("{:.4}", s.bank_conflict_frac()),
+            s.mem.cross_tile_conflicts.to_string(),
+            format!("{:.4}", s.cpu_wait_frac()),
+        ]);
+        records.push(format!(
+            "{{\"tiles\":{t},\"wall_cycles\":{},\"speedup\":{:.6},\
+             \"bank_conflict_frac\":{:.6},\"cross_tile_conflicts\":{},\"merged\":{}}}",
+            s.cycles,
+            base as f64 / s.cycles as f64,
+            s.bank_conflict_frac(),
+            s.mem.cross_tile_conflicts,
+            snap.to_json(),
+        ));
+    }
+    print!(
+        "{}",
+        table(
+            &["tiles", "wall cycles", "speedup", "bank conflict frac", "cross-tile", "cpu_wait"],
+            &rows
+        )
+    );
+    if let Some(path) = metrics_out {
+        write_or_exit(&path, &format!("{{\"scaling\":[{}]}}", records.join(",")));
+        eprintln!("wrote scaling sweep metrics to {path}");
+    }
 }
 
 fn suite(cfg: &SystemConfig, n: usize, jobs: usize) {

@@ -60,13 +60,29 @@ impl FaultKind {
     }
 }
 
-/// One fault at one cycle.
+/// One fault at one cycle, aimed at one tile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultEvent {
     /// Cycle the fault is applied (before the CPU step of that cycle).
     pub cycle: u64,
     /// What happens.
     pub kind: FaultKind,
+    /// Which tile's HHT the fault targets (tile 0 in a single-tile system;
+    /// `SramBitFlip` hits the shared memory regardless). A fabric ignores
+    /// HHT-side events whose tile does not exist.
+    pub tile: u32,
+}
+
+impl FaultEvent {
+    /// An event targeting tile 0 (the only tile in a single-tile system).
+    pub fn new(cycle: u64, kind: FaultKind) -> Self {
+        FaultEvent { cycle, kind, tile: 0 }
+    }
+
+    /// An event targeting a specific tile of a fabric.
+    pub fn on_tile(cycle: u64, kind: FaultKind, tile: u32) -> Self {
+        FaultEvent { cycle, kind, tile }
+    }
 }
 
 /// Seed-driven fault generation knobs, carried by the system configuration
@@ -153,13 +169,16 @@ impl FaultPlan {
                     4 => FaultKind::BufferCorrupt { bit: (splitmix64(&mut state) % 32) as u8 },
                     _ => FaultKind::MmrStickyError,
                 };
-                FaultEvent { cycle, kind }
+                FaultEvent::new(cycle, kind)
             })
             .collect();
         FaultPlan::new(events)
     }
 
-    /// Parse a plan spec: comma-separated `cycle:kind[:arg[:arg]]` clauses.
+    /// Parse a plan spec: comma-separated `cycle[@tile]:kind[:arg[:arg]]`
+    /// clauses. The optional `@tile` suffix on the cycle aims the fault at
+    /// one tile of a fabric (default tile 0, the only tile in a single-tile
+    /// system).
     ///
     /// ```text
     /// 100:drop_response
@@ -167,6 +186,7 @@ impl FaultPlan {
     /// 10:sram_bit_flip:0x200:7    (addr, bit)
     /// 30:engine_stall:64
     /// 40:buffer_corrupt:3         (bit)
+    /// 100@2:drop_response         (tile 2 of a fabric)
     /// ```
     pub fn parse(spec: &str) -> Result<Self, PlanParseError> {
         let err = |clause: &str, msg: &str| PlanParseError {
@@ -187,7 +207,10 @@ impl FaultPlan {
             if parts.len() < 2 {
                 return Err(err(clause, "expected `cycle:kind[:args]`"));
             }
-            let cycle = num(clause, parts[0])?;
+            let (cycle, tile) = match parts[0].split_once('@') {
+                Some((c, t)) => (num(clause, c)?, num(clause, t)? as u32),
+                None => (num(clause, parts[0])?, 0),
+            };
             let arg = |i: usize| -> Result<u64, PlanParseError> {
                 num(clause, parts.get(i).copied().ok_or_else(|| err(clause, "missing argument"))?)
             };
@@ -202,7 +225,7 @@ impl FaultPlan {
                 "mmr_sticky_error" => FaultKind::MmrStickyError,
                 other => return Err(err(clause, &format!("unknown fault kind `{other}`"))),
             };
-            events.push(FaultEvent { cycle, kind });
+            events.push(FaultEvent::on_tile(cycle, kind, tile));
         }
         Ok(FaultPlan::new(events))
     }
@@ -273,9 +296,9 @@ mod tests {
     #[test]
     fn take_due_walks_the_cursor_in_order() {
         let mut plan = FaultPlan::new(vec![
-            FaultEvent { cycle: 30, kind: FaultKind::DropResponse },
-            FaultEvent { cycle: 10, kind: FaultKind::MmrStickyError },
-            FaultEvent { cycle: 10, kind: FaultKind::BufferCorrupt { bit: 1 } },
+            FaultEvent::new(30, FaultKind::DropResponse),
+            FaultEvent::new(10, FaultKind::MmrStickyError),
+            FaultEvent::new(10, FaultKind::BufferCorrupt { bit: 1 }),
         ]);
         assert_eq!(plan.next_cycle(), Some(10));
         assert!(plan.take_due(9).is_empty());
@@ -297,14 +320,23 @@ mod tests {
         assert_eq!(
             plan.events(),
             &[
-                FaultEvent { cycle: 10, kind: FaultKind::SramBitFlip { addr: 0x200, bit: 7 } },
-                FaultEvent { cycle: 20, kind: FaultKind::DropResponse },
-                FaultEvent { cycle: 30, kind: FaultKind::DelayResponse { cycles: 64 } },
-                FaultEvent { cycle: 40, kind: FaultKind::EngineStall { cycles: 5 } },
-                FaultEvent { cycle: 50, kind: FaultKind::BufferCorrupt { bit: 31 } },
-                FaultEvent { cycle: 60, kind: FaultKind::MmrStickyError },
+                FaultEvent::new(10, FaultKind::SramBitFlip { addr: 0x200, bit: 7 }),
+                FaultEvent::new(20, FaultKind::DropResponse),
+                FaultEvent::new(30, FaultKind::DelayResponse { cycles: 64 }),
+                FaultEvent::new(40, FaultKind::EngineStall { cycles: 5 }),
+                FaultEvent::new(50, FaultKind::BufferCorrupt { bit: 31 }),
+                FaultEvent::new(60, FaultKind::MmrStickyError),
             ]
         );
+    }
+
+    #[test]
+    fn parse_tile_suffix_targets_a_tile() {
+        let plan = FaultPlan::parse("100@2:drop_response, 5:engine_stall:8").unwrap();
+        assert_eq!(plan.events()[0].tile, 0);
+        assert_eq!(plan.events()[0].cycle, 5);
+        assert_eq!(plan.events()[1], FaultEvent::on_tile(100, FaultKind::DropResponse, 2));
+        assert!(FaultPlan::parse("100@x:drop_response").is_err());
     }
 
     #[test]

@@ -15,11 +15,15 @@
 //! - [`MmioDevice`] — the trait the HHT front-end implements to appear in
 //!   the CPU's load/store space.
 
+pub mod banked;
 pub mod cache;
 pub mod map;
 pub mod mmio;
+pub mod port;
 pub mod sram;
 
+pub use banked::{SharedMemStats, SharedMemory, TilePort};
 pub use cache::L1dCache;
 pub use mmio::{MmioDevice, MmioReadResult};
-pub use sram::{Sram, SramStats};
+pub use port::MemoryPort;
+pub use sram::{Requester, Sram, SramStats};

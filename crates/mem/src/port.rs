@@ -1,0 +1,207 @@
+//! The typed memory-port interface between cycle-domain components and
+//! whatever memory implementation backs them.
+//!
+//! Before the fabric refactor every component held a concrete `&mut Sram`;
+//! now the core and the HHT engines speak [`MemoryPort`], so the same
+//! component code runs against the single-ported [`Sram`](crate::Sram) (the
+//! paper's one-core-one-HHT configuration) or against one tile's view of
+//! the banked [`SharedMemory`](crate::SharedMemory) (the N-tile fabric).
+//!
+//! The trait deliberately mirrors `Sram`'s split personality:
+//!
+//! - *timed* access ([`MemoryPort::try_start`]/[`MemoryPort::try_start_burst`])
+//!   models port arbitration — a request while the port (bank) is busy is
+//!   rejected and the caller retries next cycle;
+//! - *functional* access (`read_u32`, `write_u32`, …) is untimed and used
+//!   by agents that already won the port for the current transaction.
+
+use crate::sram::Requester;
+
+/// A component-facing memory port: timed arbitration plus functional
+/// storage access. Implemented by [`Sram`](crate::Sram) (single shared
+/// port) and [`TilePort`](crate::TilePort) (one tile's view of the banked
+/// shared memory).
+pub trait MemoryPort {
+    // ---- timed port model ----
+
+    /// Try to start a word access to `addr` at cycle `now`; `Some(done_at)`
+    /// on grant, `None` when the port (bank) is busy. Call order within a
+    /// cycle is the arbitration order. The single-ported [`Sram`](crate::Sram)
+    /// ignores `addr`; the banked memory uses it to select the bank.
+    fn try_start(&mut self, now: u64, addr: u32, who: Requester) -> Option<u64>;
+
+    /// Try to start a burst of `words` consecutive word accesses starting
+    /// at `addr` (an L1D line fill). Returns the completion cycle or `None`
+    /// when busy.
+    fn try_start_burst(&mut self, now: u64, addr: u32, who: Requester, words: u64) -> Option<u64>;
+
+    /// The cycle at which the port next changes state when busy at `now`
+    /// (the cycle-skipping scheduler's hint); `None` while idle. For a
+    /// banked memory this is the earliest free cycle over all busy banks.
+    fn next_event(&self, now: u64) -> Option<u64>;
+
+    /// Like [`MemoryPort::next_event`], but for the specific port/bank that
+    /// serves `addr` — `None` when that bank is already free at `now`. On a
+    /// single-ported memory this is the same as `next_event`.
+    fn next_event_at(&self, addr: u32, now: u64) -> Option<u64> {
+        let _ = addr;
+        self.next_event(now)
+    }
+
+    /// Replay `span` skipped arbitration losses by `who` against the bank
+    /// serving `addr`, one per cycle starting at `now` — the per-requestor
+    /// bulk-replay hook the cycle-skipping scheduler uses so conflict
+    /// counters and per-cycle conflict events stay bit-identical to the
+    /// per-cycle loop. The single-ported SRAM ignores `addr`.
+    fn skip_conflicts(&mut self, now: u64, span: u64, addr: u32, who: Requester);
+
+    // ---- functional storage ----
+
+    /// Size in bytes.
+    fn size(&self) -> u32;
+
+    /// Cycles one word access occupies the port.
+    fn word_cycles(&self) -> u64;
+
+    /// Read one byte.
+    fn read_u8(&self, addr: u32) -> u8;
+
+    /// Read a little-endian 16-bit halfword.
+    fn read_u16(&self, addr: u32) -> u16;
+
+    /// Read a little-endian 32-bit word (panics out of range — a simulator
+    /// wiring bug, not a guest condition).
+    fn read_u32(&self, addr: u32) -> u32;
+
+    /// Read a little-endian 32-bit word, or `None` when any byte falls
+    /// outside the array (guest-programmed agents read open-bus instead of
+    /// crashing the simulator).
+    fn read_u32_checked(&self, addr: u32) -> Option<u32>;
+
+    /// Write one byte.
+    fn write_u8(&mut self, addr: u32, value: u8);
+
+    /// Write a little-endian 16-bit halfword.
+    fn write_u16(&mut self, addr: u32, value: u16);
+
+    /// Write a little-endian 32-bit word.
+    fn write_u32(&mut self, addr: u32, value: u32);
+
+    /// Read an `f32` (bit pattern of the word at `addr`).
+    fn read_f32(&self, addr: u32) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Write an `f32`.
+    fn write_f32(&mut self, addr: u32, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Copy a `u32` slice into memory starting at `addr`.
+    fn load_words(&mut self, addr: u32, words: &[u32]) {
+        for (i, w) in words.iter().enumerate() {
+            self.write_u32(addr + 4 * i as u32, *w);
+        }
+    }
+
+    /// Copy an `f32` slice into memory starting at `addr`.
+    fn load_f32s(&mut self, addr: u32, values: &[f32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_f32(addr + 4 * i as u32, *v);
+        }
+    }
+
+    /// Read `n` consecutive `f32`s starting at `addr`.
+    fn read_f32s(&self, addr: u32, n: usize) -> Vec<f32> {
+        (0..n).map(|i| self.read_f32(addr + 4 * i as u32)).collect()
+    }
+
+    /// Read `n` consecutive `u32`s starting at `addr`.
+    fn read_u32s(&self, addr: u32, n: usize) -> Vec<u32> {
+        (0..n).map(|i| self.read_u32(addr + 4 * i as u32)).collect()
+    }
+}
+
+impl MemoryPort for crate::Sram {
+    fn try_start(&mut self, now: u64, _addr: u32, who: Requester) -> Option<u64> {
+        crate::Sram::try_start(self, now, who)
+    }
+
+    fn try_start_burst(&mut self, now: u64, _addr: u32, who: Requester, words: u64) -> Option<u64> {
+        crate::Sram::try_start_burst(self, now, who, words)
+    }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        crate::Sram::next_event(self, now)
+    }
+
+    fn skip_conflicts(&mut self, now: u64, span: u64, _addr: u32, who: Requester) {
+        crate::Sram::skip_conflicts(self, now, span, who)
+    }
+
+    fn size(&self) -> u32 {
+        crate::Sram::size(self)
+    }
+
+    fn word_cycles(&self) -> u64 {
+        crate::Sram::word_cycles(self)
+    }
+
+    fn read_u8(&self, addr: u32) -> u8 {
+        crate::Sram::read_u8(self, addr)
+    }
+
+    fn read_u16(&self, addr: u32) -> u16 {
+        crate::Sram::read_u16(self, addr)
+    }
+
+    fn read_u32(&self, addr: u32) -> u32 {
+        crate::Sram::read_u32(self, addr)
+    }
+
+    fn read_u32_checked(&self, addr: u32) -> Option<u32> {
+        crate::Sram::read_u32_checked(self, addr)
+    }
+
+    fn write_u8(&mut self, addr: u32, value: u8) {
+        crate::Sram::write_u8(self, addr, value)
+    }
+
+    fn write_u16(&mut self, addr: u32, value: u16) {
+        crate::Sram::write_u16(self, addr, value)
+    }
+
+    fn write_u32(&mut self, addr: u32, value: u32) {
+        crate::Sram::write_u32(self, addr, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sram;
+
+    /// The trait impl on `Sram` forwards to the inherent methods, so a
+    /// component holding `&mut dyn MemoryPort` sees the exact single-port
+    /// timing model.
+    #[test]
+    fn sram_through_the_trait_is_the_sram() {
+        let mut sram = Sram::new(64, 2);
+        let port: &mut dyn MemoryPort = &mut sram;
+        assert_eq!(port.try_start(0, 0, Requester::Cpu), Some(2));
+        assert_eq!(port.try_start(1, 4, Requester::Hht), None);
+        assert_eq!(port.next_event(1), Some(2));
+        assert_eq!(port.next_event_at(0x20, 1), Some(2));
+        port.write_u32(8, 0xABCD_EF01);
+        assert_eq!(port.read_u32(8), 0xABCD_EF01);
+        assert_eq!(port.read_u16(8), 0xEF01);
+        assert_eq!(port.read_u8(11), 0xAB);
+        assert_eq!(port.read_u32_checked(64), None);
+        port.write_f32(12, 2.5);
+        assert_eq!(port.read_f32(12), 2.5);
+        assert_eq!(port.size(), 64);
+        assert_eq!(port.word_cycles(), 2);
+        port.skip_conflicts(2, 3, 0, Requester::Hht);
+        assert_eq!(sram.stats().conflicts, 4);
+    }
+}

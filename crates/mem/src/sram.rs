@@ -84,6 +84,12 @@ impl Sram {
         self.data.len() as u32
     }
 
+    /// Consume the SRAM and hand its byte array to another memory model
+    /// (the banked shared memory re-houses images built here).
+    pub fn into_data(self) -> Vec<u8> {
+        self.data
+    }
+
     /// Cycles one word access occupies the port.
     pub fn word_cycles(&self) -> u64 {
         self.word_cycles

@@ -7,17 +7,20 @@
 //! occupancy. Timestamps are simulated cycles. Output is rendered through
 //! the deterministic vendored serde_json, so identical runs export
 //! byte-identical JSON (relied on by the golden-file test).
+//!
+//! Two entry points: [`chrome_trace_json`] renders one event stream as a
+//! single process (pid 0, the single-tile system), and
+//! [`chrome_trace_json_tiles`] renders one stream *per fabric tile* as one
+//! process per tile ("tile N" lanes side by side in the viewer).
 
 use crate::{Event, EventKind, Track};
 use serde::{Number, Value};
 
-const PID: u64 = 0;
-
-fn base_event(name: &str, ph: &str, tid: u32) -> Vec<(String, Value)> {
+fn base_event(name: &str, ph: &str, pid: u64, tid: u32) -> Vec<(String, Value)> {
     vec![
         ("name".into(), Value::Str(name.into())),
         ("ph".into(), Value::Str(ph.into())),
-        ("pid".into(), Value::Num(Number::U(PID))),
+        ("pid".into(), Value::Num(Number::U(pid))),
         ("tid".into(), Value::Num(Number::U(tid as u64))),
     ]
 }
@@ -27,19 +30,16 @@ fn with_ts(mut fields: Vec<(String, Value)>, cycle: u64) -> Vec<(String, Value)>
     fields
 }
 
-/// Build the trace as a serde [`Value`] tree.
-pub fn chrome_trace_value(events: &[Event]) -> Value {
-    let mut trace_events: Vec<Value> = Vec::new();
-
-    // Process + thread naming metadata first, in fixed track order.
-    let mut process_meta = base_event("process_name", "M", 0);
-    process_meta.push((
-        "args".into(),
-        Value::Map(vec![("name".into(), Value::Str("hht simulation".into()))]),
-    ));
+/// Append one process worth of trace records: naming metadata (in fixed
+/// track order), the event stream, and auto-closes for slices left open at
+/// the final cycle.
+fn emit_process(trace_events: &mut Vec<Value>, pid: u64, process_name: &str, events: &[Event]) {
+    let mut process_meta = base_event("process_name", "M", pid, 0);
+    process_meta
+        .push(("args".into(), Value::Map(vec![("name".into(), Value::Str(process_name.into()))])));
     trace_events.push(Value::Map(process_meta));
     for track in Track::ALL {
-        let mut meta = base_event("thread_name", "M", track.tid());
+        let mut meta = base_event("thread_name", "M", pid, track.tid());
         meta.push((
             "args".into(),
             Value::Map(vec![("name".into(), Value::Str(track.name().into()))]),
@@ -58,47 +58,66 @@ pub fn chrome_trace_value(events: &[Event]) -> Value {
         match event.kind {
             EventKind::StallBegin(cause) => {
                 let name = format!("stall:{}", cause.label());
-                trace_events.push(slice(&name, "B", tid, event.cycle, "stall"));
+                trace_events.push(slice(&name, "B", pid, tid, event.cycle, "stall"));
                 open.push((tid, name));
             }
             EventKind::StallEnd(cause) => {
                 let name = format!("stall:{}", cause.label());
                 open.retain(|(t, n)| !(*t == tid && *n == name));
-                trace_events.push(slice(&name, "E", tid, event.cycle, "stall"));
+                trace_events.push(slice(&name, "E", pid, tid, event.cycle, "stall"));
             }
             EventKind::SliceBegin(name) => {
-                trace_events.push(slice(name, "B", tid, event.cycle, "stage"));
+                trace_events.push(slice(name, "B", pid, tid, event.cycle, "stage"));
                 open.push((tid, name.to_string()));
             }
             EventKind::SliceEnd(name) => {
                 open.retain(|(t, n)| !(*t == tid && n == name));
-                trace_events.push(slice(name, "E", tid, event.cycle, "stage"));
+                trace_events.push(slice(name, "E", pid, tid, event.cycle, "stage"));
             }
             EventKind::ArbGrant { requester } => {
                 let mut fields =
-                    with_ts(base_event(&format!("grant:{requester}"), "i", tid), event.cycle);
+                    with_ts(base_event(&format!("grant:{requester}"), "i", pid, tid), event.cycle);
                 fields.push(("cat".into(), Value::Str("arb".into())));
                 fields.push(("s".into(), Value::Str("t".into())));
                 trace_events.push(Value::Map(fields));
             }
             EventKind::ArbConflict { loser } => {
                 let mut fields =
-                    with_ts(base_event(&format!("conflict:{loser}"), "i", tid), event.cycle);
+                    with_ts(base_event(&format!("conflict:{loser}"), "i", pid, tid), event.cycle);
                 fields.push(("cat".into(), Value::Str("arb".into())));
                 fields.push(("s".into(), Value::Str("t".into())));
                 trace_events.push(Value::Map(fields));
             }
             EventKind::FaultInject { what } => {
-                trace_events.push(instant(&format!("fault:{what}"), tid, event.cycle, "fault"));
+                trace_events.push(instant(
+                    &format!("fault:{what}"),
+                    pid,
+                    tid,
+                    event.cycle,
+                    "fault",
+                ));
             }
             EventKind::FaultDetect { what } => {
-                trace_events.push(instant(&format!("detect:{what}"), tid, event.cycle, "fault"));
+                trace_events.push(instant(
+                    &format!("detect:{what}"),
+                    pid,
+                    tid,
+                    event.cycle,
+                    "fault",
+                ));
             }
             EventKind::Recovery { what } => {
-                trace_events.push(instant(&format!("recover:{what}"), tid, event.cycle, "fault"));
+                trace_events.push(instant(
+                    &format!("recover:{what}"),
+                    pid,
+                    tid,
+                    event.cycle,
+                    "fault",
+                ));
             }
             EventKind::BufferLevel { level } => {
-                let mut fields = with_ts(base_event(event.track.name(), "C", tid), event.cycle);
+                let mut fields =
+                    with_ts(base_event(event.track.name(), "C", pid, tid), event.cycle);
                 fields.push((
                     "args".into(),
                     Value::Map(vec![("level".into(), Value::Num(Number::U(level as u64)))]),
@@ -110,9 +129,11 @@ pub fn chrome_trace_value(events: &[Event]) -> Value {
 
     // Close any dangling slices at the final cycle.
     for (tid, name) in open {
-        trace_events.push(slice(&name, "E", tid, last_cycle, "stall"));
+        trace_events.push(slice(&name, "E", pid, tid, last_cycle, "stall"));
     }
+}
 
+fn wrap(trace_events: Vec<Value>) -> Value {
     Value::Map(vec![
         ("displayTimeUnit".into(), Value::Str("ns".into())),
         (
@@ -123,14 +144,32 @@ pub fn chrome_trace_value(events: &[Event]) -> Value {
     ])
 }
 
-fn slice(name: &str, ph: &str, tid: u32, cycle: u64, cat: &str) -> Value {
-    let mut fields = with_ts(base_event(name, ph, tid), cycle);
+/// Build the trace as a serde [`Value`] tree (single process, pid 0).
+pub fn chrome_trace_value(events: &[Event]) -> Value {
+    let mut trace_events: Vec<Value> = Vec::new();
+    emit_process(&mut trace_events, 0, "hht simulation", events);
+    wrap(trace_events)
+}
+
+/// Build a multi-tile trace: one process per tile (`pid` = tile index,
+/// named `tile N`), each with the full per-[`Track`] thread set, so an
+/// N-tile fabric run renders as N side-by-side lanes.
+pub fn chrome_trace_value_tiles(tiles: &[Vec<Event>]) -> Value {
+    let mut trace_events: Vec<Value> = Vec::new();
+    for (t, events) in tiles.iter().enumerate() {
+        emit_process(&mut trace_events, t as u64, &format!("tile {t}"), events);
+    }
+    wrap(trace_events)
+}
+
+fn slice(name: &str, ph: &str, pid: u64, tid: u32, cycle: u64, cat: &str) -> Value {
+    let mut fields = with_ts(base_event(name, ph, pid, tid), cycle);
     fields.push(("cat".into(), Value::Str(cat.into())));
     Value::Map(fields)
 }
 
-fn instant(name: &str, tid: u32, cycle: u64, cat: &str) -> Value {
-    let mut fields = with_ts(base_event(name, "i", tid), cycle);
+fn instant(name: &str, pid: u64, tid: u32, cycle: u64, cat: &str) -> Value {
+    let mut fields = with_ts(base_event(name, "i", pid, tid), cycle);
     fields.push(("cat".into(), Value::Str(cat.into())));
     fields.push(("s".into(), Value::Str("t".into())));
     Value::Map(fields)
@@ -139,6 +178,12 @@ fn instant(name: &str, tid: u32, cycle: u64, cat: &str) -> Value {
 /// Render the trace as a compact JSON string (byte-stable per event stream).
 pub fn chrome_trace_json(events: &[Event]) -> String {
     serde_json::to_string(&chrome_trace_value(events)).expect("trace values are always finite")
+}
+
+/// Render a multi-tile trace (one process per tile) as a compact JSON
+/// string (byte-stable per event stream).
+pub fn chrome_trace_json_tiles(tiles: &[Vec<Event>]) -> String {
+    serde_json::to_string(&chrome_trace_value_tiles(tiles)).expect("trace values are always finite")
 }
 
 #[cfg(test)]
@@ -204,5 +249,27 @@ mod tests {
         let events = v.get("traceEvents").and_then(Value::as_seq).unwrap();
         // 1 process + 7 thread metadata records + 6 events + 1 auto-close.
         assert_eq!(events.len(), 15);
+    }
+
+    #[test]
+    fn tile_export_gives_each_tile_its_own_pid() {
+        let tiles = vec![sample_events(), sample_events()];
+        let json = chrome_trace_json_tiles(&tiles);
+        assert!(json.contains("\"tile 0\""));
+        assert!(json.contains("\"tile 1\""));
+        assert!(json.contains("\"pid\":1"));
+        let v: Value = serde_json::from_str(&json).unwrap();
+        let events = v.get("traceEvents").and_then(Value::as_seq).unwrap();
+        // Two full processes worth of records.
+        assert_eq!(events.len(), 30);
+    }
+
+    #[test]
+    fn single_tile_export_matches_single_process_export_modulo_name() {
+        // The per-tile exporter with one tile differs from the flat
+        // exporter only in the process name.
+        let flat = chrome_trace_json(&sample_events());
+        let tiled = chrome_trace_json_tiles(&[sample_events()]);
+        assert_eq!(tiled.replace("tile 0", "hht simulation"), flat);
     }
 }

@@ -5,8 +5,9 @@ use hht_isa::instr::{MemWidth, MulDivOp};
 use hht_isa::{AluOp, BranchOp, FReg, Instr, Program, Reg, VReg};
 use hht_mem::map;
 use hht_mem::mmio::{MmioDevice, MmioReadResult};
-use hht_mem::sram::{Requester, Sram};
+use hht_mem::sram::Requester;
 use hht_mem::L1dCache;
+use hht_mem::MemoryPort;
 use hht_obs::{Event, EventBus, EventKind, RingBuffer, StallBreakdown, StallCause, Track};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -356,19 +357,26 @@ impl Core {
     /// replayed in bulk by [`Core::skip_port_wait`].
     #[inline]
     pub fn pending_port_access(&self, now: u64) -> bool {
+        self.pending_port_addr(now).is_some()
+    }
+
+    /// Like [`Core::pending_port_access`], but returning the address of the
+    /// pending beat — the fabric scheduler resolves it to a *bank*-specific
+    /// free cycle on the banked shared memory (the port-wide hint would be
+    /// wrong there: another tile's bank can be busy while ours is free).
+    #[inline]
+    pub fn pending_port_addr(&self, now: u64) -> Option<u32> {
         if self.halted || self.busy_until > now {
-            return false;
+            return None;
         }
-        let Some(op) = self.mem_op.as_ref() else {
-            return false;
-        };
-        let Some(beat) = op.beats.get(op.next) else {
-            return false;
-        };
+        let op = self.mem_op.as_ref()?;
+        let beat = op.beats.get(op.next)?;
         match beat.access {
-            BeatAccess::RamRead => self.l1d.as_ref().is_none_or(|c| !c.probe(beat.addr)),
-            BeatAccess::RamWrite(_) => true,
-            BeatAccess::DevRead | BeatAccess::DevWrite(_) => false,
+            BeatAccess::RamRead => {
+                self.l1d.as_ref().is_none_or(|c| !c.probe(beat.addr)).then_some(beat.addr)
+            }
+            BeatAccess::RamWrite(_) => Some(beat.addr),
+            BeatAccess::DevRead | BeatAccess::DevWrite(_) => None,
         }
     }
 
@@ -378,11 +386,12 @@ impl Core {
     /// `ArbitrationLoss` bucket and one port conflict on the SRAM side,
     /// exactly as the per-cycle retry path does. The stall interval opens
     /// at `now` (a no-op when the first failing attempt already opened it).
-    pub fn skip_port_wait(&mut self, now: u64, span: u64, sram: &mut Sram) {
+    pub fn skip_port_wait(&mut self, now: u64, span: u64, sram: &mut dyn MemoryPort) {
         let who = if self.cfg.is_helper { Requester::Hht } else { Requester::Cpu };
+        let addr = self.pending_port_addr(now).unwrap_or(0);
         self.stats.mem_port_stall_cycles += span;
         self.stats.stalls.record_many(StallCause::ArbitrationLoss, span);
-        sram.skip_conflicts(now, span, who);
+        sram.skip_conflicts(now, span, addr, who);
         Self::obs_stall(&mut self.obs, &mut self.open_stall, now, StallCause::ArbitrationLoss);
     }
 
@@ -494,7 +503,7 @@ impl Core {
     }
 
     /// Advance the core by one cycle.
-    pub fn step(&mut self, now: u64, sram: &mut Sram, dev: &mut dyn MmioDevice) {
+    pub fn step(&mut self, now: u64, sram: &mut dyn MemoryPort, dev: &mut dyn MmioDevice) {
         if self.halted || now < self.busy_until {
             return;
         }
@@ -509,7 +518,7 @@ impl Core {
         self.execute(instr, now, sram);
     }
 
-    fn step_mem_beat(&mut self, now: u64, sram: &mut Sram, dev: &mut dyn MmioDevice) {
+    fn step_mem_beat(&mut self, now: u64, sram: &mut dyn MemoryPort, dev: &mut dyn MmioDevice) {
         let who = if self.cfg.is_helper { Requester::Hht } else { Requester::Cpu };
         let op = self.mem_op.as_mut().expect("checked by caller");
         let beat = op.beats[op.next];
@@ -536,7 +545,7 @@ impl Core {
                         );
                     } else {
                         let words = (cache.line_bytes() / 4) as u64;
-                        match sram.try_start_burst(now, who, words) {
+                        match sram.try_start_burst(now, beat.addr, who, words) {
                             None => {
                                 self.stats.mem_port_stall_cycles += 1;
                                 self.stats.stalls.record(StallCause::ArbitrationLoss);
@@ -571,7 +580,7 @@ impl Core {
                     }
                     return;
                 }
-                match sram.try_start(now, who) {
+                match sram.try_start(now, beat.addr, who) {
                     None => {
                         self.stats.mem_port_stall_cycles += 1;
                         self.stats.stalls.record(StallCause::ArbitrationLoss);
@@ -599,7 +608,7 @@ impl Core {
                     }
                 }
             }
-            BeatAccess::RamWrite(v) => match sram.try_start(now, who) {
+            BeatAccess::RamWrite(v) => match sram.try_start(now, beat.addr, who) {
                 None => {
                     self.stats.mem_port_stall_cycles += 1;
                     self.stats.stalls.record(StallCause::ArbitrationLoss);
@@ -737,7 +746,7 @@ impl Core {
     }
 
     /// Classify an address; `None` for unmapped or misaligned.
-    fn classify(&self, sram: &Sram, addr: u32, width: MemWidth) -> Option<bool> {
+    fn classify(&self, sram: &dyn MemoryPort, addr: u32, width: MemWidth) -> Option<bool> {
         if !addr.is_multiple_of(width.bytes()) {
             return None;
         }
@@ -755,7 +764,7 @@ impl Core {
     fn start_mem_op(
         &mut self,
         now: u64,
-        sram: &Sram,
+        sram: &dyn MemoryPort,
         addrs: Vec<u32>,
         write_values: Option<Vec<u32>>,
         dest: Dest,
@@ -779,7 +788,7 @@ impl Core {
     fn start_mem_op_sized(
         &mut self,
         now: u64,
-        sram: &Sram,
+        sram: &dyn MemoryPort,
         addrs: Vec<u32>,
         write_values: Option<Vec<u32>>,
         dest: Dest,
@@ -813,7 +822,7 @@ impl Core {
         self.set_busy(now, issue_cycles);
     }
 
-    fn execute(&mut self, instr: Instr, now: u64, sram: &Sram) {
+    fn execute(&mut self, instr: Instr, now: u64, sram: &dyn MemoryPort) {
         use Instr::*;
         self.stats.instructions += 1;
         if let Some(trace) = self.trace.as_mut() {
@@ -1093,7 +1102,7 @@ impl Core {
 }
 
 /// Width- and sign-aware functional read for one beat.
-fn read_sized(sram: &Sram, beat: Beat) -> u32 {
+fn read_sized(sram: &dyn MemoryPort, beat: Beat) -> u32 {
     match (beat.width, beat.signed) {
         (MemWidth::Word, _) => sram.read_u32(beat.addr),
         (MemWidth::Byte, false) => sram.read_u8(beat.addr) as u32,
@@ -1104,7 +1113,7 @@ fn read_sized(sram: &Sram, beat: Beat) -> u32 {
 }
 
 /// Width-aware functional write for one beat.
-fn write_sized(sram: &mut Sram, beat: Beat, v: u32) {
+fn write_sized(sram: &mut dyn MemoryPort, beat: Beat, v: u32) {
     match beat.width {
         MemWidth::Word => sram.write_u32(beat.addr, v),
         MemWidth::Byte => sram.write_u8(beat.addr, v as u8),
@@ -1162,13 +1171,14 @@ mod tests {
     use super::*;
     use hht_isa::asm::assemble;
     use hht_mem::mmio::NullDevice;
+    use hht_mem::Sram;
 
     /// Run a program on a fresh core; returns (core, cycles).
-    fn run(src: &str, sram: &mut Sram) -> (Core, u64) {
+    fn run(src: &str, sram: &mut dyn MemoryPort) -> (Core, u64) {
         run_cfg(src, sram, CoreConfig::paper_default())
     }
 
-    fn run_cfg(src: &str, sram: &mut Sram, cfg: CoreConfig) -> (Core, u64) {
+    fn run_cfg(src: &str, sram: &mut dyn MemoryPort, cfg: CoreConfig) -> (Core, u64) {
         let p = assemble(src).expect("test program assembles");
         let mut core = Core::new(cfg, p);
         let mut dev = NullDevice;

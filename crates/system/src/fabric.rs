@@ -1,0 +1,685 @@
+//! The N-tile HHT fabric: `N` CPU+HHT tiles over one banked shared memory.
+//!
+//! This is the scale-out of the paper's single-core MCU (§7 "the proposed
+//! architecture can be extended with multiple HHTs"): each [`Tile`] is one
+//! core plus one accelerator, all tiles share a [`SharedMemory`] whose
+//! banks arbitrate per cycle, and one [`Fabric`] run advances every tile
+//! under the same event-driven cycle-skipping scheduler the single-tile
+//! system uses.
+//!
+//! Design rules inherited from the single-tile machine and preserved here:
+//!
+//! - **Call order is arbitration.** Within a cycle every live tile's CPU
+//!   steps first (in arbiter order), then every live tile's HHT. A
+//!   [`ArbPolicy::FixedPriority`] arbiter always starts at tile 0 (exactly
+//!   the legacy order); [`ArbPolicy::RoundRobin`] rotates the starting
+//!   tile each cycle so no tile persistently wins bank conflicts.
+//! - **Skipping is replay, not estimation.** A span is skipped only when
+//!   *every* live tile is provably inert over it, and the span's per-cycle
+//!   charges (stall counters, arbitration losses, conflict events) are
+//!   replayed in bulk through the same hooks the single-tile scheduler
+//!   uses. Cycle counts, statistics and event streams are bit-identical to
+//!   the per-cycle loop; with one tile and one bank they are bit-identical
+//!   to [`LegacySystem`](crate::legacy::LegacySystem) (proved in
+//!   `tests/determinism.rs`).
+//! - **Multi-bank skips are conservative.** `Wake::NeedsPort` does not say
+//!   *which* bank the engine wants, so with more than one bank the
+//!   scheduler refuses to skip while any engine is port-hungry rather
+//!   than risk overshooting that bank's free cycle. CPU port waits carry
+//!   their address ([`hht_sim::Core::pending_port_addr`]), so those skips
+//!   stay bank-exact.
+//! - **Frozen tiles stay frozen.** A tile whose core halted is never
+//!   stepped again (its HHT included), mirroring the single-tile run loop
+//!   which exits outright — so per-tile statistics read exactly as if the
+//!   tile had run alone until its own completion cycle.
+
+use crate::config::SystemConfig;
+use crate::system::{FaultSummary, SystemStats};
+use hht_accel::{Hht, HhtStats, Wake};
+use hht_fault::{FaultKind, FaultPlan};
+use hht_isa::Program;
+use hht_mem::{SharedMemStats, SharedMemory, SramStats, TilePort};
+use hht_obs::{merge_events, Event, EventBus, EventKind, StallBreakdown, Track};
+use hht_sim::{Core, CoreStats, RunError};
+use hht_sparse::DenseVector;
+use serde::{Deserialize, Serialize};
+
+/// How the per-cycle stepping order — and therefore bank arbitration —
+/// rotates across tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArbPolicy {
+    /// Tile 0 always steps first: the lowest-numbered contender wins a
+    /// contended bank. With one tile this is exactly the legacy order.
+    FixedPriority,
+    /// The starting tile rotates each cycle (`cycle % tiles`), giving every
+    /// tile an equal share of first pick over time.
+    RoundRobin,
+}
+
+/// Shape of the fabric: tile count, bank count, arbitration policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// Number of CPU+HHT tiles.
+    pub tiles: usize,
+    /// Number of shared-memory banks.
+    pub banks: usize,
+    /// Cross-tile arbitration policy.
+    pub arb: ArbPolicy,
+}
+
+impl FabricConfig {
+    /// One tile over one bank — the configuration whose observable
+    /// behaviour is bit-identical to the legacy single-tile system.
+    pub fn single() -> Self {
+        FabricConfig { tiles: 1, banks: 1, arb: ArbPolicy::FixedPriority }
+    }
+
+    /// `n` tiles over a fixed 8-bank memory with round-robin arbitration —
+    /// the scaling-experiment shape (a constant bank count keeps conflict
+    /// fractions comparable across the sweep).
+    pub fn scaled(n: usize) -> Self {
+        FabricConfig { tiles: n, banks: 8, arb: ArbPolicy::RoundRobin }
+    }
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+/// One CPU + HHT pair of the fabric. The tile owns no memory: all its
+/// traffic goes through its [`TilePort`] view of the shared banks.
+struct Tile {
+    core: Core,
+    hht: Hht,
+    /// The tile's own event sink (fault-injection timeline).
+    obs: Option<Box<EventBus>>,
+    faults_injected: u64,
+    /// Cycle count at which this tile's core halted (its private notion of
+    /// "my run took this long"); `None` while still running.
+    done_at: Option<u64>,
+}
+
+/// Everything measured in one fabric run: per-tile statistics (each tile's
+/// [`SystemStats`] reads exactly as if the tile had run alone until its own
+/// completion cycle) plus the shared-memory aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricStats {
+    /// Wall cycles: the cycle at which the *last* tile finished.
+    pub cycles: u64,
+    /// Per-tile statistics. `tiles[t].cycles` is tile `t`'s own completion
+    /// cycle (≤ `cycles`).
+    pub tiles: Vec<SystemStats>,
+    /// Shared-memory aggregates, including cross-tile bank conflicts.
+    pub mem: SharedMemStats,
+}
+
+fn add_stalls(acc: &mut StallBreakdown, s: &StallBreakdown) {
+    // Exhaustive destructuring: adding a field to the struct breaks this
+    // merge at compile time instead of silently dropping the new counter.
+    let StallBreakdown {
+        load_latency,
+        vector_busy,
+        hht_window_empty,
+        hht_header_wait,
+        arbitration_loss,
+        branch_refill,
+        output_full,
+        hht_retry_backoff,
+    } = *s;
+    acc.load_latency += load_latency;
+    acc.vector_busy += vector_busy;
+    acc.hht_window_empty += hht_window_empty;
+    acc.hht_header_wait += hht_header_wait;
+    acc.arbitration_loss += arbitration_loss;
+    acc.branch_refill += branch_refill;
+    acc.output_full += output_full;
+    acc.hht_retry_backoff += hht_retry_backoff;
+}
+
+fn add_core(acc: &mut CoreStats, s: &CoreStats) {
+    let CoreStats {
+        instructions,
+        loads,
+        stores,
+        vector_instrs,
+        mem_port_stall_cycles,
+        hht_wait_cycles,
+        mem_beats,
+        l1d_hits,
+        l1d_misses,
+        hht_timeouts,
+        hht_retries,
+        stalls,
+    } = *s;
+    acc.instructions += instructions;
+    acc.loads += loads;
+    acc.stores += stores;
+    acc.vector_instrs += vector_instrs;
+    acc.mem_port_stall_cycles += mem_port_stall_cycles;
+    acc.hht_wait_cycles += hht_wait_cycles;
+    acc.mem_beats += mem_beats;
+    acc.l1d_hits += l1d_hits;
+    acc.l1d_misses += l1d_misses;
+    acc.hht_timeouts += hht_timeouts;
+    acc.hht_retries += hht_retries;
+    add_stalls(&mut acc.stalls, &stalls);
+}
+
+fn add_hht(acc: &mut HhtStats, s: &HhtStats) {
+    let HhtStats {
+        cpu_stall_reads,
+        elements_delivered,
+        engine,
+        busy_cycles,
+        parity_errors,
+        decode_errors,
+    } = *s;
+    acc.cpu_stall_reads += cpu_stall_reads;
+    acc.elements_delivered += elements_delivered;
+    acc.engine.mem_reads += engine.mem_reads;
+    acc.engine.port_conflicts += engine.port_conflicts;
+    acc.engine.stall_out_full += engine.stall_out_full;
+    acc.engine.internal_cycles += engine.internal_cycles;
+    acc.busy_cycles += busy_cycles;
+    acc.parity_errors += parity_errors;
+    acc.decode_errors += decode_errors;
+}
+
+fn add_sram(acc: &mut SramStats, s: &SramStats) {
+    let SramStats { cpu_accesses, hht_accesses, conflicts } = *s;
+    acc.cpu_accesses += cpu_accesses;
+    acc.hht_accesses += hht_accesses;
+    acc.conflicts += conflicts;
+}
+
+fn add_faults(acc: &mut FaultSummary, s: &FaultSummary) {
+    let FaultSummary { injected, fallbacks, failed_cycles } = *s;
+    acc.injected += injected;
+    acc.fallbacks += fallbacks;
+    acc.failed_cycles += failed_cycles;
+}
+
+impl FabricStats {
+    /// Fold every tile into one [`SystemStats`]. The merged `cycles` is the
+    /// *sum* of per-tile completion cycles (total tile-time, not wall
+    /// time), so every `frac` derived from it — and the exact-sum
+    /// invariants [`crate::metrics::MetricsSnapshot::validate`] checks —
+    /// hold for the merged record exactly as they do per tile. With one
+    /// tile the merge is the tile.
+    pub fn merged(&self) -> SystemStats {
+        let mut acc = SystemStats {
+            cycles: 0,
+            core: CoreStats::default(),
+            hht: HhtStats::default(),
+            sram: SramStats::default(),
+            faults: FaultSummary::default(),
+        };
+        for t in &self.tiles {
+            acc.cycles += t.cycles;
+            add_core(&mut acc.core, &t.core);
+            add_hht(&mut acc.hht, &t.hht);
+            add_sram(&mut acc.sram, &t.sram);
+            add_faults(&mut acc.faults, &t.faults);
+        }
+        acc
+    }
+
+    /// Fraction of total tile-time the CPUs idled waiting for their HHTs
+    /// (the fabric generalization of Figs. 6/7; in [0, 1] by construction).
+    pub fn cpu_wait_frac(&self) -> f64 {
+        self.merged().cpu_wait_frac()
+    }
+
+    /// Fraction of total tile-time the HHT back-ends were throttled by
+    /// full output buffers (in [0, 1] by construction).
+    pub fn hht_wait_frac(&self) -> f64 {
+        self.merged().hht_wait_frac()
+    }
+
+    /// Fraction of shared-memory port attempts that lost bank arbitration.
+    pub fn bank_conflict_frac(&self) -> f64 {
+        self.mem.conflict_frac()
+    }
+}
+
+/// `N` tiles over one banked shared memory, run in lock-step.
+pub struct Fabric {
+    tiles: Vec<Tile>,
+    mem: SharedMemory,
+    arb: ArbPolicy,
+    cycle: u64,
+    max_cycles: u64,
+    cycle_skip: bool,
+    /// Pending fault schedule; the next pending cycle bounds every
+    /// fast-forward so no injection point is skipped over.
+    fault_plan: Option<FaultPlan>,
+}
+
+/// Per-tile classification for one fast-forward attempt: what bulk-replay
+/// the skipped span owes this tile.
+enum Replay {
+    /// Core halted: the tile is frozen, nothing to replay.
+    Frozen,
+    /// Core busy (or the engine merely idle): only `skip_idle` applies.
+    Busy,
+    /// Core parked on an empty stream window at this address.
+    Window(u32),
+    /// Core losing bank arbitration for this address.
+    Port,
+}
+
+impl Fabric {
+    /// Build the fabric: one program per tile over an already-loaded shared
+    /// memory (`mem.tiles()` must equal `fab.tiles`). When `cfg.trace`
+    /// asks for it, per-tile event buses are installed on every core, HHT
+    /// and memory-port view.
+    pub fn new(
+        cfg: &SystemConfig,
+        fab: FabricConfig,
+        programs: Vec<Program>,
+        mut mem: SharedMemory,
+    ) -> Self {
+        assert_eq!(programs.len(), fab.tiles, "one program per tile");
+        assert_eq!(mem.tiles(), fab.tiles, "memory accounting domains must match tiles");
+        assert_eq!(mem.banks(), fab.banks, "memory bank count must match the fabric config");
+        let mut tiles = Vec::with_capacity(fab.tiles);
+        for (t, program) in programs.into_iter().enumerate() {
+            let mut core = Core::new(cfg.core, program);
+            let mut hht = Hht::new(cfg.hht);
+            let mut obs = None;
+            if cfg.trace.events {
+                let bus =
+                    || EventBus::with_sampling(cfg.trace.event_capacity, cfg.trace.sample_every);
+                core.set_event_bus(bus());
+                hht.set_event_bus(bus());
+                mem.set_event_bus_for(t, bus());
+                obs = Some(Box::new(bus()));
+            }
+            if cfg.trace.instr_trace {
+                core.enable_trace_with_capacity(cfg.trace.instr_trace_capacity);
+            }
+            tiles.push(Tile { core, hht, obs, faults_injected: 0, done_at: None });
+        }
+        let plan = FaultPlan::from_seed(cfg.fault, mem.size());
+        Fabric {
+            tiles,
+            mem,
+            arb: fab.arb,
+            cycle: 0,
+            max_cycles: cfg.core.max_cycles,
+            cycle_skip: cfg.cycle_skip,
+            fault_plan: (!plan.is_empty()).then_some(plan),
+        }
+    }
+
+    /// Install an explicit fault schedule (replacing any seed-derived one).
+    /// Events carry the tile they target.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = (!plan.is_empty()).then_some(plan);
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Stepping order for this cycle: fixed priority always starts at tile
+    /// 0, round-robin rotates the start each cycle.
+    fn arb_start(&self) -> usize {
+        match self.arb {
+            ArbPolicy::FixedPriority => 0,
+            ArbPolicy::RoundRobin => (self.cycle % self.tiles.len() as u64) as usize,
+        }
+    }
+
+    /// Advance one cycle: every live tile's CPU first (in arbiter order,
+    /// so call order *is* bank priority), then every live tile's HHT.
+    pub fn step(&mut self) {
+        let n = self.tiles.len();
+        let start = self.arb_start();
+        // Snapshot liveness before stepping: a core that halts mid-cycle
+        // still gets its HHT stepped this cycle (exactly the single-tile
+        // loop, where `step` runs the HHT after the core halts and the
+        // `while` only exits afterwards).
+        let active: Vec<bool> = self.tiles.iter().map(|t| !t.core.halted()).collect();
+        for i in 0..n {
+            let t = (start + i) % n;
+            if !active[t] {
+                continue;
+            }
+            let tile = &mut self.tiles[t];
+            let mut port = TilePort::new(&mut self.mem, t);
+            tile.core.step(self.cycle, &mut port, &mut tile.hht);
+        }
+        for i in 0..n {
+            let t = (start + i) % n;
+            if !active[t] {
+                continue;
+            }
+            let tile = &mut self.tiles[t];
+            let mut port = TilePort::new(&mut self.mem, t);
+            tile.hht.step(self.cycle, &mut port);
+        }
+        self.cycle += 1;
+        for tile in &mut self.tiles {
+            if tile.done_at.is_none() && tile.core.halted() {
+                tile.done_at = Some(self.cycle);
+            }
+        }
+    }
+
+    /// Apply every fault-plan event due at or before the current cycle,
+    /// routed to the tile each event targets.
+    fn inject_due_faults(&mut self) {
+        let Some(plan) = self.fault_plan.as_mut() else {
+            return;
+        };
+        let now = self.cycle;
+        let due: Vec<(FaultKind, u32)> =
+            plan.take_due(now).iter().map(|e| (e.kind, e.tile)).collect();
+        if plan.remaining() == 0 {
+            self.fault_plan = None;
+        }
+        for (kind, tile) in due {
+            self.apply_fault(now, kind, tile as usize);
+        }
+    }
+
+    /// Inject one fault into tile `t` (memory faults hit the shared array;
+    /// `t` only selects whose timeline logs the injection). Events aimed at
+    /// a tile the fabric does not have are dropped unapplied.
+    fn apply_fault(&mut self, now: u64, kind: FaultKind, t: usize) {
+        if t >= self.tiles.len() {
+            return;
+        }
+        let tile = &mut self.tiles[t];
+        let applied = match kind {
+            FaultKind::SramBitFlip { addr, bit } => self.mem.corrupt_word(addr, bit),
+            FaultKind::DropResponse => tile.hht.drop_response(),
+            FaultKind::DelayResponse { cycles } => {
+                tile.hht.delay_responses(now, cycles);
+                true
+            }
+            FaultKind::EngineStall { cycles } => {
+                tile.hht.freeze_engine(now, cycles);
+                true
+            }
+            FaultKind::BufferCorrupt { bit } => tile.hht.corrupt_buffer(now, bit),
+            FaultKind::MmrStickyError => {
+                tile.hht.set_sticky_error();
+                true
+            }
+        };
+        if applied {
+            tile.faults_injected += 1;
+            if let Some(obs) = tile.obs.as_mut() {
+                obs.emit(now, Track::Fault, EventKind::FaultInject { what: kind.label() });
+            }
+        }
+    }
+
+    /// Run until every tile's core halts. Errors on guest faults and on
+    /// watchdog expiry, exactly like the single-tile run loop.
+    pub fn run(&mut self) -> Result<FabricStats, RunError> {
+        while self.tiles.iter().any(|t| !t.core.halted()) {
+            self.inject_due_faults();
+            self.step();
+            if self.cycle >= self.max_cycles {
+                return Err(RunError::Watchdog(self.max_cycles));
+            }
+            if self.cycle_skip {
+                self.fast_forward();
+                if self.cycle >= self.max_cycles {
+                    return Err(RunError::Watchdog(self.max_cycles));
+                }
+            }
+        }
+        for tile in &self.tiles {
+            if let Some(e) = tile.core.error() {
+                return Err(e);
+            }
+        }
+        Ok(self.stats())
+    }
+
+    /// Advance `self.cycle` to the earliest cycle at which *any* tile can
+    /// act, replaying the skipped span's per-cycle charges on every live
+    /// tile. The per-tile classification is the single-tile scheduler's
+    /// (see [`crate::legacy::LegacySystem`]); the fabric skips only when
+    /// every tile is provably inert, so the span is the minimum of the
+    /// per-tile bounds (and of the next pending fault-injection cycle).
+    fn fast_forward(&mut self) {
+        let now = self.cycle;
+        let single_bank = self.mem.banks() == 1;
+        let mut plans: Vec<Replay> = Vec::with_capacity(self.tiles.len());
+        let mut target = u64::MAX;
+        for t in 0..self.tiles.len() {
+            let tile = &mut self.tiles[t];
+            let Some(core_at) = tile.core.next_event(now) else {
+                // Halted: frozen forever, no bound and nothing to replay.
+                plans.push(Replay::Frozen);
+                continue;
+            };
+            let mut window_read = None;
+            let mut port_wait = None;
+            if core_at <= now {
+                if let Some(addr) = tile.core.pending_hht_read(now) {
+                    if !tile.hht.window_read_would_stall(addr, now) {
+                        return; // the pop succeeds this cycle
+                    }
+                    window_read = Some(addr);
+                } else if let Some(addr) = tile.core.pending_port_addr(now) {
+                    match self.mem.next_event_at(addr, now) {
+                        // The span replays one arbitration loss per cycle
+                        // against `addr`'s bank, which provably stays busy
+                        // until `free_at` (no tile steps inside a span).
+                        Some(free_at) if free_at > now + 1 => port_wait = Some(free_at),
+                        _ => return, // bank free (or 1-cycle skip): step it
+                    }
+                } else {
+                    return; // the core acts this cycle
+                }
+            } else if core_at <= now + 1 {
+                return; // span capped at 1 — cheaper to step
+            }
+            let hht_bound = match tile.hht.next_event(now) {
+                Wake::At(at) => Some(at),
+                Wake::NeedsPort => {
+                    if single_bank {
+                        // Exactly the single-ported SRAM resolution: the
+                        // engine issues the moment the (only) bank frees.
+                        Some(self.mem.next_event(now).unwrap_or(now))
+                    } else {
+                        // `NeedsPort` does not carry the target bank, so a
+                        // min-over-banks bound could overshoot the bank the
+                        // engine actually wants. Refuse to skip.
+                        return;
+                    }
+                }
+                Wake::OutputBlocked | Wake::Never => None,
+            };
+            let tile_target = if let Some(free_at) = port_wait {
+                hht_bound.map_or(free_at, |b| b.min(free_at))
+            } else if let Some(addr) = window_read {
+                // Only the engine can unpark the core; with no engine wake
+                // this is a deadlock — jump straight to the watchdog limit
+                // (unless another tile acts first).
+                let mut bound = hht_bound.unwrap_or(self.max_cycles);
+                if let Some(ready) = tile.hht.window_ready_at(addr, now) {
+                    bound = bound.min(ready);
+                }
+                if let Some(b) = tile.core.hht_timeout_bound(now) {
+                    bound = bound.min(b);
+                }
+                bound
+            } else {
+                hht_bound.map_or(core_at, |b| b.min(core_at))
+            };
+            plans.push(match (window_read, port_wait) {
+                (Some(addr), _) => Replay::Window(addr),
+                (None, Some(_)) => Replay::Port,
+                (None, None) => Replay::Busy,
+            });
+            target = target.min(tile_target);
+        }
+        // Never jump past a pending fault injection.
+        if let Some(fault_at) = self.fault_plan.as_ref().and_then(FaultPlan::next_cycle) {
+            target = target.min(fault_at);
+        }
+        if target == u64::MAX || target <= now + 1 {
+            return; // all tiles frozen, or nothing worth skipping
+        }
+        let span = (target - now).min(self.max_cycles.saturating_sub(now));
+        for (t, plan) in plans.iter().enumerate() {
+            if matches!(plan, Replay::Frozen) {
+                continue;
+            }
+            let tile = &mut self.tiles[t];
+            let mut port = TilePort::new(&mut self.mem, t);
+            tile.hht.skip_idle(now, span, &mut port);
+            match plan {
+                Replay::Window(addr) => {
+                    tile.core.skip_hht_wait(now, span, *addr);
+                    tile.hht.skip_stalled_reads(span);
+                }
+                Replay::Port => {
+                    tile.core.skip_port_wait(now, span, &mut port);
+                }
+                Replay::Busy | Replay::Frozen => {}
+            }
+        }
+        self.cycle = now + span;
+    }
+
+    /// Statistics snapshot: per-tile [`SystemStats`] plus the shared-memory
+    /// aggregates. A still-running (or never-halting) tile reports the
+    /// current cycle as its `cycles`.
+    pub fn stats(&self) -> FabricStats {
+        let tiles = self
+            .tiles
+            .iter()
+            .enumerate()
+            .map(|(t, tile)| SystemStats {
+                cycles: tile.done_at.unwrap_or(self.cycle),
+                core: tile.core.stats(),
+                hht: tile.hht.stats(),
+                sram: self.mem.stats_for(t),
+                faults: FaultSummary {
+                    injected: tile.faults_injected,
+                    fallbacks: 0,
+                    failed_cycles: 0,
+                },
+            })
+            .collect();
+        FabricStats { cycles: self.cycle, tiles, mem: self.mem.shared_stats() }
+    }
+
+    /// Read the output vector from the shared memory after a run.
+    pub fn read_output(&self, y_base: u32, n: usize) -> DenseVector {
+        DenseVector::from(self.mem.read_f32s(y_base, n))
+    }
+
+    /// Borrow the shared memory (for test inspection).
+    pub fn mem(&self) -> &SharedMemory {
+        &self.mem
+    }
+
+    /// Borrow one tile's core (for test inspection).
+    pub fn core(&self, tile: usize) -> &Core {
+        &self.tiles[tile].core
+    }
+
+    /// Drain one tile's event streams into a cycle-ordered timeline, in the
+    /// same per-component merge order the single-tile system uses (core,
+    /// HHT, memory port, fault timeline).
+    pub fn take_tile_events(&mut self, t: usize) -> Vec<Event> {
+        let tile = &mut self.tiles[t];
+        let system = tile.obs.as_mut().map(|b| b.take_events()).unwrap_or_default();
+        merge_events(vec![
+            tile.core.take_events(),
+            tile.hht.take_events(),
+            self.mem.take_events_for(t),
+            system,
+        ])
+    }
+
+    /// Drain every tile's event streams: one cycle-ordered timeline per
+    /// tile (feed to [`hht_obs::chrome::chrome_trace_json_tiles`] for one
+    /// trace lane per tile).
+    pub fn take_all_events(&mut self) -> Vec<Vec<Event>> {
+        (0..self.tiles.len()).map(|t| self.take_tile_events(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hht_isa::asm::assemble;
+    use hht_mem::Sram;
+
+    fn mem_for(cfg: &SystemConfig, fab: FabricConfig) -> SharedMemory {
+        SharedMemory::from_sram(Sram::new(cfg.ram_size, cfg.ram_word_cycles), fab.banks, fab.tiles)
+    }
+
+    #[test]
+    fn two_trivial_tiles_run_to_completion() {
+        let cfg = SystemConfig::paper_default();
+        let fab = FabricConfig { tiles: 2, banks: 2, arb: ArbPolicy::RoundRobin };
+        let p = assemble("li a0, 1\nebreak").unwrap();
+        let mut fabric = Fabric::new(&cfg, fab, vec![p.clone(), p], mem_for(&cfg, fab));
+        let stats = fabric.run().unwrap();
+        assert_eq!(stats.tiles.len(), 2);
+        for t in &stats.tiles {
+            assert_eq!(t.core.instructions, 2);
+            assert!(t.cycles >= 2);
+            assert!(t.cycles <= stats.cycles);
+        }
+        let merged = stats.merged();
+        assert_eq!(merged.core.instructions, 4);
+        assert_eq!(merged.cycles, stats.tiles.iter().map(|t| t.cycles).sum::<u64>());
+    }
+
+    #[test]
+    fn tiles_of_different_length_freeze_independently() {
+        let cfg = SystemConfig::paper_default();
+        let fab = FabricConfig { tiles: 2, banks: 1, arb: ArbPolicy::FixedPriority };
+        let short = assemble("ebreak").unwrap();
+        let long = assemble("li t0, 50\nloop: addi t0, t0, -1\nbnez t0, loop\nebreak").unwrap();
+        let mut fabric = Fabric::new(&cfg, fab, vec![short, long], mem_for(&cfg, fab));
+        let stats = fabric.run().unwrap();
+        assert!(stats.tiles[0].cycles < stats.tiles[1].cycles);
+        assert_eq!(stats.cycles, stats.tiles[1].cycles);
+        // The short tile's counters froze with it.
+        assert_eq!(stats.tiles[0].core.instructions, 1);
+    }
+
+    #[test]
+    fn guest_fault_on_any_tile_is_an_error() {
+        let cfg = SystemConfig::paper_default();
+        let fab = FabricConfig { tiles: 2, banks: 1, arb: ArbPolicy::FixedPriority };
+        let ok = assemble("ebreak").unwrap();
+        let bad = assemble("li a0, 0x50000000\nlw a1, 0(a0)\nebreak").unwrap();
+        let mut fabric = Fabric::new(&cfg, fab, vec![ok, bad], mem_for(&cfg, fab));
+        assert!(fabric.run().is_err());
+    }
+
+    #[test]
+    fn merged_fracs_stay_in_unit_interval() {
+        let cfg = SystemConfig::paper_default();
+        let fab = FabricConfig { tiles: 4, banks: 2, arb: ArbPolicy::RoundRobin };
+        let p = assemble("li t0, 20\nloop: addi t0, t0, -1\nbnez t0, loop\nebreak").unwrap();
+        let mut fabric =
+            Fabric::new(&cfg, fab, vec![p.clone(), p.clone(), p.clone(), p], mem_for(&cfg, fab));
+        let stats = fabric.run().unwrap();
+        for f in [stats.cpu_wait_frac(), stats.hht_wait_frac(), stats.bank_conflict_frac()] {
+            assert!((0.0..=1.0).contains(&f), "frac {f} out of range");
+        }
+    }
+}

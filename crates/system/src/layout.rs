@@ -199,6 +199,82 @@ pub fn layout_smash_spmv(sram: &mut Sram, m: &SmashMatrix, v: &DenseVector) -> P
     }
 }
 
+/// Split `m`'s rows into `n` contiguous shards, balancing non-zeros (the
+/// work driver for both the CPU inner loops and the HHT gather streams)
+/// rather than row counts. Returns `n` half-open row ranges `(r0, r1)`
+/// that partition `[0, rows)` in order; a shard can be empty when the
+/// matrix has fewer (or much heavier) rows than shards.
+pub fn row_shards(m: &CsrMatrix, n: usize) -> Vec<(usize, usize)> {
+    assert!(n > 0, "at least one shard");
+    let ptr = m.row_ptr();
+    let rows = m.rows();
+    let total = m.nnz() as u64;
+    let mut out = Vec::with_capacity(n);
+    let mut r0 = 0usize;
+    for i in 0..n {
+        let mut r1 = if i == n - 1 {
+            rows
+        } else {
+            // Extend while cumulative nnz stays within this shard's even
+            // share of the total.
+            let target = total * (i as u64 + 1) / n as u64;
+            let mut r = r0;
+            while r < rows && ptr[r + 1] as u64 <= target {
+                r += 1;
+            }
+            r
+        };
+        if r1 < r0 {
+            r1 = r0;
+        }
+        out.push((r0, r1));
+        r0 = r1;
+    }
+    out
+}
+
+/// Derive per-shard [`ProblemLayout`]s from an already-built full image.
+///
+/// Each shard gets its own *rebased* copy of its row-pointer slice
+/// (`ptr[r0..=r1] - ptr[r0]`, placed after the main image), so both the
+/// CPU kernels (which index `cols`/`vals` at `base + 4*ptr[r]`) and the
+/// HHT engines (which stream `cols` from offset 0 and compare absolute
+/// row-end pointers against a from-zero element cursor) see a
+/// self-consistent `m_nnz`-element sub-problem. The shards *share* the
+/// full image's column/value arrays (shifted to the shard's first
+/// non-zero), input vector and output array (shifted to the shard's first
+/// row) — row-disjoint shards write disjoint `y` words.
+pub fn shard_layouts(
+    sram: &mut Sram,
+    l: &ProblemLayout,
+    m: &CsrMatrix,
+    shards: &[(usize, usize)],
+) -> Vec<ProblemLayout> {
+    let ptr = m.row_ptr();
+    // Resume the bump allocator after the full image: every placed array
+    // ends 32-byte aligned, so the first free byte is the aligned end of
+    // the output array.
+    let start = (l.y_base + 4 * l.num_rows + 31) & !31;
+    let mut b = ImageBuilder::new(sram, start);
+    shards
+        .iter()
+        .map(|&(r0, r1)| {
+            let nnz0 = ptr[r0];
+            let rebased: Vec<u32> = ptr[r0..=r1].iter().map(|p| p - nnz0).collect();
+            let rows_base = b.place_words(&rebased);
+            ProblemLayout {
+                rows_base,
+                cols_base: l.cols_base + 4 * nnz0,
+                vals_base: l.vals_base + 4 * nnz0,
+                y_base: l.y_base + 4 * r0 as u32,
+                num_rows: (r1 - r0) as u32,
+                m_nnz: ptr[r1] - nnz0,
+                ..*l
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +346,54 @@ mod tests {
         let m = generate::random_csr(64, 64, 0.1, 1);
         let v = generate::random_dense_vector(64, 2);
         let _ = layout_spmv(&mut sram, &m, &v);
+    }
+
+    #[test]
+    fn row_shards_partition_all_rows() {
+        for n in [1, 2, 3, 4, 8] {
+            let m = generate::random_csr(61, 61, 0.7, 9);
+            let shards = row_shards(&m, n);
+            assert_eq!(shards.len(), n);
+            assert_eq!(shards[0].0, 0);
+            assert_eq!(shards[n - 1].1, m.rows());
+            for w in shards.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "shards must be contiguous");
+            }
+            let nnz: usize =
+                shards.iter().map(|&(r0, r1)| (m.row_ptr()[r1] - m.row_ptr()[r0]) as usize).sum();
+            assert_eq!(nnz, m.nnz());
+        }
+    }
+
+    #[test]
+    fn shard_layouts_rebase_row_pointers() {
+        let mut sram = Sram::new(1 << 20, 1);
+        let m = generate::random_csr(64, 64, 0.5, 5);
+        let v = generate::random_dense_vector(64, 6);
+        let l = layout_spmv(&mut sram, &m, &v);
+        let shards = row_shards(&m, 4);
+        let ls = shard_layouts(&mut sram, &l, &m, &shards);
+        let ptr = m.row_ptr();
+        let mut nnz = 0u32;
+        let mut rows = 0u32;
+        for (sl, &(r0, r1)) in ls.iter().zip(&shards) {
+            // Rebased pointer slice starts at 0 and ends at the shard nnz.
+            let p = sram.read_u32s(sl.rows_base, r1 - r0 + 1);
+            assert_eq!(p[0], 0);
+            assert_eq!(*p.last().unwrap(), sl.m_nnz);
+            assert_eq!(sl.m_nnz, ptr[r1] - ptr[r0]);
+            // Shifted views line up with the full arrays.
+            assert_eq!(sl.cols_base, l.cols_base + 4 * ptr[r0]);
+            assert_eq!(sl.vals_base, l.vals_base + 4 * ptr[r0]);
+            assert_eq!(sl.y_base, l.y_base + 4 * r0 as u32);
+            assert_eq!(sl.v_base, l.v_base);
+            assert_eq!(sl.num_cols, l.num_cols);
+            // Shard copies live past the full image.
+            assert!(sl.rows_base >= l.y_base + 4 * l.num_rows);
+            nnz += sl.m_nnz;
+            rows += sl.num_rows;
+        }
+        assert_eq!(nnz, l.m_nnz);
+        assert_eq!(rows, l.num_rows);
     }
 }

@@ -28,14 +28,18 @@
 
 pub mod config;
 pub mod experiments;
+pub mod fabric;
 pub mod kernels;
 pub mod layout;
+pub mod legacy;
 pub mod metrics;
 pub mod runner;
 pub mod system;
 pub mod tiling;
 
 pub use config::{SystemConfig, TraceConfig};
+pub use fabric::{ArbPolicy, Fabric, FabricConfig, FabricStats};
+pub use legacy::LegacySystem;
 pub use metrics::MetricsSnapshot;
 pub use runner::{RecoveryReport, RunOutput, RunStats};
 pub use system::{FaultSummary, System};

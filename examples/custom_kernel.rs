@@ -64,7 +64,7 @@ fn main() {
     let program = assemble(&baseline_src).expect("baseline assembles");
     let mut sys = System::new(&cfg, program, image(&cfg));
     let base = sys.run().expect("baseline runs");
-    let y_base = sys.sram().read_f32(OUT);
+    let y_base = sys.mem().read_f32(OUT);
     println!("CPU-only gather:  sum = {y_base}, {} cycles", base.cycles);
 
     // --- HHT version: program the SpMV engine to stream v[idx[i]]. ---
@@ -113,7 +113,7 @@ fn main() {
     let program = assemble(&hht_src).expect("HHT kernel assembles");
     let mut sys = System::new(&cfg, program, image(&cfg));
     let hht = sys.run().expect("HHT kernel runs");
-    let y_hht = sys.sram().read_f32(OUT);
+    let y_hht = sys.mem().read_f32(OUT);
     println!("HHT-gathered:     sum = {y_hht}, {} cycles", hht.cycles);
     assert_eq!(y_base, y_hht, "both versions must agree");
     println!(

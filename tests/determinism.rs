@@ -199,6 +199,122 @@ fn cycle_skipping_matches_legacy_on_figure_sweep_cells() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// One-tile fabric vs the preserved pre-refactor machine (LegacySystem)
+// ---------------------------------------------------------------------------
+
+/// Build the full-problem image and HHT program for one kernel flavour so
+/// the port-based one-tile fabric and the pre-refactor `LegacySystem` can
+/// run bit-identical inputs.
+fn build_image(
+    cfg: &SystemConfig,
+    kernel: usize,
+    n: usize,
+    sparsity: f64,
+    seed: u64,
+) -> (hht::mem::Sram, hht::isa::Program, u32, usize) {
+    use hht::system::{kernels, layout};
+    let m = generate::random_csr(n, n, sparsity, seed);
+    let mut sram = hht::mem::Sram::new(cfg.ram_size, cfg.ram_word_cycles);
+    let (l, program) = match kernel {
+        0 => {
+            let v = generate::random_dense_vector(n, seed ^ 1);
+            let l = layout::layout_spmv(&mut sram, &m, &v);
+            (l, kernels::spmv_hht(&l, cfg.core.vlen > 1))
+        }
+        1 => {
+            let x = generate::random_sparse_vector(n, sparsity, seed ^ 2);
+            let l = layout::layout_spmspv(&mut sram, &m, &x);
+            (l, kernels::spmspv_hht_v1(&l))
+        }
+        _ => {
+            let x = generate::random_sparse_vector(n, sparsity, seed ^ 2);
+            let l = layout::layout_spmspv(&mut sram, &m, &x);
+            (l, kernels::spmspv_hht_v2(&l))
+        }
+    };
+    (sram, program, l.y_base, n)
+}
+
+/// The one-tile port-based fabric (via the `System` wrapper) must agree
+/// with the preserved pre-refactor machine bit-for-bit: final cycle count,
+/// every counter, the result vector, and every traced event — in both the
+/// cycle-skipping and per-cycle modes.
+fn assert_fabric_matches_legacy(base: SystemConfig, kernel: usize, n: usize, s: f64, seed: u64) {
+    use hht::system::{LegacySystem, System};
+    for skip in [true, false] {
+        let cfg = base.with_cycle_skip(skip).with_trace(TraceConfig::enabled());
+        let (sram, program, y_base, rows) = build_image(&cfg, kernel, n, s, seed);
+        let mut legacy = LegacySystem::new(&cfg, program.clone(), sram);
+        let ls = legacy.run().expect("legacy run");
+        let (sram, program, ..) = build_image(&cfg, kernel, n, s, seed);
+        let mut sys = System::new(&cfg, program, sram);
+        let fs = sys.run().expect("fabric run");
+        assert_eq!(fs, ls, "kernel {kernel} n={n} s={s} skip={skip}");
+        assert_eq!(sys.read_output(y_base, rows), legacy.read_output(y_base, rows));
+        assert_eq!(sys.take_events(), legacy.take_events(), "kernel {kernel} skip={skip}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The differential property behind the port refactor: a one-tile
+    /// fabric over one bank is observationally identical to the
+    /// pre-refactor machine across random kernels × sparsities × buffer
+    /// counts, with and without cycle skipping.
+    #[test]
+    fn one_tile_fabric_is_bit_identical_to_legacy(
+        kernel in 0usize..3,
+        sparsity_pct in 5u32..95,
+        buffers in 1usize..=3,
+        n in 12usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = SystemConfig::paper_default().with_buffers(buffers);
+        assert_fabric_matches_legacy(cfg, kernel, n, sparsity_pct as f64 / 100.0, seed);
+    }
+}
+
+#[test]
+fn one_tile_fabric_matches_legacy_with_slow_memory() {
+    // Multi-cycle SRAM words exercise the burst wake hints through the
+    // banked port layer.
+    for kernel in 0..3 {
+        let cfg = SystemConfig::paper_default().with_ram_word_cycles(4);
+        assert_fabric_matches_legacy(cfg, kernel, 24, 0.5, 0xD1FF);
+    }
+}
+
+#[test]
+fn multi_tile_fabric_skip_matches_per_cycle() {
+    // The N-tile scheduler's skip spans differ from any single-tile span
+    // choice, but replay correctness must still make the two modes
+    // bit-identical: FabricStats (per tile and shared memory) and every
+    // tile's event stream.
+    use hht::system::FabricConfig;
+    let m = generate::random_csr(40, 40, 0.6, 0xF4B);
+    let v = generate::random_dense_vector(40, 0xF4C);
+    for tiles in [2usize, 4] {
+        let traced = SystemConfig::paper_default().with_trace(TraceConfig::enabled());
+        let skip = runner::run_spmv_fabric(
+            &traced.with_cycle_skip(true),
+            FabricConfig::scaled(tiles),
+            &m,
+            &v,
+        );
+        let step = runner::run_spmv_fabric(
+            &traced.with_cycle_skip(false),
+            FabricConfig::scaled(tiles),
+            &m,
+            &v,
+        );
+        assert_eq!(skip.stats, step.stats, "tiles={tiles}");
+        assert_eq!(skip.y, step.y);
+        assert_eq!(skip.tile_events, step.tile_events, "tiles={tiles}");
+    }
+}
+
 #[test]
 fn watchdog_expiry_is_a_recoverable_error() {
     use hht::isa::asm::assemble;

@@ -19,7 +19,7 @@ fn problem(n: usize) -> (hht::sparse::CsrMatrix, hht::sparse::DenseVector) {
 }
 
 fn plan(events: Vec<(u64, FaultKind)>) -> FaultPlan {
-    FaultPlan::new(events.into_iter().map(|(cycle, kind)| FaultEvent { cycle, kind }).collect())
+    FaultPlan::new(events.into_iter().map(|(cycle, kind)| FaultEvent::new(cycle, kind)).collect())
 }
 
 /// The PR's acceptance criterion: an injected HHT fault that defeats the

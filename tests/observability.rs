@@ -43,8 +43,7 @@ fn traced_runs_cover_all_tracks_with_balanced_slices() {
     let spmspv = runner::run_spmspv_hht_v1(&cfg, &m, &x);
     // A transient engine stall covers the fault track without perturbing
     // the result (the engine resumes and the run completes normally).
-    let plan =
-        FaultPlan::new(vec![FaultEvent { cycle: 5, kind: FaultKind::EngineStall { cycles: 16 } }]);
+    let plan = FaultPlan::new(vec![FaultEvent::new(5, FaultKind::EngineStall { cycles: 16 })]);
     let faulty = runner::run_spmv_hht_with_plan(&cfg, &m, &v, plan);
     for track in Track::ALL {
         assert!(
@@ -123,6 +122,41 @@ proptest! {
         let snap = traced.stats.snapshot();
         let back: MetricsSnapshot = serde_json::from_str(&snap.to_json()).unwrap();
         prop_assert_eq!(back, snap);
+    }
+
+    /// On an N-tile fabric the exact-sum invariants hold for *every tile's*
+    /// snapshot (each tile's counters are its own, normalized by its own
+    /// completion cycle) and for the merged record (normalized by total
+    /// tile-time, so every wait fraction stays a proper fraction).
+    #[test]
+    fn fabric_metrics_validate_per_tile_and_merged(
+        n in 16usize..40,
+        density_tenths in 2u32..9,
+        tiles_log in 0u32..3,
+        seed in 0u64..1_000_000,
+    ) {
+        use hht::system::FabricConfig;
+        let cfg = SystemConfig::paper_default();
+        let density = density_tenths as f64 / 10.0;
+        let m = generate::random_csr(n, n, density, seed);
+        let v = generate::random_dense_vector(n, seed ^ 0xFAB);
+        let out = runner::run_spmv_fabric(&cfg, FabricConfig::scaled(1usize << tiles_log), &m, &v);
+        for t in &out.stats.tiles {
+            let snap = t.snapshot();
+            prop_assert!(snap.validate().is_ok(), "per-tile: {:?}", snap.validate());
+            prop_assert!((0.0..=1.0).contains(&t.cpu_wait_frac()));
+            prop_assert!((0.0..=1.0).contains(&t.hht_wait_frac()));
+        }
+        let merged = out.stats.merged().snapshot();
+        prop_assert!(merged.validate().is_ok(), "merged: {:?}", merged.validate());
+        let fracs = [
+            out.stats.cpu_wait_frac(),
+            out.stats.hht_wait_frac(),
+            out.stats.bank_conflict_frac(),
+        ];
+        for f in fracs {
+            prop_assert!((0.0..=1.0).contains(&f), "fabric frac {} out of range", f);
+        }
     }
 }
 
