@@ -160,6 +160,11 @@ impl Hht {
         }
     }
 
+    /// Events evicted from the HHT's bus by its ring bound.
+    pub fn events_dropped(&self) -> u64 {
+        self.obs.as_ref().map_or(0, |b| b.dropped())
+    }
+
     /// Design parameters.
     pub fn params(&self) -> HhtParams {
         self.params

@@ -37,6 +37,14 @@
 //! - `--fault-plan <spec>` — same report with an explicit schedule, e.g.
 //!   `1000:drop_response,2000:sram_bit_flip:0x420:3` (see
 //!   `hht_fault::FaultPlan::parse`). Overrides `--fault-seed`.
+//! - `--bench-out <path>` — run the canonical benchmark suite (SpMV on the
+//!   paper-default and slow-memory configurations) and write the
+//!   `BENCH_core.json` report: deterministic simulated-cycle metrics plus
+//!   informational host throughput, CPI stack, and bottleneck verdict.
+//! - `--bench-compare <path>` — same suite, compared against a committed
+//!   baseline report; exits non-zero when a deterministic metric regressed
+//!   past `--tolerance <frac>` (default 0.02). Combine with `--bench-out`
+//!   to also refresh the report.
 
 use hht_bench::format::table;
 use hht_energy::{ClockSpeed, ProcessNode};
@@ -61,6 +69,15 @@ fn main() {
     let trace_out = take_flag(&mut args, "--trace-out");
     let fault_seed = take_flag(&mut args, "--fault-seed");
     let fault_plan = take_flag(&mut args, "--fault-plan");
+    let bench_out = take_flag(&mut args, "--bench-out");
+    let bench_compare = take_flag(&mut args, "--bench-compare");
+    let tolerance = match take_flag(&mut args, "--tolerance") {
+        Some(v) => v.parse().ok().filter(|t: &f64| *t >= 0.0).unwrap_or_else(|| {
+            eprintln!("--tolerance expects a non-negative fraction, got `{v}`");
+            std::process::exit(2);
+        }),
+        None => 0.02,
+    };
     let jobs = match take_flag(&mut args, "--jobs") {
         Some(v) => v.parse().ok().filter(|&j| j >= 1).unwrap_or_else(|| {
             eprintln!("--jobs expects a positive integer, got `{v}`");
@@ -71,6 +88,10 @@ fn main() {
     let which = args.first().map(String::as_str).unwrap_or("all");
     let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(512);
     let cfg = SystemConfig::paper_default();
+    if bench_out.is_some() || bench_compare.is_some() {
+        bench_observatory(&cfg, n.min(256), bench_out, bench_compare, tolerance);
+        return;
+    }
     // `scaling` consumes --metrics-out itself (it exports the sweep rather
     // than the default single-tile SpMV snapshot).
     if which == "scaling" {
@@ -148,7 +169,7 @@ fn export_observability(
     let m = hht_sparse::generate::random_csr(n, n, 0.5, 0xB5);
     let v = hht_sparse::generate::random_dense_vector(n, 0xB6);
     let out = hht_system::runner::run_spmv_hht(&traced, &m, &v);
-    let snap = out.stats.snapshot();
+    let snap = out.stats.snapshot().with_drops(out.dropped);
     snap.validate().expect("stall histogram must sum exactly to the wait counters");
     if let Some(path) = metrics_out {
         write_or_exit(&path, &snap.to_json());
@@ -157,6 +178,92 @@ fn export_observability(
     if let Some(path) = trace_out {
         write_or_exit(&path, &hht_obs::chrome::chrome_trace_json(&out.events));
         eprintln!("wrote Chrome trace ({} events) to {path}", out.events.len());
+    }
+}
+
+/// The `BENCH_core.json` observatory: run the canonical suite, print the
+/// top-down CPI stack + bottleneck verdict + host self-profile for every
+/// configuration, optionally write the report, and optionally gate the
+/// deterministic metrics against a committed baseline.
+fn bench_observatory(
+    cfg: &SystemConfig,
+    n: usize,
+    bench_out: Option<String>,
+    bench_compare: Option<String>,
+    tolerance: f64,
+) {
+    use hht_prof::{classify, BenchConfig, BenchReport, CpiStack, HostProfile, Stopwatch};
+    header(
+        &format!("Benchmark observatory ({n}x{n} SpMV, 50% sparsity)"),
+        "regression gate: simulated cycles are deterministic; host throughput is informational",
+    );
+    let mut report = BenchReport::new();
+    for (name, c) in [("paper_default", *cfg), ("slow_memory", cfg.with_ram_word_cycles(4))] {
+        let mut sw = Stopwatch::start();
+        let m = hht_sparse::generate::random_csr(n, n, 0.5, 0xBE);
+        let v = hht_sparse::generate::random_dense_vector(n, 0xBF);
+        let layout_secs = sw.lap();
+        let base = hht_system::runner::run_spmv_baseline(&c, &m, &v);
+        let hht = hht_system::runner::run_spmv_hht(&c, &m, &v);
+        let run_secs = sw.lap();
+        let stack = CpiStack::from_stats(&hht.stats)
+            .unwrap_or_else(|e| panic!("{name}: CPI attribution failed: {e}"));
+        assert_eq!(stack.total(), stack.cycles, "{name}: CPI stack must sum to total cycles");
+        let verdict = classify(&stack, &hht.stats);
+        let mut sched = base.sched;
+        sched.add(&hht.sched);
+        let host = HostProfile {
+            layout_secs,
+            run_secs,
+            export_secs: 0.0,
+            sim_cycles: base.stats.cycles + hht.stats.cycles,
+            stepped_cycles: 0,
+            skipped_cycles: 0,
+        }
+        .with_sched(&sched);
+        print!("{}", stack.render(name));
+        println!("  {}", verdict.render());
+        let speedup = base.stats.cycles as f64 / hht.stats.cycles as f64;
+        println!("  speedup {speedup:.3}x  ({} -> {})", base.stats.cycles, hht.stats.cycles);
+        let mut entry = BenchConfig {
+            name: name.to_string(),
+            baseline_cycles: base.stats.cycles,
+            hht_cycles: hht.stats.cycles,
+            speedup,
+            cpu_wait_frac: hht.stats.cpu_wait_frac(),
+            issue_frac: stack.frac(stack.issue),
+            host,
+        };
+        entry.host.export_secs = sw.lap();
+        println!("  {}", entry.host.render());
+        report.configs.push(entry);
+    }
+    if let Some(path) = &bench_out {
+        write_or_exit(path, &report.to_json());
+        eprintln!("wrote bench report to {path}");
+    }
+    if let Some(path) = bench_compare {
+        let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline report {path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline = BenchReport::from_json(&committed).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        });
+        let regressions = report.compare(&baseline, tolerance);
+        if regressions.is_empty() {
+            println!(
+                "bench-compare: no regressions vs {path} (tolerance {:.2}%)",
+                100.0 * tolerance
+            );
+        } else {
+            eprintln!("bench-compare: {} regression(s) vs {path}:", regressions.len());
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
     }
 }
 
@@ -719,10 +826,11 @@ fn scaling(cfg: &SystemConfig, n: usize, jobs: usize, metrics_out: Option<String
     });
     let base = outs[0].1.stats.cycles;
     let mut rows = Vec::new();
+    let mut imbalance = Vec::new();
     let mut records = Vec::new();
     for (t, out) in &outs {
         let s = &out.stats;
-        let snap = s.merged().snapshot();
+        let snap = s.merged().snapshot().with_drops(out.dropped);
         snap.validate().expect("merged stall histogram must sum exactly to the wait counters");
         rows.push(vec![
             t.to_string(),
@@ -732,13 +840,41 @@ fn scaling(cfg: &SystemConfig, n: usize, jobs: usize, metrics_out: Option<String
             s.mem.cross_tile_conflicts.to_string(),
             format!("{:.4}", s.cpu_wait_frac()),
         ]);
+        // Load imbalance: nnz each row shard carries, and the share of the
+        // wall each tile spent before halting.
+        let ptr = m.row_ptr();
+        let nnz: Vec<u64> = hht_system::layout::row_shards(&m, *t)
+            .iter()
+            .map(|&(r0, r1)| (ptr[r1] - ptr[r0]) as u64)
+            .collect();
+        let busy: Vec<f64> =
+            s.tiles.iter().map(|ts| ts.cycles as f64 / s.cycles.max(1) as f64).collect();
+        let fmin = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let fmax = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+        let cpi = hht_prof::FabricCpi::from_fabric(s)
+            .expect("fabric CPI attribution must hold for every tile");
+        imbalance.push(vec![
+            t.to_string(),
+            nnz.iter().max().copied().unwrap_or(0).to_string(),
+            nnz.iter().min().copied().unwrap_or(0).to_string(),
+            format!("{:.1}", nnz.iter().sum::<u64>() as f64 / nnz.len().max(1) as f64),
+            format!("{:.3}", fmax(&busy)),
+            format!("{:.3}", fmin(&busy)),
+            format!("{:.4}", cpi.idle_frac()),
+        ]);
         records.push(format!(
             "{{\"tiles\":{t},\"wall_cycles\":{},\"speedup\":{:.6},\
-             \"bank_conflict_frac\":{:.6},\"cross_tile_conflicts\":{},\"merged\":{}}}",
+             \"bank_conflict_frac\":{:.6},\"cross_tile_conflicts\":{},\
+             \"sched\":{{\"stepped_cycles\":{},\"skipped_cycles\":{},\"skip_spans\":{}}},\
+             \"events_dropped\":{},\"merged\":{}}}",
             s.cycles,
             base as f64 / s.cycles as f64,
             s.bank_conflict_frac(),
             s.mem.cross_tile_conflicts,
+            out.sched.stepped_cycles,
+            out.sched.skipped_cycles,
+            out.sched.skip_spans,
+            out.dropped.total(),
             snap.to_json(),
         ));
     }
@@ -747,6 +883,14 @@ fn scaling(cfg: &SystemConfig, n: usize, jobs: usize, metrics_out: Option<String
         table(
             &["tiles", "wall cycles", "speedup", "bank conflict frac", "cross-tile", "cpu_wait"],
             &rows
+        )
+    );
+    println!("per-tile load imbalance (row-shard nnz and busy-cycle share of the wall):");
+    print!(
+        "{}",
+        table(
+            &["tiles", "nnz max", "nnz min", "nnz mean", "busy max", "busy min", "idle frac"],
+            &imbalance
         )
     );
     if let Some(path) = metrics_out {

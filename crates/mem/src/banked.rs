@@ -123,6 +123,11 @@ impl SharedMemory {
         }
     }
 
+    /// Events evicted from one tile's bus by its ring bound.
+    pub fn events_dropped_for(&self, tile: usize) -> u64 {
+        self.obs[tile].as_ref().map_or(0, |b| b.dropped())
+    }
+
     /// Number of banks.
     pub fn banks(&self) -> usize {
         self.banks.len()
@@ -161,8 +166,15 @@ impl SharedMemory {
     fn reject(&mut self, tile: usize, now: u64, bank: usize, who: Requester) {
         self.tile_stats[tile].conflicts += 1;
         self.stats.conflicts += 1;
-        if self.banks[bank].holder != tile {
+        let cross = self.banks[bank].holder != tile;
+        if cross {
             self.stats.cross_tile_conflicts += 1;
+        }
+        if who == Requester::Cpu {
+            self.tile_stats[tile].cpu_conflicts += 1;
+            if cross {
+                self.tile_stats[tile].cpu_cross_tile_conflicts += 1;
+            }
         }
         if let Some(bus) = self.obs[tile].as_mut() {
             bus.emit(now, Track::SramPort, EventKind::ArbConflict { loser: who.label() });
@@ -238,8 +250,15 @@ impl SharedMemory {
         let bank = self.bank_of(addr);
         self.tile_stats[tile].conflicts += span;
         self.stats.conflicts += span;
-        if self.banks[bank].holder != tile {
+        let cross = self.banks[bank].holder != tile;
+        if cross {
             self.stats.cross_tile_conflicts += span;
+        }
+        if who == Requester::Cpu {
+            self.tile_stats[tile].cpu_conflicts += span;
+            if cross {
+                self.tile_stats[tile].cpu_cross_tile_conflicts += span;
+            }
         }
         if let Some(bus) = self.obs[tile].as_mut() {
             for c in 0..span {

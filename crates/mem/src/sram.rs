@@ -12,6 +12,12 @@ pub struct SramStats {
     pub hht_accesses: u64,
     /// Attempts rejected because the port was busy (contention).
     pub conflicts: u64,
+    /// The subset of `conflicts` whose loser was the CPU — one per stalled
+    /// CPU cycle, so this equals the core's `mem_port_stall_cycles`.
+    pub cpu_conflicts: u64,
+    /// The subset of `cpu_conflicts` where the port/bank was held by a
+    /// *different* tile (always zero for a private single-tile SRAM).
+    pub cpu_cross_tile_conflicts: u64,
 }
 
 /// Which agent is asking for the port (for statistics only — priority is
@@ -79,6 +85,11 @@ impl Sram {
         }
     }
 
+    /// Events evicted from the port's bus by its ring bound.
+    pub fn events_dropped(&self) -> u64 {
+        self.obs.as_ref().map_or(0, |b| b.dropped())
+    }
+
     /// Size in bytes.
     pub fn size(&self) -> u32 {
         self.data.len() as u32
@@ -108,6 +119,9 @@ impl Sram {
     pub fn try_start(&mut self, now: u64, who: Requester) -> Option<u64> {
         if self.free_at > now {
             self.stats.conflicts += 1;
+            if who == Requester::Cpu {
+                self.stats.cpu_conflicts += 1;
+            }
             if let Some(bus) = self.obs.as_mut() {
                 bus.emit(now, Track::SramPort, EventKind::ArbConflict { loser: who.label() });
             }
@@ -131,6 +145,9 @@ impl Sram {
     pub fn try_start_burst(&mut self, now: u64, who: Requester, words: u64) -> Option<u64> {
         if self.free_at > now {
             self.stats.conflicts += 1;
+            if who == Requester::Cpu {
+                self.stats.cpu_conflicts += 1;
+            }
             if let Some(bus) = self.obs.as_mut() {
                 bus.emit(now, Track::SramPort, EventKind::ArbConflict { loser: who.label() });
             }
@@ -169,6 +186,9 @@ impl Sram {
     /// the per-cycle and cycle-skipping schedulers).
     pub fn skip_conflicts(&mut self, now: u64, span: u64, who: Requester) {
         self.stats.conflicts += span;
+        if who == Requester::Cpu {
+            self.stats.cpu_conflicts += span;
+        }
         if let Some(bus) = self.obs.as_mut() {
             for c in 0..span {
                 bus.emit(now + c, Track::SramPort, EventKind::ArbConflict { loser: who.label() });

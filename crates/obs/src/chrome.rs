@@ -13,8 +13,14 @@
 //! [`chrome_trace_json_tiles`] renders one stream *per fabric tile* as one
 //! process per tile ("tile N" lanes side by side in the viewer).
 
-use crate::{Event, EventKind, Track};
+use crate::{Event, EventKind, SkipSpan, Track};
 use serde::{Number, Value};
+
+/// Thread id of the per-tile scheduler lane (one past the [`Track`] tids).
+/// The lane is emitted only by the `_sched` exporters: cycle-skip spans
+/// exist only under the event-driven scheduler, so they live outside the
+/// [`Track`] set whose streams are compared across scheduler modes.
+const SCHED_TID: u32 = 8;
 
 fn base_event(name: &str, ph: &str, pid: u64, tid: u32) -> Vec<(String, Value)> {
     vec![
@@ -133,6 +139,27 @@ fn emit_process(trace_events: &mut Vec<Value>, pid: u64, process_name: &str, eve
     }
 }
 
+/// Append one process's scheduler lane: a "cycle-skip" thread carrying one
+/// `B`/`E` slice per fast-forwarded span plus a counter track stepping to
+/// the span length at its start and back to zero at its end.
+fn emit_sched_lane(trace_events: &mut Vec<Value>, pid: u64, spans: &[SkipSpan]) {
+    let mut meta = base_event("thread_name", "M", pid, SCHED_TID);
+    meta.push(("args".into(), Value::Map(vec![("name".into(), Value::Str("cycle-skip".into()))])));
+    trace_events.push(Value::Map(meta));
+    for s in spans {
+        trace_events.push(slice("skip", "B", pid, SCHED_TID, s.start, "sched"));
+        trace_events.push(counter("skipped", pid, SCHED_TID, s.start, s.len()));
+        trace_events.push(counter("skipped", pid, SCHED_TID, s.end, 0));
+        trace_events.push(slice("skip", "E", pid, SCHED_TID, s.end, "sched"));
+    }
+}
+
+fn counter(name: &str, pid: u64, tid: u32, cycle: u64, value: u64) -> Value {
+    let mut fields = with_ts(base_event(name, "C", pid, tid), cycle);
+    fields.push(("args".into(), Value::Map(vec![("value".into(), Value::Num(Number::U(value)))])));
+    Value::Map(fields)
+}
+
 fn wrap(trace_events: Vec<Value>) -> Value {
     Value::Map(vec![
         ("displayTimeUnit".into(), Value::Str("ns".into())),
@@ -160,6 +187,28 @@ pub fn chrome_trace_value_tiles(tiles: &[Vec<Event>]) -> Value {
         emit_process(&mut trace_events, t as u64, &format!("tile {t}"), events);
     }
     wrap(trace_events)
+}
+
+/// [`chrome_trace_value_tiles`] plus a scheduler lane per tile: the fabric
+/// skips all tiles together, so every tile's lane carries the same
+/// cycle-skip spans (rendered as slices and a counter track). With `spans`
+/// empty the output is identical to the plain tile export.
+pub fn chrome_trace_value_tiles_sched(tiles: &[Vec<Event>], spans: &[SkipSpan]) -> Value {
+    let mut trace_events: Vec<Value> = Vec::new();
+    for (t, events) in tiles.iter().enumerate() {
+        emit_process(&mut trace_events, t as u64, &format!("tile {t}"), events);
+        if !spans.is_empty() {
+            emit_sched_lane(&mut trace_events, t as u64, spans);
+        }
+    }
+    wrap(trace_events)
+}
+
+/// Render a multi-tile trace with per-tile scheduler lanes as a compact
+/// JSON string (byte-stable per event stream + span list).
+pub fn chrome_trace_json_tiles_sched(tiles: &[Vec<Event>], spans: &[SkipSpan]) -> String {
+    serde_json::to_string(&chrome_trace_value_tiles_sched(tiles, spans))
+        .expect("trace values are always finite")
 }
 
 fn slice(name: &str, ph: &str, pid: u64, tid: u32, cycle: u64, cat: &str) -> Value {
@@ -262,6 +311,18 @@ mod tests {
         let events = v.get("traceEvents").and_then(Value::as_seq).unwrap();
         // Two full processes worth of records.
         assert_eq!(events.len(), 30);
+    }
+
+    #[test]
+    fn sched_lane_is_additive_and_balanced() {
+        let tiles = vec![sample_events()];
+        let spans = [SkipSpan { start: 2, end: 10 }, SkipSpan { start: 12, end: 15 }];
+        // No spans: byte-identical to the plain tile export.
+        assert_eq!(chrome_trace_json_tiles_sched(&tiles, &[]), chrome_trace_json_tiles(&tiles));
+        let json = chrome_trace_json_tiles_sched(&tiles, &spans);
+        assert!(json.contains("\"cycle-skip\""));
+        assert_eq!(json.matches("\"skipped\"").count(), 4); // 2 counter pairs
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), json.matches("\"ph\":\"E\"").count());
     }
 
     #[test]

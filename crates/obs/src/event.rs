@@ -7,6 +7,68 @@
 //! `Option` branch per event site.
 
 use crate::{RingBuffer, StallCause};
+use serde::{Deserialize, Serialize};
+
+/// Per-component ring-buffer eviction counters for one run (or one fabric
+/// tile). Every observability sink is bounded, so a long run can overflow
+/// its rings; these counters make the truncation *detectable* in the
+/// exported metrics snapshot instead of silently shortening the timeline.
+/// All zero when tracing is off or nothing was evicted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsDrops {
+    /// Events evicted from the CPU core's bus.
+    pub core_events: u64,
+    /// Instruction-trace entries evicted from the core's trace ring.
+    pub instr_trace: u64,
+    /// Events evicted from the HHT's bus.
+    pub hht_events: u64,
+    /// Events evicted from the memory port's per-tile bus.
+    pub mem_events: u64,
+    /// Events evicted from the tile's fault-timeline bus.
+    pub fault_events: u64,
+}
+
+impl ObsDrops {
+    /// Total evicted records across every sink.
+    pub fn total(&self) -> u64 {
+        let ObsDrops { core_events, instr_trace, hht_events, mem_events, fault_events } = *self;
+        core_events + instr_trace + hht_events + mem_events + fault_events
+    }
+
+    /// Fold another tile's drop counters into this one.
+    pub fn add(&mut self, other: &ObsDrops) {
+        let ObsDrops { core_events, instr_trace, hht_events, mem_events, fault_events } = *other;
+        self.core_events += core_events;
+        self.instr_trace += instr_trace;
+        self.hht_events += hht_events;
+        self.mem_events += mem_events;
+        self.fault_events += fault_events;
+    }
+}
+
+/// One span of simulated cycles the event-driven scheduler fast-forwarded
+/// over (half-open: `[start, end)`). Collected on a dedicated scheduler
+/// sink — never on the per-tile event buses, whose streams must stay
+/// bit-identical between the per-cycle and cycle-skipping schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipSpan {
+    /// First skipped cycle.
+    pub start: u64,
+    /// First cycle after the span (the scheduler's landing cycle).
+    pub end: u64,
+}
+
+impl SkipSpan {
+    /// Number of cycles the span covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True for a degenerate empty span (never produced by the scheduler).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
 
 /// Timeline track an event belongs to — one per hardware unit, rendered as
 /// one row ("thread") in the Chrome trace.

@@ -23,7 +23,7 @@ pub mod chrome;
 mod event;
 mod ring;
 
-pub use event::{merge_events, Event, EventBus, EventKind, Track};
+pub use event::{merge_events, Event, EventBus, EventKind, ObsDrops, SkipSpan, Track};
 pub use ring::RingBuffer;
 
 use serde::{Deserialize, Serialize};

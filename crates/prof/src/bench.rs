@@ -1,0 +1,172 @@
+//! The canonical benchmark report (`BENCH_core.json`) and its regression
+//! comparator.
+//!
+//! The report is small on purpose: a handful of headline metrics per named
+//! configuration, committed at the repo root as the performance baseline.
+//! The comparator gates **only deterministic simulated metrics** (cycle
+//! counts and speedup) against a relative tolerance — host-throughput
+//! numbers vary with the machine running CI and are carried for context
+//! only.
+
+use crate::host::HostProfile;
+use serde::{Deserialize, Serialize};
+
+/// Schema version stamped into every report; bump on incompatible change.
+pub const BENCH_SCHEMA: u32 = 1;
+
+/// Headline metrics for one named configuration (e.g. `paper_default`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchConfig {
+    /// Configuration name (stable key the comparator joins on).
+    pub name: String,
+    /// Baseline (CPU-only) SpMV cycles. Deterministic; gated.
+    pub baseline_cycles: u64,
+    /// HHT-assisted SpMV cycles. Deterministic; gated.
+    pub hht_cycles: u64,
+    /// `baseline_cycles / hht_cycles`. Deterministic; gated.
+    pub speedup: f64,
+    /// Fraction of the HHT run the CPU waited on the accelerator.
+    pub cpu_wait_frac: f64,
+    /// CPI-stack issue fraction of the HHT run.
+    pub issue_frac: f64,
+    /// Host-side profile of the HHT run (informational, never gated).
+    pub host: HostProfile,
+}
+
+/// The full report: schema stamp plus one entry per configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Always [`BENCH_SCHEMA`] for reports this build writes.
+    pub schema: u32,
+    /// Per-configuration results, in a stable order.
+    pub configs: Vec<BenchConfig>,
+}
+
+impl BenchReport {
+    /// An empty report at the current schema.
+    pub fn new() -> Self {
+        BenchReport { schema: BENCH_SCHEMA, configs: Vec::new() }
+    }
+
+    /// Pretty JSON (deterministic field order — suitable for committing).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report fields are plain data")
+    }
+
+    /// Parse a committed report.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("malformed bench report: {e}"))
+    }
+
+    /// Compare `self` (the current build) against a committed `baseline`.
+    ///
+    /// Returns one message per regression; empty means the gate passes.
+    /// A metric regresses when it is *worse* than baseline by more than
+    /// the relative `tolerance` (cycles up, speedup down). Improvements
+    /// and host-timing drift never fail the gate; a configuration present
+    /// in the baseline but missing from the current report does.
+    pub fn compare(&self, baseline: &BenchReport, tolerance: f64) -> Vec<String> {
+        let mut regressions = Vec::new();
+        if baseline.schema != self.schema {
+            regressions.push(format!(
+                "schema mismatch: baseline {} vs current {} (regenerate the baseline)",
+                baseline.schema, self.schema
+            ));
+            return regressions;
+        }
+        for base in &baseline.configs {
+            let Some(cur) = self.configs.iter().find(|c| c.name == base.name) else {
+                regressions.push(format!("config '{}' missing from current report", base.name));
+                continue;
+            };
+            let worse_cycles = |label: &str, cur_v: u64, base_v: u64| {
+                let limit = base_v as f64 * (1.0 + tolerance);
+                (cur_v as f64 > limit).then(|| {
+                    format!(
+                        "{}: {label} regressed {} -> {} (+{:.2}%, tolerance {:.2}%)",
+                        base.name,
+                        base_v,
+                        cur_v,
+                        100.0 * (cur_v as f64 / base_v as f64 - 1.0),
+                        100.0 * tolerance
+                    )
+                })
+            };
+            regressions.extend(worse_cycles("hht_cycles", cur.hht_cycles, base.hht_cycles));
+            regressions.extend(worse_cycles(
+                "baseline_cycles",
+                cur.baseline_cycles,
+                base.baseline_cycles,
+            ));
+            let speedup_floor = base.speedup * (1.0 - tolerance);
+            if cur.speedup < speedup_floor {
+                regressions.push(format!(
+                    "{}: speedup regressed {:.3}x -> {:.3}x (tolerance {:.2}%)",
+                    base.name,
+                    base.speedup,
+                    cur.speedup,
+                    100.0 * tolerance
+                ));
+            }
+        }
+        regressions
+    }
+}
+
+impl Default for BenchReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(name: &str, base: u64, hht: u64) -> BenchConfig {
+        BenchConfig {
+            name: name.to_string(),
+            baseline_cycles: base,
+            hht_cycles: hht,
+            speedup: base as f64 / hht as f64,
+            cpu_wait_frac: 0.1,
+            issue_frac: 0.5,
+            host: HostProfile::default(),
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let mut r = BenchReport::new();
+        r.configs.push(cfg("paper_default", 1000, 400));
+        assert!(r.compare(&r.clone(), 0.02).is_empty());
+    }
+
+    #[test]
+    fn cycle_regression_past_tolerance_fails() {
+        let mut base = BenchReport::new();
+        base.configs.push(cfg("paper_default", 1000, 400));
+        let mut cur = BenchReport::new();
+        cur.configs.push(cfg("paper_default", 1000, 450)); // +12.5 %
+        let regs = cur.compare(&base, 0.02);
+        assert_eq!(regs.len(), 2, "hht_cycles and speedup both regress: {regs:?}");
+        // Improvements never fail.
+        let mut faster = BenchReport::new();
+        faster.configs.push(cfg("paper_default", 1000, 350));
+        assert!(faster.compare(&base, 0.02).is_empty());
+    }
+
+    #[test]
+    fn missing_config_fails_and_json_round_trips() {
+        let mut base = BenchReport::new();
+        base.configs.push(cfg("paper_default", 1000, 400));
+        base.configs.push(cfg("slow_memory", 4000, 1300));
+        let parsed = BenchReport::from_json(&base.to_json()).unwrap();
+        assert_eq!(parsed, base);
+        let mut cur = BenchReport::new();
+        cur.configs.push(cfg("paper_default", 1000, 400));
+        let regs = cur.compare(&base, 0.02);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("slow_memory"));
+    }
+}

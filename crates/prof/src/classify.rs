@@ -1,0 +1,110 @@
+//! Bottleneck classification over a [`CpiStack`].
+//!
+//! The classifier cuts the stack into three roofline-style super-buckets
+//! and names the largest one:
+//!
+//! - **compute** — `issue + branch_refill + vector_busy`: the core was the
+//!   limiter.
+//! - **latency** — `mem_load_latency + hht_window_empty +
+//!   hht_header_drain`: waiting for data to *arrive*. HHT waits count here
+//!   because an empty stream window is memory latency the accelerator
+//!   failed to hide.
+//! - **bandwidth** — `mem_port_refusal + mem_cross_tile`: the data was
+//!   there but the port/bank was contended.
+//!
+//! `fault_recovery` cycles are reported separately and never win the
+//! classification (a faulty run is still latency/bandwidth/compute bound
+//! underneath its recovery overhead).
+//!
+//! The report also estimates **cycles hidden by the HHT**: back-end busy
+//! cycles during which the CPU was *not* blocked on the accelerator —
+//! gather work that overlapped useful CPU progress instead of serializing
+//! in front of it.
+
+use crate::cpi::CpiStack;
+use hht_system::system::SystemStats;
+use serde::{Deserialize, Serialize};
+
+/// Which super-bucket limits the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// The core's own issue/vector throughput dominates.
+    ComputeBound,
+    /// Waiting for data to arrive (memory latency, unhidden HHT latency).
+    LatencyBound,
+    /// Port/bank contention: the fabric's wires, not the data, limit.
+    BandwidthBound,
+}
+
+impl Bottleneck {
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Bottleneck::ComputeBound => "compute-bound",
+            Bottleneck::LatencyBound => "latency-bound",
+            Bottleneck::BandwidthBound => "bandwidth-bound",
+        }
+    }
+}
+
+/// The classifier's full output for one run (or one merged fabric view).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BottleneckReport {
+    /// The winning super-bucket.
+    pub bottleneck: Bottleneck,
+    /// Fraction of cycles in the compute super-bucket.
+    pub compute_frac: f64,
+    /// Fraction of cycles in the latency super-bucket.
+    pub latency_frac: f64,
+    /// Fraction of cycles in the bandwidth super-bucket.
+    pub bandwidth_frac: f64,
+    /// Fraction of cycles in fault recovery (reported, never classified).
+    pub fault_frac: f64,
+    /// HHT back-end busy cycles that overlapped CPU progress: the latency
+    /// the accelerator actually hid.
+    pub cycles_hidden_by_hht: u64,
+    /// `cycles_hidden_by_hht / cycles`.
+    pub hidden_frac: f64,
+}
+
+/// Classify one run. `stats` must be the same record `stack` was built
+/// from (the hidden-cycles estimate needs the HHT busy counter).
+pub fn classify(stack: &CpiStack, stats: &SystemStats) -> BottleneckReport {
+    let compute = stack.issue + stack.branch_refill + stack.vector_busy;
+    let latency = stack.mem_load_latency + stack.hht_wait();
+    let bandwidth = stack.mem_port_refusal + stack.mem_cross_tile;
+    let bottleneck = if compute >= latency && compute >= bandwidth {
+        Bottleneck::ComputeBound
+    } else if latency >= bandwidth {
+        Bottleneck::LatencyBound
+    } else {
+        Bottleneck::BandwidthBound
+    };
+    let hidden = stats.hht.busy_cycles.saturating_sub(stats.core.hht_wait_cycles);
+    BottleneckReport {
+        bottleneck,
+        compute_frac: stack.frac(compute),
+        latency_frac: stack.frac(latency),
+        bandwidth_frac: stack.frac(bandwidth),
+        fault_frac: stack.frac(stack.fault_recovery),
+        cycles_hidden_by_hht: hidden,
+        hidden_frac: stack.frac(hidden),
+    }
+}
+
+impl BottleneckReport {
+    /// One-paragraph terminal rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "verdict: {} (compute {:.1}%, latency {:.1}%, bandwidth {:.1}%, fault {:.1}%); \
+             HHT hid {} cycles ({:.1}% of the run)",
+            self.bottleneck.label(),
+            100.0 * self.compute_frac,
+            100.0 * self.latency_frac,
+            100.0 * self.bandwidth_frac,
+            100.0 * self.fault_frac,
+            self.cycles_hidden_by_hht,
+            100.0 * self.hidden_frac,
+        )
+    }
+}

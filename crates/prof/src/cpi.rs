@@ -1,0 +1,298 @@
+//! Top-down CPI stack: every simulated cycle in exactly one bucket.
+//!
+//! The hierarchy (paper §4 counters, re-cut Intel-top-down style):
+//!
+//! ```text
+//! cycles
+//! ├── issue              core advanced architectural state
+//! ├── branch_refill      taken-branch fetch bubbles
+//! ├── vector_busy        multi-cycle vector op occupancy
+//! ├── memory wait
+//! │   ├── mem_load_latency    word/burst access latency
+//! │   ├── mem_port_refusal    lost arbitration, same-tile holder
+//! │   └── mem_cross_tile      lost arbitration, bank held by another tile
+//! ├── HHT wait
+//! │   ├── hht_window_empty    stream window had no element ready
+//! │   └── hht_header_drain    chunk header not yet visible
+//! └── fault_recovery     retry back-off + failed-attempt cycles
+//! ```
+//!
+//! `issue` is the *remainder* after all attributed stalls, computed with
+//! checked arithmetic: a counter bug that over-attributes stalls surfaces
+//! as an [`Err`] here instead of a quietly negative bucket. The exact-sum
+//! invariant `total() == cycles` therefore holds by construction, and the
+//! differential property tests in `tests/profiling.rs` pin it across
+//! kernels, scheduler modes, and fault injection.
+
+use hht_system::fabric::FabricStats;
+use hht_system::system::SystemStats;
+use serde::{Deserialize, Serialize};
+
+/// One run's (or one tile's) cycle attribution. All fields are cycle
+/// counts; [`CpiStack::total`] returns their sum, which equals `cycles`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpiStack {
+    /// Total cycles attributed (the tile's own completion cycle).
+    pub cycles: u64,
+    /// Cycles the core advanced architectural state (issued work).
+    pub issue: u64,
+    /// Taken-branch fetch bubbles.
+    pub branch_refill: u64,
+    /// Cycles stalled behind a still-busy vector unit.
+    pub vector_busy: u64,
+    /// Memory access latency (word / burst cycles beyond the first).
+    pub mem_load_latency: u64,
+    /// Lost port arbitration where the holder was this tile's own HHT.
+    pub mem_port_refusal: u64,
+    /// Lost bank arbitration where the holder was *another* tile.
+    pub mem_cross_tile: u64,
+    /// CPU load on a stream window that had no element ready.
+    pub hht_window_empty: u64,
+    /// CPU wait for a chunk header the HHT had not yet produced.
+    pub hht_header_drain: u64,
+    /// Fault handling: HHT retry back-off plus the cycles burned by a
+    /// failed accelerated attempt before software fallback.
+    pub fault_recovery: u64,
+}
+
+impl CpiStack {
+    /// Build the stack from one run's counters.
+    ///
+    /// Errors when the counters cannot be attributed consistently — stalls
+    /// summing past `cycles`, cross-tile conflicts exceeding total
+    /// arbitration losses, or a non-zero CPU-side `output_full` bucket
+    /// (that cause lives on the HHT side). Any of these is a simulator
+    /// accounting bug, not a property of the workload.
+    pub fn from_stats(s: &SystemStats) -> Result<CpiStack, String> {
+        let st = &s.core.stalls;
+        if st.output_full != 0 {
+            return Err(format!(
+                "core-side stall histogram has output_full = {} (HHT-side cause)",
+                st.output_full
+            ));
+        }
+        let mem_cross_tile = s.sram.cpu_cross_tile_conflicts;
+        let mem_port_refusal =
+            st.arbitration_loss.checked_sub(mem_cross_tile).ok_or_else(|| {
+                format!(
+                    "cross-tile conflicts ({mem_cross_tile}) exceed arbitration losses ({})",
+                    st.arbitration_loss
+                )
+            })?;
+        let attributed = st.total() + s.faults.failed_cycles;
+        let issue = s.cycles.checked_sub(attributed).ok_or_else(|| {
+            format!("attributed stalls ({attributed}) exceed total cycles ({})", s.cycles)
+        })?;
+        Ok(CpiStack {
+            cycles: s.cycles,
+            issue,
+            branch_refill: st.branch_refill,
+            vector_busy: st.vector_busy,
+            mem_load_latency: st.load_latency,
+            mem_port_refusal,
+            mem_cross_tile,
+            hht_window_empty: st.hht_window_empty,
+            hht_header_drain: st.hht_header_wait,
+            fault_recovery: st.hht_retry_backoff + s.faults.failed_cycles,
+        })
+    }
+
+    /// Sum of every bucket — equals `cycles` for any stack built by
+    /// [`CpiStack::from_stats`] (the exact-sum invariant).
+    pub fn total(&self) -> u64 {
+        // Exhaustive destructuring: a new bucket that is not added to the
+        // sum breaks this at compile time.
+        let CpiStack {
+            cycles: _,
+            issue,
+            branch_refill,
+            vector_busy,
+            mem_load_latency,
+            mem_port_refusal,
+            mem_cross_tile,
+            hht_window_empty,
+            hht_header_drain,
+            fault_recovery,
+        } = *self;
+        issue
+            + branch_refill
+            + vector_busy
+            + mem_load_latency
+            + mem_port_refusal
+            + mem_cross_tile
+            + hht_window_empty
+            + hht_header_drain
+            + fault_recovery
+    }
+
+    /// Cycles in the memory-wait super-bucket.
+    pub fn mem_wait(&self) -> u64 {
+        self.mem_load_latency + self.mem_port_refusal + self.mem_cross_tile
+    }
+
+    /// Cycles in the HHT-wait super-bucket.
+    pub fn hht_wait(&self) -> u64 {
+        self.hht_window_empty + self.hht_header_drain
+    }
+
+    /// `bucket / cycles`, 0 for an empty run.
+    pub fn frac(&self, bucket: u64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            bucket as f64 / self.cycles as f64
+        }
+    }
+
+    /// `(label, cycles)` pairs in hierarchy display order.
+    pub fn entries(&self) -> [(&'static str, u64); 9] {
+        [
+            ("issue", self.issue),
+            ("branch_refill", self.branch_refill),
+            ("vector_busy", self.vector_busy),
+            ("mem.load_latency", self.mem_load_latency),
+            ("mem.port_refusal", self.mem_port_refusal),
+            ("mem.cross_tile", self.mem_cross_tile),
+            ("hht.window_empty", self.hht_window_empty),
+            ("hht.header_drain", self.hht_header_drain),
+            ("fault_recovery", self.fault_recovery),
+        ]
+    }
+
+    /// Fold another stack into this one (bucket-wise sum).
+    pub fn add(&mut self, other: &CpiStack) {
+        let CpiStack {
+            cycles,
+            issue,
+            branch_refill,
+            vector_busy,
+            mem_load_latency,
+            mem_port_refusal,
+            mem_cross_tile,
+            hht_window_empty,
+            hht_header_drain,
+            fault_recovery,
+        } = *other;
+        self.cycles += cycles;
+        self.issue += issue;
+        self.branch_refill += branch_refill;
+        self.vector_busy += vector_busy;
+        self.mem_load_latency += mem_load_latency;
+        self.mem_port_refusal += mem_port_refusal;
+        self.mem_cross_tile += mem_cross_tile;
+        self.hht_window_empty += hht_window_empty;
+        self.hht_header_drain += hht_header_drain;
+        self.fault_recovery += fault_recovery;
+    }
+
+    /// Render as an indented text tree with percentages.
+    pub fn render(&self, label: &str) -> String {
+        let pct = |v: u64| 100.0 * self.frac(v);
+        let mut s = format!("CPI stack [{label}] — {} cycles\n", self.cycles);
+        s += &format!("  issue              {:>12}  {:5.1}%\n", self.issue, pct(self.issue));
+        s += &format!(
+            "  branch_refill      {:>12}  {:5.1}%\n",
+            self.branch_refill,
+            pct(self.branch_refill)
+        );
+        s += &format!(
+            "  vector_busy        {:>12}  {:5.1}%\n",
+            self.vector_busy,
+            pct(self.vector_busy)
+        );
+        s += &format!(
+            "  memory wait        {:>12}  {:5.1}%\n",
+            self.mem_wait(),
+            pct(self.mem_wait())
+        );
+        s += &format!(
+            "    load_latency     {:>12}  {:5.1}%\n",
+            self.mem_load_latency,
+            pct(self.mem_load_latency)
+        );
+        s += &format!(
+            "    port_refusal     {:>12}  {:5.1}%\n",
+            self.mem_port_refusal,
+            pct(self.mem_port_refusal)
+        );
+        s += &format!(
+            "    cross_tile       {:>12}  {:5.1}%\n",
+            self.mem_cross_tile,
+            pct(self.mem_cross_tile)
+        );
+        s += &format!(
+            "  HHT wait           {:>12}  {:5.1}%\n",
+            self.hht_wait(),
+            pct(self.hht_wait())
+        );
+        s += &format!(
+            "    window_empty     {:>12}  {:5.1}%\n",
+            self.hht_window_empty,
+            pct(self.hht_window_empty)
+        );
+        s += &format!(
+            "    header_drain     {:>12}  {:5.1}%\n",
+            self.hht_header_drain,
+            pct(self.hht_header_drain)
+        );
+        s += &format!(
+            "  fault_recovery     {:>12}  {:5.1}%\n",
+            self.fault_recovery,
+            pct(self.fault_recovery)
+        );
+        s
+    }
+}
+
+/// The fabric-wide view: one stack per tile, the merged stack over total
+/// tile-time, and the wall-normalized remainder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricCpi {
+    /// One stack per tile (`per_tile[t].cycles` is tile `t`'s own
+    /// completion cycle).
+    pub per_tile: Vec<CpiStack>,
+    /// Bucket-wise sum over tiles: attribution over *total tile-time*.
+    pub merged: CpiStack,
+    /// Wall cycles (last tile's completion).
+    pub wall_cycles: u64,
+    /// Tile-slots idle after their tile halted while the slowest tile kept
+    /// running: `wall_cycles * tiles - merged.cycles`. The load-imbalance
+    /// bucket of the wall-normalized view.
+    pub idle_after_halt: u64,
+}
+
+impl FabricCpi {
+    /// Build the per-tile, merged, and wall-normalized views from one
+    /// fabric run. The wall-normalized exact sum
+    /// `merged.total() + idle_after_halt == wall_cycles * tiles` holds for
+    /// every `Ok` result.
+    pub fn from_fabric(f: &FabricStats) -> Result<FabricCpi, String> {
+        let per_tile =
+            f.tiles.iter().map(CpiStack::from_stats).collect::<Result<Vec<_>, String>>()?;
+        let mut merged = CpiStack::default();
+        for t in &per_tile {
+            merged.add(t);
+        }
+        let slots = f.cycles * f.tiles.len() as u64;
+        let idle_after_halt = slots
+            .checked_sub(merged.cycles)
+            .ok_or_else(|| format!("tile-time ({}) exceeds wall slots ({slots})", merged.cycles))?;
+        Ok(FabricCpi { per_tile, merged, wall_cycles: f.cycles, idle_after_halt })
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.per_tile.len()
+    }
+
+    /// Fraction of wall-normalized tile-slots idle after halt (the
+    /// load-imbalance overhead of the sharding).
+    pub fn idle_frac(&self) -> f64 {
+        let slots = self.wall_cycles * self.tiles() as u64;
+        if slots == 0 {
+            0.0
+        } else {
+            self.idle_after_halt as f64 / slots as f64
+        }
+    }
+}

@@ -39,7 +39,9 @@ use hht_accel::{Hht, HhtStats, Wake};
 use hht_fault::{FaultKind, FaultPlan};
 use hht_isa::Program;
 use hht_mem::{SharedMemStats, SharedMemory, SramStats, TilePort};
-use hht_obs::{merge_events, Event, EventBus, EventKind, StallBreakdown, Track};
+use hht_obs::{
+    merge_events, Event, EventBus, EventKind, ObsDrops, SkipSpan, StallBreakdown, Track,
+};
 use hht_sim::{Core, CoreStats, RunError};
 use hht_sparse::DenseVector;
 use serde::{Deserialize, Serialize};
@@ -85,6 +87,42 @@ impl FabricConfig {
 impl Default for FabricConfig {
     fn default() -> Self {
         Self::single()
+    }
+}
+
+/// Host-side scheduler accounting: how the run's simulated cycles were
+/// advanced. Deliberately *not* part of [`FabricStats`] — the split between
+/// stepped and skipped cycles depends on the scheduler mode, while
+/// [`FabricStats`] must stay bit-identical between the per-cycle and
+/// cycle-skipping schedulers (the determinism tests compare it directly).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedStats {
+    /// Simulated cycles advanced by stepping every component.
+    pub stepped_cycles: u64,
+    /// Simulated cycles advanced by bulk replay (fast-forward spans).
+    pub skipped_cycles: u64,
+    /// Number of fast-forward spans taken.
+    pub skip_spans: u64,
+}
+
+impl SchedStats {
+    /// Fraction of simulated cycles the scheduler fast-forwarded over
+    /// (0.0 under the per-cycle scheduler, approaches 1.0 when the machine
+    /// spends most of its time provably inert).
+    pub fn skip_efficiency(&self) -> f64 {
+        let total = self.stepped_cycles + self.skipped_cycles;
+        if total == 0 {
+            return 0.0;
+        }
+        self.skipped_cycles as f64 / total as f64
+    }
+
+    /// Fold another run's scheduler counters into this one.
+    pub fn add(&mut self, other: &SchedStats) {
+        let SchedStats { stepped_cycles, skipped_cycles, skip_spans } = *other;
+        self.stepped_cycles += stepped_cycles;
+        self.skipped_cycles += skipped_cycles;
+        self.skip_spans += skip_spans;
     }
 }
 
@@ -188,10 +226,18 @@ fn add_hht(acc: &mut HhtStats, s: &HhtStats) {
 }
 
 fn add_sram(acc: &mut SramStats, s: &SramStats) {
-    let SramStats { cpu_accesses, hht_accesses, conflicts } = *s;
+    let SramStats {
+        cpu_accesses,
+        hht_accesses,
+        conflicts,
+        cpu_conflicts,
+        cpu_cross_tile_conflicts,
+    } = *s;
     acc.cpu_accesses += cpu_accesses;
     acc.hht_accesses += hht_accesses;
     acc.conflicts += conflicts;
+    acc.cpu_conflicts += cpu_conflicts;
+    acc.cpu_cross_tile_conflicts += cpu_cross_tile_conflicts;
 }
 
 fn add_faults(acc: &mut FaultSummary, s: &FaultSummary) {
@@ -255,6 +301,13 @@ pub struct Fabric {
     /// Pending fault schedule; the next pending cycle bounds every
     /// fast-forward so no injection point is skipped over.
     fault_plan: Option<FaultPlan>,
+    /// Host-side scheduler accounting (stepped vs skipped cycles).
+    sched: SchedStats,
+    /// Fast-forward spans, recorded only when event tracing is on (the
+    /// Chrome exporter renders them as a per-tile scheduler lane). Kept
+    /// off the per-tile buses so event streams stay bit-identical between
+    /// scheduler modes.
+    skip_spans: Option<Vec<SkipSpan>>,
 }
 
 /// Per-tile classification for one fast-forward attempt: what bulk-replay
@@ -311,6 +364,8 @@ impl Fabric {
             max_cycles: cfg.core.max_cycles,
             cycle_skip: cfg.cycle_skip,
             fault_plan: (!plan.is_empty()).then_some(plan),
+            sched: SchedStats::default(),
+            skip_spans: cfg.trace.events.then(Vec::new),
         }
     }
 
@@ -368,6 +423,7 @@ impl Fabric {
             tile.hht.step(self.cycle, &mut port);
         }
         self.cycle += 1;
+        self.sched.stepped_cycles += 1;
         for tile in &mut self.tiles {
             if tile.done_at.is_none() && tile.core.halted() {
                 tile.done_at = Some(self.cycle);
@@ -556,6 +612,11 @@ impl Fabric {
             }
         }
         self.cycle = now + span;
+        self.sched.skipped_cycles += span;
+        self.sched.skip_spans += 1;
+        if let Some(spans) = self.skip_spans.as_mut() {
+            spans.push(SkipSpan { start: now, end: now + span });
+        }
     }
 
     /// Statistics snapshot: per-tile [`SystemStats`] plus the shared-memory
@@ -594,6 +655,39 @@ impl Fabric {
     /// Borrow one tile's core (for test inspection).
     pub fn core(&self, tile: usize) -> &Core {
         &self.tiles[tile].core
+    }
+
+    /// Host-side scheduler accounting: stepped vs skipped simulated cycles.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched
+    }
+
+    /// Move the recorded fast-forward spans out of the scheduler's sink
+    /// (empty when tracing is off or the per-cycle scheduler ran).
+    pub fn take_skip_spans(&mut self) -> Vec<SkipSpan> {
+        self.skip_spans.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Ring-buffer eviction counters for one tile's observability sinks.
+    /// Read *before* draining events: `take_*` resets the rings.
+    pub fn obs_drops_for(&self, t: usize) -> ObsDrops {
+        let tile = &self.tiles[t];
+        ObsDrops {
+            core_events: tile.core.events_dropped(),
+            instr_trace: tile.core.trace_dropped(),
+            hht_events: tile.hht.events_dropped(),
+            mem_events: self.mem.events_dropped_for(t),
+            fault_events: tile.obs.as_ref().map_or(0, |b| b.dropped()),
+        }
+    }
+
+    /// Ring-buffer eviction counters summed over every tile.
+    pub fn obs_drops(&self) -> ObsDrops {
+        let mut acc = ObsDrops::default();
+        for t in 0..self.tiles.len() {
+            acc.add(&self.obs_drops_for(t));
+        }
+        acc
     }
 
     /// Drain one tile's event streams into a cycle-ordered timeline, in the

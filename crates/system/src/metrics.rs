@@ -11,7 +11,7 @@
 use crate::system::{FaultSummary, SystemStats};
 use hht_accel::HhtStats;
 use hht_mem::SramStats;
-use hht_obs::StallBreakdown;
+use hht_obs::{ObsDrops, StallBreakdown};
 use hht_sim::CoreStats;
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +35,12 @@ pub struct MetricsSnapshot {
     pub hht_wait_frac: f64,
     /// Fault-injection and recovery counters (all zero on a clean run).
     pub faults: FaultSummary,
+    /// Ring-buffer eviction counters for the observability sinks: non-zero
+    /// values mean the exported event timeline is *incomplete* and any
+    /// trace-derived analysis should be treated as sampled. Zero in
+    /// [`MetricsSnapshot::from_stats`]; attach the run's real counters with
+    /// [`MetricsSnapshot::with_drops`].
+    pub dropped: ObsDrops,
 }
 
 impl MetricsSnapshot {
@@ -51,7 +57,15 @@ impl MetricsSnapshot {
             cpu_wait_frac: s.cpu_wait_frac(),
             hht_wait_frac: s.hht_wait_frac(),
             faults: s.faults,
+            dropped: ObsDrops::default(),
         }
+    }
+
+    /// Attach the run's ring-buffer drop counters (see
+    /// [`crate::runner::RunOutput::dropped`]).
+    pub fn with_drops(mut self, dropped: ObsDrops) -> Self {
+        self.dropped = dropped;
+        self
     }
 
     /// Check the exact-sum invariants between the per-cause histogram and
@@ -60,7 +74,10 @@ impl MetricsSnapshot {
     /// - `stalls.hht_window_empty + stalls.hht_header_wait` ==
     ///   `core.hht_wait_cycles` (the CPU-waiting-for-HHT counter);
     /// - `stalls.arbitration_loss` == `core.mem_port_stall_cycles`;
-    /// - `stalls.output_full` == `hht.engine.stall_out_full`.
+    /// - `stalls.output_full` == `hht.engine.stall_out_full`;
+    /// - `sram.cpu_conflicts` == `core.mem_port_stall_cycles` (every port
+    ///   rejection the memory charged to the CPU is a stall the core saw),
+    ///   with `sram.cpu_cross_tile_conflicts` a subset of it.
     pub fn validate(&self) -> Result<(), String> {
         if self.stalls.cpu_hht_wait() != self.core.hht_wait_cycles {
             return Err(format!(
@@ -79,6 +96,18 @@ impl MetricsSnapshot {
             return Err(format!(
                 "output_full = {} != stall_out_full = {}",
                 self.stalls.output_full, self.hht.engine.stall_out_full
+            ));
+        }
+        if self.sram.cpu_conflicts != self.core.mem_port_stall_cycles {
+            return Err(format!(
+                "sram.cpu_conflicts = {} != mem_port_stall_cycles = {}",
+                self.sram.cpu_conflicts, self.core.mem_port_stall_cycles
+            ));
+        }
+        if self.sram.cpu_cross_tile_conflicts > self.sram.cpu_conflicts {
+            return Err(format!(
+                "cpu_cross_tile_conflicts = {} exceeds cpu_conflicts = {}",
+                self.sram.cpu_cross_tile_conflicts, self.sram.cpu_conflicts
             ));
         }
         Ok(())

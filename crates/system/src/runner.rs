@@ -17,7 +17,7 @@
 //! `stats.faults.fallbacks`.
 
 use crate::config::SystemConfig;
-use crate::fabric::{Fabric, FabricConfig, FabricStats};
+use crate::fabric::{Fabric, FabricConfig, FabricStats, SchedStats};
 use crate::kernels;
 use crate::layout;
 use crate::system::{System, SystemStats};
@@ -54,6 +54,21 @@ pub struct RunOutput {
     /// `Some` when the recovery policy re-ran the kernel on the software
     /// path after an accelerated-run failure; `None` for a clean run.
     pub recovery: Option<RecoveryReport>,
+    /// Host-side scheduler accounting (stepped vs skipped cycles). Not part
+    /// of [`SystemStats`]: the split depends on the scheduler mode.
+    pub sched: SchedStats,
+    /// Ring-buffer eviction counters for the run's observability sinks
+    /// (all zero when tracing is off); attach to the exported snapshot with
+    /// [`crate::metrics::MetricsSnapshot::with_drops`].
+    pub dropped: hht_obs::ObsDrops,
+}
+
+/// Read the host-side run accounting (scheduler counters and ring drops),
+/// then drain the event streams — in that order: draining resets the rings.
+fn drain(sys: &mut System) -> (SchedStats, hht_obs::ObsDrops, Vec<hht_obs::Event>) {
+    let sched = sys.sched_stats();
+    let dropped = sys.obs_drops();
+    (sched, dropped, sys.take_events())
 }
 
 /// Re-export of [`SystemStats`] under the name used by the experiment
@@ -101,17 +116,20 @@ fn run_accelerated(
         Ok(stats) => {
             let y = sys.read_output(y_base, rows);
             if matches_golden(&y, golden) {
-                return RunOutput { y, stats, events: sys.take_events(), recovery: None };
+                let (sched, dropped, events) = drain(&mut sys);
+                return RunOutput { y, stats, events, recovery: None, sched, dropped };
             }
             if !cfg.recovery {
                 verify(&y, golden, what); // panics with the standard message
             }
             let error = format!("{what}: accelerated result diverges from golden");
-            software_fallback(cfg, error, stats, sys.take_events(), baseline)
+            let (sched, dropped, events) = drain(&mut sys);
+            software_fallback(cfg, error, stats, events, sched, dropped, baseline)
         }
         Err(e @ (RunError::HhtFailed { .. } | RunError::Watchdog(_))) if cfg.recovery => {
             let stats = sys.stats();
-            software_fallback(cfg, e.to_string(), stats, sys.take_events(), baseline)
+            let (sched, dropped, events) = drain(&mut sys);
+            software_fallback(cfg, e.to_string(), stats, events, sched, dropped, baseline)
         }
         Err(e) => panic!("{what} kernel fault: {e}"),
     }
@@ -124,11 +142,15 @@ fn software_fallback(
     error: String,
     failed_stats: SystemStats,
     failed_events: Vec<hht_obs::Event>,
+    failed_sched: SchedStats,
+    failed_dropped: hht_obs::ObsDrops,
     baseline: &dyn Fn(&SystemConfig) -> RunOutput,
 ) -> RunOutput {
     let mut fb_cfg = *cfg;
     fb_cfg.fault.seed = 0; // the fallback run must not re-inject faults
     let mut out = baseline(&fb_cfg);
+    out.sched.add(&failed_sched);
+    out.dropped.add(&failed_dropped);
     out.stats.cycles += failed_stats.cycles;
     out.stats.faults.injected = failed_stats.faults.injected;
     out.stats.faults.fallbacks = 1;
@@ -178,7 +200,8 @@ pub fn run_spmv_baseline(cfg: &SystemConfig, m: &CsrMatrix, v: &DenseVector) -> 
     let stats = sys.run().expect("baseline SpMV kernel fault");
     let y = sys.read_output(l.y_base, m.rows());
     verify(&y, &golden::spmv(m, v).expect("shapes validated by layout"), "spmv_baseline");
-    RunOutput { y, stats, events: sys.take_events(), recovery: None }
+    let (sched, dropped, events) = drain(&mut sys);
+    RunOutput { y, stats, events, recovery: None, sched, dropped }
 }
 
 /// Run HHT-assisted SpMV.
@@ -229,7 +252,8 @@ pub fn run_spmspv_baseline(cfg: &SystemConfig, m: &CsrMatrix, x: &SparseVector) 
     let stats = sys.run().expect("baseline SpMSpV kernel fault");
     let y = sys.read_output(l.y_base, m.rows());
     verify(&y, &golden::spmspv(m, x).expect("shapes validated"), "spmspv_baseline");
-    RunOutput { y, stats, events: sys.take_events(), recovery: None }
+    let (sched, dropped, events) = drain(&mut sys);
+    RunOutput { y, stats, events, recovery: None, sched, dropped }
 }
 
 /// Run the work-efficient CSC SpMSpV baseline (related work [43]):
@@ -245,7 +269,8 @@ pub fn run_spmspv_csc_baseline(cfg: &SystemConfig, m: &CsrMatrix, x: &SparseVect
     let stats = sys.run().expect("CSC SpMSpV kernel fault");
     let y = sys.read_output(l.y_base, m.rows());
     verify(&y, &golden::spmspv(m, x).expect("shapes validated"), "spmspv_csc_baseline");
-    RunOutput { y, stats, events: sys.take_events(), recovery: None }
+    let (sched, dropped, events) = drain(&mut sys);
+    RunOutput { y, stats, events, recovery: None, sched, dropped }
 }
 
 /// Run HHT SpMSpV variant-1 (aligned pairs).
@@ -296,7 +321,8 @@ pub fn run_dense_matvec(cfg: &SystemConfig, m: &DenseMatrix, v: &DenseVector) ->
     let stats = sys.run().expect("dense matvec kernel fault");
     let y = sys.read_output(l.y_base, m.rows());
     verify(&y, &m.matvec(v).expect("shapes validated"), "dense_matvec");
-    RunOutput { y, stats, events: sys.take_events(), recovery: None }
+    let (sched, dropped, events) = drain(&mut sys);
+    RunOutput { y, stats, events, recovery: None, sched, dropped }
 }
 
 /// Run SpMV with the *programmable* HHT back-end (§7 future work): same
@@ -358,6 +384,15 @@ pub struct FabricRunOutput {
     /// One merged event timeline per tile (empty unless the configuration
     /// enables event tracing).
     pub tile_events: Vec<Vec<hht_obs::Event>>,
+    /// Host-side scheduler accounting (stepped vs skipped cycles),
+    /// fabric-wide.
+    pub sched: SchedStats,
+    /// Ring-buffer eviction counters summed over every tile's sinks.
+    pub dropped: hht_obs::ObsDrops,
+    /// The fast-forward spans the cycle-skip scheduler took (empty when
+    /// tracing is off or the per-cycle scheduler ran); feed to
+    /// [`hht_obs::chrome::chrome_trace_json_tiles_sched`].
+    pub skip_spans: Vec<hht_obs::SkipSpan>,
 }
 
 /// Shared driver for the fabric runners: build the full image plus
@@ -383,7 +418,12 @@ fn run_fabric(
     let stats = fabric.run().unwrap_or_else(|e| panic!("{what}: fabric run failed: {e:?}"));
     let y = fabric.read_output(full.y_base, m.rows());
     verify(&y, golden, what);
-    FabricRunOutput { y, stats, tile_events: fabric.take_all_events() }
+    // Read scheduler counters and drop totals before draining the event
+    // streams: `take_all_events` resets the rings (and their counters).
+    let sched = fabric.sched_stats();
+    let dropped = fabric.obs_drops();
+    let skip_spans = fabric.take_skip_spans();
+    FabricRunOutput { y, stats, tile_events: fabric.take_all_events(), sched, dropped, skip_spans }
 }
 
 /// Extra image words for the per-shard rebased row-pointer copies (plus

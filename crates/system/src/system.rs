@@ -136,6 +136,23 @@ impl System {
         self.fabric.core(0)
     }
 
+    /// Host-side scheduler accounting: stepped vs skipped simulated cycles.
+    pub fn sched_stats(&self) -> crate::fabric::SchedStats {
+        self.fabric.sched_stats()
+    }
+
+    /// Move the recorded fast-forward spans out of the scheduler's sink
+    /// (empty when tracing is off or the per-cycle scheduler ran).
+    pub fn take_skip_spans(&mut self) -> Vec<hht_obs::SkipSpan> {
+        self.fabric.take_skip_spans()
+    }
+
+    /// Ring-buffer eviction counters for every observability sink. Read
+    /// *before* draining events: `take_events` resets the rings.
+    pub fn obs_drops(&self) -> hht_obs::ObsDrops {
+        self.fabric.obs_drops_for(0)
+    }
+
     /// Drain every component's event stream into one cycle-ordered
     /// timeline (empty when the system was built without event sinks).
     pub fn take_events(&mut self) -> Vec<Event> {

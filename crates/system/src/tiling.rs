@@ -206,7 +206,11 @@ pub fn run_spmv_tiled(cfg: &SystemConfig, m: &CsrMatrix, v: &DenseVector, tile: 
     let gold = golden::spmv(m, v).expect("shapes validated");
     let scale = gold.as_slice().iter().fold(1.0f32, |a, b| a.max(b.abs()));
     assert!(y.max_abs_diff(&gold) <= 1e-3 * scale, "tiled SpMV diverges from golden (tile={tile})");
-    TiledRun { out: RunOutput { y, stats, events: sys.take_events(), recovery: None }, tiles }
+    // Counters first, then drain: `take_events` resets the sink rings.
+    let sched = sys.sched_stats();
+    let dropped = sys.obs_drops();
+    let events = sys.take_events();
+    TiledRun { out: RunOutput { y, stats, events, recovery: None, sched, dropped }, tiles }
 }
 
 #[cfg(test)]

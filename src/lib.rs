@@ -31,6 +31,8 @@
 //! - [`system`] — composition + kernel library + experiments.
 //! - [`energy`] — area/power/energy model (Synopsys-flow substitute).
 //! - [`workloads`] — synthetic, DNN and SuiteSparse-profile generators.
+//! - [`prof`] — post-run analysis: top-down CPI stacks, bottleneck
+//!   classification, host self-profiling, bench regression reports.
 
 pub use hht_accel as accel;
 pub use hht_energy as energy;
@@ -39,6 +41,7 @@ pub use hht_fault as fault;
 pub use hht_isa as isa;
 pub use hht_mem as mem;
 pub use hht_obs as obs;
+pub use hht_prof as prof;
 pub use hht_sim as sim;
 pub use hht_sparse as sparse;
 pub use hht_system as system;
