@@ -94,8 +94,14 @@ pub enum Wake {
     /// exactly the per-cycle charges [`Engine::replay_inert`] replays (at
     /// least one `port_conflicts`), changing nothing else. The scheduler
     /// resolves this against the port's free cycle, which the engine
-    /// cannot see from `wake`.
-    NeedsPort,
+    /// cannot see from `wake`. `addr` names the read's target address so a
+    /// banked memory can resolve the wake against the exact bank the
+    /// engine wants (`None` — an engine that cannot name it — makes the
+    /// scheduler treat the wake as "could issue now", disabling skipping).
+    NeedsPort {
+        /// Target address of the read the next step will issue.
+        addr: Option<u32>,
+    },
     /// Inert until the CPU drains an output FIFO: every stepped cycle in
     /// this state records exactly one `stall_out_full` and changes nothing
     /// else.
@@ -140,7 +146,7 @@ pub trait Engine {
     /// [`wake`]: Engine::wake
     fn replay_inert(&self, now: u64, span: u64, out: OutputLevels, stats: &mut EngineStats) {
         match self.wake(now, out) {
-            Wake::NeedsPort => stats.port_conflicts += span,
+            Wake::NeedsPort { .. } => stats.port_conflicts += span,
             Wake::OutputBlocked => stats.stall_out_full += span,
             Wake::At(_) | Wake::Never => {}
         }
@@ -285,10 +291,22 @@ impl Engine for GatherEngine {
             // `stall_out_full`; with one, the step also contends for the
             // port.
             let can_prefetch = self.col_q.len() < self.col_q_cap && self.next_col < self.cfg.m_nnz;
-            return if can_prefetch { Wake::NeedsPort } else { Wake::OutputBlocked };
+            return if can_prefetch {
+                Wake::NeedsPort {
+                    addr: Some(self.cfg.cols_base + self.cfg.elem_size * self.next_col),
+                }
+            } else {
+                Wake::OutputBlocked
+            };
         }
-        // A V fetch or metadata fetch issues as soon as the port is free.
-        Wake::NeedsPort
+        // A V fetch or metadata fetch issues as soon as the port is free —
+        // the V fetch when a column index is queued, otherwise the next
+        // metadata word (mirrors the issue order in `step`).
+        let addr = match self.col_q.front() {
+            Some(&col) => self.cfg.v_base + self.cfg.elem_size * col,
+            None => self.cfg.cols_base + self.cfg.elem_size * self.next_col,
+        };
+        Wake::NeedsPort { addr: Some(addr) }
     }
 
     fn replay_inert(&self, _now: u64, span: u64, out: OutputLevels, stats: &mut EngineStats) {
@@ -629,7 +647,10 @@ impl Engine for SpMSpVEngine {
         }
         match self.phase {
             MergePhase::Finished => Wake::Never,
-            MergePhase::NeedRowEnd => Wake::NeedsPort, // row-pointer fetch
+            MergePhase::NeedRowEnd => Wake::NeedsPort {
+                // Row-pointer fetch.
+                addr: Some(self.cfg.rows_base + self.cfg.elem_size * (self.r + 1)),
+            },
             MergePhase::EmitChunkHeader | MergePhase::EmitRowHeader => {
                 if out.counts_free == 0 {
                     Wake::OutputBlocked
@@ -642,10 +663,16 @@ impl Engine for SpMSpVEngine {
                     return Wake::At(now); // end-of-row bookkeeping
                 }
                 if self.match_vval.is_some() {
-                    return Wake::NeedsPort; // matrix-value fetch
+                    return Wake::NeedsPort {
+                        // Matrix-value fetch.
+                        addr: Some(self.cfg.vals_base + self.cfg.elem_size * self.k),
+                    };
                 }
                 let Some(col) = self.cur_col else {
-                    return Wake::NeedsPort; // column-index fetch
+                    return Wake::NeedsPort {
+                        // Column-index fetch.
+                        addr: Some(self.cfg.cols_base + self.cfg.elem_size * self.k),
+                    };
                 };
                 let primary_blocked = out.primary_free == 0;
                 if self.b >= self.cfg.v_nnz {
@@ -658,7 +685,10 @@ impl Engine for SpMSpVEngine {
                     };
                 }
                 let Some(vidx) = self.cur_vidx else {
-                    return Wake::NeedsPort; // vector-index fetch
+                    return Wake::NeedsPort {
+                        // Vector-index fetch.
+                        addr: Some(self.cfg.v_idx_base + self.cfg.elem_size * self.b),
+                    };
                 };
                 match col.cmp(&vidx) {
                     std::cmp::Ordering::Equal => {
@@ -666,7 +696,10 @@ impl Engine for SpMSpVEngine {
                         if primary_blocked || (need_secondary && out.secondary_free == 0) {
                             Wake::OutputBlocked
                         } else {
-                            Wake::NeedsPort // vector-value fetch
+                            Wake::NeedsPort {
+                                // Vector-value fetch.
+                                addr: Some(self.cfg.v_vals_base + self.cfg.elem_size * self.b),
+                            }
                         }
                     }
                     std::cmp::Ordering::Less => match self.variant {
@@ -903,18 +936,37 @@ impl Engine for SmashEngine {
                 // when `counts` has a free slot.
                 return if out.counts_free == 0 { Wake::OutputBlocked } else { Wake::At(now) };
             }
-            return if out.primary_free == 0 { Wake::OutputBlocked } else { Wake::NeedsPort };
+            return if out.primary_free == 0 {
+                Wake::OutputBlocked
+            } else {
+                // V fetch for the lowest set bit (mirrors `step`).
+                Wake::NeedsPort {
+                    addr: Some(self.cfg.v_base + self.cfg.elem_size * (pos % self.cfg.num_cols)),
+                }
+            };
         }
         if self.word < self.total_words {
             if self.cfg.cols_base != 0 {
                 let group = self.word / 32;
-                if let Some((g, l1)) = self.cur_l1 {
-                    if g == group && l1 & (1 << (self.word % 32)) == 0 {
-                        return Wake::At(now); // level-1 summary skip (internal)
+                match self.cur_l1 {
+                    Some((g, l1)) if g == group => {
+                        if l1 & (1 << (self.word % 32)) == 0 {
+                            return Wake::At(now); // level-1 summary skip (internal)
+                        }
+                        // Summary bit set: fall through to the level-0 fetch.
+                    }
+                    _ => {
+                        // Level-1 summary word fetch.
+                        return Wake::NeedsPort {
+                            addr: Some(self.cfg.cols_base + self.cfg.elem_size * group),
+                        };
                     }
                 }
             }
-            return Wake::NeedsPort; // level-0 or level-1 bitmap fetch
+            // Level-0 bitmap word fetch.
+            return Wake::NeedsPort {
+                addr: Some(self.cfg.rows_base + self.cfg.elem_size * self.word),
+            };
         }
         // Tail: closing the remaining rows, gated on `counts` space.
         if self.rows_closed < self.cfg.num_rows && out.counts_free == 0 {

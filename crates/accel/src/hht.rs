@@ -353,10 +353,18 @@ impl Hht {
         let conflicts_before = self.stats.engine.port_conflicts;
         engine.replay_inert(now, span, out, &mut self.stats.engine);
         // Each replayed arbitration loss is one failing `try_start` the
-        // per-cycle loop would have issued — mirror it on the port side.
+        // per-cycle loop would have issued — mirror it on the port side,
+        // against the address the engine was actually retrying (so a banked
+        // memory attributes the losses to the exact bank the per-cycle loop
+        // would have rejected on).
         let lost = self.stats.engine.port_conflicts - conflicts_before;
         if lost > 0 {
-            sram.skip_conflicts(now, lost, 0, Requester::Hht);
+            let wake = self.cached_wake.unwrap_or_else(|| engine.wake(now, out));
+            let addr = match wake {
+                Wake::NeedsPort { addr } => addr.unwrap_or(0),
+                _ => 0,
+            };
+            sram.skip_conflicts(now, lost, addr, Requester::Hht);
         }
         if self.stats.engine.stall_out_full > out_full_before && !self.out_stall_open {
             if let Some(bus) = self.obs.as_mut() {

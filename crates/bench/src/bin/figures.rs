@@ -238,6 +238,7 @@ fn bench_observatory(
         println!("  {}", entry.host.render());
         report.configs.push(entry);
     }
+    report.fabric.push(fabric_throughput_entry());
     if let Some(path) = &bench_out {
         write_or_exit(path, &report.to_json());
         eprintln!("wrote bench report to {path}");
@@ -265,6 +266,62 @@ fn bench_observatory(
             std::process::exit(1);
         }
     }
+}
+
+/// The fabric scheduler-throughput entry: one fixed 16-tile slow-memory
+/// SpMV timed under all three schedulers (per-cycle lock-step, lock-step
+/// with global fast-forward, event queue). The workload is pinned —
+/// independent of `--n` — so `wall_cycles` is a deterministic gate; the
+/// host speedups are same-machine ratios gated against the absolute
+/// `min_host_speedup` floor carried in the committed baseline.
+fn fabric_throughput_entry() -> hht_prof::FabricBenchConfig {
+    use hht_system::FabricConfig;
+    use std::time::Instant;
+    let tiles = 16;
+    let ram_word_cycles = 64;
+    let fab = FabricConfig::scaled(tiles);
+    let cfg = SystemConfig::paper_default().with_ram_word_cycles(ram_word_cycles);
+    let m = hht_sparse::generate::random_csr(256, 256, 0.05, 42);
+    let v = hht_sparse::generate::random_dense_vector(256, 7);
+    let run = |c: &SystemConfig| {
+        let t0 = Instant::now();
+        let out = hht_system::runner::run_spmv_fabric(c, fab, &m, &v);
+        (out, t0.elapsed().as_secs_f64())
+    };
+    let (eq, eq_secs) = run(&cfg);
+    let (ls, ls_secs) = run(&cfg.with_event_queue(false));
+    let (pc, pc_secs) = run(&cfg.with_cycle_skip(false));
+    assert_eq!(eq.stats, ls.stats, "event queue must be bit-identical to lock-step");
+    assert_eq!(eq.stats, pc.stats, "event queue must be bit-identical to per-cycle");
+    let wall = eq.stats.cycles;
+    let mcs = |secs: f64| wall as f64 / secs / 1e6;
+    let entry = hht_prof::FabricBenchConfig {
+        name: "fabric_slow_memory_16t".to_string(),
+        tiles,
+        banks: fab.banks,
+        ram_word_cycles,
+        wall_cycles: wall,
+        eq_mcycles_per_sec: mcs(eq_secs),
+        lockstep_mcycles_per_sec: mcs(ls_secs),
+        percycle_mcycles_per_sec: mcs(pc_secs),
+        host_speedup_vs_lockstep: ls_secs / eq_secs,
+        host_speedup_vs_percycle: pc_secs / eq_secs,
+        min_host_speedup: 10.0,
+    };
+    println!(
+        "fabric {} ({} tiles, {} banks, {}-cycle words): {} wall cycles",
+        entry.name, entry.tiles, entry.banks, entry.ram_word_cycles, entry.wall_cycles
+    );
+    println!(
+        "  event queue {:.1} Mc/s | lock-step {:.1} Mc/s ({:.2}x) | per-cycle {:.1} Mc/s ({:.2}x, floor {:.0}x)",
+        entry.eq_mcycles_per_sec,
+        entry.lockstep_mcycles_per_sec,
+        entry.host_speedup_vs_lockstep,
+        entry.percycle_mcycles_per_sec,
+        entry.host_speedup_vs_percycle,
+        entry.min_host_speedup,
+    );
+    entry
 }
 
 /// One HHT SpMV run under deterministic fault injection, with the core's
@@ -821,7 +878,7 @@ fn scaling(cfg: &SystemConfig, n: usize, jobs: usize, metrics_out: Option<String
     use hht_system::FabricConfig;
     let m = hht_sparse::generate::random_csr(n, n, 0.9, 0xC1);
     let v = hht_sparse::generate::random_dense_vector(n, 0xC2);
-    let outs = hht_exec::parallel_map(jobs, vec![1usize, 2, 4, 8], |_, t| {
+    let outs = hht_exec::parallel_map(jobs, vec![1usize, 2, 4, 8, 16], |_, t| {
         (t, hht_system::runner::run_spmv_fabric(cfg, FabricConfig::scaled(t), &m, &v))
     });
     let base = outs[0].1.stats.cycles;
@@ -853,6 +910,12 @@ fn scaling(cfg: &SystemConfig, n: usize, jobs: usize, metrics_out: Option<String
         let fmax = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
         let cpi = hht_prof::FabricCpi::from_fabric(s)
             .expect("fabric CPI attribution must hold for every tile");
+        // Per-tile event-queue scheduler stats: how often each tile was
+        // popped and how much of its life it sat parked.
+        let pops: u64 = out.tile_sched.iter().map(|ts| ts.pops).sum();
+        let park_cycles: u64 = out.tile_sched.iter().map(|ts| ts.skipped_cycles).sum();
+        let park_count: u64 = out.tile_sched.iter().map(|ts| ts.parks).sum();
+        let parked: Vec<f64> = out.tile_sched.iter().map(|ts| ts.parked_frac()).collect();
         imbalance.push(vec![
             t.to_string(),
             nnz.iter().max().copied().unwrap_or(0).to_string(),
@@ -861,11 +924,32 @@ fn scaling(cfg: &SystemConfig, n: usize, jobs: usize, metrics_out: Option<String
             format!("{:.3}", fmax(&busy)),
             format!("{:.3}", fmin(&busy)),
             format!("{:.4}", cpi.idle_frac()),
+            pops.to_string(),
+            format!("{:.1}", park_cycles as f64 / park_count.max(1) as f64),
+            format!("{:.3}", fmin(&parked)),
+            format!("{:.3}", fmax(&parked)),
         ]);
+        let tile_sched: Vec<String> = out
+            .tile_sched
+            .iter()
+            .map(|ts| {
+                format!(
+                    "{{\"pops\":{},\"stepped_cycles\":{},\"skipped_cycles\":{},\
+                     \"parks\":{},\"mean_park\":{:.3},\"parked_frac\":{:.6}}}",
+                    ts.pops,
+                    ts.stepped_cycles,
+                    ts.skipped_cycles,
+                    ts.parks,
+                    ts.mean_park(),
+                    ts.parked_frac(),
+                )
+            })
+            .collect();
         records.push(format!(
             "{{\"tiles\":{t},\"wall_cycles\":{},\"speedup\":{:.6},\
              \"bank_conflict_frac\":{:.6},\"cross_tile_conflicts\":{},\
              \"sched\":{{\"stepped_cycles\":{},\"skipped_cycles\":{},\"skip_spans\":{}}},\
+             \"tile_sched\":[{}],\
              \"events_dropped\":{},\"merged\":{}}}",
             s.cycles,
             base as f64 / s.cycles as f64,
@@ -874,6 +958,7 @@ fn scaling(cfg: &SystemConfig, n: usize, jobs: usize, metrics_out: Option<String
             out.sched.stepped_cycles,
             out.sched.skipped_cycles,
             out.sched.skip_spans,
+            tile_sched.join(","),
             out.dropped.total(),
             snap.to_json(),
         ));
@@ -885,11 +970,23 @@ fn scaling(cfg: &SystemConfig, n: usize, jobs: usize, metrics_out: Option<String
             &rows
         )
     );
-    println!("per-tile load imbalance (row-shard nnz and busy-cycle share of the wall):");
+    println!("per-tile load imbalance (row-shard nnz, busy-cycle share, event-queue parking):");
     print!(
         "{}",
         table(
-            &["tiles", "nnz max", "nnz min", "nnz mean", "busy max", "busy min", "idle frac"],
+            &[
+                "tiles",
+                "nnz max",
+                "nnz min",
+                "nnz mean",
+                "busy max",
+                "busy min",
+                "idle frac",
+                "pops",
+                "mean park",
+                "parked min",
+                "parked max",
+            ],
             &imbalance
         )
     );

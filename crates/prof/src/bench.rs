@@ -12,7 +12,8 @@ use crate::host::HostProfile;
 use serde::{Deserialize, Serialize};
 
 /// Schema version stamped into every report; bump on incompatible change.
-pub const BENCH_SCHEMA: u32 = 1;
+/// Schema 2 added the `fabric` scheduler-throughput section.
+pub const BENCH_SCHEMA: u32 = 2;
 
 /// Headline metrics for one named configuration (e.g. `paper_default`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -33,6 +34,43 @@ pub struct BenchConfig {
     pub host: HostProfile,
 }
 
+/// Fabric scheduler throughput for one named configuration: the same
+/// simulated run timed under all three schedulers (per-cycle lock-step,
+/// lock-step with global fast-forward, and the discrete-event queue).
+///
+/// `wall_cycles` is deterministic and gated with the relative tolerance.
+/// Host throughput varies with the machine, so the speedup *ratios* —
+/// measured between runs on the same machine in the same process — are
+/// gated only against the absolute `min_host_speedup` floor carried in
+/// the committed baseline, not against the baseline's measured values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricBenchConfig {
+    /// Configuration name (stable key the comparator joins on).
+    pub name: String,
+    /// Tile count of the fabric.
+    pub tiles: usize,
+    /// Shared-memory bank count.
+    pub banks: usize,
+    /// SRAM word occupancy in cycles (the "slow memory" knob).
+    pub ram_word_cycles: u64,
+    /// Simulated wall cycles — identical across all three schedulers by
+    /// construction (the generator asserts it). Deterministic; gated.
+    pub wall_cycles: u64,
+    /// Event-queue scheduler host throughput, simulated Mcycles/second.
+    pub eq_mcycles_per_sec: f64,
+    /// Lock-step (global fast-forward) host throughput, Mcycles/second.
+    pub lockstep_mcycles_per_sec: f64,
+    /// Per-cycle lock-step host throughput, Mcycles/second.
+    pub percycle_mcycles_per_sec: f64,
+    /// Event queue vs lock-step-with-fast-forward, same machine.
+    pub host_speedup_vs_lockstep: f64,
+    /// Event queue vs per-cycle lock-step, same machine. Gated against
+    /// `min_host_speedup`.
+    pub host_speedup_vs_percycle: f64,
+    /// Gate floor for `host_speedup_vs_percycle` (from the baseline).
+    pub min_host_speedup: f64,
+}
+
 /// The full report: schema stamp plus one entry per configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -40,12 +78,14 @@ pub struct BenchReport {
     pub schema: u32,
     /// Per-configuration results, in a stable order.
     pub configs: Vec<BenchConfig>,
+    /// Fabric scheduler-throughput results, in a stable order.
+    pub fabric: Vec<FabricBenchConfig>,
 }
 
 impl BenchReport {
     /// An empty report at the current schema.
     pub fn new() -> Self {
-        BenchReport { schema: BENCH_SCHEMA, configs: Vec::new() }
+        BenchReport { schema: BENCH_SCHEMA, configs: Vec::new(), fabric: Vec::new() }
     }
 
     /// Pretty JSON (deterministic field order — suitable for committing).
@@ -109,6 +149,32 @@ impl BenchReport {
                 ));
             }
         }
+        for base in &baseline.fabric {
+            let Some(cur) = self.fabric.iter().find(|c| c.name == base.name) else {
+                regressions
+                    .push(format!("fabric config '{}' missing from current report", base.name));
+                continue;
+            };
+            let limit = base.wall_cycles as f64 * (1.0 + tolerance);
+            if cur.wall_cycles as f64 > limit {
+                regressions.push(format!(
+                    "{}: wall_cycles regressed {} -> {} (+{:.2}%, tolerance {:.2}%)",
+                    base.name,
+                    base.wall_cycles,
+                    cur.wall_cycles,
+                    100.0 * (cur.wall_cycles as f64 / base.wall_cycles as f64 - 1.0),
+                    100.0 * tolerance
+                ));
+            }
+            // Host-timing ratio against the baseline's absolute floor (a
+            // same-machine ratio is stable; the measured values are not).
+            if cur.host_speedup_vs_percycle < base.min_host_speedup {
+                regressions.push(format!(
+                    "{}: event-queue host speedup {:.2}x below the {:.2}x floor",
+                    base.name, cur.host_speedup_vs_percycle, base.min_host_speedup
+                ));
+            }
+        }
         regressions
     }
 }
@@ -154,6 +220,47 @@ mod tests {
         let mut faster = BenchReport::new();
         faster.configs.push(cfg("paper_default", 1000, 350));
         assert!(faster.compare(&base, 0.02).is_empty());
+    }
+
+    fn fab(name: &str, wall: u64, vs_percycle: f64, floor: f64) -> FabricBenchConfig {
+        FabricBenchConfig {
+            name: name.to_string(),
+            tiles: 16,
+            banks: 8,
+            ram_word_cycles: 64,
+            wall_cycles: wall,
+            eq_mcycles_per_sec: 20.0,
+            lockstep_mcycles_per_sec: 9.0,
+            percycle_mcycles_per_sec: 2.0,
+            host_speedup_vs_lockstep: 2.2,
+            host_speedup_vs_percycle: vs_percycle,
+            min_host_speedup: floor,
+        }
+    }
+
+    #[test]
+    fn fabric_gate_checks_wall_cycles_and_speedup_floor() {
+        let mut base = BenchReport::new();
+        base.fabric.push(fab("fabric_slow_memory_16t", 1_000_000, 11.0, 10.0));
+        // Identical passes.
+        assert!(base.compare(&base.clone(), 0.02).is_empty());
+        // Wall-cycle regression past tolerance fails; host-speed drift above
+        // the floor does not.
+        let mut cur = BenchReport::new();
+        cur.fabric.push(fab("fabric_slow_memory_16t", 1_040_000, 10.4, 10.0));
+        let regs = cur.compare(&base, 0.02);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("wall_cycles"));
+        // Dropping below the absolute floor fails regardless of baseline
+        // measurement.
+        let mut slow = BenchReport::new();
+        slow.fabric.push(fab("fabric_slow_memory_16t", 1_000_000, 9.3, 10.0));
+        let regs = slow.compare(&base, 0.02);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("floor"));
+        // Missing fabric config fails.
+        let empty = BenchReport::new();
+        assert_eq!(empty.compare(&base, 0.02).len(), 1);
     }
 
     #[test]

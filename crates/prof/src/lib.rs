@@ -25,7 +25,7 @@ pub mod classify;
 pub mod cpi;
 pub mod host;
 
-pub use bench::{BenchConfig, BenchReport, BENCH_SCHEMA};
+pub use bench::{BenchConfig, BenchReport, FabricBenchConfig, BENCH_SCHEMA};
 pub use classify::{classify, Bottleneck, BottleneckReport};
 pub use cpi::{CpiStack, FabricCpi};
 pub use host::{HostProfile, Stopwatch};

@@ -93,6 +93,16 @@ pub struct SystemConfig {
     /// way; turning this off keeps the legacy per-cycle loop for
     /// differential testing.
     pub cycle_skip: bool,
+    /// Discrete-event fabric scheduling: each tile advances independently
+    /// to its own next wake through a per-tile event queue instead of the
+    /// lock-step loop, so one busy tile no longer forces per-cycle host
+    /// work for every parked neighbour. Requires `cycle_skip` (the queue
+    /// *is* per-tile cycle skipping); `with_cycle_skip(false)` therefore
+    /// still selects the pure per-cycle oracle. Simulated cycle counts,
+    /// statistics and event streams are bit-identical across all three
+    /// scheduler modes (see `tests/determinism.rs`); turning this off
+    /// keeps the lock-step scheduler as the differential oracle.
+    pub event_queue: bool,
     /// Seed-driven fault injection (`seed == 0`, the default, disables it).
     /// [`crate::system::System::new`] derives the cycle-exact
     /// [`hht_fault::FaultPlan`] from this.
@@ -118,6 +128,7 @@ impl SystemConfig {
             clock_hz: 1.1e9,
             trace: TraceConfig::disabled(),
             cycle_skip: true,
+            event_queue: true,
             fault: FaultConfig::default(),
             recovery: false,
         }
@@ -166,6 +177,14 @@ impl SystemConfig {
     /// per-cycle loop, for differential testing).
     pub fn with_cycle_skip(mut self, on: bool) -> Self {
         self.cycle_skip = on;
+        self
+    }
+
+    /// Same configuration with the discrete-event fabric scheduler on or
+    /// off (off = the lock-step scheduler, the event queue's differential
+    /// oracle).
+    pub fn with_event_queue(mut self, on: bool) -> Self {
+        self.event_queue = on;
         self
     }
 

@@ -22,12 +22,20 @@
 //!   the per-cycle loop; with one tile and one bank they are bit-identical
 //!   to [`LegacySystem`](crate::legacy::LegacySystem) (proved in
 //!   `tests/determinism.rs`).
-//! - **Multi-bank skips are conservative.** `Wake::NeedsPort` does not say
-//!   *which* bank the engine wants, so with more than one bank the
-//!   scheduler refuses to skip while any engine is port-hungry rather
-//!   than risk overshooting that bank's free cycle. CPU port waits carry
-//!   their address ([`hht_sim::Core::pending_port_addr`]), so those skips
-//!   stay bank-exact.
+//! - **Skips are bank-exact.** Both CPU port waits
+//!   ([`hht_sim::Core::pending_port_addr`]) and engine port waits
+//!   (`Wake::NeedsPort { addr }`) carry the address they are retrying, so
+//!   the scheduler bounds each wait by the exact bank's free cycle — a
+//!   busy bank's `free_at` cannot move while no tile steps, because only
+//!   a grant (which requires the bank to be free) reprograms it.
+//! - **Parking is per-tile under the event queue.** With
+//!   [`SystemConfig::event_queue`] on (the default), a min-heap of
+//!   `(wake, tile)` entries advances each tile independently to its own
+//!   next wake instead of the lock-step outer loop, so one busy tile no
+//!   longer forces per-cycle host work for every parked neighbour. The
+//!   lock-step scheduler stays available (`with_event_queue(false)`) as
+//!   the differential oracle; both are bit-identical in everything
+//!   simulated (see `Fabric::run_event_queue` for the argument).
 //! - **Frozen tiles stay frozen.** A tile whose core halted is never
 //!   stepped again (its HHT included), mirroring the single-tile run loop
 //!   which exits outright — so per-tile statistics read exactly as if the
@@ -45,6 +53,8 @@ use hht_obs::{
 use hht_sim::{Core, CoreStats, RunError};
 use hht_sparse::DenseVector;
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// How the per-cycle stepping order — and therefore bank arbitration —
 /// rotates across tiles.
@@ -123,6 +133,47 @@ impl SchedStats {
         self.stepped_cycles += stepped_cycles;
         self.skipped_cycles += skipped_cycles;
         self.skip_spans += skip_spans;
+    }
+}
+
+/// Host-side per-tile scheduler accounting. Like [`SchedStats`], this is
+/// deliberately *not* part of [`FabricStats`]: the split depends on the
+/// scheduler mode, while simulated statistics are mode-invariant.
+///
+/// Under the event-queue scheduler `stepped_cycles + skipped_cycles` is the
+/// tile's own active life (from cycle 0 to its halt); under the lock-step
+/// scheduler `skipped_cycles` counts the global fast-forward spans the tile
+/// lived through.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileSchedStats {
+    /// Times this tile was popped from the event queue (0 under the
+    /// lock-step scheduler, which has no queue).
+    pub pops: u64,
+    /// Cycles this tile was genuinely stepped.
+    pub stepped_cycles: u64,
+    /// Cycles this tile sat parked (advanced by bulk replay).
+    pub skipped_cycles: u64,
+    /// Number of parked spans (fast-forward spans under lock-step).
+    pub parks: u64,
+}
+
+impl TileSchedStats {
+    /// Mean parked-span length in cycles (0 when the tile never parked).
+    pub fn mean_park(&self) -> f64 {
+        if self.parks == 0 {
+            return 0.0;
+        }
+        self.skipped_cycles as f64 / self.parks as f64
+    }
+
+    /// Fraction of the tile's active cycles it spent parked rather than
+    /// stepped — the per-tile skip efficiency.
+    pub fn parked_frac(&self) -> f64 {
+        let total = self.stepped_cycles + self.skipped_cycles;
+        if total == 0 {
+            return 0.0;
+        }
+        self.skipped_cycles as f64 / total as f64
     }
 }
 
@@ -290,7 +341,9 @@ impl FabricStats {
     }
 }
 
-/// `N` tiles over one banked shared memory, run in lock-step.
+/// `N` tiles over one banked shared memory, advanced by either the
+/// lock-step scheduler (the differential oracle) or the discrete-event
+/// scheduler (see [`SystemConfig::event_queue`]).
 pub struct Fabric {
     tiles: Vec<Tile>,
     mem: SharedMemory,
@@ -298,16 +351,26 @@ pub struct Fabric {
     cycle: u64,
     max_cycles: u64,
     cycle_skip: bool,
+    /// Discrete-event scheduling active (`cfg.event_queue && cfg.cycle_skip`
+    /// — the queue *is* per-tile cycle skipping, so turning skipping off
+    /// selects the pure per-cycle loop).
+    event_queue: bool,
     /// Pending fault schedule; the next pending cycle bounds every
     /// fast-forward so no injection point is skipped over.
     fault_plan: Option<FaultPlan>,
     /// Host-side scheduler accounting (stepped vs skipped cycles).
     sched: SchedStats,
+    /// Host-side per-tile scheduler accounting (queue pops, parked spans).
+    tile_sched: Vec<TileSchedStats>,
     /// Fast-forward spans, recorded only when event tracing is on (the
     /// Chrome exporter renders them as a per-tile scheduler lane). Kept
     /// off the per-tile buses so event streams stay bit-identical between
     /// scheduler modes.
     skip_spans: Option<Vec<SkipSpan>>,
+    /// Per-tile parked spans, recorded only when event tracing is on (the
+    /// park-soundness property test replays each span against a per-cycle
+    /// oracle). Also kept off the per-tile buses.
+    park_spans: Option<Vec<Vec<SkipSpan>>>,
 }
 
 /// Per-tile classification for one fast-forward attempt: what bulk-replay
@@ -363,9 +426,12 @@ impl Fabric {
             cycle: 0,
             max_cycles: cfg.core.max_cycles,
             cycle_skip: cfg.cycle_skip,
+            event_queue: cfg.event_queue && cfg.cycle_skip,
             fault_plan: (!plan.is_empty()).then_some(plan),
             sched: SchedStats::default(),
+            tile_sched: vec![TileSchedStats::default(); fab.tiles],
             skip_spans: cfg.trace.events.then(Vec::new),
+            park_spans: cfg.trace.events.then(|| vec![Vec::new(); fab.tiles]),
         }
     }
 
@@ -424,6 +490,11 @@ impl Fabric {
         }
         self.cycle += 1;
         self.sched.stepped_cycles += 1;
+        for (t, live) in active.iter().enumerate() {
+            if *live {
+                self.tile_sched[t].stepped_cycles += 1;
+            }
+        }
         for tile in &mut self.tiles {
             if tile.done_at.is_none() && tile.core.halted() {
                 tile.done_at = Some(self.cycle);
@@ -484,6 +555,9 @@ impl Fabric {
     /// Run until every tile's core halts. Errors on guest faults and on
     /// watchdog expiry, exactly like the single-tile run loop.
     pub fn run(&mut self) -> Result<FabricStats, RunError> {
+        if self.event_queue {
+            return self.run_event_queue();
+        }
         while self.tiles.iter().any(|t| !t.core.halted()) {
             self.inject_due_faults();
             self.step();
@@ -505,111 +579,150 @@ impl Fabric {
         Ok(self.stats())
     }
 
+    /// One tile's scheduling bound from cycle `now`: the earliest cycle at
+    /// which the tile can next change architectural state, plus the bulk
+    /// replay a parked span `[now, bound)` owes it. `None` means the core
+    /// halted (frozen forever); a bound ≤ `now + 1` means the tile must be
+    /// stepped. The per-tile classification is the single-tile scheduler's
+    /// (see [`crate::legacy::LegacySystem`]).
+    ///
+    /// Any park not exceeding the bound is *sound* even while other tiles
+    /// keep stepping: the only cross-tile coupling is the shared banks, and
+    /// the bound never assumes a bank stays free — it only waits on busy
+    /// banks, whose `free_at` cannot move until they free (a grant requires
+    /// a free bank). Everything else in the bound is the tile's own core
+    /// and engine timing, which no other tile can touch.
+    fn tile_bound(&mut self, t: usize, now: u64) -> Option<(u64, Replay)> {
+        let tile = &mut self.tiles[t];
+        let core_at = tile.core.next_event(now)?;
+        let mut window_read = None;
+        let mut port_wait = None;
+        if core_at <= now {
+            if let Some(addr) = tile.core.pending_hht_read(now) {
+                if !tile.hht.window_read_would_stall(addr, now) {
+                    return Some((now, Replay::Busy)); // the pop succeeds this cycle
+                }
+                window_read = Some(addr);
+            } else if let Some(addr) = tile.core.pending_port_addr(now) {
+                match self.mem.next_event_at(addr, now) {
+                    // The span replays one arbitration loss per cycle
+                    // against `addr`'s bank, which provably stays busy
+                    // until `free_at`.
+                    Some(free_at) => port_wait = Some(free_at),
+                    None => return Some((now, Replay::Busy)), // bank free: the access lands
+                }
+            } else {
+                return Some((now, Replay::Busy)); // the core acts this cycle
+            }
+        }
+        let hht_bound = match tile.hht.next_event(now) {
+            Wake::At(at) => Some(at),
+            Wake::NeedsPort { addr } => {
+                // Bank-exact resolution: the engine issues the moment
+                // the bank serving its named address frees (a busy
+                // bank's `free_at` cannot move while the bank is busy). A
+                // free bank — or an engine that cannot name its target
+                // — means the engine could issue on the very next
+                // stepped cycle, so the bound is `now` (no park).
+                match addr.map(|a| self.mem.next_event_at(a, now)) {
+                    Some(Some(free_at)) => Some(free_at),
+                    _ => Some(now),
+                }
+            }
+            Wake::OutputBlocked | Wake::Never => None,
+        };
+        let bound = if let Some(free_at) = port_wait {
+            hht_bound.map_or(free_at, |b| b.min(free_at))
+        } else if let Some(addr) = window_read {
+            // Only the engine can unpark the core; with no engine wake
+            // this is a deadlock — jump straight to the watchdog limit
+            // (unless a window refill, a timeout or a fault intervenes).
+            let mut bound = hht_bound.unwrap_or(self.max_cycles);
+            if let Some(ready) = tile.hht.window_ready_at(addr, now) {
+                bound = bound.min(ready);
+            }
+            if let Some(b) = tile.core.hht_timeout_bound(now) {
+                bound = bound.min(b);
+            }
+            bound
+        } else {
+            hht_bound.map_or(core_at, |b| b.min(core_at))
+        };
+        let replay = match (window_read, port_wait) {
+            (Some(addr), _) => Replay::Window(addr),
+            (None, Some(_)) => Replay::Port,
+            (None, None) => Replay::Busy,
+        };
+        Some((bound, replay))
+    }
+
+    /// Commit the bulk-replay charges a parked span `[now, now + span)`
+    /// owes tile `t` — exactly the per-cycle charges the lock-step loop
+    /// would have recorded. Shared by both schedulers.
+    fn commit_park(&mut self, t: usize, now: u64, span: u64, plan: &Replay) {
+        let tile = &mut self.tiles[t];
+        let mut port = TilePort::new(&mut self.mem, t);
+        // Replay the core's charges before the HHT's: the live loop steps
+        // CPUs first each cycle, and a tile's cpu-lost and hht-lost port
+        // conflicts land in the same per-tile memory event ring, where
+        // the stable cycle sort preserves emission order.
+        match plan {
+            Replay::Window(addr) => {
+                tile.core.skip_hht_wait(now, span, *addr);
+                tile.hht.skip_stalled_reads(span);
+            }
+            Replay::Port => {
+                tile.core.skip_port_wait(now, span, &mut port);
+            }
+            Replay::Busy | Replay::Frozen => {}
+        }
+        tile.hht.skip_idle(now, span, &mut port);
+        self.tile_sched[t].skipped_cycles += span;
+        self.tile_sched[t].parks += 1;
+        if let Some(parks) = self.park_spans.as_mut() {
+            parks[t].push(SkipSpan { start: now, end: now + span });
+        }
+    }
+
     /// Advance `self.cycle` to the earliest cycle at which *any* tile can
     /// act, replaying the skipped span's per-cycle charges on every live
-    /// tile. The per-tile classification is the single-tile scheduler's
-    /// (see [`crate::legacy::LegacySystem`]); the fabric skips only when
-    /// every tile is provably inert, so the span is the minimum of the
-    /// per-tile bounds (and of the next pending fault-injection cycle).
+    /// tile. The fabric skips only when every tile is provably inert, so
+    /// the span is the minimum of the per-tile bounds (and of the next
+    /// pending fault-injection cycle).
     fn fast_forward(&mut self) {
         let now = self.cycle;
-        let single_bank = self.mem.banks() == 1;
         let mut plans: Vec<Replay> = Vec::with_capacity(self.tiles.len());
         let mut target = u64::MAX;
         for t in 0..self.tiles.len() {
-            let tile = &mut self.tiles[t];
-            let Some(core_at) = tile.core.next_event(now) else {
+            match self.tile_bound(t, now) {
                 // Halted: frozen forever, no bound and nothing to replay.
-                plans.push(Replay::Frozen);
-                continue;
-            };
-            let mut window_read = None;
-            let mut port_wait = None;
-            if core_at <= now {
-                if let Some(addr) = tile.core.pending_hht_read(now) {
-                    if !tile.hht.window_read_would_stall(addr, now) {
-                        return; // the pop succeeds this cycle
+                None => plans.push(Replay::Frozen),
+                Some((bound, replay)) => {
+                    if bound <= now + 1 {
+                        return; // a tile acts now (or a 1-cycle span): step it
                     }
-                    window_read = Some(addr);
-                } else if let Some(addr) = tile.core.pending_port_addr(now) {
-                    match self.mem.next_event_at(addr, now) {
-                        // The span replays one arbitration loss per cycle
-                        // against `addr`'s bank, which provably stays busy
-                        // until `free_at` (no tile steps inside a span).
-                        Some(free_at) if free_at > now + 1 => port_wait = Some(free_at),
-                        _ => return, // bank free (or 1-cycle skip): step it
-                    }
-                } else {
-                    return; // the core acts this cycle
+                    plans.push(replay);
+                    target = target.min(bound);
                 }
-            } else if core_at <= now + 1 {
-                return; // span capped at 1 — cheaper to step
             }
-            let hht_bound = match tile.hht.next_event(now) {
-                Wake::At(at) => Some(at),
-                Wake::NeedsPort => {
-                    if single_bank {
-                        // Exactly the single-ported SRAM resolution: the
-                        // engine issues the moment the (only) bank frees.
-                        Some(self.mem.next_event(now).unwrap_or(now))
-                    } else {
-                        // `NeedsPort` does not carry the target bank, so a
-                        // min-over-banks bound could overshoot the bank the
-                        // engine actually wants. Refuse to skip.
-                        return;
-                    }
-                }
-                Wake::OutputBlocked | Wake::Never => None,
-            };
-            let tile_target = if let Some(free_at) = port_wait {
-                hht_bound.map_or(free_at, |b| b.min(free_at))
-            } else if let Some(addr) = window_read {
-                // Only the engine can unpark the core; with no engine wake
-                // this is a deadlock — jump straight to the watchdog limit
-                // (unless another tile acts first).
-                let mut bound = hht_bound.unwrap_or(self.max_cycles);
-                if let Some(ready) = tile.hht.window_ready_at(addr, now) {
-                    bound = bound.min(ready);
-                }
-                if let Some(b) = tile.core.hht_timeout_bound(now) {
-                    bound = bound.min(b);
-                }
-                bound
-            } else {
-                hht_bound.map_or(core_at, |b| b.min(core_at))
-            };
-            plans.push(match (window_read, port_wait) {
-                (Some(addr), _) => Replay::Window(addr),
-                (None, Some(_)) => Replay::Port,
-                (None, None) => Replay::Busy,
-            });
-            target = target.min(tile_target);
+        }
+        if target == u64::MAX {
+            // Every tile is frozen: the run is over, and a pending fault
+            // cycle must not drag the wall clock past the final halt.
+            return;
         }
         // Never jump past a pending fault injection.
         if let Some(fault_at) = self.fault_plan.as_ref().and_then(FaultPlan::next_cycle) {
             target = target.min(fault_at);
         }
-        if target == u64::MAX || target <= now + 1 {
-            return; // all tiles frozen, or nothing worth skipping
+        if target <= now + 1 {
+            return; // nothing worth skipping
         }
         let span = (target - now).min(self.max_cycles.saturating_sub(now));
-        for (t, plan) in plans.iter().enumerate() {
-            if matches!(plan, Replay::Frozen) {
-                continue;
-            }
-            let tile = &mut self.tiles[t];
-            let mut port = TilePort::new(&mut self.mem, t);
-            tile.hht.skip_idle(now, span, &mut port);
-            match plan {
-                Replay::Window(addr) => {
-                    tile.core.skip_hht_wait(now, span, *addr);
-                    tile.hht.skip_stalled_reads(span);
-                }
-                Replay::Port => {
-                    tile.core.skip_port_wait(now, span, &mut port);
-                }
-                Replay::Busy | Replay::Frozen => {}
-            }
+        let parked: Vec<(usize, Replay)> =
+            plans.into_iter().enumerate().filter(|(_, p)| !matches!(p, Replay::Frozen)).collect();
+        for (t, plan) in parked {
+            self.commit_park(t, now, span, &plan);
         }
         self.cycle = now + span;
         self.sched.skipped_cycles += span;
@@ -617,6 +730,127 @@ impl Fabric {
         if let Some(spans) = self.skip_spans.as_mut() {
             spans.push(SkipSpan { start: now, end: now + span });
         }
+    }
+
+    /// Run under the discrete-event scheduler: a min-heap of
+    /// `(wake, tile)` entries advances each tile independently to its own
+    /// next wake, so a parked tile costs *zero* host work per simulated
+    /// cycle instead of a full step. Bit-identical to the lock-step `run`
+    /// (the differential oracle, `with_event_queue(false)`) because:
+    ///
+    /// - every park is bounded by [`Self::tile_bound`], whose span is
+    ///   provably inert for the tile, and [`Self::commit_park`] charges it
+    ///   exactly what the per-cycle loop would have;
+    /// - a parked tile's lock-step steps never grant a bank (inert cycles
+    ///   issue no winning accesses), so the shared memory evolves exactly
+    ///   as if every tile had been stepped;
+    /// - all tiles due on a cycle step in arbiter order, preserving
+    ///   call-order bank arbitration among the only tiles that can
+    ///   contend;
+    /// - no park crosses a pending fault-injection cycle (every target is
+    ///   capped by `FaultPlan::next_cycle`, which never decreases) or the
+    ///   watchdog limit.
+    fn run_event_queue(&mut self) -> Result<FabricStats, RunError> {
+        let n = self.tiles.len();
+        // One entry per live tile, always: a tile leaves the heap only by
+        // halting. Ties pop lowest-tile-first, but the order never matters
+        // — the due set is collected fully, then stepped in arbiter order.
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n)
+            .filter(|&t| !self.tiles[t].core.halted())
+            .map(|t| Reverse((self.cycle, t)))
+            .collect();
+        let mut due: Vec<usize> = Vec::with_capacity(n);
+        // Tiles halted before ever stepping still get their `done_at`
+        // latched after the first stepped cycle, exactly as in lock-step.
+        let mut prehalted: Vec<usize> = (0..n).filter(|&t| self.tiles[t].core.halted()).collect();
+        while let Some(&Reverse((wake, _))) = heap.peek() {
+            // Jump the clock to the earliest wake. The cycles in between
+            // were already paid for when each park's replay committed.
+            if wake > self.cycle {
+                self.sched.skipped_cycles += wake - self.cycle;
+                self.sched.skip_spans += 1;
+                if let Some(spans) = self.skip_spans.as_mut() {
+                    spans.push(SkipSpan { start: self.cycle, end: wake });
+                }
+                self.cycle = wake;
+                if self.cycle >= self.max_cycles {
+                    return Err(RunError::Watchdog(self.max_cycles));
+                }
+            }
+            self.inject_due_faults();
+            due.clear();
+            while let Some(&Reverse((w, t))) = heap.peek() {
+                if w > self.cycle {
+                    break;
+                }
+                heap.pop();
+                due.push(t);
+                self.tile_sched[t].pops += 1;
+            }
+            // Step the due set: CPUs first, then HHTs, both in arbiter
+            // order — call order *is* bank priority, exactly as in `step`.
+            let now = self.cycle;
+            let start = self.arb_start();
+            due.sort_unstable_by_key(|&t| (t + n - start) % n);
+            for &t in &due {
+                let tile = &mut self.tiles[t];
+                let mut port = TilePort::new(&mut self.mem, t);
+                tile.core.step(now, &mut port, &mut tile.hht);
+            }
+            for &t in &due {
+                let tile = &mut self.tiles[t];
+                let mut port = TilePort::new(&mut self.mem, t);
+                tile.hht.step(now, &mut port);
+            }
+            self.cycle = now + 1;
+            self.sched.stepped_cycles += 1;
+            // Only stepped tiles can newly halt; parked tiles are inert.
+            for &t in &due {
+                self.tile_sched[t].stepped_cycles += 1;
+                let tile = &mut self.tiles[t];
+                if tile.done_at.is_none() && tile.core.halted() {
+                    tile.done_at = Some(self.cycle);
+                }
+            }
+            if !prehalted.is_empty() {
+                for t in prehalted.drain(..) {
+                    self.tiles[t].done_at = Some(self.cycle);
+                }
+            }
+            if self.cycle >= self.max_cycles {
+                return Err(RunError::Watchdog(self.max_cycles));
+            }
+            // Re-plan every stepped tile from the new cycle: park it to
+            // its bound (committing the span's charges eagerly) or
+            // re-enqueue it for the next cycle. Halted tiles leave the
+            // queue for good.
+            let now = self.cycle;
+            let fault_at = self.fault_plan.as_ref().and_then(FaultPlan::next_cycle);
+            for &t in &due {
+                if self.tiles[t].core.halted() {
+                    continue;
+                }
+                let Some((bound, plan)) = self.tile_bound(t, now) else {
+                    continue;
+                };
+                let mut target = bound.min(self.max_cycles);
+                if let Some(f) = fault_at {
+                    target = target.min(f);
+                }
+                if target > now {
+                    self.commit_park(t, now, target - now, &plan);
+                    heap.push(Reverse((target, t)));
+                } else {
+                    heap.push(Reverse((now, t)));
+                }
+            }
+        }
+        for tile in &self.tiles {
+            if let Some(e) = tile.core.error() {
+                return Err(e);
+            }
+        }
+        Ok(self.stats())
     }
 
     /// Statistics snapshot: per-tile [`SystemStats`] plus the shared-memory
@@ -660,6 +894,20 @@ impl Fabric {
     /// Host-side scheduler accounting: stepped vs skipped simulated cycles.
     pub fn sched_stats(&self) -> SchedStats {
         self.sched
+    }
+
+    /// Host-side per-tile scheduler accounting (queue pops, stepped vs
+    /// parked cycles). Indexed by tile.
+    pub fn tile_sched_stats(&self) -> &[TileSchedStats] {
+        &self.tile_sched
+    }
+
+    /// Move the recorded per-tile parked spans out of the scheduler's sink
+    /// (empty when tracing is off). `result[t]` is tile `t`'s parked spans
+    /// in chronological order; under the lock-step scheduler every live
+    /// tile records each global fast-forward span.
+    pub fn take_park_spans(&mut self) -> Vec<Vec<SkipSpan>> {
+        self.park_spans.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// Move the recorded fast-forward spans out of the scheduler's sink

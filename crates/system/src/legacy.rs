@@ -218,7 +218,7 @@ impl LegacySystem {
         let hht_bound = match hht_wake {
             Wake::At(t) => Some(t),
             // Wants the port: issues the moment it frees.
-            Wake::NeedsPort => Some(self.sram.next_event(now).unwrap_or(now)),
+            Wake::NeedsPort { .. } => Some(self.sram.next_event(now).unwrap_or(now)),
             Wake::OutputBlocked | Wake::Never => None,
         };
         let target = if let Some(free_at) = port_free {

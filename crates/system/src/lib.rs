@@ -38,7 +38,7 @@ pub mod system;
 pub mod tiling;
 
 pub use config::{SystemConfig, TraceConfig};
-pub use fabric::{ArbPolicy, Fabric, FabricConfig, FabricStats, SchedStats};
+pub use fabric::{ArbPolicy, Fabric, FabricConfig, FabricStats, SchedStats, TileSchedStats};
 pub use legacy::LegacySystem;
 pub use metrics::MetricsSnapshot;
 pub use runner::{RecoveryReport, RunOutput, RunStats};

@@ -17,7 +17,7 @@
 //! `stats.faults.fallbacks`.
 
 use crate::config::SystemConfig;
-use crate::fabric::{Fabric, FabricConfig, FabricStats, SchedStats};
+use crate::fabric::{Fabric, FabricConfig, FabricStats, SchedStats, TileSchedStats};
 use crate::kernels;
 use crate::layout;
 use crate::system::{System, SystemStats};
@@ -387,6 +387,9 @@ pub struct FabricRunOutput {
     /// Host-side scheduler accounting (stepped vs skipped cycles),
     /// fabric-wide.
     pub sched: SchedStats,
+    /// Host-side per-tile scheduler accounting (queue pops, parked spans),
+    /// indexed by tile.
+    pub tile_sched: Vec<TileSchedStats>,
     /// Ring-buffer eviction counters summed over every tile's sinks.
     pub dropped: hht_obs::ObsDrops,
     /// The fast-forward spans the cycle-skip scheduler took (empty when
@@ -421,15 +424,46 @@ fn run_fabric(
     // Read scheduler counters and drop totals before draining the event
     // streams: `take_all_events` resets the rings (and their counters).
     let sched = fabric.sched_stats();
+    let tile_sched = fabric.tile_sched_stats().to_vec();
     let dropped = fabric.obs_drops();
     let skip_spans = fabric.take_skip_spans();
-    FabricRunOutput { y, stats, tile_events: fabric.take_all_events(), sched, dropped, skip_spans }
+    FabricRunOutput {
+        y,
+        stats,
+        tile_events: fabric.take_all_events(),
+        sched,
+        tile_sched,
+        dropped,
+        skip_spans,
+    }
 }
 
 /// Extra image words for the per-shard rebased row-pointer copies (plus
 /// per-array alignment slack).
 fn shard_words(m: &CsrMatrix, tiles: usize) -> usize {
     tiles * (m.rows() + 1 + 8)
+}
+
+/// Build (but do not run) the N-tile SpMV fabric: the full problem image,
+/// per-shard programs, and the banked shared memory — exactly the fabric
+/// [`run_spmv_fabric`] would drive. The determinism suite uses this to
+/// step the fabric manually as a per-cycle oracle and to run differential
+/// schedulers over identical images without the golden-verify panic.
+/// Returns the fabric plus the output vector's base address.
+pub fn build_spmv_fabric(
+    cfg: &SystemConfig,
+    fab: FabricConfig,
+    m: &CsrMatrix,
+    v: &DenseVector,
+) -> (Fabric, u32) {
+    let mut sram = sram_for(cfg, spmv_words(m, v) + shard_words(m, fab.tiles));
+    let full = layout::layout_spmv(&mut sram, m, v);
+    let shards = layout::row_shards(m, fab.tiles);
+    let layouts = layout::shard_layouts(&mut sram, &full, m, &shards);
+    let vectorized = cfg.core.vlen > 1;
+    let programs = layouts.iter().map(|sl| kernels::spmv_hht(sl, vectorized)).collect();
+    let mem = SharedMemory::from_sram(sram, fab.banks, fab.tiles);
+    (Fabric::new(cfg, fab, programs, mem), full.y_base)
 }
 
 /// Run HHT-assisted SpMV sharded row-block-wise across an N-tile fabric.
