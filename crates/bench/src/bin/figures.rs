@@ -45,6 +45,11 @@
 //!   baseline report; exits non-zero when a deterministic metric regressed
 //!   past `--tolerance <frac>` (default 0.02). Combine with `--bench-out`
 //!   to also refresh the report.
+//! - `--chaos` — run the chaos campaign: deterministic tile-kill schedules
+//!   against the N-tile fabric with recovery enabled, summarising how each
+//!   scenario degrades (survivors, failover attempts and cycles, degraded
+//!   speedup) while the result stays bit-exact. With `--metrics-out` the
+//!   summary is also exported as the `chaos` section of the scaling JSON.
 
 use hht_bench::format::table;
 use hht_energy::{ClockSpeed, ProcessNode};
@@ -63,6 +68,17 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(value)
 }
 
+/// Remove a bare `flag` (no value) from `args`, returning its presence.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics_out = take_flag(&mut args, "--metrics-out");
@@ -71,6 +87,7 @@ fn main() {
     let fault_plan = take_flag(&mut args, "--fault-plan");
     let bench_out = take_flag(&mut args, "--bench-out");
     let bench_compare = take_flag(&mut args, "--bench-compare");
+    let chaos = take_switch(&mut args, "--chaos");
     let tolerance = match take_flag(&mut args, "--tolerance") {
         Some(v) => v.parse().ok().filter(|t: &f64| *t >= 0.0).unwrap_or_else(|| {
             eprintln!("--tolerance expects a non-negative fraction, got `{v}`");
@@ -90,6 +107,10 @@ fn main() {
     let cfg = SystemConfig::paper_default();
     if bench_out.is_some() || bench_compare.is_some() {
         bench_observatory(&cfg, n.min(256), bench_out, bench_compare, tolerance);
+        return;
+    }
+    if chaos {
+        chaos_campaign(&cfg, n.min(128), metrics_out);
         return;
     }
     // `scaling` consumes --metrics-out itself (it exports the sweep rather
@@ -239,6 +260,7 @@ fn bench_observatory(
         report.configs.push(entry);
     }
     report.fabric.push(fabric_throughput_entry());
+    report.failover.push(failover_entry());
     if let Some(path) = &bench_out {
         write_or_exit(path, &report.to_json());
         eprintln!("wrote bench report to {path}");
@@ -322,6 +344,131 @@ fn fabric_throughput_entry() -> hht_prof::FabricBenchConfig {
         entry.min_host_speedup,
     );
     entry
+}
+
+/// The degraded-mode failover gate: a pinned 8-tile SpMV with one tile
+/// killed mid-run and recovery enabled. The workload and the kill schedule
+/// are fixed — independent of `--n` — so both wall-cycle counts are
+/// deterministic gates; the overhead ratio is carried for context.
+fn failover_entry() -> hht_prof::FailoverBenchConfig {
+    use hht_fault::{FaultEvent, FaultKind, FaultPlan};
+    use hht_system::FabricConfig;
+    let tiles = 8;
+    let fab = FabricConfig::scaled(tiles);
+    let cfg = SystemConfig::paper_default().with_recovery(true).with_hht_timeout(64);
+    let m = hht_sparse::generate::random_csr(256, 256, 0.05, 42);
+    let v = hht_sparse::generate::random_dense_vector(256, 7);
+    let clean = hht_system::runner::run_spmv_fabric(&cfg, fab, &m, &v);
+    let plan = FaultPlan::new(vec![FaultEvent::on_tile(200, FaultKind::TileKill, 3)]);
+    let out = hht_system::runner::run_spmv_fabric_with_plan(&cfg, fab, &m, &v, plan);
+    assert_eq!(out.y, clean.y, "degraded run must stay bit-exact");
+    let rec = out.recovery.as_ref().expect("the kill must trigger recovery");
+    let report = hht_prof::FabricRecoveryReport::new(&out.stats, rec)
+        .expect("recovery attribution must hold for every tile");
+    let entry = hht_prof::FailoverBenchConfig {
+        name: "fabric_failover_8t".to_string(),
+        tiles,
+        banks: fab.banks,
+        killed: 1,
+        survivors: report.survivors(),
+        failovers: out.stats.tiles.iter().map(|t| t.faults.failovers).sum(),
+        clean_wall_cycles: clean.stats.cycles,
+        degraded_wall_cycles: out.stats.cycles,
+        degraded_overhead: out.stats.cycles as f64 / clean.stats.cycles as f64,
+    };
+    println!(
+        "failover {} ({} tiles, {} killed): {} -> {} wall cycles ({:.2}x overhead, {} survivors)",
+        entry.name,
+        entry.tiles,
+        entry.killed,
+        entry.clean_wall_cycles,
+        entry.degraded_wall_cycles,
+        entry.degraded_overhead,
+        entry.survivors,
+    );
+    entry
+}
+
+/// The chaos campaign: deterministic tile-kill schedules against the
+/// N-tile fabric with recovery enabled. Each scenario reports how the
+/// fabric degraded (quarantines, shard failovers, wall-cycle overhead)
+/// while asserting the result stays bit-exact with the clean run.
+fn chaos_campaign(cfg: &SystemConfig, n: usize, metrics_out: Option<String>) {
+    use hht_fault::{FaultEvent, FaultKind, FaultPlan};
+    use hht_system::FabricConfig;
+    header(
+        &format!("Chaos campaign: tile kills under shard failover ({n}x{n} SpMV, 90% sparsity)"),
+        "robustness extension (not in the paper): quarantined tiles fail their shards over to the survivors; results stay bit-exact",
+    );
+    let m = hht_sparse::generate::random_csr(n, n, 0.9, 0xD1);
+    let v = hht_sparse::generate::random_dense_vector(n, 0xD2);
+    let robust = cfg.with_recovery(true).with_hht_timeout(64);
+    let scenarios: &[(usize, &[(u64, u32)])] = &[
+        (4, &[(150, 1)]),
+        (4, &[(100, 0), (220, 2)]),
+        (8, &[(200, 3)]),
+        (8, &[(80, 0), (160, 2), (240, 5), (320, 7)]),
+    ];
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for &(tiles, kills) in scenarios {
+        let fab = FabricConfig::scaled(tiles);
+        let clean = hht_system::runner::run_spmv_fabric(&robust, fab, &m, &v);
+        let plan = FaultPlan::new(
+            kills.iter().map(|&(c, t)| FaultEvent::on_tile(c, FaultKind::TileKill, t)).collect(),
+        );
+        let out = hht_system::runner::run_spmv_fabric_with_plan(&robust, fab, &m, &v, plan);
+        assert_eq!(out.y, clean.y, "degraded run must stay bit-exact");
+        let rec = out.recovery.as_ref().expect("kills must trigger recovery");
+        let report = hht_prof::FabricRecoveryReport::new(&out.stats, rec)
+            .expect("recovery attribution must hold for every tile");
+        let failover_cycles: u64 = out.stats.tiles.iter().map(|t| t.faults.failed_cycles).sum();
+        let degraded_speedup = clean.stats.cycles as f64 / out.stats.cycles as f64;
+        rows.push(vec![
+            tiles.to_string(),
+            kills.len().to_string(),
+            format!("{}/{}", report.survivors(), tiles),
+            report.attempts.to_string(),
+            failover_cycles.to_string(),
+            rec.backoff_cycles.to_string(),
+            clean.stats.cycles.to_string(),
+            out.stats.cycles.to_string(),
+            format!("{degraded_speedup:.3}"),
+        ]);
+        records.push(format!(
+            "{{\"tiles\":{tiles},\"killed\":{},\"survivors\":{},\"attempts\":{},\
+             \"failover_cycles\":{failover_cycles},\"backoff_cycles\":{},\
+             \"clean_wall_cycles\":{},\"degraded_wall_cycles\":{},\
+             \"degraded_speedup\":{degraded_speedup:.6}}}",
+            kills.len(),
+            report.survivors(),
+            report.attempts,
+            rec.backoff_cycles,
+            clean.stats.cycles,
+            out.stats.cycles,
+        ));
+    }
+    print!(
+        "{}",
+        table(
+            &[
+                "tiles",
+                "killed",
+                "survivors",
+                "attempts",
+                "failover cyc",
+                "backoff",
+                "clean wall",
+                "degraded wall",
+                "degraded speedup",
+            ],
+            &rows
+        )
+    );
+    if let Some(path) = metrics_out {
+        write_or_exit(&path, &format!("{{\"chaos\":[{}]}}", records.join(",")));
+        eprintln!("wrote chaos campaign summary to {path}");
+    }
 }
 
 /// One HHT SpMV run under deterministic fault injection, with the core's

@@ -44,6 +44,13 @@ pub enum FaultKind {
     /// Latch the sticky error bit in the HHT STATUS register: the control
     /// unit has failed and every stream window stalls from here on.
     MmrStickyError,
+    /// The whole tile dies: its HHT latches the sticky error *and* the
+    /// tile is marked fatal, so a fabric's recovery policy quarantines it
+    /// (no retry can bring it back) and fails its row shard over to the
+    /// surviving tiles. Never drawn by seeded plans — a seeded sweep
+    /// measures transient-fault behaviour; tile kills are the chaos
+    /// campaign's explicit weapon.
+    TileKill,
 }
 
 impl FaultKind {
@@ -56,7 +63,14 @@ impl FaultKind {
             FaultKind::EngineStall { .. } => "engine_stall",
             FaultKind::BufferCorrupt { .. } => "buffer_corrupt",
             FaultKind::MmrStickyError => "mmr_sticky_error",
+            FaultKind::TileKill => "tile_kill",
         }
+    }
+
+    /// True for faults no retry can survive: the targeted tile is dead for
+    /// the rest of the run and must be quarantined rather than backed off.
+    pub fn is_fatal(self) -> bool {
+        matches!(self, FaultKind::TileKill)
     }
 }
 
@@ -223,6 +237,7 @@ impl FaultPlan {
                 "engine_stall" => FaultKind::EngineStall { cycles: arg(2)?.max(1) },
                 "buffer_corrupt" => FaultKind::BufferCorrupt { bit: (arg(2)? % 32) as u8 },
                 "mmr_sticky_error" => FaultKind::MmrStickyError,
+                "tile_kill" => FaultKind::TileKill,
                 other => return Err(err(clause, &format!("unknown fault kind `{other}`"))),
             };
             events.push(FaultEvent::on_tile(cycle, kind, tile));
@@ -249,6 +264,13 @@ impl FaultPlan {
     /// skipped span must never jump past it.
     pub fn next_cycle(&self) -> Option<u64> {
         self.events.get(self.cursor).map(|e| e.cycle)
+    }
+
+    /// The not-yet-taken events, in cycle order. Lets a scheduler look past
+    /// events it knows are inert (e.g. a tile-targeted fault whose tile has
+    /// already halted) when computing its wake bound.
+    pub fn pending(&self) -> &[FaultEvent] {
+        &self.events[self.cursor..]
     }
 
     /// Advance the cursor over every event with `cycle <= now` and return
@@ -352,6 +374,44 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(FaultKind::MmrStickyError.label(), "mmr_sticky_error");
         assert_eq!(FaultKind::SramBitFlip { addr: 0, bit: 0 }.label(), "sram_bit_flip");
+        assert_eq!(FaultKind::TileKill.label(), "tile_kill");
+    }
+
+    #[test]
+    fn tile_kill_is_the_only_fatal_kind_and_parses() {
+        assert!(FaultKind::TileKill.is_fatal());
+        for k in [
+            FaultKind::SramBitFlip { addr: 0, bit: 0 },
+            FaultKind::DropResponse,
+            FaultKind::DelayResponse { cycles: 1 },
+            FaultKind::EngineStall { cycles: 1 },
+            FaultKind::BufferCorrupt { bit: 0 },
+            FaultKind::MmrStickyError,
+        ] {
+            assert!(!k.is_fatal(), "{} must be retryable", k.label());
+        }
+        let plan = FaultPlan::parse("100@3:tile_kill").unwrap();
+        assert_eq!(plan.events(), &[FaultEvent::on_tile(100, FaultKind::TileKill, 3)]);
+        // Seeded plans model transient hardware mischief; they never kill
+        // a tile outright.
+        for seed in 1..64u64 {
+            let cfg = FaultConfig { seed, max_faults: 16, horizon: 1000 };
+            let plan = FaultPlan::from_seed(cfg, 1 << 16);
+            assert!(plan.events().iter().all(|e| !e.kind.is_fatal()));
+        }
+    }
+
+    #[test]
+    fn pending_tracks_the_cursor() {
+        let mut plan = FaultPlan::new(vec![
+            FaultEvent::new(10, FaultKind::DropResponse),
+            FaultEvent::new(20, FaultKind::MmrStickyError),
+        ]);
+        assert_eq!(plan.pending().len(), 2);
+        let _ = plan.take_due(10);
+        assert_eq!(plan.pending(), &[FaultEvent::new(20, FaultKind::MmrStickyError)]);
+        let _ = plan.take_due(20);
+        assert!(plan.pending().is_empty());
     }
 
     proptest! {

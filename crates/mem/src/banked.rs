@@ -46,6 +46,17 @@ impl SharedMemStats {
         }
         self.conflicts as f64 / attempts as f64
     }
+
+    /// Fold another attempt's counters into this one. `banks` is a shape
+    /// datum, not a counter: it is taken from `other`, never summed (every
+    /// attempt of one recovered run shares the bank count).
+    pub fn absorb(&mut self, other: &SharedMemStats) {
+        let SharedMemStats { banks, accesses, conflicts, cross_tile_conflicts } = *other;
+        self.banks = banks;
+        self.accesses += accesses;
+        self.conflicts += conflicts;
+        self.cross_tile_conflicts += cross_tile_conflicts;
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

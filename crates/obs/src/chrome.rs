@@ -22,6 +22,12 @@ use serde::{Number, Value};
 /// [`Track`] set whose streams are compared across scheduler modes.
 const SCHED_TID: u32 = 8;
 
+/// Thread id of the per-tile fault-domain lane (one past the scheduler
+/// lane). Emitted only by the `_fault_domains` exporters, and only for
+/// tiles that were actually quarantined, so a healthy run's export stays
+/// byte-identical to the plain tile export.
+const DOMAIN_TID: u32 = 9;
+
 fn base_event(name: &str, ph: &str, pid: u64, tid: u32) -> Vec<(String, Value)> {
     vec![
         ("name".into(), Value::Str(name.into())),
@@ -121,6 +127,24 @@ fn emit_process(trace_events: &mut Vec<Value>, pid: u64, process_name: &str, eve
                     "fault",
                 ));
             }
+            EventKind::Quarantine { retries } => {
+                trace_events.push(instant(
+                    &format!("quarantine:{retries}retries"),
+                    pid,
+                    tid,
+                    event.cycle,
+                    "fault",
+                ));
+            }
+            EventKind::Failover { rows } => {
+                trace_events.push(instant(
+                    &format!("failover:{rows}rows"),
+                    pid,
+                    tid,
+                    event.cycle,
+                    "fault",
+                ));
+            }
             EventKind::BufferLevel { level } => {
                 let mut fields =
                     with_ts(base_event(event.track.name(), "C", pid, tid), event.cycle);
@@ -208,6 +232,52 @@ pub fn chrome_trace_value_tiles_sched(tiles: &[Vec<Event>], spans: &[SkipSpan]) 
 /// JSON string (byte-stable per event stream + span list).
 pub fn chrome_trace_json_tiles_sched(tiles: &[Vec<Event>], spans: &[SkipSpan]) -> String {
     serde_json::to_string(&chrome_trace_value_tiles_sched(tiles, spans))
+        .expect("trace values are always finite")
+}
+
+/// Append one tile's fault-domain lane: a "fault-domain" thread carrying a
+/// `B`/`E` "quarantined" slice per span the tile spent quarantined.
+fn emit_domain_lane(trace_events: &mut Vec<Value>, pid: u64, spans: &[SkipSpan]) {
+    let mut meta = base_event("thread_name", "M", pid, DOMAIN_TID);
+    meta.push((
+        "args".into(),
+        Value::Map(vec![("name".into(), Value::Str("fault-domain".into()))]),
+    ));
+    trace_events.push(Value::Map(meta));
+    for s in spans {
+        trace_events.push(slice("quarantined", "B", pid, DOMAIN_TID, s.start, "fault"));
+        trace_events.push(slice("quarantined", "E", pid, DOMAIN_TID, s.end, "fault"));
+    }
+}
+
+/// [`chrome_trace_value_tiles`] plus a fault-domain lane per quarantined
+/// tile: `domains[t]` is the list of spans tile `t` spent quarantined
+/// (normally one span, from the quarantine cycle to the end of the run).
+/// Tiles with no spans get no lane, so a healthy run's export is identical
+/// to the plain tile export.
+pub fn chrome_trace_value_tiles_fault_domains(
+    tiles: &[Vec<Event>],
+    domains: &[Vec<SkipSpan>],
+) -> Value {
+    let mut trace_events: Vec<Value> = Vec::new();
+    for (t, events) in tiles.iter().enumerate() {
+        emit_process(&mut trace_events, t as u64, &format!("tile {t}"), events);
+        if let Some(spans) = domains.get(t) {
+            if !spans.is_empty() {
+                emit_domain_lane(&mut trace_events, t as u64, spans);
+            }
+        }
+    }
+    wrap(trace_events)
+}
+
+/// Render a multi-tile trace with per-tile fault-domain lanes as a compact
+/// JSON string (byte-stable per event stream + domain-span list).
+pub fn chrome_trace_json_tiles_fault_domains(
+    tiles: &[Vec<Event>],
+    domains: &[Vec<SkipSpan>],
+) -> String {
+    serde_json::to_string(&chrome_trace_value_tiles_fault_domains(tiles, domains))
         .expect("trace values are always finite")
 }
 
@@ -323,6 +393,33 @@ mod tests {
         assert!(json.contains("\"cycle-skip\""));
         assert_eq!(json.matches("\"skipped\"").count(), 4); // 2 counter pairs
         assert_eq!(json.matches("\"ph\":\"B\"").count(), json.matches("\"ph\":\"E\"").count());
+    }
+
+    #[test]
+    fn fault_domain_lane_is_additive_and_balanced() {
+        let tiles = vec![sample_events(), sample_events()];
+        // No quarantined tiles: byte-identical to the plain tile export.
+        assert_eq!(
+            chrome_trace_json_tiles_fault_domains(&tiles, &[Vec::new(), Vec::new()]),
+            chrome_trace_json_tiles(&tiles)
+        );
+        // Tile 1 quarantined from cycle 40 to 100: one lane, one slice.
+        let domains = vec![Vec::new(), vec![SkipSpan { start: 40, end: 100 }]];
+        let json = chrome_trace_json_tiles_fault_domains(&tiles, &domains);
+        assert_eq!(json.matches("\"fault-domain\"").count(), 1);
+        assert_eq!(json.matches("\"quarantined\"").count(), 2); // one B/E pair
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), json.matches("\"ph\":\"E\"").count());
+    }
+
+    #[test]
+    fn quarantine_and_failover_events_render_as_fault_instants() {
+        let events = vec![
+            Event { cycle: 7, track: Track::Fault, kind: EventKind::Failover { rows: 12 } },
+            Event { cycle: 9, track: Track::Fault, kind: EventKind::Quarantine { retries: 2 } },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"failover:12rows\""));
+        assert!(json.contains("\"quarantine:2retries\""));
     }
 
     #[test]

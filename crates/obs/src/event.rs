@@ -154,6 +154,13 @@ pub enum EventKind {
     FaultDetect { what: &'static str },
     /// A recovery action was taken (`"hht_retry"`, `"software_fallback"`).
     Recovery { what: &'static str },
+    /// The fabric's fault-domain policy quarantined this tile after
+    /// `retries` failed attempts (0 when a fatal fault skipped the retry
+    /// ladder entirely).
+    Quarantine { retries: u32 },
+    /// This tile's unfinished row shard (`rows` rows) was failed over to
+    /// the surviving tiles.
+    Failover { rows: u32 },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

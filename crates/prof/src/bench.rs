@@ -12,8 +12,9 @@ use crate::host::HostProfile;
 use serde::{Deserialize, Serialize};
 
 /// Schema version stamped into every report; bump on incompatible change.
-/// Schema 2 added the `fabric` scheduler-throughput section.
-pub const BENCH_SCHEMA: u32 = 2;
+/// Schema 2 added the `fabric` scheduler-throughput section; schema 3 added
+/// the `failover` degraded-mode section.
+pub const BENCH_SCHEMA: u32 = 3;
 
 /// Headline metrics for one named configuration (e.g. `paper_default`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,6 +72,33 @@ pub struct FabricBenchConfig {
     pub min_host_speedup: f64,
 }
 
+/// Degraded-mode throughput for one named fault scenario: the same SpMV
+/// run clean and with tiles killed mid-run, recovery enabled. Both wall
+/// cycle counts are deterministic (the chaos plan is fixed) and gated with
+/// the relative tolerance; the overhead ratio is carried for context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailoverBenchConfig {
+    /// Scenario name (stable key the comparator joins on).
+    pub name: String,
+    /// Tile count the fabric starts with.
+    pub tiles: usize,
+    /// Shared-memory bank count.
+    pub banks: usize,
+    /// Tiles the fault plan kills.
+    pub killed: usize,
+    /// Tiles never quarantined by the end of the run.
+    pub survivors: usize,
+    /// Failed attempts the recovery policy absorbed (shard failovers).
+    pub failovers: u64,
+    /// Wall cycles of the clean (no-fault) run. Deterministic; gated.
+    pub clean_wall_cycles: u64,
+    /// Wall cycles of the degraded run: every attempt plus backoff.
+    /// Deterministic; gated.
+    pub degraded_wall_cycles: u64,
+    /// `degraded_wall_cycles / clean_wall_cycles` (informational).
+    pub degraded_overhead: f64,
+}
+
 /// The full report: schema stamp plus one entry per configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -80,12 +108,19 @@ pub struct BenchReport {
     pub configs: Vec<BenchConfig>,
     /// Fabric scheduler-throughput results, in a stable order.
     pub fabric: Vec<FabricBenchConfig>,
+    /// Degraded-mode (fault-domain failover) results, in a stable order.
+    pub failover: Vec<FailoverBenchConfig>,
 }
 
 impl BenchReport {
     /// An empty report at the current schema.
     pub fn new() -> Self {
-        BenchReport { schema: BENCH_SCHEMA, configs: Vec::new(), fabric: Vec::new() }
+        BenchReport {
+            schema: BENCH_SCHEMA,
+            configs: Vec::new(),
+            fabric: Vec::new(),
+            failover: Vec::new(),
+        }
     }
 
     /// Pretty JSON (deterministic field order — suitable for committing).
@@ -175,6 +210,36 @@ impl BenchReport {
                 ));
             }
         }
+        for base in &baseline.failover {
+            let Some(cur) = self.failover.iter().find(|c| c.name == base.name) else {
+                regressions
+                    .push(format!("failover config '{}' missing from current report", base.name));
+                continue;
+            };
+            let worse = |label: &str, cur_v: u64, base_v: u64| {
+                let limit = base_v as f64 * (1.0 + tolerance);
+                (cur_v as f64 > limit).then(|| {
+                    format!(
+                        "{}: {label} regressed {} -> {} (+{:.2}%, tolerance {:.2}%)",
+                        base.name,
+                        base_v,
+                        cur_v,
+                        100.0 * (cur_v as f64 / base_v as f64 - 1.0),
+                        100.0 * tolerance
+                    )
+                })
+            };
+            regressions.extend(worse(
+                "degraded_wall_cycles",
+                cur.degraded_wall_cycles,
+                base.degraded_wall_cycles,
+            ));
+            regressions.extend(worse(
+                "clean_wall_cycles",
+                cur.clean_wall_cycles,
+                base.clean_wall_cycles,
+            ));
+        }
         regressions
     }
 }
@@ -259,6 +324,39 @@ mod tests {
         assert_eq!(regs.len(), 1, "{regs:?}");
         assert!(regs[0].contains("floor"));
         // Missing fabric config fails.
+        let empty = BenchReport::new();
+        assert_eq!(empty.compare(&base, 0.02).len(), 1);
+    }
+
+    fn failover(name: &str, clean: u64, degraded: u64) -> FailoverBenchConfig {
+        FailoverBenchConfig {
+            name: name.to_string(),
+            tiles: 8,
+            banks: 8,
+            killed: 1,
+            survivors: 7,
+            failovers: 1,
+            clean_wall_cycles: clean,
+            degraded_wall_cycles: degraded,
+            degraded_overhead: degraded as f64 / clean as f64,
+        }
+    }
+
+    #[test]
+    fn failover_gate_checks_degraded_wall_cycles() {
+        let mut base = BenchReport::new();
+        base.failover.push(failover("fabric_failover_8t", 10_000, 16_000));
+        assert!(base.compare(&base.clone(), 0.02).is_empty());
+        // Degraded-run regression past tolerance fails.
+        let mut cur = BenchReport::new();
+        cur.failover.push(failover("fabric_failover_8t", 10_000, 17_000));
+        let regs = cur.compare(&base, 0.02);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("degraded_wall_cycles"));
+        // Faster recovery never fails; missing scenario does.
+        let mut faster = BenchReport::new();
+        faster.failover.push(failover("fabric_failover_8t", 10_000, 15_000));
+        assert!(faster.compare(&base, 0.02).is_empty());
         let empty = BenchReport::new();
         assert_eq!(empty.compare(&base, 0.02).len(), 1);
     }

@@ -14,6 +14,10 @@
 //! - [`host`] — host-side self-profiling: phase timers (layout / run /
 //!   export), cycle-skip efficiency, and simulated-cycles-per-host-second
 //!   throughput.
+//! - [`recovery`] — fault-domain attribution: joins the runner's
+//!   [`FabricRecovery`](hht_system::runner::FabricRecovery) record with
+//!   the per-tile CPI stacks into per-tile verdicts (health, failovers,
+//!   recovery cycles).
 //! - [`bench`] — the canonical `BENCH_core.json` report and the tolerance
 //!   comparator the CI regression gate runs.
 //!
@@ -24,8 +28,10 @@ pub mod bench;
 pub mod classify;
 pub mod cpi;
 pub mod host;
+pub mod recovery;
 
-pub use bench::{BenchConfig, BenchReport, FabricBenchConfig, BENCH_SCHEMA};
+pub use bench::{BenchConfig, BenchReport, FabricBenchConfig, FailoverBenchConfig, BENCH_SCHEMA};
 pub use classify::{classify, Bottleneck, BottleneckReport};
 pub use cpi::{CpiStack, FabricCpi};
 pub use host::{HostProfile, Stopwatch};
+pub use recovery::{FabricRecoveryReport, TileVerdict};

@@ -111,9 +111,21 @@ pub struct SystemConfig {
     /// (HHT declared failed, watchdog expiry, or a result that diverges
     /// from golden), the runner re-runs the kernel on the baseline
     /// software path instead of panicking, keeping results numerically
-    /// correct at a degraded cycle count. Off by default (the seed
-    /// behaviour).
+    /// correct at a degraded cycle count. On the fabric path the policy
+    /// is per-tile fault domains instead: failed tiles are retried with
+    /// bounded exponential backoff (`tile_retries`/`tile_backoff`) and
+    /// then quarantined, their unfinished row shards failing over to the
+    /// surviving tiles; the whole-run software fallback fires only when
+    /// every tile is dead. Off by default (the seed behaviour).
     pub recovery: bool,
+    /// Failed attempts a suspected tile may accumulate before it is
+    /// quarantined (fatal faults quarantine immediately). Fabric recovery
+    /// only.
+    pub tile_retries: u32,
+    /// Base backoff in cycles charged before a suspected tile's retry;
+    /// doubles per accumulated failure (`base << (retries - 1)`). Fabric
+    /// recovery only.
+    pub tile_backoff: u64,
 }
 
 impl SystemConfig {
@@ -131,6 +143,8 @@ impl SystemConfig {
             event_queue: true,
             fault: FaultConfig::default(),
             recovery: false,
+            tile_retries: 2,
+            tile_backoff: 64,
         }
     }
 
@@ -212,6 +226,20 @@ impl SystemConfig {
     /// enabled (`timeout` consecutive stalled cycles; 0 disables).
     pub fn with_hht_timeout(mut self, timeout: u64) -> Self {
         self.core = self.core.with_hht_timeout(timeout);
+        self
+    }
+
+    /// Same configuration with a different per-tile retry budget (failed
+    /// attempts a suspected tile gets before quarantine).
+    pub fn with_tile_retries(mut self, retries: u32) -> Self {
+        self.tile_retries = retries;
+        self
+    }
+
+    /// Same configuration with a different base retry backoff in cycles
+    /// (doubles per accumulated failure).
+    pub fn with_tile_backoff(mut self, cycles: u64) -> Self {
+        self.tile_backoff = cycles;
         self
     }
 }

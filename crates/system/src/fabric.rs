@@ -55,6 +55,7 @@ use hht_sparse::DenseVector;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 /// How the per-cycle stepping order — and therefore bank arbitration —
 /// rotates across tiles.
@@ -185,9 +186,76 @@ struct Tile {
     /// The tile's own event sink (fault-injection timeline).
     obs: Option<Box<EventBus>>,
     faults_injected: u64,
+    /// Tile-targeted plan events dropped because this tile had already
+    /// halted when they came due.
+    faults_dropped: u64,
+    /// A fatal ([`FaultKind::is_fatal`]) fault landed here: no retry can
+    /// revive this tile, the recovery policy must quarantine it.
+    fatal: bool,
     /// Cycle count at which this tile's core halted (its private notion of
     /// "my run took this long"); `None` while still running.
     done_at: Option<u64>,
+}
+
+/// Per-tile failure record of one fabric run: every tile that ended the
+/// run in an error state (guest fault, HHT declared failed, or still
+/// un-halted at watchdog expiry), in tile order, so the caller can fail
+/// over exactly the shards whose fault domains died. [`Fabric::stats`]
+/// remains readable after the error for per-tile accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricError {
+    /// `(tile, error)` for every failed tile; never empty.
+    pub tiles: Vec<(usize, RunError)>,
+}
+
+impl FabricError {
+    /// The first failed tile's error — the single-tile system's view.
+    pub fn first(&self) -> RunError {
+        self.tiles[0].1
+    }
+
+    /// True when tile `t` is one of the failed tiles.
+    pub fn contains(&self, t: usize) -> bool {
+        self.tiles.iter().any(|&(ft, _)| ft == t)
+    }
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (t, e)) in self.tiles.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "tile {t}: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// One tile's position in the recovery policy's health state machine:
+/// healthy → suspected (bounded exponential-backoff retries) →
+/// quarantined (its row shard fails over to the surviving tiles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileHealth {
+    /// No failed attempt so far.
+    Healthy,
+    /// Failed `retries` attempts; still eligible for retry after backoff.
+    Suspected {
+        /// Failed attempts so far (≥ 1).
+        retries: u32,
+    },
+    /// Dead for the rest of the run: a fatal fault landed, or the retry
+    /// budget ran out. Its unfinished rows belong to the survivors now.
+    Quarantined,
+}
+
+impl TileHealth {
+    /// True once the tile has been written off for the rest of the run.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, TileHealth::Quarantined)
+    }
 }
 
 /// Everything measured in one fabric run: per-tile statistics (each tile's
@@ -292,10 +360,26 @@ fn add_sram(acc: &mut SramStats, s: &SramStats) {
 }
 
 fn add_faults(acc: &mut FaultSummary, s: &FaultSummary) {
-    let FaultSummary { injected, fallbacks, failed_cycles } = *s;
+    let FaultSummary { injected, dropped, fallbacks, failovers, failed_cycles } = *s;
     acc.injected += injected;
+    acc.dropped += dropped;
     acc.fallbacks += fallbacks;
+    acc.failovers += failovers;
     acc.failed_cycles += failed_cycles;
+}
+
+impl SystemStats {
+    /// Fold another attempt's per-tile record into this one (every counter
+    /// summed, via the same exhaustive-destructure helpers the fabric
+    /// merge uses). The recovery policy uses this to accumulate one tile's
+    /// statistics across failover attempts.
+    pub fn absorb(&mut self, other: &SystemStats) {
+        self.cycles += other.cycles;
+        add_core(&mut self.core, &other.core);
+        add_hht(&mut self.hht, &other.hht);
+        add_sram(&mut self.sram, &other.sram);
+        add_faults(&mut self.faults, &other.faults);
+    }
 }
 
 impl FabricStats {
@@ -416,7 +500,15 @@ impl Fabric {
             if cfg.trace.instr_trace {
                 core.enable_trace_with_capacity(cfg.trace.instr_trace_capacity);
             }
-            tiles.push(Tile { core, hht, obs, faults_injected: 0, done_at: None });
+            tiles.push(Tile {
+                core,
+                hht,
+                obs,
+                faults_injected: 0,
+                faults_dropped: 0,
+                fatal: false,
+                done_at: None,
+            });
         }
         let plan = FaultPlan::from_seed(cfg.fault, mem.size());
         Fabric {
@@ -503,7 +595,13 @@ impl Fabric {
     }
 
     /// Apply every fault-plan event due at or before the current cycle,
-    /// routed to the tile each event targets.
+    /// routed to the tile each event targets. A tile-targeted event whose
+    /// tile has already halted is *dropped* (counted per tile), not
+    /// applied: a frozen tile can neither apply nor observe the fault, and
+    /// treating it as live would let a dead event bound park spans (the
+    /// per-tile mirror of the wall-clock bug the global scheduler fixed).
+    /// Both schedulers take the same cumulative due set and halts are
+    /// permanent, so the drop decision is scheduler-invariant.
     fn inject_due_faults(&mut self) {
         let Some(plan) = self.fault_plan.as_mut() else {
             return;
@@ -515,8 +613,35 @@ impl Fabric {
             self.fault_plan = None;
         }
         for (kind, tile) in due {
-            self.apply_fault(now, kind, tile as usize);
+            let t = tile as usize;
+            if !matches!(kind, FaultKind::SramBitFlip { .. })
+                && t < self.tiles.len()
+                && self.tiles[t].core.halted()
+            {
+                self.tiles[t].faults_dropped += 1;
+                continue;
+            }
+            self.apply_fault(now, kind, t);
         }
+    }
+
+    /// Cycle of the next pending fault that can still *do* something: the
+    /// scheduler's fault wake bound. Tile-targeted events aimed at a
+    /// halted (or nonexistent) tile are inert — they will be dropped at
+    /// injection time — so they must not bound park spans. Memory faults
+    /// always count: the shared array outlives every tile.
+    fn next_live_fault_cycle(&self) -> Option<u64> {
+        let plan = self.fault_plan.as_ref()?;
+        plan.pending()
+            .iter()
+            .find(|e| match e.kind {
+                FaultKind::SramBitFlip { .. } => true,
+                _ => {
+                    let t = e.tile as usize;
+                    t < self.tiles.len() && !self.tiles[t].core.halted()
+                }
+            })
+            .map(|e| e.cycle)
     }
 
     /// Inject one fault into tile `t` (memory faults hit the shared array;
@@ -543,6 +668,15 @@ impl Fabric {
                 tile.hht.set_sticky_error();
                 true
             }
+            FaultKind::TileKill => {
+                // The tile is dead: its HHT latches the sticky error (so
+                // the core's timeout protocol detects the loss) and the
+                // fatal mark tells the recovery policy to quarantine it
+                // outright instead of burning retries.
+                tile.hht.set_sticky_error();
+                tile.fatal = true;
+                true
+            }
         };
         if applied {
             tile.faults_injected += 1;
@@ -552,9 +686,15 @@ impl Fabric {
         }
     }
 
-    /// Run until every tile's core halts. Errors on guest faults and on
-    /// watchdog expiry, exactly like the single-tile run loop.
-    pub fn run(&mut self) -> Result<FabricStats, RunError> {
+    /// Run until every tile's core halts (or the watchdog expires). The
+    /// error names *every* failed fault domain: tiles whose guest faulted
+    /// or whose HHT was declared failed carry their own [`RunError`], and
+    /// tiles still un-halted at watchdog expiry get a per-tile
+    /// [`RunError::Watchdog`] — the set is scheduler-invariant because
+    /// both schedulers evolve every tile bit-identically up to the expiry
+    /// cycle. [`Fabric::stats`] stays readable after an error so the
+    /// recovery policy can account the failed attempt per tile.
+    pub fn run(&mut self) -> Result<FabricStats, FabricError> {
         if self.event_queue {
             return self.run_event_queue();
         }
@@ -562,21 +702,58 @@ impl Fabric {
             self.inject_due_faults();
             self.step();
             if self.cycle >= self.max_cycles {
-                return Err(RunError::Watchdog(self.max_cycles));
+                break;
             }
             if self.cycle_skip {
                 self.fast_forward();
                 if self.cycle >= self.max_cycles {
-                    return Err(RunError::Watchdog(self.max_cycles));
+                    break;
                 }
             }
         }
-        for tile in &self.tiles {
-            if let Some(e) = tile.core.error() {
-                return Err(e);
+        self.finish()
+    }
+
+    /// Collect the run verdict after either scheduler's loop exits: every
+    /// failed tile in tile order (errored cores first-class, un-halted
+    /// tiles as per-tile watchdog expiries), or the statistics snapshot
+    /// when every tile completed.
+    fn finish(&mut self) -> Result<FabricStats, FabricError> {
+        // Sweep the fault plan: events still pending when the run ends can
+        // never apply (every tile is finished), so tile-targeted ones are
+        // counted as dropped on their fault domain. Mid-run take timing for
+        // already-stale events differs between schedulers (a stale event
+        // no longer bounds park spans); sweeping the remainder here makes
+        // the applied/dropped totals scheduler-invariant: an applicable
+        // event is always taken at its exact due cycle, and every other
+        // tile-targeted event lands in `dropped` — at take time or here.
+        if let Some(mut plan) = self.fault_plan.take() {
+            for e in plan.take_due(u64::MAX) {
+                let t = e.tile as usize;
+                if !matches!(e.kind, FaultKind::SramBitFlip { .. }) && t < self.tiles.len() {
+                    self.tiles[t].faults_dropped += 1;
+                }
             }
         }
-        Ok(self.stats())
+        let failed: Vec<(usize, RunError)> = self
+            .tiles
+            .iter()
+            .enumerate()
+            .filter_map(|(t, tile)| {
+                if let Some(e) = tile.core.error() {
+                    Some((t, e))
+                } else if !tile.core.halted() {
+                    Some((t, RunError::Watchdog(self.max_cycles)))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if failed.is_empty() {
+            Ok(self.stats())
+        } else {
+            Err(FabricError { tiles: failed })
+        }
     }
 
     /// One tile's scheduling bound from cycle `now`: the earliest cycle at
@@ -711,8 +888,10 @@ impl Fabric {
             // cycle must not drag the wall clock past the final halt.
             return;
         }
-        // Never jump past a pending fault injection.
-        if let Some(fault_at) = self.fault_plan.as_ref().and_then(FaultPlan::next_cycle) {
+        // Never jump past a pending fault injection that can still land
+        // (faults aimed at halted tiles are dropped, not applied, so they
+        // must not drag the clock).
+        if let Some(fault_at) = self.next_live_fault_cycle() {
             target = target.min(fault_at);
         }
         if target <= now + 1 {
@@ -747,10 +926,12 @@ impl Fabric {
     /// - all tiles due on a cycle step in arbiter order, preserving
     ///   call-order bank arbitration among the only tiles that can
     ///   contend;
-    /// - no park crosses a pending fault-injection cycle (every target is
-    ///   capped by `FaultPlan::next_cycle`, which never decreases) or the
-    ///   watchdog limit.
-    fn run_event_queue(&mut self) -> Result<FabricStats, RunError> {
+    /// - no park crosses a pending *live* fault-injection cycle (every
+    ///   target is capped by `next_live_fault_cycle`; events aimed at
+    ///   halted tiles are dropped at injection in both schedulers, so the
+    ///   cumulative take-due set — and therefore every drop decision — is
+    ///   scheduler-invariant) or the watchdog limit.
+    fn run_event_queue(&mut self) -> Result<FabricStats, FabricError> {
         let n = self.tiles.len();
         // One entry per live tile, always: a tile leaves the heap only by
         // halting. Ties pop lowest-tile-first, but the order never matters
@@ -763,7 +944,7 @@ impl Fabric {
         // Tiles halted before ever stepping still get their `done_at`
         // latched after the first stepped cycle, exactly as in lock-step.
         let mut prehalted: Vec<usize> = (0..n).filter(|&t| self.tiles[t].core.halted()).collect();
-        while let Some(&Reverse((wake, _))) = heap.peek() {
+        'sched: while let Some(&Reverse((wake, _))) = heap.peek() {
             // Jump the clock to the earliest wake. The cycles in between
             // were already paid for when each park's replay committed.
             if wake > self.cycle {
@@ -774,7 +955,7 @@ impl Fabric {
                 }
                 self.cycle = wake;
                 if self.cycle >= self.max_cycles {
-                    return Err(RunError::Watchdog(self.max_cycles));
+                    break 'sched;
                 }
             }
             self.inject_due_faults();
@@ -818,14 +999,14 @@ impl Fabric {
                 }
             }
             if self.cycle >= self.max_cycles {
-                return Err(RunError::Watchdog(self.max_cycles));
+                break 'sched;
             }
             // Re-plan every stepped tile from the new cycle: park it to
             // its bound (committing the span's charges eagerly) or
             // re-enqueue it for the next cycle. Halted tiles leave the
             // queue for good.
             let now = self.cycle;
-            let fault_at = self.fault_plan.as_ref().and_then(FaultPlan::next_cycle);
+            let fault_at = self.next_live_fault_cycle();
             for &t in &due {
                 if self.tiles[t].core.halted() {
                     continue;
@@ -845,12 +1026,7 @@ impl Fabric {
                 }
             }
         }
-        for tile in &self.tiles {
-            if let Some(e) = tile.core.error() {
-                return Err(e);
-            }
-        }
-        Ok(self.stats())
+        self.finish()
     }
 
     /// Statistics snapshot: per-tile [`SystemStats`] plus the shared-memory
@@ -868,8 +1044,8 @@ impl Fabric {
                 sram: self.mem.stats_for(t),
                 faults: FaultSummary {
                     injected: tile.faults_injected,
-                    fallbacks: 0,
-                    failed_cycles: 0,
+                    dropped: tile.faults_dropped,
+                    ..FaultSummary::default()
                 },
             })
             .collect();
@@ -889,6 +1065,13 @@ impl Fabric {
     /// Borrow one tile's core (for test inspection).
     pub fn core(&self, tile: usize) -> &Core {
         &self.tiles[tile].core
+    }
+
+    /// True when a fatal ([`hht_fault::FaultKind::is_fatal`]) fault landed
+    /// on tile `t`: the recovery policy must quarantine it outright instead
+    /// of spending retries.
+    pub fn tile_fatal(&self, t: usize) -> bool {
+        self.tiles[t].fatal
     }
 
     /// Host-side scheduler accounting: stepped vs skipped simulated cycles.

@@ -205,21 +205,31 @@ pub fn layout_smash_spmv(sram: &mut Sram, m: &SmashMatrix, v: &DenseVector) -> P
 /// that partition `[0, rows)` in order; a shard can be empty when the
 /// matrix has fewer (or much heavier) rows than shards.
 pub fn row_shards(m: &CsrMatrix, n: usize) -> Vec<(usize, usize)> {
+    row_shards_range(m, 0, m.rows(), n)
+}
+
+/// [`row_shards`] over a row *sub-range*: split `[row0, row1)` into `n`
+/// contiguous shards balancing the range's non-zeros. The failover path
+/// uses this to re-shard a quarantined tile's unfinished rows across the
+/// surviving tiles with the same nnz-balancing rule the initial sharding
+/// used. `row_shards(m, n)` is exactly `row_shards_range(m, 0, rows, n)`.
+pub fn row_shards_range(m: &CsrMatrix, row0: usize, row1: usize, n: usize) -> Vec<(usize, usize)> {
     assert!(n > 0, "at least one shard");
+    assert!(row0 <= row1 && row1 <= m.rows(), "shard range out of bounds");
     let ptr = m.row_ptr();
-    let rows = m.rows();
-    let total = m.nnz() as u64;
+    let base = ptr[row0] as u64;
+    let total = ptr[row1] as u64 - base;
     let mut out = Vec::with_capacity(n);
-    let mut r0 = 0usize;
+    let mut r0 = row0;
     for i in 0..n {
         let mut r1 = if i == n - 1 {
-            rows
+            row1
         } else {
             // Extend while cumulative nnz stays within this shard's even
-            // share of the total.
-            let target = total * (i as u64 + 1) / n as u64;
+            // share of the range total.
+            let target = base + total * (i as u64 + 1) / n as u64;
             let mut r = r0;
-            while r < rows && ptr[r + 1] as u64 <= target {
+            while r < row1 && ptr[r + 1] as u64 <= target {
                 r += 1;
             }
             r
@@ -362,6 +372,26 @@ mod tests {
             let nnz: usize =
                 shards.iter().map(|&(r0, r1)| (m.row_ptr()[r1] - m.row_ptr()[r0]) as usize).sum();
             assert_eq!(nnz, m.nnz());
+        }
+    }
+
+    #[test]
+    fn row_shards_range_partitions_a_sub_range() {
+        let m = generate::random_csr(61, 61, 0.7, 9);
+        for (row0, row1) in [(0, 61), (10, 50), (17, 18), (30, 30)] {
+            for n in [1, 2, 3, 5] {
+                let shards = row_shards_range(&m, row0, row1, n);
+                assert_eq!(shards.len(), n);
+                assert_eq!(shards[0].0, row0);
+                assert_eq!(shards[n - 1].1, row1);
+                for w in shards.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "shards must be contiguous");
+                }
+            }
+        }
+        // The full range reproduces row_shards exactly.
+        for n in [1, 2, 4, 8] {
+            assert_eq!(row_shards_range(&m, 0, 61, n), row_shards(&m, n));
         }
     }
 

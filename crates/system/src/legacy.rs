@@ -118,6 +118,12 @@ impl LegacySystem {
                 self.hht.set_sticky_error();
                 true
             }
+            // The legacy single-tile machine has no fault domains to
+            // quarantine; a kill is the sticky-error failure it models.
+            FaultKind::TileKill => {
+                self.hht.set_sticky_error();
+                true
+            }
         };
         if applied {
             self.faults_injected += 1;
@@ -278,7 +284,7 @@ impl LegacySystem {
             core: self.core.stats(),
             hht: self.hht.stats(),
             sram: self.sram.stats(),
-            faults: FaultSummary { injected: self.faults_injected, fallbacks: 0, failed_cycles: 0 },
+            faults: FaultSummary { injected: self.faults_injected, ..FaultSummary::default() },
         }
     }
 

@@ -17,12 +17,12 @@
 //! `stats.faults.fallbacks`.
 
 use crate::config::SystemConfig;
-use crate::fabric::{Fabric, FabricConfig, FabricStats, SchedStats, TileSchedStats};
+use crate::fabric::{Fabric, FabricConfig, FabricStats, SchedStats, TileHealth, TileSchedStats};
 use crate::kernels;
 use crate::layout;
 use crate::system::{System, SystemStats};
 use hht_fault::FaultPlan;
-use hht_mem::{SharedMemory, Sram};
+use hht_mem::{SharedMemStats, SharedMemory, Sram};
 use hht_sim::RunError;
 use hht_sparse::{
     kernels as golden, CscMatrix, CsrMatrix, DenseMatrix, DenseVector, SmashMatrix, SparseFormat,
@@ -36,6 +36,9 @@ pub struct RecoveryReport {
     /// Human-readable description of what failed (the [`RunError`] or the
     /// golden-divergence that triggered the fallback).
     pub error: String,
+    /// Fault domain (tile index) the failure was attributed to. Always 0 on
+    /// the single-system path, where the whole machine is one domain.
+    pub tile: usize,
     /// Statistics of the failed accelerated attempt (its cycles are also
     /// folded into the returned total).
     pub failed_stats: SystemStats,
@@ -153,6 +156,7 @@ fn software_fallback(
     out.dropped.add(&failed_dropped);
     out.stats.cycles += failed_stats.cycles;
     out.stats.faults.injected = failed_stats.faults.injected;
+    out.stats.faults.dropped = failed_stats.faults.dropped;
     out.stats.faults.fallbacks = 1;
     out.stats.faults.failed_cycles = failed_stats.cycles;
     if cfg.trace.events {
@@ -168,7 +172,7 @@ fn software_fallback(
         });
         out.events = events;
     }
-    out.recovery = Some(RecoveryReport { error, failed_stats });
+    out.recovery = Some(RecoveryReport { error, tile: 0, failed_stats });
     out
 }
 
@@ -396,45 +400,358 @@ pub struct FabricRunOutput {
     /// tracing is off or the per-cycle scheduler ran); feed to
     /// [`hht_obs::chrome::chrome_trace_json_tiles_sched`].
     pub skip_spans: Vec<hht_obs::SkipSpan>,
+    /// `Some` when the per-tile fault-domain recovery policy had to act
+    /// (any tile failed an attempt, or the whole run fell back to
+    /// software); `None` for a clean run.
+    pub recovery: Option<FabricRecovery>,
+}
+
+/// One failover attempt of the fabric recovery driver (see
+/// [`FabricRecovery::attempts`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricAttempt {
+    /// Wall cycles this attempt ran before completing or failing (retry
+    /// backoff is accounted separately in
+    /// [`FabricRecovery::backoff_cycles`]).
+    pub wall: u64,
+    /// Row-range assignment `(tile, (row0, row1))` per participating tile,
+    /// in global (original) tile indices.
+    pub shards: Vec<(usize, (usize, usize))>,
+    /// Fault domains that failed this attempt (global tile index, rendered
+    /// error); empty for a fully clean attempt.
+    pub failed: Vec<(usize, String)>,
+}
+
+/// How the fabric recovery policy degraded a run across per-tile fault
+/// domains (see [`FabricRunOutput::recovery`]).
+///
+/// Per-tile state machine: healthy → suspected (bounded exponential-backoff
+/// retries, `tile_retries`/`tile_backoff`) → quarantined; fatal faults
+/// ([`hht_fault::FaultKind::TileKill`]) quarantine immediately. A
+/// quarantined tile's unfinished row shard is re-sharded (nnz-balanced)
+/// across the surviving tiles and re-run; the whole-run software fallback
+/// fires only when every tile is dead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricRecovery {
+    /// Final health verdict per original tile.
+    pub health: Vec<TileHealth>,
+    /// Every attempt in order; `attempts[0]` is the original full-width run.
+    pub attempts: Vec<FabricAttempt>,
+    /// Wall cycle at which each tile was quarantined (`None` = never).
+    pub quarantined_at: Vec<Option<u64>>,
+    /// Total retry-backoff cycles charged to the wall clock (the max
+    /// per-attempt backoff across that attempt's failing tiles).
+    pub backoff_cycles: u64,
+    /// `Some(reason)` when the whole run degraded to the software baseline:
+    /// every tile quarantined, retry budget exhausted, or the assembled
+    /// result diverged from golden.
+    pub fallback: Option<String>,
+    /// Cycles the software-fallback run added to the wall clock (0 without
+    /// a whole-run fallback).
+    pub fallback_cycles: u64,
+}
+
+impl FabricRecovery {
+    /// Tiles never quarantined.
+    pub fn survivors(&self) -> usize {
+        self.health.iter().filter(|h| !h.is_quarantined()).count()
+    }
+
+    /// Global indices of the quarantined tiles.
+    pub fn quarantined(&self) -> Vec<usize> {
+        (0..self.health.len()).filter(|&t| self.health[t].is_quarantined()).collect()
+    }
+
+    /// Per-tile quarantine spans (quarantine cycle to end of run) for the
+    /// Chrome fault-domain lane
+    /// ([`hht_obs::chrome::chrome_trace_json_tiles_fault_domains`]).
+    pub fn domain_spans(&self, wall: u64) -> Vec<Vec<hht_obs::SkipSpan>> {
+        self.quarantined_at
+            .iter()
+            .map(|q| match q {
+                Some(c) => vec![hht_obs::SkipSpan { start: *c, end: wall.max(*c) }],
+                None => Vec::new(),
+            })
+            .collect()
+    }
+}
+
+/// Sum per-tile host scheduler counters across attempts. Exhaustive
+/// destructuring: a new counter breaks this merge at compile time instead
+/// of being silently dropped from multi-attempt totals.
+fn add_tile_sched(acc: &mut TileSchedStats, s: &TileSchedStats) {
+    let TileSchedStats { pops, stepped_cycles, skipped_cycles, parks } = *s;
+    acc.pops += pops;
+    acc.stepped_cycles += stepped_cycles;
+    acc.skipped_cycles += skipped_cycles;
+    acc.parks += parks;
+}
+
+/// Assign the pending row ranges to `s` surviving tiles. With at least as
+/// many ranges as survivors, the first `s` ranges go out as-is (the rest
+/// wait for the next attempt). With fewer, the `s` shard slots are
+/// distributed across the ranges proportionally to their nnz (every range
+/// gets at least one; leftovers go one at a time to the range with the most
+/// nnz per slot, ties to the lowest index — fully deterministic) and each
+/// range is nnz-balance split with [`layout::row_shards_range`]. Returns
+/// the per-tile ranges plus how many pending ranges were consumed.
+fn assign_shards(
+    m: &CsrMatrix,
+    pending: &[(usize, usize)],
+    s: usize,
+) -> (Vec<(usize, usize)>, usize) {
+    if pending.len() >= s {
+        return (pending[..s].to_vec(), s);
+    }
+    let ptr = m.row_ptr();
+    let nnz = |r: &(usize, usize)| (ptr[r.1] - ptr[r.0]) as u64;
+    let mut slots = vec![1usize; pending.len()];
+    for _ in pending.len()..s {
+        let mut best = 0usize;
+        let mut best_load = -1.0f64;
+        for (i, r) in pending.iter().enumerate() {
+            let load = nnz(r) as f64 / slots[i] as f64;
+            if load > best_load {
+                best_load = load;
+                best = i;
+            }
+        }
+        slots[best] += 1;
+    }
+    let assigned = pending
+        .iter()
+        .zip(&slots)
+        .flat_map(|(&(r0, r1), &k)| layout::row_shards_range(m, r0, r1, k))
+        .collect();
+    (assigned, pending.len())
 }
 
 /// Shared driver for the fabric runners: build the full image plus
 /// per-shard row-pointer copies, run one HHT kernel per tile over the
-/// banked memory, and verify the assembled result against golden. The
-/// fabric has no software-fallback path: a fault or divergence panics.
+/// banked memory, and verify the assembled result against golden.
+///
+/// Without `cfg.recovery` a tile fault or divergence panics (the seed
+/// behaviour). With it, each tile is its own fault domain: a failed tile is
+/// retried with bounded exponential backoff and then quarantined, its
+/// unfinished row shard re-sharded nnz-balanced across the surviving tiles
+/// on a fresh image; N tiles degrade to N−1, …, down to the software
+/// `baseline` fallback only when every tile is quarantined (or the
+/// assembled result diverges from golden). Clean tiles of a failed attempt
+/// keep their finished row ranges — only unfinished work is re-run.
+///
+/// Stats: per-original-tile [`SystemStats`] accumulate across attempts; a
+/// failed tile's stall counters are discarded (its partial work is thrown
+/// away) but its elapsed cycles and backoff are charged to both `cycles`
+/// and `faults.failed_cycles`, so CPI accounting stays exact. The wall
+/// clock sums every attempt plus the max backoff per failed attempt. Event
+/// timelines keep attempt 0 (where injections live) plus host-side
+/// quarantine/failover markers; retries run untraced.
+#[allow(clippy::too_many_arguments)]
 fn run_fabric(
     cfg: &SystemConfig,
     fab: FabricConfig,
     what: &str,
     golden: &DenseVector,
-    image: (Sram, layout::ProblemLayout),
+    build_image: &dyn Fn() -> (Sram, layout::ProblemLayout),
     m: &CsrMatrix,
     emit: &dyn Fn(&layout::ProblemLayout) -> hht_isa::Program,
+    plan: Option<FaultPlan>,
+    baseline: &dyn Fn(&SystemConfig) -> RunOutput,
 ) -> FabricRunOutput {
-    let (mut sram, full) = image;
-    let full = &full;
-    let shards = layout::row_shards(m, fab.tiles);
-    let layouts = layout::shard_layouts(&mut sram, full, m, &shards);
-    let programs = layouts.iter().map(emit).collect();
-    let mem = SharedMemory::from_sram(sram, fab.banks, fab.tiles);
-    let mut fabric = Fabric::new(cfg, fab, programs, mem);
-    let stats = fabric.run().unwrap_or_else(|e| panic!("{what}: fabric run failed: {e:?}"));
-    let y = fabric.read_output(full.y_base, m.rows());
-    verify(&y, golden, what);
-    // Read scheduler counters and drop totals before draining the event
-    // streams: `take_all_events` resets the rings (and their counters).
-    let sched = fabric.sched_stats();
-    let tile_sched = fabric.tile_sched_stats().to_vec();
-    let dropped = fabric.obs_drops();
-    let skip_spans = fabric.take_skip_spans();
+    let n0 = fab.tiles;
+    let rows = m.rows();
+    let mut health = vec![TileHealth::Healthy; n0];
+    let mut quarantined_at: Vec<Option<u64>> = vec![None; n0];
+    let mut acc: Vec<SystemStats> = vec![SystemStats::default(); n0];
+    let mut mem_acc = SharedMemStats::default();
+    let mut y = vec![0f32; rows];
+    let mut wall = 0u64;
+    let mut backoff_total = 0u64;
+    let mut attempts: Vec<FabricAttempt> = Vec::new();
+    let mut pending: Vec<(usize, usize)> = vec![(0, rows)];
+    let mut sched = SchedStats::default();
+    let mut tile_sched = vec![TileSchedStats::default(); n0];
+    let mut dropped = hht_obs::ObsDrops::default();
+    let mut tile_events: Vec<Vec<hht_obs::Event>> = vec![Vec::new(); n0];
+    let mut skip_spans: Vec<hht_obs::SkipSpan> = Vec::new();
+    let mut plan = plan;
+    let mut fallback_reason: Option<String> = None;
+    let mut fallback_cycles = 0u64;
+    // Retry-storm backstop: enough for every tile to burn its full retry
+    // budget plus the quarantine cascade, with slack.
+    let max_attempts = (cfg.tile_retries as usize + 2) * n0 + 2;
+
+    let mut attempt = 0usize;
+    loop {
+        let survivors: Vec<usize> = (0..n0).filter(|&t| !health[t].is_quarantined()).collect();
+        if survivors.is_empty() {
+            fallback_reason = Some("every tile quarantined".into());
+            break;
+        }
+        if attempts.len() >= max_attempts {
+            fallback_reason = Some("retry budget exhausted".into());
+            break;
+        }
+        let (assigned, taken) = assign_shards(m, &pending, survivors.len());
+        // Fresh image per attempt: failover restarts shards from clean
+        // state (a fault may have corrupted shared arrays), and the bump
+        // allocator re-places the rebased row-pointer copies.
+        let (mut sram, full) = build_image();
+        let layouts = layout::shard_layouts(&mut sram, &full, m, &assigned);
+        let programs = layouts.iter().map(emit).collect();
+        let fab_a = FabricConfig { tiles: survivors.len(), banks: fab.banks, arb: fab.arb };
+        let mem = SharedMemory::from_sram(sram, fab.banks, survivors.len());
+        let mut attempt_cfg = *cfg;
+        if attempt > 0 {
+            // Retries run clean and untraced: the injected campaign (and
+            // its timeline) belongs to the original attempt.
+            attempt_cfg.fault.seed = 0;
+            attempt_cfg.trace.events = false;
+        }
+        let mut fabric = Fabric::new(&attempt_cfg, fab_a, programs, mem);
+        if attempt == 0 {
+            if let Some(p) = plan.take() {
+                fabric.set_fault_plan(p);
+            }
+        }
+        let result = fabric.run();
+        if let Err(e) = &result {
+            if !cfg.recovery {
+                panic!("{what}: fabric run failed: {e:?}");
+            }
+        }
+        let st = fabric.stats();
+        wall += st.cycles;
+        mem_acc.absorb(&st.mem);
+        sched.add(&fabric.sched_stats());
+        let attempt_tile_sched = fabric.tile_sched_stats().to_vec();
+        for (lt, &g) in survivors.iter().enumerate() {
+            add_tile_sched(&mut tile_sched[g], &attempt_tile_sched[lt]);
+        }
+        dropped.add(&fabric.obs_drops());
+        let spans = fabric.take_skip_spans();
+        if attempt == 0 {
+            skip_spans = spans;
+            tile_events = fabric.take_all_events();
+        }
+        let failed: Vec<(usize, RunError)> = match &result {
+            Ok(_) => Vec::new(),
+            Err(e) => e.tiles.clone(),
+        };
+        let mut failed_named: Vec<(usize, String)> = Vec::new();
+        let mut requeue: Vec<(usize, usize)> = Vec::new();
+        let mut max_backoff = 0u64;
+        for (lt, &g) in survivors.iter().enumerate() {
+            let (r0, r1) = assigned[lt];
+            if let Some((_, e)) = failed.iter().find(|&&(ft, _)| ft == lt) {
+                // Failed domain: discard its partial counters, charge its
+                // elapsed cycles as failed cycles, re-queue its range.
+                let tc = st.tiles[lt].cycles;
+                acc[g].cycles += tc;
+                acc[g].faults.failed_cycles += tc;
+                acc[g].faults.injected += st.tiles[lt].faults.injected;
+                acc[g].faults.dropped += st.tiles[lt].faults.dropped;
+                acc[g].faults.failovers += 1;
+                failed_named.push((g, e.to_string()));
+                if r1 > r0 {
+                    requeue.push((r0, r1));
+                }
+                let prev_retries = match health[g] {
+                    TileHealth::Suspected { retries } => retries,
+                    _ => 0,
+                };
+                if fabric.tile_fatal(lt) || prev_retries + 1 > cfg.tile_retries {
+                    health[g] = TileHealth::Quarantined;
+                    quarantined_at[g] = Some(wall);
+                } else {
+                    let retries = prev_retries + 1;
+                    health[g] = TileHealth::Suspected { retries };
+                    let backoff = cfg.tile_backoff << (retries - 1);
+                    acc[g].cycles += backoff;
+                    acc[g].faults.failed_cycles += backoff;
+                    max_backoff = max_backoff.max(backoff);
+                }
+                if cfg.trace.events {
+                    tile_events[g].push(hht_obs::Event {
+                        cycle: wall,
+                        track: hht_obs::Track::Fault,
+                        kind: hht_obs::EventKind::Failover { rows: (r1 - r0) as u32 },
+                    });
+                    if health[g].is_quarantined() {
+                        tile_events[g].push(hht_obs::Event {
+                            cycle: wall,
+                            track: hht_obs::Track::Fault,
+                            kind: hht_obs::EventKind::Quarantine { retries: prev_retries },
+                        });
+                    }
+                }
+            } else {
+                // Clean domain: full stats absorb, salvage its row range —
+                // finished work is never re-run.
+                acc[g].absorb(&st.tiles[lt]);
+                let out = fabric.read_output(full.y_base + 4 * r0 as u32, r1 - r0);
+                y[r0..r1].copy_from_slice(out.as_slice());
+            }
+        }
+        wall += max_backoff;
+        backoff_total += max_backoff;
+        attempts.push(FabricAttempt {
+            wall: st.cycles,
+            shards: survivors.iter().copied().zip(assigned.iter().copied()).collect(),
+            failed: failed_named,
+        });
+        let mut next: Vec<(usize, usize)> = pending[taken..].to_vec();
+        next.extend(requeue);
+        pending = next;
+        if pending.is_empty() {
+            break;
+        }
+        attempt += 1;
+    }
+
+    let mut yv = DenseVector::from(y);
+    if fallback_reason.is_none() && !matches_golden(&yv, golden) {
+        if !cfg.recovery {
+            verify(&yv, golden, what); // panics with the standard message
+        }
+        fallback_reason = Some(format!("{what}: assembled result diverges from golden"));
+    }
+    if fallback_reason.is_some() {
+        // Whole-run degradation: re-run on the baseline software path
+        // (fault injection off), exactly like the single-system policy.
+        let mut fb_cfg = *cfg;
+        fb_cfg.fault.seed = 0;
+        let base = baseline(&fb_cfg);
+        yv = base.y;
+        wall += base.stats.cycles;
+        fallback_cycles = base.stats.cycles;
+        acc[0].faults.fallbacks = 1;
+        if cfg.trace.events {
+            tile_events[0].push(hht_obs::Event {
+                cycle: wall,
+                track: hht_obs::Track::Fault,
+                kind: hht_obs::EventKind::Recovery { what: "software_fallback" },
+            });
+        }
+    }
+
+    let recovered = fallback_reason.is_some() || attempts.iter().any(|a| !a.failed.is_empty());
     FabricRunOutput {
-        y,
-        stats,
-        tile_events: fabric.take_all_events(),
+        y: yv,
+        stats: FabricStats { cycles: wall, tiles: acc, mem: mem_acc },
+        tile_events,
         sched,
         tile_sched,
         dropped,
         skip_spans,
+        recovery: recovered.then_some(FabricRecovery {
+            health,
+            attempts,
+            quarantined_at,
+            backoff_cycles: backoff_total,
+            fallback: fallback_reason,
+            fallback_cycles,
+        }),
     }
 }
 
@@ -473,13 +790,46 @@ pub fn run_spmv_fabric(
     m: &CsrMatrix,
     v: &DenseVector,
 ) -> FabricRunOutput {
+    run_spmv_fabric_inner(cfg, fab, m, v, None)
+}
+
+/// Run HHT-assisted fabric SpMV with an explicit fault schedule (replacing
+/// any seed-derived plan from `cfg.fault`); the plan applies to the
+/// original attempt only — failover retries always run clean.
+pub fn run_spmv_fabric_with_plan(
+    cfg: &SystemConfig,
+    fab: FabricConfig,
+    m: &CsrMatrix,
+    v: &DenseVector,
+    plan: FaultPlan,
+) -> FabricRunOutput {
+    run_spmv_fabric_inner(cfg, fab, m, v, Some(plan))
+}
+
+fn run_spmv_fabric_inner(
+    cfg: &SystemConfig,
+    fab: FabricConfig,
+    m: &CsrMatrix,
+    v: &DenseVector,
+    plan: Option<FaultPlan>,
+) -> FabricRunOutput {
     let gold = golden::spmv(m, v).expect("shapes validated by layout");
-    let mut sram = sram_for(cfg, spmv_words(m, v) + shard_words(m, fab.tiles));
-    let l = layout::layout_spmv(&mut sram, m, v);
     let vectorized = cfg.core.vlen > 1;
-    run_fabric(cfg, fab, "spmv_fabric", &gold, (sram, l), m, &|sl| {
-        kernels::spmv_hht(sl, vectorized)
-    })
+    run_fabric(
+        cfg,
+        fab,
+        "spmv_fabric",
+        &gold,
+        &|| {
+            let mut sram = sram_for(cfg, spmv_words(m, v) + shard_words(m, fab.tiles));
+            let l = layout::layout_spmv(&mut sram, m, v);
+            (sram, l)
+        },
+        m,
+        &|sl| kernels::spmv_hht(sl, vectorized),
+        plan,
+        &|cfg| run_spmv_baseline(cfg, m, v),
+    )
 }
 
 /// Run HHT-assisted SpMSpV (variant 1: sparse gather against dense-indexed
@@ -491,9 +841,21 @@ pub fn run_spmspv_fabric_v1(
     x: &SparseVector,
 ) -> FabricRunOutput {
     let gold = golden::spmspv(m, x).expect("shapes validated");
-    let mut sram = sram_for(cfg, spmspv_words(m, x) + shard_words(m, fab.tiles));
-    let l = layout::layout_spmspv(&mut sram, m, x);
-    run_fabric(cfg, fab, "spmspv_fabric_v1", &gold, (sram, l), m, &kernels::spmspv_hht_v1)
+    run_fabric(
+        cfg,
+        fab,
+        "spmspv_fabric_v1",
+        &gold,
+        &|| {
+            let mut sram = sram_for(cfg, spmspv_words(m, x) + shard_words(m, fab.tiles));
+            let l = layout::layout_spmspv(&mut sram, m, x);
+            (sram, l)
+        },
+        m,
+        &kernels::spmspv_hht_v1,
+        None,
+        &|cfg| run_spmspv_baseline(cfg, m, x),
+    )
 }
 
 /// Run HHT-assisted SpMSpV (variant 2: intersection in the HHT) sharded
@@ -505,9 +867,21 @@ pub fn run_spmspv_fabric_v2(
     x: &SparseVector,
 ) -> FabricRunOutput {
     let gold = golden::spmspv(m, x).expect("shapes validated");
-    let mut sram = sram_for(cfg, spmspv_words(m, x) + shard_words(m, fab.tiles));
-    let l = layout::layout_spmspv(&mut sram, m, x);
-    run_fabric(cfg, fab, "spmspv_fabric_v2", &gold, (sram, l), m, &kernels::spmspv_hht_v2)
+    run_fabric(
+        cfg,
+        fab,
+        "spmspv_fabric_v2",
+        &gold,
+        &|| {
+            let mut sram = sram_for(cfg, spmspv_words(m, x) + shard_words(m, fab.tiles));
+            let l = layout::layout_spmspv(&mut sram, m, x);
+            (sram, l)
+        },
+        m,
+        &kernels::spmspv_hht_v2,
+        None,
+        &|cfg| run_spmspv_baseline(cfg, m, x),
+    )
 }
 
 #[cfg(test)]

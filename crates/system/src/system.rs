@@ -20,18 +20,25 @@ use hht_sim::{Core, CoreStats, RunError};
 use hht_sparse::DenseVector;
 use serde::{Deserialize, Serialize};
 
-/// Fault-injection and recovery counters for one run. `injected` is filled
-/// by [`System`] as plan events land; `fallbacks`/`failed_cycles` are
-/// filled by the runner's recovery policy when an accelerated run degrades
-/// to the software kernel.
+/// Fault-injection and recovery counters for one run (or one fabric
+/// tile). `injected`/`dropped` are filled by the fabric as plan events
+/// land; `fallbacks`/`failovers`/`failed_cycles` are filled by the
+/// runner's recovery policy when an accelerated run degrades.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultSummary {
     /// Fault-plan events injected into the machine.
     pub injected: u64,
+    /// Tile-targeted fault-plan events dropped because the target tile had
+    /// already halted when they came due (a frozen tile can neither apply
+    /// nor observe a fault).
+    pub dropped: u64,
     /// Software-fallback recoveries taken (0 or 1 per run).
     pub fallbacks: u64,
-    /// Cycles burned by the failed accelerated attempt before fallback
-    /// (already included in the total `cycles`).
+    /// Shard failovers: how many failed attempts this tile caused, each of
+    /// which re-queued its unfinished row range for the surviving tiles.
+    pub failovers: u64,
+    /// Cycles burned by failed accelerated attempts (and their retry
+    /// backoff) before recovery (already included in the total `cycles`).
     pub failed_cycles: u64,
 }
 
@@ -41,7 +48,7 @@ pub struct FaultSummary {
 /// being that tile's own completion cycle), and
 /// [`FabricStats::merged`](crate::fabric::FabricStats::merged) folds them
 /// into one record normalized by total tile-time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct SystemStats {
     /// Total execution cycles.
     pub cycles: u64,
@@ -113,7 +120,9 @@ impl System {
     /// have recorded. Cycle counts, stats and obs event streams are
     /// bit-identical between the two modes (see `tests/determinism.rs`).
     pub fn run(&mut self) -> Result<SystemStats, RunError> {
-        self.fabric.run().map(|s| s.tiles[0])
+        // A single-tile fabric's error list names exactly one fault domain
+        // (tile 0); unwrap it back to the plain per-run error.
+        self.fabric.run().map(|s| s.tiles[0]).map_err(|e| e.first())
     }
 
     /// Statistics snapshot.

@@ -430,6 +430,47 @@ fn event_queue_matches_lockstep_under_fault_injection() {
     }
 }
 
+#[test]
+fn event_queue_matches_lockstep_under_recovery_failover() {
+    // With the per-tile fault-domain recovery policy on, both schedulers
+    // must take identical failover decisions: same quarantine verdicts,
+    // same attempt walls and shard assignments, same degraded FabricStats,
+    // the same assembled (bit-exact) result and the same event timelines
+    // including the host-side quarantine/failover markers.
+    use hht::fault::{FaultEvent, FaultKind, FaultPlan};
+    use hht::system::FabricConfig;
+    let m = generate::random_csr(40, 40, 0.6, 0xC4A);
+    let v = generate::random_dense_vector(40, 0xC4B);
+    let cases: [(usize, &[(u64, u32)]); 3] =
+        [(2, &[(60, 0)]), (4, &[(80, 1), (200, 3)]), (8, &[(50, 2), (120, 5), (300, 7)])];
+    for (tiles, kills) in cases {
+        let cfg = SystemConfig::paper_default()
+            .with_hht_timeout(64)
+            .with_recovery(true)
+            .with_trace(TraceConfig::enabled());
+        let fab = FabricConfig::scaled(tiles);
+        let plan = || {
+            FaultPlan::new(
+                kills
+                    .iter()
+                    .map(|&(c, t)| FaultEvent::on_tile(c, FaultKind::TileKill, t))
+                    .collect(),
+            )
+        };
+        let eq =
+            runner::run_spmv_fabric_with_plan(&cfg.with_event_queue(true), fab, &m, &v, plan());
+        let ls =
+            runner::run_spmv_fabric_with_plan(&cfg.with_event_queue(false), fab, &m, &v, plan());
+        assert_eq!(eq.stats, ls.stats, "tiles={tiles}");
+        assert_eq!(eq.y, ls.y, "tiles={tiles}");
+        assert_eq!(eq.recovery, ls.recovery, "tiles={tiles}");
+        assert_eq!(eq.tile_events, ls.tile_events, "tiles={tiles}");
+        let rec = eq.recovery.expect("tile kills must trigger recovery");
+        assert!(!rec.quarantined().is_empty(), "tiles={tiles}: at least one kill must land");
+        assert!(rec.quarantined().len() <= kills.len());
+    }
+}
+
 /// The guarantee behind every park: single-stepping a parked tile through
 /// its span produces no architectural event. Collect the event queue's
 /// per-tile park spans, then replay the same image under the per-cycle

@@ -176,6 +176,208 @@ fn seeded_fault_runs_are_deterministic() {
     assert_ne!(plan_a.events(), plan_b.events());
 }
 
+// ---------------------------------------------------------------------
+// Per-tile fault domains: quarantine, shard failover, chaos campaigns.
+// ---------------------------------------------------------------------
+
+use hht::prof::FabricCpi;
+use hht::system::fabric::{FabricConfig, TileHealth};
+
+/// Explicit tile-kill schedule: `(cycle, tile)` pairs.
+fn kill_plan(kills: &[(u64, u32)]) -> FaultPlan {
+    FaultPlan::new(
+        kills.iter().map(|&(c, t)| FaultEvent::on_tile(c, FaultKind::TileKill, t)).collect(),
+    )
+}
+
+/// The tentpole acceptance test: killing one tile of an 8-tile fabric
+/// quarantines exactly that fault domain, fails its unfinished row shard
+/// over to the 7 survivors, and completes bit-exact — under both
+/// schedulers, with exact-sum stats.
+#[test]
+fn killed_tile_is_quarantined_and_its_shard_fails_over() {
+    let (m, v) = problem(64);
+    let fab = FabricConfig::scaled(8);
+    for eq in [true, false] {
+        let cfg = robust_cfg().with_event_queue(eq);
+        let clean = runner::run_spmv_fabric(&cfg, fab, &m, &v);
+        assert!(clean.recovery.is_none());
+        let out = runner::run_spmv_fabric_with_plan(&cfg, fab, &m, &v, kill_plan(&[(100, 3)]));
+        assert_eq!(out.y, clean.y, "failover result must be bit-exact (eq={eq})");
+        let rec = out.recovery.expect("a killed tile must trigger recovery");
+        assert_eq!(rec.health[3], TileHealth::Quarantined);
+        assert_eq!(rec.quarantined(), vec![3]);
+        assert_eq!(rec.survivors(), 7);
+        assert!(rec.fallback.is_none(), "7 survivors must not fall back: {:?}", rec.fallback);
+        assert_eq!(rec.attempts.len(), 2, "one failover attempt after the original");
+        assert_eq!(rec.attempts[0].failed.len(), 1);
+        assert_eq!(rec.attempts[0].failed[0].0, 3, "the report must name the fault domain");
+        assert_eq!(rec.attempts[1].shards.len(), 7);
+        assert!(rec.attempts[1].shards.iter().all(|&(t, _)| t != 3));
+        let merged = out.stats.merged();
+        assert_eq!(merged.faults.injected, 1);
+        assert_eq!(merged.faults.failovers, 1);
+        assert_eq!(merged.faults.fallbacks, 0);
+        assert!(merged.faults.failed_cycles > 0);
+        merged.snapshot().validate().unwrap();
+        FabricCpi::from_fabric(&out.stats).unwrap();
+        assert!(out.stats.cycles > clean.stats.cycles, "degradation must be visible");
+    }
+}
+
+/// Killing every tile leaves no fault domain to fail over to: the run
+/// degrades to the whole-run software fallback, still numerically correct.
+#[test]
+fn killing_every_tile_degrades_to_software_fallback() {
+    let (m, v) = problem(32);
+    let cfg = robust_cfg();
+    let fab = FabricConfig::scaled(2);
+    let clean = runner::run_spmv_fabric(&cfg, fab, &m, &v);
+    let out = runner::run_spmv_fabric_with_plan(&cfg, fab, &m, &v, kill_plan(&[(50, 0), (50, 1)]));
+    assert_eq!(out.y, clean.y);
+    let rec = out.recovery.expect("recovery report");
+    assert_eq!(rec.survivors(), 0);
+    assert_eq!(rec.fallback.as_deref(), Some("every tile quarantined"));
+    assert!(rec.fallback_cycles > 0);
+    let merged = out.stats.merged();
+    assert_eq!(merged.faults.fallbacks, 1);
+    assert_eq!(merged.faults.failovers, 2);
+    merged.snapshot().validate().unwrap();
+}
+
+/// A non-fatal per-tile fault (dropped response defeating the retry
+/// protocol) suspects the tile instead of quarantining it: the shard is
+/// failed over once, the retry runs clean, and the tile survives with one
+/// charged backoff.
+#[test]
+fn transient_tile_fault_is_retried_with_backoff_not_quarantined() {
+    let (m, v) = problem(48);
+    let cfg = robust_cfg();
+    let fab = FabricConfig::scaled(4);
+    let clean = runner::run_spmv_fabric(&cfg, fab, &m, &v);
+    let p = FaultPlan::new(vec![FaultEvent::on_tile(400, FaultKind::DropResponse, 2)]);
+    let out = runner::run_spmv_fabric_with_plan(&cfg, fab, &m, &v, p);
+    assert_eq!(out.y, clean.y);
+    let rec = out.recovery.expect("the failed attempt must be recorded");
+    assert_eq!(rec.health[2], TileHealth::Suspected { retries: 1 });
+    assert_eq!(rec.survivors(), 4, "a suspected tile is not quarantined");
+    assert!(rec.fallback.is_none());
+    assert_eq!(rec.backoff_cycles, cfg.tile_backoff);
+    assert_eq!(rec.attempts.len(), 2);
+    // The retry re-shards the unfinished range across all four survivors.
+    assert_eq!(rec.attempts[1].shards.len(), 4);
+    let merged = out.stats.merged();
+    assert_eq!(merged.faults.failovers, 1);
+    assert_eq!(merged.faults.fallbacks, 0);
+    assert!(out.stats.tiles[2].faults.failed_cycles >= cfg.tile_backoff);
+    merged.snapshot().validate().unwrap();
+    FabricCpi::from_fabric(&out.stats).unwrap();
+}
+
+/// A kill aimed at a tile that has already halted is dropped, not applied:
+/// the run stays clean and the drop is counted on that tile.
+#[test]
+fn kill_after_halt_is_dropped_not_applied() {
+    let (m, v) = problem(24);
+    let cfg = robust_cfg();
+    let fab = FabricConfig::scaled(2);
+    let clean = runner::run_spmv_fabric(&cfg, fab, &m, &v);
+    // Tile 1 halts well before this cycle; the kill must be discarded.
+    let late = clean.stats.tiles[1].cycles + 1;
+    let out = runner::run_spmv_fabric_with_plan(&cfg, fab, &m, &v, kill_plan(&[(late, 1)]));
+    assert_eq!(out.y, clean.y);
+    assert!(out.recovery.is_none(), "a dropped kill must not trigger recovery");
+    assert_eq!(out.stats.tiles[1].faults.injected, 0);
+    assert_eq!(out.stats.tiles[1].faults.dropped, 1);
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Seeded chaos campaign: kill k of N tiles at random cycles and
+    /// require, under BOTH schedulers with identical decisions — bit-exact
+    /// output, completion on the N−k survivors without a whole-run
+    /// fallback, exact-sum fault accounting, and monotone degradation
+    /// (failover never costs more than abandoning the whole run to the
+    /// software baseline on top of the failed attempt).
+    #[test]
+    fn chaos_campaign_kills_degrade_gracefully(
+        n_idx in 0usize..3,
+        k_raw in 1usize..=3,
+        kill_seed in 1u64..100_000,
+    ) {
+        let n = [2usize, 4, 8][n_idx];
+        let k = k_raw.min(n - 1);
+        let (m, v) = problem(48);
+        let fab = FabricConfig::scaled(n);
+        // k distinct victim tiles and kill cycles, derived deterministically
+        // from the sampled seed.
+        let mut state = kill_seed;
+        let mut kills: Vec<(u64, u32)> = Vec::new();
+        while kills.len() < k {
+            let t = (splitmix(&mut state) % n as u64) as u32;
+            if kills.iter().all(|&(_, kt)| kt != t) {
+                kills.push((1 + splitmix(&mut state) % 400, t));
+            }
+        }
+        let cfg_eq = robust_cfg().with_event_queue(true);
+        let cfg_ls = robust_cfg().with_event_queue(false);
+        let clean = runner::run_spmv_fabric(&cfg_eq, fab, &m, &v);
+        let base = runner::run_spmv_baseline(&cfg_eq, &m, &v);
+        let out = runner::run_spmv_fabric_with_plan(&cfg_eq, fab, &m, &v, kill_plan(&kills));
+        let out_ls = runner::run_spmv_fabric_with_plan(&cfg_ls, fab, &m, &v, kill_plan(&kills));
+        // Scheduler invariance: identical stats, result and failover
+        // decisions under the event queue and the lock-step oracle.
+        prop_assert_eq!(&out.stats, &out_ls.stats);
+        prop_assert_eq!(&out.y, &out_ls.y);
+        prop_assert_eq!(&out.recovery, &out_ls.recovery);
+        // Bit-exact output on the survivors.
+        prop_assert_eq!(&out.y, &clean.y);
+        let merged = out.stats.merged();
+        prop_assert!(merged.snapshot().validate().is_ok(),
+            "{:?}", merged.snapshot().validate());
+        prop_assert!(FabricCpi::from_fabric(&out.stats).is_ok());
+        // Kills aimed at tiles that already halted are dropped; only the
+        // ones that landed quarantine their domain.
+        let killed: Vec<usize> =
+            (0..n).filter(|&t| out.stats.tiles[t].faults.injected > 0).collect();
+        prop_assert_eq!(merged.faults.injected + merged.faults.dropped, k as u64);
+        match &out.recovery {
+            None => prop_assert!(killed.is_empty()),
+            Some(rec) => {
+                prop_assert_eq!(&rec.quarantined(), &killed);
+                prop_assert_eq!(rec.survivors(), n - killed.len());
+                prop_assert!(rec.fallback.is_none(),
+                    "k < n must never fall back: {:?}", rec.fallback);
+                // One original attempt plus however many rounds the
+                // survivors need to drain the re-queued ranges (each round
+                // takes at most `survivors` pending ranges).
+                prop_assert!(rec.attempts.len() >= 2);
+                prop_assert!(rec.attempts.len() <= 1 + killed.len());
+                prop_assert!(rec.attempts[1..].iter().all(|a| a.failed.is_empty()),
+                    "retries run clean: {:?}", rec.attempts);
+                prop_assert_eq!(merged.faults.failovers, killed.len() as u64);
+                prop_assert_eq!(merged.faults.fallbacks, 0);
+                prop_assert_eq!(rec.backoff_cycles, 0); // fatal: no retry ladder
+                // Monotone degradation.
+                prop_assert!(
+                    out.stats.cycles <= rec.attempts[0].wall + base.stats.cycles,
+                    "failover ({}) costs more than abandoning to software ({} + {})",
+                    out.stats.cycles, rec.attempts[0].wall, base.stats.cycles
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
