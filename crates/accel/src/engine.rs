@@ -24,7 +24,7 @@
 
 use crate::fifo::ElemFifo;
 use crate::mmr::EngineConfig;
-use hht_mem::{MemoryPort, Requester};
+use hht_mem::{MemIssue, MemoryPort, Requester};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -161,21 +161,24 @@ struct Pending {
     value: u32,
 }
 
-/// Issue a timed read of `addr`; `None` when the port is busy this cycle.
-/// Out-of-range addresses (software programmed a bad base into an MMR) read
-/// open-bus zero instead of crashing the simulator.
+/// Issue a timed read of `addr` over the split-transaction protocol;
+/// `None` on any refusal this cycle (bank busy, in-flight window full or
+/// bandwidth budget spent — the backend attributes the kind). Data is
+/// captured functionally at issue and becomes architecturally visible at
+/// the response cycle. Out-of-range addresses (software programmed a bad
+/// base into an MMR) read open-bus zero instead of crashing the simulator.
 fn issue_read(
     sram: &mut dyn MemoryPort,
     now: u64,
     addr: u32,
     stats: &mut EngineStats,
 ) -> Option<Pending> {
-    match sram.try_start(now, addr, Requester::Hht) {
-        Some(done) => {
+    match sram.request(now, addr, Requester::Hht) {
+        MemIssue::Granted { data_at, .. } => {
             stats.mem_reads += 1;
-            Some(Pending { ready_at: done, value: sram.read_u32_checked(addr).unwrap_or(0) })
+            Some(Pending { ready_at: data_at, value: sram.read_u32_checked(addr).unwrap_or(0) })
         }
-        None => {
+        MemIssue::Refused(_) => {
             stats.port_conflicts += 1;
             None
         }

@@ -8,10 +8,11 @@
 //!
 //! Subcommands: `table1`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`,
 //! `area`, `energy`, `motivation`, `crossover`, `conv`, `suite`,
-//! `scaling`, `ablate-baseline`, `ablate-programmable`, `ablate-tiling`,
-//! `ablate-cache`, `ablate-buffers`, `ablate-latency`, `ablate-format`,
-//! `all`. The default matrix dimension is 512 (the paper's); passing a
-//! smaller `n` speeds everything up with the same shapes.
+//! `scaling`, `memory`, `ablate-baseline`, `ablate-programmable`,
+//! `ablate-tiling`, `ablate-cache`, `ablate-buffers`, `ablate-latency`,
+//! `ablate-format`, `all`. The default matrix dimension is 512 (the
+//! paper's); passing a smaller `n` speeds everything up with the same
+//! shapes.
 //!
 //! Each figure also prints the paper's reported band next to the measured
 //! values so the comparison in EXPERIMENTS.md can be regenerated.
@@ -113,10 +114,14 @@ fn main() {
         chaos_campaign(&cfg, n.min(128), metrics_out);
         return;
     }
-    // `scaling` consumes --metrics-out itself (it exports the sweep rather
-    // than the default single-tile SpMV snapshot).
+    // `scaling` and `memory` consume --metrics-out themselves (they export
+    // the sweep rather than the default single-tile SpMV snapshot).
     if which == "scaling" {
         scaling(&cfg, n, jobs, metrics_out);
+        return;
+    }
+    if which == "memory" {
+        memory(&cfg, n.min(128), jobs, metrics_out);
         return;
     }
     if metrics_out.is_some() || trace_out.is_some() {
@@ -169,6 +174,7 @@ fn main() {
             ablate_format(&cfg, n.min(256), jobs);
             suite(&cfg, n.min(256), jobs);
             scaling(&cfg, n, jobs, None);
+            memory(&cfg, n.min(128), jobs, None);
         }
         other => {
             eprintln!("unknown figure `{other}`");
@@ -219,7 +225,12 @@ fn bench_observatory(
         "regression gate: simulated cycles are deterministic; host throughput is informational",
     );
     let mut report = BenchReport::new();
-    for (name, c) in [("paper_default", *cfg), ("slow_memory", cfg.with_ram_word_cycles(4))] {
+    let configs = [
+        ("paper_default", *cfg),
+        ("slow_memory", cfg.with_ram_word_cycles(4)),
+        ("dram_slow_memory", cfg.with_dram(hht_mem::DramConfig::slow_300ns())),
+    ];
+    for (name, c) in configs {
         let mut sw = Stopwatch::start();
         let m = hht_sparse::generate::random_csr(n, n, 0.5, 0xBE);
         let v = hht_sparse::generate::random_dense_vector(n, 0xBF);
@@ -1140,6 +1151,205 @@ fn scaling(cfg: &SystemConfig, n: usize, jobs: usize, metrics_out: Option<String
     if let Some(path) = metrics_out {
         write_or_exit(&path, &format!("{{\"scaling\":[{}]}}", records.join(",")));
         eprintln!("wrote scaling sweep metrics to {path}");
+    }
+}
+
+/// The DRAM-class memory sweep: single-tile SpMV across the split-transaction
+/// backend's three axes — response latency (row hit/miss extras), MLP window
+/// (in-flight ceiling), and grants-per-cycle bandwidth budget.
+///
+/// Every cell asserts the CPI exact-sum invariant (`stack.total() == cycles`
+/// even with row extras and window stalls in the cut), and the all-zero
+/// corner is asserted bit-identical — stats and output vector — to a run on
+/// the seed `SharedMemory` with no DRAM wrapper at all.
+fn memory(cfg: &SystemConfig, n: usize, jobs: usize, metrics_out: Option<String>) {
+    use hht_mem::DramConfig;
+    use hht_prof::{classify_with_bus, CpiStack};
+    use hht_system::FabricConfig;
+    header(
+        &format!("Memory model: latency x MLP window x bandwidth budget ({n}x{n}, 90% sparsity)"),
+        "beyond-paper: split-transaction DRAM-class backend; flat corner must equal the seed model",
+    );
+    let m = hht_sparse::generate::random_csr(n, n, 0.9, 0xD1);
+    let v = hht_sparse::generate::random_dense_vector(n, 0xD2);
+    // One tile over the 8-bank scaled shape: with a single bank, any
+    // same-cycle CPU/HHT collision is a bank conflict before the grant
+    // budget is even consulted, which would hide the bandwidth axis.
+    let shape = FabricConfig::scaled(1);
+    // Reference run on the raw SharedMemory path (cfg.dram = None): the
+    // bit-identity baseline for the flat corner and the slowdown anchor.
+    let reference = hht_system::runner::run_spmv_fabric(cfg, shape, &m, &v);
+    let lats = [("flat", 0u64, 0u64), ("near", 8, 24), ("far-300ns", 110, 330)];
+    let mut grid = Vec::new();
+    for (lat, hit, miss) in lats {
+        // Window 1 is the interesting MLP ceiling: each requestor blocks on
+        // its own response, so the per-tile window only binds when it forces
+        // the CPU and the HHT to serialize against each other.
+        for window in [0u32, 1] {
+            for budget in [0u32, 1] {
+                grid.push((lat, hit, miss, window, budget));
+            }
+        }
+    }
+    let outs = hht_exec::parallel_map(jobs, grid, |_, (lat, hit, miss, window, budget)| {
+        let dc = DramConfig::flat()
+            .with_row_latency(hit, miss)
+            .with_window(window)
+            .with_bandwidth(budget);
+        let c = cfg.with_dram(dc);
+        let out = hht_system::runner::run_spmv_fabric(&c, shape, &m, &v);
+        (lat, hit, miss, window, budget, out)
+    });
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for (lat, hit, miss, window, budget, out) in &outs {
+        let s = &out.stats;
+        let tile = &s.tiles[0];
+        let stack = CpiStack::from_stats(tile).unwrap_or_else(|e| {
+            panic!("memory[{lat},w={window},b={budget}]: CPI attribution failed: {e}")
+        });
+        assert_eq!(
+            stack.total(),
+            stack.cycles,
+            "memory[{lat},w={window},b={budget}]: CPI stack must sum to total cycles"
+        );
+        let verdict = classify_with_bus(&stack, tile, Some(&s.mem));
+        if *hit == 0 && *miss == 0 && *window == 0 && *budget == 0 {
+            // Flat-Dram corner: the wrapper must be invisible. Bit-identical
+            // output and counters against the unwrapped reference run.
+            assert_eq!(out.y, reference.y, "flat Dram changed the numeric result");
+            assert_eq!(s.cycles, reference.stats.cycles, "flat Dram changed the cycle count");
+            assert_eq!(s.mem, reference.stats.mem, "flat Dram changed shared-memory counters");
+            assert_eq!(s.tiles, reference.stats.tiles, "flat Dram changed per-tile stats");
+        }
+        let slowdown = s.cycles as f64 / reference.stats.cycles.max(1) as f64;
+        let util = verdict.bus_utilization.map_or_else(|| "-".to_string(), |u| format!("{:.3}", u));
+        rows.push(vec![
+            lat.to_string(),
+            window.to_string(),
+            budget.to_string(),
+            s.cycles.to_string(),
+            format!("{slowdown:.3}"),
+            s.mem.row_hits.to_string(),
+            s.mem.row_misses.to_string(),
+            s.mem.window_stalls.to_string(),
+            s.mem.bandwidth_stalls.to_string(),
+            util,
+            verdict.bottleneck.label().to_string(),
+        ]);
+        records.push(format!(
+            "{{\"latency\":\"{lat}\",\"row_hit_extra\":{hit},\"row_miss_extra\":{miss},\
+             \"window\":{window},\"budget\":{budget},\"wall_cycles\":{},\
+             \"slowdown\":{slowdown:.6},\"row_hits\":{},\"row_misses\":{},\
+             \"window_stalls\":{},\"bandwidth_stalls\":{},\"bus_utilization\":{},\
+             \"verdict\":\"{}\",\"cpi\":{{{}}}}}",
+            s.cycles,
+            s.mem.row_hits,
+            s.mem.row_misses,
+            s.mem.window_stalls,
+            s.mem.bandwidth_stalls,
+            verdict.bus_utilization.map_or_else(|| "null".to_string(), |u| format!("{u:.6}")),
+            verdict.bottleneck.label(),
+            stack
+                .entries()
+                .iter()
+                .map(|(k, c)| format!("\"{k}\":{c}"))
+                .collect::<Vec<_>>()
+                .join(","),
+        ));
+    }
+    print!(
+        "{}",
+        table(
+            &[
+                "latency",
+                "window",
+                "budget",
+                "wall cycles",
+                "slowdown",
+                "row hits",
+                "row misses",
+                "window stalls",
+                "bw stalls",
+                "bus util",
+                "verdict",
+            ],
+            &rows
+        )
+    );
+    println!("flat corner verified bit-identical to the seed SharedMemory path.");
+    // The bandwidth wall: tiles contend for a single grant per cycle. Zero
+    // response latency isolates the budget — every slowdown here is the bus,
+    // and near-saturated utilization must force the bandwidth-bound verdict.
+    println!("bandwidth wall (flat latency, grants/cycle budget shared by all tiles):");
+    let wall_grid: Vec<(usize, u32)> =
+        [1usize, 2, 4].iter().flat_map(|&t| [(t, 0u32), (t, 1)]).collect();
+    let wall_outs = hht_exec::parallel_map(jobs, wall_grid, |_, (tiles, budget)| {
+        let c = cfg.with_dram(DramConfig::flat().with_bandwidth(budget));
+        let out = hht_system::runner::run_spmv_fabric(&c, FabricConfig::scaled(tiles), &m, &v);
+        (tiles, budget, out)
+    });
+    let mut wall_rows = Vec::new();
+    let mut wall_records = Vec::new();
+    for (tiles, budget, out) in &wall_outs {
+        let s = &out.stats;
+        let cpi = hht_prof::FabricCpi::from_fabric(s).unwrap_or_else(|e| {
+            panic!("memory wall[t={tiles},b={budget}]: CPI attribution failed: {e}")
+        });
+        assert_eq!(
+            cpi.merged.total(),
+            cpi.merged.cycles,
+            "memory wall[t={tiles},b={budget}]: merged CPI stack must sum to total tile-time"
+        );
+        let free = wall_outs
+            .iter()
+            .find(|(t, b, _)| t == tiles && *b == 0)
+            .map(|(_, _, o)| o.stats.cycles)
+            .unwrap_or(s.cycles);
+        let slowdown = s.cycles as f64 / free.max(1) as f64;
+        // Fabric-wide utilization over wall cycles (tile-0's stack alone
+        // would divide fabric-wide grants by one tile's shorter lifetime).
+        let util = if *budget > 0 {
+            Some((s.mem.row_hits + s.mem.row_misses) as f64 / (s.cycles * *budget as u64) as f64)
+        } else {
+            None
+        };
+        let verdict = classify_with_bus(&cpi.per_tile[0], &s.tiles[0], Some(&s.mem));
+        wall_rows.push(vec![
+            tiles.to_string(),
+            budget.to_string(),
+            s.cycles.to_string(),
+            format!("{slowdown:.3}"),
+            s.mem.bandwidth_stalls.to_string(),
+            util.map_or_else(|| "-".to_string(), |u| format!("{u:.3}")),
+            verdict.bottleneck.label().to_string(),
+        ]);
+        wall_records.push(format!(
+            "{{\"tiles\":{tiles},\"budget\":{budget},\"wall_cycles\":{},\"slowdown\":{slowdown:.6},\
+             \"bandwidth_stalls\":{},\"bus_utilization\":{},\"verdict\":\"{}\"}}",
+            s.cycles,
+            s.mem.bandwidth_stalls,
+            util.map_or_else(|| "null".to_string(), |u| format!("{u:.6}")),
+            verdict.bottleneck.label(),
+        ));
+    }
+    print!(
+        "{}",
+        table(
+            &["tiles", "budget", "wall cycles", "slowdown", "bw stalls", "bus util", "verdict"],
+            &wall_rows
+        )
+    );
+    if let Some(path) = metrics_out {
+        write_or_exit(
+            &path,
+            &format!(
+                "{{\"memory\":[{}],\"memory_wall\":[{}]}}",
+                records.join(","),
+                wall_records.join(",")
+            ),
+        );
+        eprintln!("wrote memory sweep metrics to {path}");
     }
 }
 

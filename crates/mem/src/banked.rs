@@ -35,6 +35,20 @@ pub struct SharedMemStats {
     /// Rejections where the busy bank was held by a different tile — the
     /// contention that only exists because the memory is shared.
     pub cross_tile_conflicts: u64,
+    /// Granted transactions that hit a bank's open row (all tiles). Zero
+    /// unless a DRAM-class backend with row timing wraps this memory.
+    pub row_hits: u64,
+    /// Granted transactions that opened a new row.
+    pub row_misses: u64,
+    /// Refusal cycles lost to a full per-tile in-flight window (the subset
+    /// of `conflicts` where no bank was busy — the MLP ceiling).
+    pub window_stalls: u64,
+    /// Refusal cycles lost to the cycle-wide grant budget (the bandwidth
+    /// wall: bank free, window open, budget spent).
+    pub bandwidth_stalls: u64,
+    /// Grants-per-cycle budget in force (shape datum like `banks`, not a
+    /// counter; 0 = unlimited).
+    pub grant_budget: u64,
 }
 
 impl SharedMemStats {
@@ -47,15 +61,31 @@ impl SharedMemStats {
         self.conflicts as f64 / attempts as f64
     }
 
-    /// Fold another attempt's counters into this one. `banks` is a shape
-    /// datum, not a counter: it is taken from `other`, never summed (every
-    /// attempt of one recovered run shares the bank count).
+    /// Fold another attempt's counters into this one. `banks` and
+    /// `grant_budget` are shape data, not counters: they are taken from
+    /// `other`, never summed (every attempt of one recovered run shares the
+    /// memory shape).
     pub fn absorb(&mut self, other: &SharedMemStats) {
-        let SharedMemStats { banks, accesses, conflicts, cross_tile_conflicts } = *other;
+        let SharedMemStats {
+            banks,
+            accesses,
+            conflicts,
+            cross_tile_conflicts,
+            row_hits,
+            row_misses,
+            window_stalls,
+            bandwidth_stalls,
+            grant_budget,
+        } = *other;
         self.banks = banks;
         self.accesses += accesses;
         self.conflicts += conflicts;
         self.cross_tile_conflicts += cross_tile_conflicts;
+        self.row_hits += row_hits;
+        self.row_misses += row_misses;
+        self.window_stalls += window_stalls;
+        self.bandwidth_stalls += bandwidth_stalls;
+        self.grant_budget = grant_budget;
     }
 }
 
@@ -170,11 +200,87 @@ impl SharedMemory {
         self.stats
     }
 
-    fn bank_of(&self, addr: u32) -> usize {
+    pub(crate) fn bank_of(&self, addr: u32) -> usize {
         ((addr >> 2) / self.bank_words) as usize % self.banks.len()
     }
 
-    fn reject(&mut self, tile: usize, now: u64, bank: usize, who: Requester) {
+    /// Cycle the bank frees (≤ `now` means idle). Hook for the DRAM wrapper,
+    /// which needs to test occupancy separately from granting.
+    pub(crate) fn bank_free_at(&self, bank: usize) -> u64 {
+        self.banks[bank].free_at
+    }
+
+    /// Record the memory shape's grants-per-cycle budget (a datum the
+    /// DRAM wrapper sets once at construction; see
+    /// [`SharedMemStats::grant_budget`]).
+    pub(crate) fn set_grant_budget(&mut self, budget: u64) {
+        self.stats.grant_budget = budget;
+    }
+
+    /// Emit one event on `tile`'s bus (no-op without a sink). Hook for the
+    /// DRAM wrapper's row-transition and queue-occupancy events.
+    pub(crate) fn emit_for(&mut self, tile: usize, now: u64, track: Track, kind: EventKind) {
+        if let Some(bus) = self.obs[tile].as_mut() {
+            bus.emit(now, track, kind);
+        }
+    }
+
+    /// Charge `span` window-full refusal cycles to `tile`/`who` starting at
+    /// `now`: the tile's bounded in-flight window — not a bank — refused
+    /// the request, so no cross-tile attribution applies. Emits the same
+    /// per-cycle conflict events a failing retry loop would.
+    pub(crate) fn note_window_stall(&mut self, tile: usize, now: u64, span: u64, who: Requester) {
+        self.tile_stats[tile].conflicts += span;
+        self.stats.conflicts += span;
+        self.stats.window_stalls += span;
+        match who {
+            Requester::Cpu => {
+                self.tile_stats[tile].cpu_conflicts += span;
+                self.tile_stats[tile].cpu_window_stalls += span;
+            }
+            Requester::Hht => self.tile_stats[tile].hht_window_stalls += span,
+        }
+        if let Some(bus) = self.obs[tile].as_mut() {
+            for c in 0..span {
+                bus.emit(now + c, Track::SramPort, EventKind::ArbConflict { loser: who.label() });
+            }
+        }
+    }
+
+    /// Charge one bandwidth-budget refusal cycle to `tile`/`who`: the bank
+    /// was free but the cycle-wide grant budget was spent. Not cross-tile
+    /// in the bank-holder sense (no bank is held), though the budget was of
+    /// course consumed fabric-wide.
+    pub(crate) fn note_bandwidth_stall(&mut self, tile: usize, now: u64, who: Requester) {
+        self.tile_stats[tile].conflicts += 1;
+        self.stats.conflicts += 1;
+        self.stats.bandwidth_stalls += 1;
+        if who == Requester::Cpu {
+            self.tile_stats[tile].cpu_conflicts += 1;
+        }
+        if let Some(bus) = self.obs[tile].as_mut() {
+            bus.emit(now, Track::SramPort, EventKind::ArbConflict { loser: who.label() });
+        }
+    }
+
+    /// Record a granted transaction's row-buffer outcome and the extra
+    /// response-latency cycles it was charged.
+    pub(crate) fn note_row(&mut self, tile: usize, who: Requester, hit: bool, extra: u64) {
+        if hit {
+            self.stats.row_hits += 1;
+        } else {
+            self.stats.row_misses += 1;
+        }
+        if who == Requester::Cpu {
+            if hit {
+                self.tile_stats[tile].cpu_row_hit_extra += extra;
+            } else {
+                self.tile_stats[tile].cpu_row_miss_extra += extra;
+            }
+        }
+    }
+
+    pub(crate) fn reject(&mut self, tile: usize, now: u64, bank: usize, who: Requester) {
         self.tile_stats[tile].conflicts += 1;
         self.stats.conflicts += 1;
         let cross = self.banks[bank].holder != tile;
@@ -192,7 +298,14 @@ impl SharedMemory {
         }
     }
 
-    fn grant(&mut self, tile: usize, now: u64, bank: usize, who: Requester, words: u64) -> u64 {
+    pub(crate) fn grant(
+        &mut self,
+        tile: usize,
+        now: u64,
+        bank: usize,
+        who: Requester,
+        words: u64,
+    ) -> u64 {
         let cost = self.word_cycles + words.max(1) - 1;
         self.banks[bank] = Bank { free_at: now + cost, holder: tile };
         match who {

@@ -11,12 +11,18 @@
 //!   has priority).
 //! - [`L1dCache`] — an optional set-associative cache for the paper's
 //!   "high-performance processor integration" (§3.2), used in ablations.
+//! - [`Dram`] — the DRAM-class split-transaction backend wrapped around
+//!   the banked memory: row-buffer hit/miss response latency, a per-tile
+//!   bounded in-flight window (MLP ceiling) and a grants-per-cycle
+//!   bandwidth budget. [`FabricMemory`] selects between the flat banked
+//!   model and the DRAM wrapper behind one [`FabricPort`].
 //! - [`map`] — the physical address map (RAM, HHT MMRs, HHT buffer window).
 //! - [`MmioDevice`] — the trait the HHT front-end implements to appear in
 //!   the CPU's load/store space.
 
 pub mod banked;
 pub mod cache;
+pub mod dram;
 pub mod map;
 pub mod mmio;
 pub mod port;
@@ -24,6 +30,7 @@ pub mod sram;
 
 pub use banked::{SharedMemStats, SharedMemory, TilePort};
 pub use cache::L1dCache;
+pub use dram::{Dram, DramConfig, FabricMemory, FabricPort};
 pub use mmio::{MmioDevice, MmioReadResult};
-pub use port::MemoryPort;
+pub use port::{MemIssue, MemRefusal, MemoryPort, RowOutcome};
 pub use sram::{Requester, Sram, SramStats};

@@ -18,6 +18,19 @@ pub struct SramStats {
     /// The subset of `cpu_conflicts` where the port/bank was held by a
     /// *different* tile (always zero for a private single-tile SRAM).
     pub cpu_cross_tile_conflicts: u64,
+    /// Extra response-latency cycles (beyond the flat port occupancy)
+    /// charged to CPU-granted transactions that hit the open row. Zero on
+    /// SRAM-class backends; the DRAM backend fills it in.
+    pub cpu_row_hit_extra: u64,
+    /// Extra response-latency cycles charged to CPU-granted transactions
+    /// that opened a new row (precharge + activate).
+    pub cpu_row_miss_extra: u64,
+    /// The subset of `cpu_conflicts` refused because the tile's bounded
+    /// in-flight window was full (the MLP ceiling), not because a bank was
+    /// busy.
+    pub cpu_window_stalls: u64,
+    /// Window-full refusal cycles whose loser was the HHT.
+    pub hht_window_stalls: u64,
 }
 
 /// Which agent is asking for the port (for statistics only — priority is

@@ -145,6 +145,15 @@ fn emit_process(trace_events: &mut Vec<Value>, pid: u64, process_name: &str, eve
                     "fault",
                 ));
             }
+            EventKind::RowOpen { bank } => {
+                trace_events.push(instant(
+                    &format!("row_open:bank{bank}"),
+                    pid,
+                    tid,
+                    event.cycle,
+                    "mem",
+                ));
+            }
             EventKind::BufferLevel { level } => {
                 let mut fields =
                     with_ts(base_event(event.track.name(), "C", pid, tid), event.cycle);
@@ -366,8 +375,8 @@ mod tests {
         let json = chrome_trace_json(&sample_events());
         let v: Value = serde_json::from_str(&json).unwrap();
         let events = v.get("traceEvents").and_then(Value::as_seq).unwrap();
-        // 1 process + 7 thread metadata records + 6 events + 1 auto-close.
-        assert_eq!(events.len(), 15);
+        // 1 process + 8 thread metadata records + 6 events + 1 auto-close.
+        assert_eq!(events.len(), 16);
     }
 
     #[test]
@@ -380,7 +389,7 @@ mod tests {
         let v: Value = serde_json::from_str(&json).unwrap();
         let events = v.get("traceEvents").and_then(Value::as_seq).unwrap();
         // Two full processes worth of records.
-        assert_eq!(events.len(), 30);
+        assert_eq!(events.len(), 32);
     }
 
     #[test]
@@ -420,6 +429,18 @@ mod tests {
         let json = chrome_trace_json(&events);
         assert!(json.contains("\"failover:12rows\""));
         assert!(json.contains("\"quarantine:2retries\""));
+    }
+
+    #[test]
+    fn mem_queue_events_render_on_their_own_track() {
+        let events = vec![
+            Event { cycle: 3, track: Track::MemQueue, kind: EventKind::RowOpen { bank: 2 } },
+            Event { cycle: 3, track: Track::MemQueue, kind: EventKind::BufferLevel { level: 4 } },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"row_open:bank2\""));
+        assert!(json.contains("\"mem queue\""));
+        assert!(json.contains("\"tid\":10"));
     }
 
     #[test]

@@ -89,10 +89,15 @@ pub enum Track {
     /// Fault-injection timeline: injected faults, detections (parity,
     /// decode, timeout) and recovery actions (retries, fallback).
     Fault,
+    /// Memory-system timeline of the DRAM-class backend: row-buffer
+    /// transitions ([`EventKind::RowOpen`]) and in-flight transaction
+    /// occupancy samples ([`EventKind::BufferLevel`]). Silent on flat
+    /// SRAM-class backends, so their event streams are unchanged.
+    MemQueue,
 }
 
 impl Track {
-    pub const ALL: [Track; 7] = [
+    pub const ALL: [Track; 8] = [
         Track::CpuPipe,
         Track::HhtBackend,
         Track::SramPort,
@@ -100,6 +105,7 @@ impl Track {
         Track::BufferSecondary,
         Track::BufferCounts,
         Track::Fault,
+        Track::MemQueue,
     ];
 
     /// Human-readable track name (Chrome trace thread name).
@@ -112,10 +118,14 @@ impl Track {
             Track::BufferSecondary => "buf secondary",
             Track::BufferCounts => "buf counts",
             Track::Fault => "faults",
+            Track::MemQueue => "mem queue",
         }
     }
 
     /// Stable thread id for the Chrome trace (1-based, display order).
+    /// 8 and 9 are reserved for the host-side scheduler and fault-domain
+    /// lanes (`chrome::SCHED_TID`/`chrome::DOMAIN_TID`), which live outside
+    /// the [`Track`] set.
     pub fn tid(self) -> u32 {
         match self {
             Track::CpuPipe => 1,
@@ -125,6 +135,7 @@ impl Track {
             Track::BufferSecondary => 5,
             Track::BufferCounts => 6,
             Track::Fault => 7,
+            Track::MemQueue => 10,
         }
     }
 }
@@ -161,6 +172,9 @@ pub enum EventKind {
     /// This tile's unfinished row shard (`rows` rows) was failed over to
     /// the surviving tiles.
     Failover { rows: u32 },
+    /// The DRAM backend opened a new row on `bank` (the previous open row,
+    /// if any, was precharged): a row-buffer miss at this cycle's grant.
+    RowOpen { bank: u32 },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

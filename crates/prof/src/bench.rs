@@ -13,8 +13,9 @@ use serde::{Deserialize, Serialize};
 
 /// Schema version stamped into every report; bump on incompatible change.
 /// Schema 2 added the `fabric` scheduler-throughput section; schema 3 added
-/// the `failover` degraded-mode section.
-pub const BENCH_SCHEMA: u32 = 3;
+/// the `failover` degraded-mode section; schema 4 added the
+/// `dram_slow_memory` configuration (split-transaction DRAM backend).
+pub const BENCH_SCHEMA: u32 = 4;
 
 /// Headline metrics for one named configuration (e.g. `paper_default`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

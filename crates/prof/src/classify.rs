@@ -5,12 +5,20 @@
 //!
 //! - **compute** — `issue + branch_refill + vector_busy`: the core was the
 //!   limiter.
-//! - **latency** — `mem_load_latency + hht_window_empty +
-//!   hht_header_drain`: waiting for data to *arrive*. HHT waits count here
-//!   because an empty stream window is memory latency the accelerator
-//!   failed to hide.
+//! - **latency** — `mem_latency() + mem_mlp_stall + hht_window_empty +
+//!   hht_header_drain`: waiting for data to *arrive*. DRAM row extras and
+//!   window-ceiling stalls count here (the MLP cap is a latency-hiding
+//!   limit, Little's law), and HHT waits count because an empty stream
+//!   window is memory latency the accelerator failed to hide.
 //! - **bandwidth** — `mem_port_refusal + mem_cross_tile`: the data was
 //!   there but the port/bank was contended.
+//!
+//! [`classify_with_bus`] additionally consults the fabric-wide shared
+//! memory counters: when a DRAM grants-per-cycle budget is configured and
+//! nearly saturated, the verdict is forced to bandwidth-bound even if the
+//! per-cycle stall cut would have named latency — a saturated bus shows up
+//! partly as queueing latency, and the budget utilization is the direct
+//! measurement.
 //!
 //! `fault_recovery` cycles are reported separately and never win the
 //! classification (a faulty run is still latency/bandwidth/compute bound
@@ -22,8 +30,13 @@
 //! in front of it.
 
 use crate::cpi::CpiStack;
+use hht_mem::SharedMemStats;
 use hht_system::system::SystemStats;
 use serde::{Deserialize, Serialize};
+
+/// Budget-utilization threshold above which a configured DRAM bandwidth
+/// budget forces the bandwidth-bound verdict.
+pub const BUS_SATURATION_FRAC: f64 = 0.9;
 
 /// Which super-bucket limits the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -65,15 +78,44 @@ pub struct BottleneckReport {
     pub cycles_hidden_by_hht: u64,
     /// `cycles_hidden_by_hht / cycles`.
     pub hidden_frac: f64,
+    /// Utilization of the DRAM grants-per-cycle budget: granted
+    /// transactions over `cycles × budget`. `None` when no budget is
+    /// configured (flat backend, or an unlimited bus).
+    pub bus_utilization: Option<f64>,
 }
 
 /// Classify one run. `stats` must be the same record `stack` was built
 /// from (the hidden-cycles estimate needs the HHT busy counter).
 pub fn classify(stack: &CpiStack, stats: &SystemStats) -> BottleneckReport {
+    classify_with_bus(stack, stats, None)
+}
+
+/// Classify one run, consulting the fabric-wide shared-memory counters
+/// when available. With a configured DRAM bandwidth budget
+/// (`mem.grant_budget > 0`) whose utilization over the run is at least
+/// [`BUS_SATURATION_FRAC`], the verdict is bandwidth-bound regardless of
+/// the stall cut: the bus itself is the measured limiter.
+pub fn classify_with_bus(
+    stack: &CpiStack,
+    stats: &SystemStats,
+    mem: Option<&SharedMemStats>,
+) -> BottleneckReport {
     let compute = stack.issue + stack.branch_refill + stack.vector_busy;
-    let latency = stack.mem_load_latency + stack.hht_wait();
+    let latency = stack.mem_latency() + stack.mem_mlp_stall + stack.hht_wait();
     let bandwidth = stack.mem_port_refusal + stack.mem_cross_tile;
-    let bottleneck = if compute >= latency && compute >= bandwidth {
+    // Granted transactions = row outcomes recorded (one per grant on the
+    // DRAM backend), measured against the budget's cycle capacity.
+    let bus_utilization = mem.and_then(|m| {
+        if m.grant_budget == 0 || stack.cycles == 0 {
+            return None;
+        }
+        let grants = m.row_hits + m.row_misses;
+        Some(grants as f64 / (stack.cycles as f64 * m.grant_budget as f64))
+    });
+    let saturated = bus_utilization.is_some_and(|u| u >= BUS_SATURATION_FRAC);
+    let bottleneck = if saturated {
+        Bottleneck::BandwidthBound
+    } else if compute >= latency && compute >= bandwidth {
         Bottleneck::ComputeBound
     } else if latency >= bandwidth {
         Bottleneck::LatencyBound
@@ -89,6 +131,7 @@ pub fn classify(stack: &CpiStack, stats: &SystemStats) -> BottleneckReport {
         fault_frac: stack.frac(stack.fault_recovery),
         cycles_hidden_by_hht: hidden,
         hidden_frac: stack.frac(hidden),
+        bus_utilization,
     }
 }
 

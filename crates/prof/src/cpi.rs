@@ -8,7 +8,10 @@
 //! ├── branch_refill      taken-branch fetch bubbles
 //! ├── vector_busy        multi-cycle vector op occupancy
 //! ├── memory wait
-//! │   ├── mem_load_latency    word/burst access latency
+//! │   ├── mem_load_latency    word/burst access latency (flat port cost)
+//! │   ├── mem_row_hit         DRAM open-row response latency
+//! │   ├── mem_row_miss        DRAM row precharge+activate latency
+//! │   ├── mem_mlp_stall       refusals at the in-flight window ceiling
 //! │   ├── mem_port_refusal    lost arbitration, same-tile holder
 //! │   └── mem_cross_tile      lost arbitration, bank held by another tile
 //! ├── HHT wait
@@ -40,9 +43,20 @@ pub struct CpiStack {
     pub branch_refill: u64,
     /// Cycles stalled behind a still-busy vector unit.
     pub vector_busy: u64,
-    /// Memory access latency (word / burst cycles beyond the first).
+    /// Memory access latency at the flat port cost (word / burst cycles
+    /// beyond the first, excluding DRAM row extras).
     pub mem_load_latency: u64,
-    /// Lost port arbitration where the holder was this tile's own HHT.
+    /// Extra response cycles waiting on DRAM open-row hits (zero on the
+    /// flat SRAM-class backend).
+    pub mem_row_hit: u64,
+    /// Extra response cycles waiting on DRAM row misses
+    /// (precharge + activate; zero on the flat backend).
+    pub mem_row_miss: u64,
+    /// Refusal cycles at the per-tile in-flight window ceiling (the MLP
+    /// limit; zero on the flat backend).
+    pub mem_mlp_stall: u64,
+    /// Lost port arbitration where the holder was this tile's own HHT
+    /// (includes bandwidth-budget refusals, which hold no bank).
     pub mem_port_refusal: u64,
     /// Lost bank arbitration where the holder was *another* tile.
     pub mem_cross_tile: u64,
@@ -72,13 +86,28 @@ impl CpiStack {
             ));
         }
         let mem_cross_tile = s.sram.cpu_cross_tile_conflicts;
-        let mem_port_refusal =
-            st.arbitration_loss.checked_sub(mem_cross_tile).ok_or_else(|| {
-                format!(
-                    "cross-tile conflicts ({mem_cross_tile}) exceed arbitration losses ({})",
-                    st.arbitration_loss
-                )
-            })?;
+        // DRAM re-cuts of the coarse counters. The core attributes every
+        // granted access's full wait (flat port cost + row extras) to
+        // `load_latency` and every refusal cycle (bank busy, window full
+        // or budget spent) to `arbitration_loss`; the memory side records
+        // the exact row extras and window-stall cycles per tile, so the
+        // fine buckets are checked subtractions from the coarse ones. All
+        // four re-cut counters are zero on the flat backend, collapsing
+        // the stack to its pre-DRAM shape.
+        let mem_row_hit = s.sram.cpu_row_hit_extra;
+        let mem_row_miss = s.sram.cpu_row_miss_extra;
+        let mem_mlp_stall = s.sram.cpu_window_stalls;
+        let row_extra = mem_row_hit + mem_row_miss;
+        let mem_load_latency = st.load_latency.checked_sub(row_extra).ok_or_else(|| {
+            format!("row extras ({row_extra}) exceed load latency ({})", st.load_latency)
+        })?;
+        let refused = mem_cross_tile + mem_mlp_stall;
+        let mem_port_refusal = st.arbitration_loss.checked_sub(refused).ok_or_else(|| {
+            format!(
+                "cross-tile + window refusals ({refused}) exceed arbitration losses ({})",
+                st.arbitration_loss
+            )
+        })?;
         let attributed = st.total() + s.faults.failed_cycles;
         let issue = s.cycles.checked_sub(attributed).ok_or_else(|| {
             format!("attributed stalls ({attributed}) exceed total cycles ({})", s.cycles)
@@ -88,7 +117,10 @@ impl CpiStack {
             issue,
             branch_refill: st.branch_refill,
             vector_busy: st.vector_busy,
-            mem_load_latency: st.load_latency,
+            mem_load_latency,
+            mem_row_hit,
+            mem_row_miss,
+            mem_mlp_stall,
             mem_port_refusal,
             mem_cross_tile,
             hht_window_empty: st.hht_window_empty,
@@ -108,6 +140,9 @@ impl CpiStack {
             branch_refill,
             vector_busy,
             mem_load_latency,
+            mem_row_hit,
+            mem_row_miss,
+            mem_mlp_stall,
             mem_port_refusal,
             mem_cross_tile,
             hht_window_empty,
@@ -118,6 +153,9 @@ impl CpiStack {
             + branch_refill
             + vector_busy
             + mem_load_latency
+            + mem_row_hit
+            + mem_row_miss
+            + mem_mlp_stall
             + mem_port_refusal
             + mem_cross_tile
             + hht_window_empty
@@ -127,7 +165,18 @@ impl CpiStack {
 
     /// Cycles in the memory-wait super-bucket.
     pub fn mem_wait(&self) -> u64 {
-        self.mem_load_latency + self.mem_port_refusal + self.mem_cross_tile
+        self.mem_load_latency
+            + self.mem_row_hit
+            + self.mem_row_miss
+            + self.mem_mlp_stall
+            + self.mem_port_refusal
+            + self.mem_cross_tile
+    }
+
+    /// Cycles in the memory-latency sub-group (response latency the tile
+    /// actually waited out: flat port cost plus DRAM row extras).
+    pub fn mem_latency(&self) -> u64 {
+        self.mem_load_latency + self.mem_row_hit + self.mem_row_miss
     }
 
     /// Cycles in the HHT-wait super-bucket.
@@ -145,12 +194,15 @@ impl CpiStack {
     }
 
     /// `(label, cycles)` pairs in hierarchy display order.
-    pub fn entries(&self) -> [(&'static str, u64); 9] {
+    pub fn entries(&self) -> [(&'static str, u64); 12] {
         [
             ("issue", self.issue),
             ("branch_refill", self.branch_refill),
             ("vector_busy", self.vector_busy),
             ("mem.load_latency", self.mem_load_latency),
+            ("mem.row_hit", self.mem_row_hit),
+            ("mem.row_miss", self.mem_row_miss),
+            ("mem.mlp_stall", self.mem_mlp_stall),
             ("mem.port_refusal", self.mem_port_refusal),
             ("mem.cross_tile", self.mem_cross_tile),
             ("hht.window_empty", self.hht_window_empty),
@@ -167,6 +219,9 @@ impl CpiStack {
             branch_refill,
             vector_busy,
             mem_load_latency,
+            mem_row_hit,
+            mem_row_miss,
+            mem_mlp_stall,
             mem_port_refusal,
             mem_cross_tile,
             hht_window_empty,
@@ -178,6 +233,9 @@ impl CpiStack {
         self.branch_refill += branch_refill;
         self.vector_busy += vector_busy;
         self.mem_load_latency += mem_load_latency;
+        self.mem_row_hit += mem_row_hit;
+        self.mem_row_miss += mem_row_miss;
+        self.mem_mlp_stall += mem_mlp_stall;
         self.mem_port_refusal += mem_port_refusal;
         self.mem_cross_tile += mem_cross_tile;
         self.hht_window_empty += hht_window_empty;
@@ -209,6 +267,21 @@ impl CpiStack {
             "    load_latency     {:>12}  {:5.1}%\n",
             self.mem_load_latency,
             pct(self.mem_load_latency)
+        );
+        s += &format!(
+            "    row_hit          {:>12}  {:5.1}%\n",
+            self.mem_row_hit,
+            pct(self.mem_row_hit)
+        );
+        s += &format!(
+            "    row_miss         {:>12}  {:5.1}%\n",
+            self.mem_row_miss,
+            pct(self.mem_row_miss)
+        );
+        s += &format!(
+            "    mlp_stall        {:>12}  {:5.1}%\n",
+            self.mem_mlp_stall,
+            pct(self.mem_mlp_stall)
         );
         s += &format!(
             "    port_refusal     {:>12}  {:5.1}%\n",

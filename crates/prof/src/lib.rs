@@ -31,7 +31,7 @@ pub mod host;
 pub mod recovery;
 
 pub use bench::{BenchConfig, BenchReport, FabricBenchConfig, FailoverBenchConfig, BENCH_SCHEMA};
-pub use classify::{classify, Bottleneck, BottleneckReport};
+pub use classify::{classify, classify_with_bus, Bottleneck, BottleneckReport};
 pub use cpi::{CpiStack, FabricCpi};
 pub use host::{HostProfile, Stopwatch};
 pub use recovery::{FabricRecoveryReport, TileVerdict};

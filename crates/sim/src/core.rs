@@ -7,6 +7,7 @@ use hht_mem::map;
 use hht_mem::mmio::{MmioDevice, MmioReadResult};
 use hht_mem::sram::Requester;
 use hht_mem::L1dCache;
+use hht_mem::MemIssue;
 use hht_mem::MemoryPort;
 use hht_obs::{Event, EventBus, EventKind, RingBuffer, StallBreakdown, StallCause, Track};
 use serde::{Deserialize, Serialize};
@@ -545,8 +546,12 @@ impl Core {
                         );
                     } else {
                         let words = (cache.line_bytes() / 4) as u64;
-                        match sram.try_start_burst(now, beat.addr, who, words) {
-                            None => {
+                        // Split-transaction issue: a refusal (bank busy,
+                        // window full or budget spent) is one lost
+                        // arbitration cycle whatever the reason; the
+                        // backend attributes the kind on its side.
+                        match sram.request_burst(now, beat.addr, who, words) {
+                            MemIssue::Refused(_) => {
                                 self.stats.mem_port_stall_cycles += 1;
                                 self.stats.stalls.record(StallCause::ArbitrationLoss);
                                 Self::obs_stall(
@@ -557,7 +562,7 @@ impl Core {
                                 );
                                 return;
                             }
-                            Some(done) => {
+                            MemIssue::Granted { data_at: done, .. } => {
                                 cache.access(beat.addr);
                                 self.stats.l1d_misses += 1;
                                 op.collected.push(read_sized(sram, beat));
@@ -580,8 +585,8 @@ impl Core {
                     }
                     return;
                 }
-                match sram.try_start(now, beat.addr, who) {
-                    None => {
+                match sram.request(now, beat.addr, who) {
+                    MemIssue::Refused(_) => {
                         self.stats.mem_port_stall_cycles += 1;
                         self.stats.stalls.record(StallCause::ArbitrationLoss);
                         Self::obs_stall(
@@ -592,7 +597,7 @@ impl Core {
                         );
                         return;
                     }
-                    Some(done) => {
+                    MemIssue::Granted { data_at: done, .. } => {
                         op.collected.push(read_sized(sram, beat));
                         op.next += 1;
                         self.stats.mem_beats += 1;
@@ -608,8 +613,8 @@ impl Core {
                     }
                 }
             }
-            BeatAccess::RamWrite(v) => match sram.try_start(now, beat.addr, who) {
-                None => {
+            BeatAccess::RamWrite(v) => match sram.request(now, beat.addr, who) {
+                MemIssue::Refused(_) => {
                     self.stats.mem_port_stall_cycles += 1;
                     self.stats.stalls.record(StallCause::ArbitrationLoss);
                     Self::obs_stall(
@@ -620,7 +625,7 @@ impl Core {
                     );
                     return;
                 }
-                Some(done) => {
+                MemIssue::Granted { data_at: done, .. } => {
                     // Write-through, no-allocate: memory is always current;
                     // update the cache only if the line is resident.
                     if let Some(cache) = self.l1d.as_mut() {

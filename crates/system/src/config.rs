@@ -2,6 +2,7 @@
 
 use hht_accel::HhtParams;
 use hht_fault::FaultConfig;
+use hht_mem::DramConfig;
 use hht_sim::config::CacheGeometry;
 use hht_sim::CoreConfig;
 use serde::{Deserialize, Serialize};
@@ -126,6 +127,14 @@ pub struct SystemConfig {
     /// doubles per accumulated failure (`base << (retries - 1)`). Fabric
     /// recovery only.
     pub tile_backoff: u64,
+    /// DRAM-class memory timing (`None`, the default, keeps the flat
+    /// SRAM-class [`hht_mem::SharedMemory`] model). When set, the fabric
+    /// wraps its memory in [`hht_mem::Dram`]: split-transaction responses
+    /// with row-buffer hit/miss latency, a per-tile bounded in-flight
+    /// window (the MLP ceiling) and a grants-per-cycle bandwidth budget.
+    /// `Some(DramConfig::flat())` is bit-identical to `None` (pinned by
+    /// the determinism suite).
+    pub dram: Option<DramConfig>,
 }
 
 impl SystemConfig {
@@ -145,6 +154,7 @@ impl SystemConfig {
             recovery: false,
             tile_retries: 2,
             tile_backoff: 64,
+            dram: None,
         }
     }
 
@@ -240,6 +250,14 @@ impl SystemConfig {
     /// (doubles per accumulated failure).
     pub fn with_tile_backoff(mut self, cycles: u64) -> Self {
         self.tile_backoff = cycles;
+        self
+    }
+
+    /// Same configuration with DRAM-class memory timing (row-buffer
+    /// latency, MLP window, bandwidth budget). `DramConfig::flat()` is
+    /// bit-identical to the flat model and exists for differential tests.
+    pub fn with_dram(mut self, dram: DramConfig) -> Self {
+        self.dram = Some(dram);
         self
     }
 }

@@ -46,7 +46,7 @@ use crate::system::{FaultSummary, SystemStats};
 use hht_accel::{Hht, HhtStats, Wake};
 use hht_fault::{FaultKind, FaultPlan};
 use hht_isa::Program;
-use hht_mem::{SharedMemStats, SharedMemory, SramStats, TilePort};
+use hht_mem::{Dram, FabricMemory, FabricPort, SharedMemStats, SharedMemory, SramStats};
 use hht_obs::{
     merge_events, Event, EventBus, EventKind, ObsDrops, SkipSpan, StallBreakdown, Track,
 };
@@ -351,12 +351,20 @@ fn add_sram(acc: &mut SramStats, s: &SramStats) {
         conflicts,
         cpu_conflicts,
         cpu_cross_tile_conflicts,
+        cpu_row_hit_extra,
+        cpu_row_miss_extra,
+        cpu_window_stalls,
+        hht_window_stalls,
     } = *s;
     acc.cpu_accesses += cpu_accesses;
     acc.hht_accesses += hht_accesses;
     acc.conflicts += conflicts;
     acc.cpu_conflicts += cpu_conflicts;
     acc.cpu_cross_tile_conflicts += cpu_cross_tile_conflicts;
+    acc.cpu_row_hit_extra += cpu_row_hit_extra;
+    acc.cpu_row_miss_extra += cpu_row_miss_extra;
+    acc.cpu_window_stalls += cpu_window_stalls;
+    acc.hht_window_stalls += hht_window_stalls;
 }
 
 fn add_faults(acc: &mut FaultSummary, s: &FaultSummary) {
@@ -430,7 +438,7 @@ impl FabricStats {
 /// scheduler (see [`SystemConfig::event_queue`]).
 pub struct Fabric {
     tiles: Vec<Tile>,
-    mem: SharedMemory,
+    mem: FabricMemory,
     arb: ArbPolicy,
     cycle: u64,
     max_cycles: u64,
@@ -511,6 +519,13 @@ impl Fabric {
             });
         }
         let plan = FaultPlan::from_seed(cfg.fault, mem.size());
+        // Wrap the memory per the configured timing model. A flat DRAM
+        // config is bit-identical to the bare banked memory (pinned in
+        // `tests/determinism.rs`), so differential tests toggle only this.
+        let mem = match cfg.dram {
+            Some(dc) => FabricMemory::Dram(Dram::new(mem, dc)),
+            None => FabricMemory::Shared(mem),
+        };
         Fabric {
             tiles,
             mem,
@@ -568,7 +583,7 @@ impl Fabric {
                 continue;
             }
             let tile = &mut self.tiles[t];
-            let mut port = TilePort::new(&mut self.mem, t);
+            let mut port = FabricPort::new(&mut self.mem, t);
             tile.core.step(self.cycle, &mut port, &mut tile.hht);
         }
         for i in 0..n {
@@ -577,7 +592,7 @@ impl Fabric {
                 continue;
             }
             let tile = &mut self.tiles[t];
-            let mut port = TilePort::new(&mut self.mem, t);
+            let mut port = FabricPort::new(&mut self.mem, t);
             tile.hht.step(self.cycle, &mut port);
         }
         self.cycle += 1;
@@ -767,7 +782,11 @@ impl Fabric {
     /// keep stepping: the only cross-tile coupling is the shared banks, and
     /// the bound never assumes a bank stays free — it only waits on busy
     /// banks, whose `free_at` cannot move until they free (a grant requires
-    /// a free bank). Everything else in the bound is the tile's own core
+    /// a free bank). Under the DRAM backend a port bound may instead be
+    /// the tile's *own* in-flight window draining (see
+    /// [`hht_mem::Dram::next_event_for`]) — equally uncoupled, since only
+    /// the parked tile's responses occupy its window and a parked tile
+    /// issues nothing. Everything else in the bound is the tile's own core
     /// and engine timing, which no other tile can touch.
     fn tile_bound(&mut self, t: usize, now: u64) -> Option<(u64, Replay)> {
         let tile = &mut self.tiles[t];
@@ -781,7 +800,7 @@ impl Fabric {
                 }
                 window_read = Some(addr);
             } else if let Some(addr) = tile.core.pending_port_addr(now) {
-                match self.mem.next_event_at(addr, now) {
+                match self.mem.next_event_for(t, addr, now) {
                     // The span replays one arbitration loss per cycle
                     // against `addr`'s bank, which provably stays busy
                     // until `free_at`.
@@ -801,7 +820,7 @@ impl Fabric {
                 // free bank — or an engine that cannot name its target
                 // — means the engine could issue on the very next
                 // stepped cycle, so the bound is `now` (no park).
-                match addr.map(|a| self.mem.next_event_at(a, now)) {
+                match addr.map(|a| self.mem.next_event_for(t, a, now)) {
                     Some(Some(free_at)) => Some(free_at),
                     _ => Some(now),
                 }
@@ -838,7 +857,7 @@ impl Fabric {
     /// would have recorded. Shared by both schedulers.
     fn commit_park(&mut self, t: usize, now: u64, span: u64, plan: &Replay) {
         let tile = &mut self.tiles[t];
-        let mut port = TilePort::new(&mut self.mem, t);
+        let mut port = FabricPort::new(&mut self.mem, t);
         // Replay the core's charges before the HHT's: the live loop steps
         // CPUs first each cycle, and a tile's cpu-lost and hht-lost port
         // conflicts land in the same per-tile memory event ring, where
@@ -975,12 +994,12 @@ impl Fabric {
             due.sort_unstable_by_key(|&t| (t + n - start) % n);
             for &t in &due {
                 let tile = &mut self.tiles[t];
-                let mut port = TilePort::new(&mut self.mem, t);
+                let mut port = FabricPort::new(&mut self.mem, t);
                 tile.core.step(now, &mut port, &mut tile.hht);
             }
             for &t in &due {
                 let tile = &mut self.tiles[t];
-                let mut port = TilePort::new(&mut self.mem, t);
+                let mut port = FabricPort::new(&mut self.mem, t);
                 tile.hht.step(now, &mut port);
             }
             self.cycle = now + 1;
@@ -1057,8 +1076,8 @@ impl Fabric {
         DenseVector::from(self.mem.read_f32s(y_base, n))
     }
 
-    /// Borrow the shared memory (for test inspection).
-    pub fn mem(&self) -> &SharedMemory {
+    /// Borrow the memory (for test inspection).
+    pub fn mem(&self) -> &FabricMemory {
         &self.mem
     }
 

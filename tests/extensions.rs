@@ -71,6 +71,52 @@ fn l1d_changes_timing_not_results() {
 }
 
 #[test]
+fn l1d_composes_over_dram_backend() {
+    // The L1D is a tags-only layer above the memory port: a hit skips the
+    // port entirely, a miss issues a burst line fill through the
+    // split-transaction request path and pays the DRAM toll (row extras,
+    // window, budget) like any other transaction. Stacking it over the
+    // DRAM backend must change timing only — same results, fewer slow
+    // transactions, and the row extras the core does pay must show up in
+    // the per-tile counters.
+    use hht::mem::DramConfig;
+    let dram = SystemConfig::paper_default().with_dram(DramConfig::slow_300ns());
+    let cached = dram.with_l1d(CacheGeometry::embedded_4k());
+    let m = generate::random_csr(64, 64, 0.5, 23);
+    let v = generate::random_dense_vector(64, 24);
+    let plain = runner::run_spmv_baseline(&dram, &m, &v);
+    let with_cache = runner::run_spmv_baseline(&cached, &m, &v);
+    assert_eq!(plain.y, with_cache.y, "the cache must not change the numeric result");
+    assert!(
+        with_cache.stats.cycles < plain.stats.cycles,
+        "line fills should amortize 300ns-class rows ({} !< {})",
+        with_cache.stats.cycles,
+        plain.stats.cycles
+    );
+    assert!(with_cache.stats.core.l1d_hits > with_cache.stats.core.l1d_misses);
+    // The misses that do go out pay DRAM row timing.
+    let extras = with_cache.stats.sram.cpu_row_hit_extra + with_cache.stats.sram.cpu_row_miss_extra;
+    assert!(extras > 0, "line fills over DRAM must accrue row extras");
+}
+
+#[test]
+fn l1d_over_flat_dram_is_bit_identical_to_l1d_over_shared() {
+    // Composability corollary of the flat-Dram differential: inserting a
+    // zero-effect DRAM stage under the cache must be observationally
+    // invisible, burst line fills included.
+    use hht::mem::DramConfig;
+    let cached = SystemConfig::paper_default()
+        .with_ram_word_cycles(4)
+        .with_l1d(CacheGeometry::embedded_4k());
+    let m = generate::random_csr(64, 64, 0.5, 23);
+    let v = generate::random_dense_vector(64, 24);
+    let shared = runner::run_spmv_baseline(&cached, &m, &v);
+    let flat = runner::run_spmv_baseline(&cached.with_dram(DramConfig::flat()), &m, &v);
+    assert_eq!(shared.stats, flat.stats);
+    assert_eq!(shared.y, flat.y);
+}
+
+#[test]
 fn dense_expansion_crossover_exists_for_the_baseline() {
     let cfg = SystemConfig::paper_default();
     let pts = experiments::crossover(&cfg, 96);

@@ -3,6 +3,7 @@
 //! simulated timing, and the Chrome trace export must stay byte-stable.
 
 use hht::fault::{FaultEvent, FaultKind, FaultPlan};
+use hht::mem::DramConfig;
 use hht::obs::chrome::chrome_trace_json;
 use hht::obs::{Event, EventKind, StallCause, Track};
 use hht::sparse::generate;
@@ -31,8 +32,9 @@ fn sinks_never_change_simulated_timing() {
 
 /// Event-enabled HHT runs populate every track (SpMV never touches the
 /// secondary window, so SpMSpV v1 covers that one; the fault track needs
-/// an injected fault) and export balanced Chrome traces (each `B` slice
-/// has a matching `E`).
+/// an injected fault; the mem-queue track only carries events under the
+/// DRAM backend) and export balanced Chrome traces (each `B` slice has a
+/// matching `E`).
 #[test]
 fn traced_runs_cover_all_tracks_with_balanced_slices() {
     let cfg = SystemConfig::paper_default().with_trace(TraceConfig::enabled());
@@ -45,18 +47,22 @@ fn traced_runs_cover_all_tracks_with_balanced_slices() {
     // the result (the engine resumes and the run completes normally).
     let plan = FaultPlan::new(vec![FaultEvent::new(5, FaultKind::EngineStall { cycles: 16 })]);
     let faulty = runner::run_spmv_hht_with_plan(&cfg, &m, &v, plan);
+    // The DRAM backend covers the mem-queue track (row transitions and
+    // in-flight occupancy).
+    let dram = runner::run_spmv_hht(&cfg.with_dram(DramConfig::slow_300ns()), &m, &v);
     for track in Track::ALL {
         assert!(
             spmv.events
                 .iter()
                 .chain(&spmspv.events)
                 .chain(&faulty.events)
+                .chain(&dram.events)
                 .any(|e| e.track == track),
             "no events on track {:?}",
             track
         );
     }
-    for events in [&spmv.events, &spmspv.events, &faulty.events] {
+    for events in [&spmv.events, &spmspv.events, &faulty.events, &dram.events] {
         let json = chrome_trace_json(events);
         assert_eq!(json.matches("\"ph\":\"B\"").count(), json.matches("\"ph\":\"E\"").count());
     }
