@@ -1,0 +1,106 @@
+//! Block-diagonal request batching.
+//!
+//! Small SpMV jobs are packed into one fabric pass by concatenating their
+//! matrices block-diagonally: job *k*'s rows keep their column indices
+//! shifted by the cumulative column offset, and the dense operands are
+//! concatenated to match. Each output row of the batch touches only its
+//! own job's block, in the same element order as the singleton run, so
+//! the demultiplexed per-job `y` is **bit-identical** to running the job
+//! alone (pinned by this module's tests and the determinism suite). The
+//! pass itself shards nnz-balanced across tiles exactly like any other
+//! matrix — the existing `layout::row_shards_range` machinery sees one
+//! big CSR and needs no batching awareness.
+
+use hht_sparse::{CsrMatrix, DenseVector, SparseFormat};
+
+/// A packed batch: the block-diagonal matrix, the concatenated operand,
+/// and each member job's row range for demultiplexing.
+pub struct SpmvBatch {
+    /// The block-diagonal CSR over all member jobs.
+    pub matrix: CsrMatrix,
+    /// Concatenated dense operands.
+    pub v: DenseVector,
+    /// Member row ranges: `y[r0..r1]` of the pass is job `k`'s output.
+    pub row_ranges: Vec<(usize, usize)>,
+}
+
+/// Pack `jobs` into one block-diagonal pass, preserving order.
+pub fn concat_spmv(jobs: &[(&CsrMatrix, &DenseVector)]) -> SpmvBatch {
+    assert!(!jobs.is_empty(), "a batch holds at least one job");
+    let total_rows: usize = jobs.iter().map(|(m, _)| m.rows()).sum();
+    let total_nnz: usize = jobs.iter().map(|(m, _)| m.nnz()).sum();
+    let total_cols: usize = jobs.iter().map(|(m, _)| m.cols()).sum();
+    let mut row_ptr = Vec::with_capacity(total_rows + 1);
+    let mut col_idx = Vec::with_capacity(total_nnz);
+    let mut values = Vec::with_capacity(total_nnz);
+    let mut v = Vec::with_capacity(total_cols);
+    let mut row_ranges = Vec::with_capacity(jobs.len());
+    row_ptr.push(0u32);
+    let mut nnz0 = 0u32;
+    let mut col0 = 0u32;
+    let mut row0 = 0usize;
+    for (m, vk) in jobs {
+        for &p in &m.row_ptr()[1..] {
+            row_ptr.push(nnz0 + p);
+        }
+        col_idx.extend(m.col_indices().iter().map(|&c| col0 + c));
+        values.extend_from_slice(m.values());
+        v.extend_from_slice(vk.as_slice());
+        row_ranges.push((row0, row0 + m.rows()));
+        nnz0 += m.nnz() as u32;
+        col0 += m.cols() as u32;
+        row0 += m.rows();
+    }
+    let matrix = CsrMatrix::from_raw(total_rows, total_cols, row_ptr, col_idx, values)
+        .expect("block-diagonal concatenation of valid CSRs is valid");
+    SpmvBatch { matrix, v: DenseVector::from(v), row_ranges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hht_sparse::{generate, kernels};
+
+    #[test]
+    fn batch_golden_equals_per_job_golden_bitwise() {
+        let ms: Vec<CsrMatrix> =
+            (0..3).map(|s| generate::random_csr(8 + s, 10, 0.7, s as u64)).collect();
+        let vs: Vec<DenseVector> =
+            (0..3).map(|s| generate::random_dense_vector(10, 90 + s)).collect();
+        let jobs: Vec<(&CsrMatrix, &DenseVector)> = ms.iter().zip(&vs).collect();
+        let b = concat_spmv(&jobs);
+        assert_eq!(b.matrix.rows(), 8 + 9 + 10);
+        assert_eq!(b.matrix.cols(), 30);
+        let y = kernels::spmv(&b.matrix, &b.v).unwrap();
+        for ((m, v), &(r0, r1)) in jobs.iter().zip(&b.row_ranges) {
+            let alone = kernels::spmv(m, v).unwrap();
+            // Bitwise, not tolerance: each row's summation order is
+            // untouched by the block-diagonal packing.
+            assert_eq!(&y.as_slice()[r0..r1], alone.as_slice());
+        }
+    }
+
+    #[test]
+    fn singleton_batch_is_the_identity() {
+        let m = generate::random_csr(6, 6, 0.5, 3);
+        let v = generate::random_dense_vector(6, 4);
+        let b = concat_spmv(&[(&m, &v)]);
+        assert_eq!(b.matrix.row_ptr(), m.row_ptr());
+        assert_eq!(b.matrix.col_indices(), m.col_indices());
+        assert_eq!(b.matrix.values(), m.values());
+        assert_eq!(b.v.as_slice(), v.as_slice());
+        assert_eq!(b.row_ranges, vec![(0, 6)]);
+    }
+
+    #[test]
+    fn empty_blocks_are_preserved() {
+        // An all-zero member must keep its row range, producing zeros.
+        let a = generate::random_csr(4, 4, 0.5, 5);
+        let z = generate::random_csr(3, 3, 1.0, 6); // fully sparse
+        let va = generate::random_dense_vector(4, 7);
+        let vz = generate::random_dense_vector(3, 8);
+        let b = concat_spmv(&[(&a, &va), (&z, &vz)]);
+        let y = kernels::spmv(&b.matrix, &b.v).unwrap();
+        assert!(y.as_slice()[4..].iter().all(|&x| x == 0.0));
+    }
+}

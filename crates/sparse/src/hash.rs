@@ -1,0 +1,224 @@
+//! Stable content hashing for sparse operands.
+//!
+//! The serving layer (`hht-serve`) keys its content-addressed caches by the
+//! *mathematical content* of a request's operands, so the hash must be:
+//!
+//! - **Deterministic across processes and platforms** — `std`'s
+//!   `DefaultHasher` is randomly seeded per process and its algorithm is
+//!   unspecified, so it is unusable as a cache key that outlives a run or
+//!   appears in committed benchmark reports. [`StableHasher`] is a
+//!   hand-rolled FNV-1a 64 over an explicitly little-endian byte encoding:
+//!   the same bytes hash to the same value everywhere, forever.
+//! - **Content-addressed, not representation-addressed** — CSR/CSC store a
+//!   canonical form (sorted, deduplicated indices), so hashing the raw
+//!   arrays *is* hashing the logical matrix: two matrices built from the
+//!   same triplets in any order produce identical arrays and therefore
+//!   identical hashes.
+//! - **Complete** — dimensions, index structure and every value bit
+//!   participate, so matrices that differ in any of them (including a
+//!   `-0.0` vs `+0.0` value, which matters to bit-exact replay) get
+//!   different keys. Each container type mixes in a distinct domain tag so
+//!   e.g. an empty CSR and an empty CSC cannot collide structurally.
+
+use crate::{CscMatrix, CsrMatrix, DenseVector, SparseFormat, SparseVector};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 with explicit little-endian integer encoding.
+///
+/// Not a `std::hash::Hasher` on purpose: that trait's integer methods have
+/// unspecified encodings, and we need every byte fed to the state to be
+/// pinned by this crate alone.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// Start a fresh hash at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Feed raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feed a `u32` as 4 little-endian bytes.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feed a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feed an `f32` by its raw bit pattern (distinguishes `-0.0` from
+    /// `+0.0` and every NaN payload — bit-exact replay needs bit-exact
+    /// keys).
+    pub fn write_f32(&mut self, v: f32) {
+        self.write_u32(v.to_bits());
+    }
+
+    /// The accumulated 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+fn hash_parts(tag: &[u8], dims: &[u64], idx: &[&[u32]], vals: &[f32]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_bytes(tag);
+    for &d in dims {
+        h.write_u64(d);
+    }
+    for arr in idx {
+        h.write_u64(arr.len() as u64);
+        for &i in *arr {
+            h.write_u32(i);
+        }
+    }
+    h.write_u64(vals.len() as u64);
+    for &v in vals {
+        h.write_f32(v);
+    }
+    h.finish()
+}
+
+impl CsrMatrix {
+    /// Stable content hash over dimensions, `row_ptr`, `col_idx` and value
+    /// bits. Identical logical matrices (same triplets, any build order)
+    /// hash identically; any structural or value difference changes the
+    /// digest with overwhelming probability.
+    pub fn content_hash(&self) -> u64 {
+        hash_parts(
+            b"csr1",
+            &[self.rows() as u64, self.cols() as u64],
+            &[self.row_ptr(), self.col_indices()],
+            self.values(),
+        )
+    }
+}
+
+impl CscMatrix {
+    /// Stable content hash over dimensions, `col_ptr`, `row_idx` and value
+    /// bits (domain-tagged so a CSC never aliases the CSR of the same
+    /// matrix).
+    pub fn content_hash(&self) -> u64 {
+        hash_parts(
+            b"csc1",
+            &[self.rows() as u64, self.cols() as u64],
+            &[self.col_ptr(), self.row_indices()],
+            self.values(),
+        )
+    }
+}
+
+impl DenseVector {
+    /// Stable content hash over length and value bits.
+    pub fn content_hash(&self) -> u64 {
+        hash_parts(b"dnv1", &[self.len() as u64], &[], self.as_slice())
+    }
+}
+
+impl SparseVector {
+    /// Stable content hash over logical length, stored indices and value
+    /// bits.
+    pub fn content_hash(&self) -> u64 {
+        hash_parts(b"spv1", &[self.len() as u64], &[self.indices()], self.values())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn hash_is_deterministic_across_builds() {
+        let t = &[(0usize, 0usize, 1.0f32), (0, 2, 2.0), (1, 1, 3.0)];
+        let mut rev = t.to_vec();
+        rev.reverse();
+        let a = CsrMatrix::from_triplets(2, 3, t).unwrap();
+        let b = CsrMatrix::from_triplets(2, 3, &rev).unwrap();
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(a.content_hash(), a.clone().content_hash());
+    }
+
+    #[test]
+    fn hash_is_platform_pinned() {
+        // Known-value pin: if this changes, committed BENCH_serve cache
+        // keys and any on-disk cache would silently invalidate.
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
+        assert_eq!(m.content_hash(), 0x65d0_a206_1072_6fe7);
+        let v = DenseVector::from(vec![1.0, -0.0]);
+        assert_eq!(v.content_hash(), 0xcfa1_2821_5bc1_1b27);
+    }
+
+    #[test]
+    fn any_component_changes_the_hash() {
+        let base = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (1, 1, 3.0)]).unwrap();
+        let value = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.5), (1, 1, 3.0)]).unwrap();
+        let moved = CsrMatrix::from_triplets(2, 3, &[(0, 1, 1.0), (1, 1, 3.0)]).unwrap();
+        let wider = CsrMatrix::from_triplets(2, 4, &[(0, 0, 1.0), (1, 1, 3.0)]).unwrap();
+        let taller = CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 3.0)]).unwrap();
+        let h = base.content_hash();
+        assert_ne!(h, value.content_hash());
+        assert_ne!(h, moved.content_hash());
+        assert_ne!(h, wider.content_hash());
+        assert_ne!(h, taller.content_hash());
+    }
+
+    #[test]
+    fn negative_zero_is_distinguished() {
+        let a = DenseVector::from(vec![0.0f32]);
+        let b = DenseVector::from(vec![-0.0f32]);
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn formats_do_not_alias() {
+        let t = &[(0usize, 0usize, 1.0f32), (1, 1, 2.0)];
+        let csr = CsrMatrix::from_triplets(2, 2, t).unwrap();
+        let csc = CscMatrix::from_triplets(2, 2, t).unwrap();
+        assert_ne!(csr.content_hash(), csc.content_hash());
+        // Empty containers of different types must differ too.
+        let ev = DenseVector::from(vec![]);
+        let es = SparseVector::zeros(0);
+        assert_ne!(ev.content_hash(), es.content_hash());
+    }
+
+    #[test]
+    fn collision_sanity_over_a_matrix_family() {
+        // 160 structurally-near matrices: all hashes pairwise distinct.
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..40u64 {
+            for &n in &[7usize, 8, 9, 16] {
+                let m = generate::random_csr(n, n, 0.5, seed);
+                assert!(seen.insert(m.content_hash()), "collision at n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_vector_hash_tracks_indices_and_length() {
+        let a = SparseVector::from_pairs(8, &[(1, 2.0), (5, 3.0)]).unwrap();
+        let b = SparseVector::from_pairs(8, &[(2, 2.0), (5, 3.0)]).unwrap();
+        let c = SparseVector::from_pairs(9, &[(1, 2.0), (5, 3.0)]).unwrap();
+        assert_ne!(a.content_hash(), b.content_hash());
+        assert_ne!(a.content_hash(), c.content_hash());
+        assert_eq!(a.content_hash(), a.clone().content_hash());
+    }
+}

@@ -40,6 +40,7 @@ pub mod dia;
 pub mod ell;
 pub mod error;
 pub mod generate;
+pub mod hash;
 pub mod io;
 pub mod kernels;
 pub mod rle;
@@ -55,6 +56,7 @@ pub use dense::{DenseMatrix, DenseVector};
 pub use dia::DiaMatrix;
 pub use ell::EllMatrix;
 pub use error::SparseError;
+pub use hash::StableHasher;
 pub use rle::RleMatrix;
 pub use smash::SmashMatrix;
 pub use vector::SparseVector;

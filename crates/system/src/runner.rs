@@ -187,6 +187,16 @@ fn sram_for(cfg: &SystemConfig, words: usize) -> Sram {
     Sram::new(size, cfg.ram_word_cycles)
 }
 
+/// [`sram_for`] into a recycled buffer: same size policy, same (all-zero)
+/// contents, so a warm-pool image build is byte-identical to a cold one.
+fn sram_for_in(cfg: &SystemConfig, words: usize, mut buf: Vec<u8>) -> Sram {
+    let needed = 0x100u64 + 4 * words as u64 + 32 * 8;
+    let size = (cfg.ram_size as u64).max(needed.next_multiple_of(4096)) as u32;
+    buf.clear();
+    buf.resize(size as usize, 0);
+    Sram::from_data(buf, cfg.ram_word_cycles)
+}
+
 fn spmv_words(m: &CsrMatrix, v: &DenseVector) -> usize {
     (m.rows() + 1) + 2 * m.nnz() + v.len() + m.rows()
 }
@@ -476,6 +486,61 @@ impl FabricRecovery {
     }
 }
 
+/// Where the fabric driver gets (and returns) its fabrics and image
+/// buffers. The default implementation is the cold path: fresh allocations
+/// and [`Fabric::new`] every attempt, which is exactly the seed behaviour.
+/// The serving layer (`hht-serve`) substitutes a warm pool that recycles a
+/// retired fabric's multi-megabyte memory buffer into the next image build
+/// — the determinism suite pins that both paths are bit-identical.
+pub trait FabricProvider {
+    /// A byte buffer for the next image build. May hold stale bytes of any
+    /// length; image builders clear and refill it.
+    fn image_buffer(&mut self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Produce a fabric for one attempt over an already-loaded memory.
+    fn acquire(
+        &mut self,
+        cfg: &SystemConfig,
+        fab: FabricConfig,
+        programs: Vec<hht_isa::Program>,
+        mem: SharedMemory,
+    ) -> Fabric {
+        Fabric::new(cfg, fab, programs, mem)
+    }
+
+    /// Take a finished attempt's fabric back (the cold path just drops it).
+    fn release(&mut self, _fabric: Fabric) {}
+}
+
+/// The default [`FabricProvider`]: no reuse, identical to pre-serve
+/// behaviour.
+pub struct ColdStart;
+
+impl FabricProvider for ColdStart {}
+
+/// A reusable precomputed fabric job: the pristine (pre-shard-copy)
+/// problem image, its layout, and the attempt-0 nnz-balanced shard
+/// assignment. This is what the serving layer's content-addressed cache
+/// stores per `(matrix, operand, kernel, tile count)` key: a cache hit
+/// skips SRAM sizing, layout, and shard balancing, and rebuilds the image
+/// by a single `memcpy` into a recycled buffer.
+///
+/// Bit-identity of cached replays holds because the image is captured
+/// *before* [`layout::shard_layouts`] runs: the per-attempt shard
+/// row-pointer copies are placed by the driver at a deterministic bump
+/// address on every attempt, exactly as on the cold path.
+#[derive(Debug, Clone)]
+pub struct FabricPlan {
+    /// The pristine image bytes (full SRAM size, shard area still zero).
+    pub image: Vec<u8>,
+    /// Layout of the full problem inside `image`.
+    pub layout: layout::ProblemLayout,
+    /// Attempt-0 row-range assignment for the planned tile count.
+    pub shards: Vec<(usize, usize)>,
+}
+
 /// Sum per-tile host scheduler counters across attempts. Exhaustive
 /// destructuring: a new counter breaks this merge at compile time instead
 /// of being silently dropped from multi-attempt totals.
@@ -552,10 +617,12 @@ fn run_fabric(
     fab: FabricConfig,
     what: &str,
     golden: &DenseVector,
-    build_image: &dyn Fn() -> (Sram, layout::ProblemLayout),
+    build_image: &dyn Fn(Vec<u8>) -> (Sram, layout::ProblemLayout),
     m: &CsrMatrix,
     emit: &dyn Fn(&layout::ProblemLayout) -> hht_isa::Program,
     plan: Option<FaultPlan>,
+    shards_hint: Option<&[(usize, usize)]>,
+    provider: &mut dyn FabricProvider,
     baseline: &dyn Fn(&SystemConfig) -> RunOutput,
 ) -> FabricRunOutput {
     let n0 = fab.tiles;
@@ -592,11 +659,18 @@ fn run_fabric(
             fallback_reason = Some("retry budget exhausted".into());
             break;
         }
-        let (assigned, taken) = assign_shards(m, &pending, survivors.len());
+        // The attempt-0 full-width assignment may come precomputed from a
+        // cached plan; `assign_shards` over the initial single pending
+        // range is deterministic, so the hint is the same split it would
+        // produce (the determinism suite pins this end to end).
+        let (assigned, taken) = match shards_hint {
+            Some(h) if attempt == 0 && survivors.len() == n0 => (h.to_vec(), pending.len()),
+            _ => assign_shards(m, &pending, survivors.len()),
+        };
         // Fresh image per attempt: failover restarts shards from clean
         // state (a fault may have corrupted shared arrays), and the bump
         // allocator re-places the rebased row-pointer copies.
-        let (mut sram, full) = build_image();
+        let (mut sram, full) = build_image(provider.image_buffer());
         let layouts = layout::shard_layouts(&mut sram, &full, m, &assigned);
         let programs = layouts.iter().map(emit).collect();
         let fab_a = FabricConfig { tiles: survivors.len(), banks: fab.banks, arb: fab.arb };
@@ -608,7 +682,7 @@ fn run_fabric(
             attempt_cfg.fault.seed = 0;
             attempt_cfg.trace.events = false;
         }
-        let mut fabric = Fabric::new(&attempt_cfg, fab_a, programs, mem);
+        let mut fabric = provider.acquire(&attempt_cfg, fab_a, programs, mem);
         if attempt == 0 {
             if let Some(p) = plan.take() {
                 fabric.set_fault_plan(p);
@@ -693,6 +767,7 @@ fn run_fabric(
                 y[r0..r1].copy_from_slice(out.as_slice());
             }
         }
+        provider.release(fabric);
         wall += max_backoff;
         backoff_total += max_backoff;
         attempts.push(FabricAttempt {
@@ -820,14 +895,65 @@ fn run_spmv_fabric_inner(
         fab,
         "spmv_fabric",
         &gold,
-        &|| {
-            let mut sram = sram_for(cfg, spmv_words(m, v) + shard_words(m, fab.tiles));
+        &|buf| {
+            let mut sram = sram_for_in(cfg, spmv_words(m, v) + shard_words(m, fab.tiles), buf);
             let l = layout::layout_spmv(&mut sram, m, v);
             (sram, l)
         },
         m,
         &|sl| kernels::spmv_hht(sl, vectorized),
         plan,
+        None,
+        &mut ColdStart,
+        &|cfg| run_spmv_baseline(cfg, m, v),
+    )
+}
+
+/// Precompute the reusable SpMV fabric job for `fab.tiles` tiles: image,
+/// layout and attempt-0 shards (see [`FabricPlan`]).
+pub fn plan_spmv_fabric(
+    cfg: &SystemConfig,
+    fab: FabricConfig,
+    m: &CsrMatrix,
+    v: &DenseVector,
+) -> FabricPlan {
+    let mut sram = sram_for(cfg, spmv_words(m, v) + shard_words(m, fab.tiles));
+    let layout = layout::layout_spmv(&mut sram, m, v);
+    let (shards, _) = assign_shards(m, &[(0, m.rows())], fab.tiles);
+    FabricPlan { image: sram.into_data(), layout, shards }
+}
+
+/// Run fabric SpMV from a precomputed [`FabricPlan`] through a
+/// [`FabricProvider`]. With `&mut ColdStart` and a fresh plan this is
+/// bit-identical to [`run_spmv_fabric`]; the serving layer passes its warm
+/// pool and cached plans instead. The image is rebuilt from the plan by
+/// `memcpy` each attempt, so failover re-sharding behaves exactly as on
+/// the cold path.
+pub fn run_spmv_fabric_planned(
+    cfg: &SystemConfig,
+    fab: FabricConfig,
+    m: &CsrMatrix,
+    v: &DenseVector,
+    plan: &FabricPlan,
+    provider: &mut dyn FabricProvider,
+) -> FabricRunOutput {
+    let gold = golden::spmv(m, v).expect("shapes validated by layout");
+    let vectorized = cfg.core.vlen > 1;
+    run_fabric(
+        cfg,
+        fab,
+        "spmv_fabric",
+        &gold,
+        &|mut buf| {
+            buf.clear();
+            buf.extend_from_slice(&plan.image);
+            (Sram::from_data(buf, cfg.ram_word_cycles), plan.layout)
+        },
+        m,
+        &|sl| kernels::spmv_hht(sl, vectorized),
+        None,
+        Some(&plan.shards),
+        provider,
         &|cfg| run_spmv_baseline(cfg, m, v),
     )
 }
@@ -846,14 +972,63 @@ pub fn run_spmspv_fabric_v1(
         fab,
         "spmspv_fabric_v1",
         &gold,
-        &|| {
-            let mut sram = sram_for(cfg, spmspv_words(m, x) + shard_words(m, fab.tiles));
+        &|buf| {
+            let mut sram = sram_for_in(cfg, spmspv_words(m, x) + shard_words(m, fab.tiles), buf);
             let l = layout::layout_spmspv(&mut sram, m, x);
             (sram, l)
         },
         m,
         &kernels::spmspv_hht_v1,
         None,
+        None,
+        &mut ColdStart,
+        &|cfg| run_spmspv_baseline(cfg, m, x),
+    )
+}
+
+/// Precompute the reusable SpMSpV fabric job (shared by both kernel
+/// variants: they run over the same image and layout).
+pub fn plan_spmspv_fabric(
+    cfg: &SystemConfig,
+    fab: FabricConfig,
+    m: &CsrMatrix,
+    x: &SparseVector,
+) -> FabricPlan {
+    let mut sram = sram_for(cfg, spmspv_words(m, x) + shard_words(m, fab.tiles));
+    let layout = layout::layout_spmspv(&mut sram, m, x);
+    let (shards, _) = assign_shards(m, &[(0, m.rows())], fab.tiles);
+    FabricPlan { image: sram.into_data(), layout, shards }
+}
+
+/// Run fabric SpMSpV (either variant) from a precomputed [`FabricPlan`]
+/// through a [`FabricProvider`] (see [`run_spmv_fabric_planned`]).
+pub fn run_spmspv_fabric_planned(
+    cfg: &SystemConfig,
+    fab: FabricConfig,
+    m: &CsrMatrix,
+    x: &SparseVector,
+    variant2: bool,
+    plan: &FabricPlan,
+    provider: &mut dyn FabricProvider,
+) -> FabricRunOutput {
+    let gold = golden::spmspv(m, x).expect("shapes validated");
+    let emit: &dyn Fn(&layout::ProblemLayout) -> hht_isa::Program =
+        if variant2 { &kernels::spmspv_hht_v2 } else { &kernels::spmspv_hht_v1 };
+    run_fabric(
+        cfg,
+        fab,
+        if variant2 { "spmspv_fabric_v2" } else { "spmspv_fabric_v1" },
+        &gold,
+        &|mut buf| {
+            buf.clear();
+            buf.extend_from_slice(&plan.image);
+            (Sram::from_data(buf, cfg.ram_word_cycles), plan.layout)
+        },
+        m,
+        emit,
+        None,
+        Some(&plan.shards),
+        provider,
         &|cfg| run_spmspv_baseline(cfg, m, x),
     )
 }
@@ -872,14 +1047,16 @@ pub fn run_spmspv_fabric_v2(
         fab,
         "spmspv_fabric_v2",
         &gold,
-        &|| {
-            let mut sram = sram_for(cfg, spmspv_words(m, x) + shard_words(m, fab.tiles));
+        &|buf| {
+            let mut sram = sram_for_in(cfg, spmspv_words(m, x) + shard_words(m, fab.tiles), buf);
             let l = layout::layout_spmspv(&mut sram, m, x);
             (sram, l)
         },
         m,
         &kernels::spmspv_hht_v2,
         None,
+        None,
+        &mut ColdStart,
         &|cfg| run_spmspv_baseline(cfg, m, x),
     )
 }

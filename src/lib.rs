@@ -33,6 +33,8 @@
 //! - [`workloads`] — synthetic, DNN and SuiteSparse-profile generators.
 //! - [`prof`] — post-run analysis: top-down CPI stacks, bottleneck
 //!   classification, host self-profiling, bench regression reports.
+//! - [`serve`] — persistent job service: warm fabric pools,
+//!   content-addressed plan/replay caches, tenant-fair batched serving.
 
 pub use hht_accel as accel;
 pub use hht_energy as energy;
@@ -42,6 +44,7 @@ pub use hht_isa as isa;
 pub use hht_mem as mem;
 pub use hht_obs as obs;
 pub use hht_prof as prof;
+pub use hht_serve as serve;
 pub use hht_sim as sim;
 pub use hht_sparse as sparse;
 pub use hht_system as system;

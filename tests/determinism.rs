@@ -684,3 +684,112 @@ fn watchdog_expiry_is_a_recoverable_error() {
         }
     }
 }
+
+/// One serve request (pair of identical requests from two tenants) for
+/// `kernel`, plus the naive cold one-shot runs of the same stream.
+fn serve_pair(kernel: usize, n: usize, s: f64, seed: u64) -> Vec<hht::serve::Request> {
+    use hht::serve::Request;
+    use std::sync::Arc;
+    let m = Arc::new(generate::random_csr(n, n, s, seed));
+    match kernel {
+        0 => {
+            let v = Arc::new(generate::random_dense_vector(n, seed ^ 1));
+            vec![Request::spmv(0, Arc::clone(&m), Arc::clone(&v)), Request::spmv(1, m, v)]
+        }
+        1 => {
+            let x = Arc::new(generate::random_sparse_vector(n, s, seed ^ 2));
+            vec![Request::spmspv_v1(0, Arc::clone(&m), Arc::clone(&x)), Request::spmspv_v1(1, m, x)]
+        }
+        _ => {
+            let x = Arc::new(generate::random_sparse_vector(n, s, seed ^ 2));
+            vec![Request::spmspv_v2(0, Arc::clone(&m), Arc::clone(&x)), Request::spmspv_v2(1, m, x)]
+        }
+    }
+}
+
+/// The differential property behind `hht-serve`: a request served through
+/// the content-addressed caches and the warm fabric pool must be
+/// bit-identical — output words, every counter of the fabric stats, every
+/// traced event, the scheduler accounting and the recovery report — to the
+/// naive cold one-shot run of the same job. Covered paths: cold service
+/// run (fresh plan + fresh fabric through the provider), replay-tier hit,
+/// and plan-cache hit re-simulated on a warm pooled fabric (replay off).
+fn assert_serve_matches_cold(
+    base: SystemConfig,
+    kernel: usize,
+    tiles: usize,
+    n: usize,
+    s: f64,
+    seed: u64,
+) {
+    use hht::serve::{naive_run_stream, Service, ServiceConfig};
+    use hht::system::FabricConfig;
+    let fab = FabricConfig::scaled(tiles);
+    let requests = serve_pair(kernel, n, s, seed);
+    let naive = naive_run_stream(&base, fab, &requests);
+    let shapes = [
+        // Replay on: the repeat is served from the replay tier.
+        ServiceConfig { batching: false, ..ServiceConfig::default() },
+        // Replay off: the repeat re-simulates through the cached plan and
+        // the warmed fabric pool.
+        ServiceConfig { batching: false, replay: false, ..ServiceConfig::default() },
+    ];
+    for scfg in shapes {
+        let mut svc = Service::new(base, fab, scfg);
+        let responses = svc.run_stream(&requests);
+        for (i, (resp, (cold, _))) in responses.iter().zip(&naive).enumerate() {
+            let ctx = format!(
+                "kernel {kernel} tiles={tiles} n={n} s={s} replay={} request {i} ({:?})",
+                scfg.replay, resp.served
+            );
+            assert_eq!(resp.y.as_slice(), cold.y.as_slice(), "{ctx}: y");
+            assert_eq!(resp.run.stats, cold.stats, "{ctx}: stats");
+            assert_eq!(resp.run.tile_events, cold.tile_events, "{ctx}: events");
+            assert_eq!(resp.run.sched, cold.sched, "{ctx}: sched");
+            assert_eq!(resp.run.tile_sched, cold.tile_sched, "{ctx}: tile sched");
+            assert_eq!(resp.run.recovery, cold.recovery, "{ctx}: recovery");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Serving through warm fabrics and content-addressed caches is
+    /// observationally identical to cold one-shot runs across kernels ×
+    /// tile counts × both fabric schedulers, with event tracing on.
+    #[test]
+    fn serving_is_bit_identical_to_cold_runs(
+        kernel in 0usize..3,
+        tiles_log in 0u32..3, // 1, 2, 4 tiles
+        event_queue in 0u32..2,
+        sparsity_pct in 40u32..95,
+        n in 12usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = SystemConfig::paper_default()
+            .with_event_queue(event_queue == 1)
+            .with_trace(TraceConfig::enabled());
+        assert_serve_matches_cold(cfg, kernel, 1 << tiles_log, n, sparsity_pct as f64 / 100.0, seed);
+    }
+
+    /// The same property under seeded fault injection with recovery on:
+    /// cached plans re-derive the identical fault schedule (the image the
+    /// seed hashes over is byte-identical), so detections, retries and
+    /// failovers replay exactly.
+    #[test]
+    fn serving_is_bit_identical_to_cold_runs_under_faults(
+        kernel in 0usize..3,
+        tiles_log in 1u32..3, // 2, 4 tiles (failover needs a survivor)
+        fault_seed in 1u64..1_000_000,
+        sparsity_pct in 40u32..90,
+        n in 12usize..32,
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = SystemConfig::paper_default()
+            .with_fault(FaultConfig { seed: fault_seed, max_faults: 3, horizon: 2048 })
+            .with_hht_timeout(64)
+            .with_recovery(true);
+        assert_serve_matches_cold(cfg, kernel, 1 << tiles_log, n, sparsity_pct as f64 / 100.0, seed);
+    }
+}
